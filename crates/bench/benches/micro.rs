@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks for the hot paths of the pipeline:
+//! SAT solving, relation algebra, encoding, enumeration — plus the
+//! relation-analysis ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn mp_graph(threads: usize) -> gpumc::gpumc_ir::EventGraph {
+    let t = gpumc_catalog::scaling_test(gpumc_catalog::ScalePattern::Mp, threads);
+    let p = gpumc::parse_litmus(&t.source).unwrap();
+    gpumc::gpumc_ir::compile(&gpumc::gpumc_ir::unroll(&p, 1).unwrap())
+}
+
+fn bench_solver_pigeonhole(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole-7-into-6", |b| {
+        b.iter(|| {
+            let mut s = gpumc::gpumc_sat::Solver::new();
+            let n = 7;
+            let m = 6;
+            let p: Vec<Vec<gpumc::gpumc_sat::Lit>> = (0..n)
+                .map(|_| (0..m).map(|_| s.new_lit()).collect())
+                .collect();
+            for row in &p {
+                s.add_clause(row.clone());
+            }
+            for j in 0..m {
+                for i1 in 0..n {
+                    for i2 in (i1 + 1)..n {
+                        s.add_clause([!p[i1][j], !p[i2][j]]);
+                    }
+                }
+            }
+            assert!(s.solve().is_unsat());
+        })
+    });
+}
+
+fn bench_relation_algebra(c: &mut Criterion) {
+    use gpumc::gpumc_exec::Relation;
+    use gpumc::gpumc_ir::EventId;
+    let n = 200;
+    let mut r = Relation::empty(n);
+    let mut seed = 12345u64;
+    for _ in 0..800 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (seed >> 33) as usize % n;
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = (seed >> 33) as usize % n;
+        r.insert(EventId(a as u32), EventId(b as u32));
+    }
+    c.bench_function("bitrel/compose-200", |b| {
+        b.iter(|| r.compose(&r));
+    });
+    c.bench_function("bitrel/transitive-closure-200", |b| {
+        b.iter(|| r.transitive_closure());
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let g = mp_graph(8);
+    let model = gpumc_models::ptx75();
+    c.bench_function("encode/mp-8-ptx75", |b| {
+        b.iter(|| gpumc::gpumc_encode::encode(&g, &model, &Default::default()).unwrap())
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let model = gpumc_models::ptx75();
+    let t = gpumc_catalog::scaling_test(gpumc_catalog::ScalePattern::Mp, 4);
+    let p = gpumc::parse_litmus(&t.source).unwrap();
+    c.bench_function("verify/mp-4-sat", |b| {
+        b.iter(|| {
+            let v = gpumc::Verifier::new(model.clone()).with_bound(1);
+            v.check_assertion(&p).unwrap()
+        })
+    });
+    c.bench_function("verify/mp-4-enumerate", |b| {
+        b.iter(|| {
+            let v = gpumc::Verifier::new(model.clone())
+                .with_bound(1)
+                .with_engine(gpumc::EngineKind::Enumerate {
+                    straight_line_only: false,
+                });
+            v.check_assertion(&p).unwrap()
+        })
+    });
+}
+
+/// The relation-analysis ablation: encoding sizes and times with the
+/// Table 3 bounds enabled vs disabled.
+fn bench_ablation_bounds(c: &mut Criterion) {
+    let g = mp_graph(8);
+    let model = gpumc_models::ptx75();
+    let with = gpumc::gpumc_encode::EncodeOptions {
+        use_bounds: true,
+        ..Default::default()
+    };
+    let without = gpumc::gpumc_encode::EncodeOptions {
+        use_bounds: false,
+        ..Default::default()
+    };
+    let ew = gpumc::gpumc_encode::encode(&g, &model, &with).unwrap();
+    let ewo = gpumc::gpumc_encode::encode(&g, &model, &without).unwrap();
+    eprintln!(
+        "[ablation] relation analysis ON:  {} vars, {} clauses",
+        ew.num_vars(),
+        ew.num_clauses()
+    );
+    eprintln!(
+        "[ablation] relation analysis OFF: {} vars, {} clauses",
+        ewo.num_vars(),
+        ewo.num_clauses()
+    );
+    c.bench_function("ablation/encode-with-bounds", |b| {
+        b.iter(|| gpumc::gpumc_encode::encode(&g, &model, &with).unwrap())
+    });
+    c.bench_function("ablation/encode-without-bounds", |b| {
+        b.iter(|| gpumc::gpumc_encode::encode(&g, &model, &without).unwrap())
+    });
+}
+
+fn bench_cat_parse(c: &mut Criterion) {
+    c.bench_function("cat/parse-vulkan-model", |b| {
+        b.iter(|| gpumc::gpumc_cat::parse(gpumc_models::VULKAN_CAT).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_solver_pigeonhole,
+        bench_relation_algebra,
+        bench_encode,
+        bench_end_to_end,
+        bench_ablation_bounds,
+        bench_cat_parse
+}
+criterion_main!(benches);

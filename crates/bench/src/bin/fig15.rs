@@ -1,0 +1,90 @@
+//! Regenerates Figure 15: scalability of the Dartagnan-style SAT engine
+//! vs the Alloy-style enumeration on MP/SB/LB/IRIW with growing thread
+//! counts. Produces one CSV per pattern (MP.csv, SB.csv, ...).
+//!
+//! Run with: `cargo run --release -p gpumc-bench --bin fig15`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gpumc::{EngineKind, Verifier, VerifyError};
+use gpumc_catalog::{scaling_test, ScalePattern};
+
+/// Enumeration blow-up cap: beyond this many candidate behaviours the
+/// baseline is declared out-of-memory, like the Alloy tools in the paper.
+const ENUM_CANDIDATE_CAP: u64 = 20_000;
+
+fn main() {
+    let patterns = [
+        ScalePattern::Mp,
+        ScalePattern::Sb,
+        ScalePattern::Lb,
+        ScalePattern::Iriw,
+    ];
+    for pattern in patterns {
+        let mut csv = String::from("threads,events,dartagnan_ms,alloy_ms\n");
+        println!("== {pattern} ==");
+        println!(
+            "{:>8} {:>7} {:>14} {:>12}",
+            "threads", "events", "dartagnan(ms)", "alloy(ms)"
+        );
+        let mut enum_dead = false;
+        for threads in [2usize, 4, 6, 8, 10, 12, 16, 20] {
+            if pattern == ScalePattern::Iriw && threads < 4 {
+                continue;
+            }
+            let t = scaling_test(pattern, threads);
+            let program = gpumc::parse_litmus(&t.source).expect("generated test parses");
+
+            let sat = Verifier::new(gpumc_models::ptx60()).with_bound(1);
+            let t0 = Instant::now();
+            let outcome = sat.check_assertion(&program).expect("sat engine");
+            let sat_ms = t0.elapsed().as_secs_f64() * 1000.0;
+            let events = outcome.stats.events;
+
+            let alloy_ms: Option<f64> = if enum_dead {
+                None
+            } else {
+                let enumerator = Verifier::new(gpumc_models::ptx60())
+                    .with_bound(1)
+                    .with_engine(EngineKind::Enumerate {
+                        straight_line_only: true,
+                    })
+                    .with_enumeration_cap(ENUM_CANDIDATE_CAP);
+                let t0 = Instant::now();
+                match enumerator.check_assertion(&program) {
+                    Ok(_) => Some(t0.elapsed().as_secs_f64() * 1000.0),
+                    Err(VerifyError::TooComplex(_)) => {
+                        enum_dead = true;
+                        None
+                    }
+                    Err(e) => {
+                        eprintln!("enumeration failed: {e}");
+                        None
+                    }
+                }
+            };
+            println!(
+                "{:>8} {:>7} {:>14.1} {:>12}",
+                threads,
+                events,
+                sat_ms,
+                alloy_ms.map_or("OOM".to_string(), |m| format!("{m:.1}"))
+            );
+            csv.push_str(&format!(
+                "{},{},{:.2},{}\n",
+                threads,
+                events,
+                sat_ms,
+                alloy_ms.map_or("OOM".to_string(), |m| format!("{m:.2}"))
+            ));
+            std::io::stdout().flush().ok();
+        }
+        let file = format!("{pattern}.csv");
+        if let Err(e) = std::fs::write(&file, csv) {
+            eprintln!("could not write {file}: {e}");
+        } else {
+            eprintln!("wrote {file}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Regenerates Table 6: tool validation against the GPUVerify-style
+//! baseline on the synthesized kernel corpus (DESIGN.md substitution #3).
+//!
+//! Run with: `cargo run --release -p gpumc-bench --bin table6`
+
+use std::time::Instant;
+
+use gpumc::Verifier;
+use gpumc_spirv::{emit_spirv, gpuverify_corpus, lower, parse_spirv, Bucket};
+
+fn main() {
+    let corpus = gpuverify_corpus();
+    let compile_fail = corpus
+        .iter()
+        .filter(|c| c.bucket == Bucket::CompileFails)
+        .count();
+    let trivial = corpus
+        .iter()
+        .filter(|c| c.bucket == Bucket::TriviallyRaceFree)
+        .count();
+
+    // --- the Dartagnan-style verifier on the verifiable kernels.
+    let mut gpumc_time = 0u128;
+    let mut gpumc_count = 0usize;
+    let mut gpumc_racy: Vec<(String, bool)> = Vec::new();
+    for case in corpus.iter().filter(|c| c.bucket == Bucket::Verifiable) {
+        let kernel = case.kernel.as_ref().expect("verifiable kernels exist");
+        let text = emit_spirv(kernel);
+        let module = parse_spirv(&text).expect("parses");
+        let program = lower(&module, case.grid).expect("lowers");
+        let v = Verifier::new(gpumc_models::vulkan()).with_bound(2);
+        let t0 = Instant::now();
+        match v.check_data_races(&program) {
+            Ok(o) => {
+                gpumc_time += t0.elapsed().as_micros();
+                gpumc_count += 1;
+                gpumc_racy.push((case.name.clone(), o.violated));
+                if let Some(expected) = case.expected_racy {
+                    if o.violated != expected {
+                        eprintln!(
+                            "!! gpumc ground-truth mismatch on {}: got {} expected {expected}",
+                            case.name, o.violated
+                        );
+                    }
+                }
+            }
+            Err(e) => eprintln!("gpumc failed on {}: {e}", case.name),
+        }
+    }
+
+    // --- the GPUVerify-style baseline on everything it supports
+    //     (verifiable + verifier-unsupported kernels).
+    let mut gv_time = 0u128;
+    let mut gv_count = 0usize;
+    let mut gv_verdicts: Vec<(String, bool)> = Vec::new();
+    for case in corpus.iter().filter(|c| {
+        matches!(
+            c.bucket,
+            Bucket::Verifiable | Bucket::UnsupportedByVerifier
+        )
+    }) {
+        let kernel = case.kernel.as_ref().expect("kernels exist");
+        let t0 = Instant::now();
+        let verdict = gpumc_gpuverify::analyze(kernel, case.grid);
+        gv_time += t0.elapsed().as_micros();
+        gv_count += 1;
+        gv_verdicts.push((case.name.clone(), verdict.is_failure()));
+    }
+
+    // --- agreement on the commonly-supported kernels.
+    let mut agree = 0usize;
+    let mut disagreements = Vec::new();
+    for (name, ours) in &gpumc_racy {
+        if let Some((_, theirs)) = gv_verdicts.iter().find(|(n, _)| n == name) {
+            if ours == theirs {
+                agree += 1;
+            } else {
+                disagreements.push((name.clone(), *ours, *theirs));
+            }
+        }
+    }
+
+    println!("Table 6: comparing gpumc and the GPUVerify-style baseline for DRF");
+    println!("pipeline: {} kernels total", corpus.len());
+    println!("  compilation fails:        {compile_fail}");
+    println!("  trivially race-free:      {trivial}");
+    println!();
+    println!("  {:12} {:>7} {:>15}", "Tool", "#Tests", "Time/Test (ms)");
+    println!(
+        "  {:12} {:>7} {:>15.1}",
+        "gpumc",
+        gpumc_count,
+        gpumc_time as f64 / 1000.0 / gpumc_count.max(1) as f64
+    );
+    println!(
+        "  {:12} {:>7} {:>15.3}",
+        "gpuverify",
+        gv_count,
+        gv_time as f64 / 1000.0 / gv_count.max(1) as f64
+    );
+    println!();
+    println!(
+        "agreement on commonly-supported kernels: {agree}/{}",
+        gpumc_racy.len()
+    );
+    for (name, ours, theirs) in &disagreements {
+        println!(
+            "  disagreement: {name}: gpumc={} gpuverify={}  {}",
+            if *ours { "race" } else { "race-free" },
+            if *theirs { "race" } else { "race-free" },
+            if name.starts_with("caslock") {
+                "(the baseline cannot see lock-based synchronization — the known false positive)"
+            } else {
+                ""
+            }
+        );
+    }
+}

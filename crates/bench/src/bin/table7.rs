@@ -1,0 +1,72 @@
+//! Regenerates Table 7: verification of synchronization primitives
+//! (caslock / ticketlock / ttaslock / xf-barrier and their weakenings).
+//!
+//! Run with: `cargo run --release -p gpumc-bench --bin table7`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gpumc::Verifier;
+
+fn main() {
+    // `FAST=1` skips the slowest correct-case row (ttaslock base, ~15
+    // minutes on the reference machine) for quick harness runs.
+    let fast = std::env::var("FAST").is_ok();
+    println!(
+        "{:26} {:>5} {:>4} {:>5} {:>8} {:>10}",
+        "Benchmark", "Grid", "|T|", "|E|", "Correct", "Time (ms)"
+    );
+    let mut csv = String::from("benchmark,grid,threads,events,correct,expected,time_ms\n");
+    for b in gpumc_catalog::primitive_benchmarks() {
+        if fast && b.name == "ttaslock" {
+            println!("{:26} (skipped under FAST=1)", b.name);
+            continue;
+        }
+        let program = match gpumc::parse_litmus(&b.test.source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: parse failed: {e}", b.name);
+                continue;
+            }
+        };
+        let v = Verifier::new(gpumc_models::vulkan()).with_bound(b.test.bound);
+        let t0 = Instant::now();
+        match v.check_assertion(&program) {
+            Ok(o) => {
+                let ms = t0.elapsed().as_millis();
+                let correct = !o.reachable;
+                println!(
+                    "{:26} {:>5} {:>4} {:>5} {:>8} {:>10}{}",
+                    b.name,
+                    b.grid.to_string(),
+                    b.grid.threads(),
+                    o.stats.events,
+                    if correct { "yes" } else { "no" },
+                    ms,
+                    if correct == b.expect_correct {
+                        ""
+                    } else {
+                        "   !! expectation mismatch"
+                    }
+                );
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{},{}\n",
+                    b.name,
+                    b.grid,
+                    b.grid.threads(),
+                    o.stats.events,
+                    correct,
+                    b.expect_correct,
+                    ms
+                ));
+                std::io::stdout().flush().ok();
+            }
+            Err(e) => eprintln!("{}: {e}", b.name),
+        }
+    }
+    if let Err(e) = std::fs::write("table7.csv", csv) {
+        eprintln!("could not write table7.csv: {e}");
+    } else {
+        eprintln!("wrote table7.csv");
+    }
+}

@@ -1,0 +1,1 @@
+//! Experiment harness binaries; see `src/bin/`.

@@ -1,0 +1,138 @@
+//! Raw (unresolved) abstract syntax for `.cat` models.
+
+/// An unresolved `.cat` expression over sets and relations.
+///
+/// `.cat` syntactically conflates sets and relations; the resolver infers
+/// which is which (see [`crate::Kind`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A base tag/relation or a `let`-bound name.
+    Name(String),
+    /// The universe of events, written `_`.
+    Universe,
+    /// The identity relation, written `id` (recognized by the resolver).
+    /// Parsed as `Name("id")`; listed here for documentation only.
+    #[doc(hidden)]
+    Never,
+    /// `e1 | e2`
+    Union(Box<Expr>, Box<Expr>),
+    /// `e1 & e2`
+    Inter(Box<Expr>, Box<Expr>),
+    /// `e1 \ e2`
+    Diff(Box<Expr>, Box<Expr>),
+    /// `r1 ; r2` (relation composition)
+    Seq(Box<Expr>, Box<Expr>),
+    /// `s1 * s2` (cartesian product of sets)
+    Cross(Box<Expr>, Box<Expr>),
+    /// `[s]` (identity relation restricted to a set)
+    Bracket(Box<Expr>),
+    /// `r^-1`
+    Inverse(Box<Expr>),
+    /// `r+`
+    Plus(Box<Expr>),
+    /// `r*` (postfix)
+    Star(Box<Expr>),
+    /// `r?`
+    Opt(Box<Expr>),
+    /// `domain(r)` — the set of events related to something by `r`.
+    Domain(Box<Expr>),
+    /// `range(r)` — the set of events something relates to by `r`.
+    Range(Box<Expr>),
+}
+
+/// The kind of constraint an axiom places on its expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxiomKind {
+    /// `empty r` — the relation must contain no pairs.
+    Empty,
+    /// `irreflexive r` — the relation must contain no pair `(e, e)`.
+    Irreflexive,
+    /// `acyclic r` — the relation must contain no cycle.
+    Acyclic,
+}
+
+impl std::fmt::Display for AxiomKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AxiomKind::Empty => "empty",
+            AxiomKind::Irreflexive => "irreflexive",
+            AxiomKind::Acyclic => "acyclic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An unresolved axiom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAxiom {
+    /// Constraint kind.
+    pub kind: AxiomKind,
+    /// Whether the condition is negated (`~empty`). Only meaningful with
+    /// [`AxiomKind::Empty`] in practice (`flag ~empty dr`).
+    pub negated: bool,
+    /// Whether the axiom is a `flag` (a detector such as a data race,
+    /// reported rather than used to filter behaviours).
+    pub flagged: bool,
+    /// The constrained expression.
+    pub expr: Expr,
+    /// Optional `as name` label.
+    pub name: Option<String>,
+}
+
+/// An unresolved `let` definition (one binding of a possibly-mutual group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDef {
+    /// Bound name.
+    pub name: String,
+    /// Body expression.
+    pub body: Expr,
+}
+
+/// A `let` group: either a single binding or a `let rec ... and ...` chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawLet {
+    /// Whether the group is (mutually) recursive.
+    pub recursive: bool,
+    /// The bindings.
+    pub defs: Vec<RawDef>,
+}
+
+/// A statement of a raw model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawStatement {
+    /// A `let` group.
+    Let(RawLet),
+    /// An axiom.
+    Axiom(RawAxiom),
+}
+
+/// A parsed but unresolved `.cat` model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawModel {
+    /// The model title (leading string literal), if any.
+    pub name: Option<String>,
+    /// Statements in source order.
+    pub statements: Vec<RawStatement>,
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Name(n) => f.write_str(n),
+            Expr::Universe => f.write_str("_"),
+            Expr::Never => f.write_str("<never>"),
+            Expr::Union(a, b) => write!(f, "({a} | {b})"),
+            Expr::Inter(a, b) => write!(f, "({a} & {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} \\ {b})"),
+            Expr::Seq(a, b) => write!(f, "({a}; {b})"),
+            Expr::Cross(a, b) => write!(f, "({a} * {b})"),
+            Expr::Bracket(a) => write!(f, "[{a}]"),
+            Expr::Inverse(a) => write!(f, "{a}^-1"),
+            Expr::Plus(a) => write!(f, "{a}+"),
+            Expr::Star(a) => write!(f, "{a}*"),
+            Expr::Opt(a) => write!(f, "{a}?"),
+            Expr::Domain(a) => write!(f, "domain({a})"),
+            Expr::Range(a) => write!(f, "range({a})"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Base environments: the tags and relations a `.cat` model may reference.
+
+/// Whether a name denotes a set of events or a relation over events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// A set of events (an event tag).
+    Set,
+    /// A binary relation over events.
+    Rel,
+}
+
+impl std::fmt::Display for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Kind::Set => "set",
+            Kind::Rel => "relation",
+        })
+    }
+}
+
+/// The base sets and relations available to a model.
+///
+/// [`BaseEnv::builtin`] provides the standard herd environment extended
+/// with the GPU features of the paper's Tables 1 and 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseEnv {
+    sets: Vec<&'static str>,
+    rels: Vec<&'static str>,
+}
+
+/// Base event tags: the herd basics plus Table 2 of the paper.
+pub const BUILTIN_SETS: &[&str] = &[
+    // Core event classes.
+    "M", "W", "R", "F", "B", "CBAR", "I", "IW", "RMW",
+    // Memory orders / atomicity.
+    "A", "ACQ", "REL", "SC", "RLX",
+    // Vulkan privacy.
+    "NONPRIV",
+    // Instruction scope tags: Vulkan then PTX.
+    "SG", "WG", "QF", "DV", "CTA", "GPU", "SYS",
+    // PTX proxies and the alias proxy fence.
+    "GEN", "SUR", "TEX", "CON", "ALIAS",
+    // Vulkan storage classes and storage-class semantics.
+    "SC0", "SC1", "SEMSC0", "SEMSC1",
+    // Vulkan availability / visibility.
+    "AV", "VIS", "SEMAV", "SEMVIS", "AVDEVICE", "VISDEVICE",
+];
+
+/// Base relations: the herd basics plus Table 1 of the paper.
+pub const BUILTIN_RELS: &[&str] = &[
+    "po", "rf", "co", "loc", "ext", "int", "rmw", "addr", "data", "ctrl",
+    // Table 1 (GPU extensions).
+    "vloc", "sr", "scta", "ssg", "swg", "sqf", "ssw", "syncbar",
+    "sync_barrier", "sync_fence",
+];
+
+impl BaseEnv {
+    /// The standard GPU environment (Tables 1 and 2).
+    pub fn builtin() -> BaseEnv {
+        BaseEnv {
+            sets: BUILTIN_SETS.to_vec(),
+            rels: BUILTIN_RELS.to_vec(),
+        }
+    }
+
+    /// An empty environment (useful for tests).
+    pub fn empty() -> BaseEnv {
+        BaseEnv {
+            sets: Vec::new(),
+            rels: Vec::new(),
+        }
+    }
+
+    /// Adds a base set name.
+    pub fn add_set(&mut self, name: &'static str) -> &mut Self {
+        self.sets.push(name);
+        self
+    }
+
+    /// Adds a base relation name.
+    pub fn add_rel(&mut self, name: &'static str) -> &mut Self {
+        self.rels.push(name);
+        self
+    }
+
+    /// Looks up the kind of a base name.
+    pub fn kind_of(&self, name: &str) -> Option<Kind> {
+        if self.sets.contains(&name) {
+            Some(Kind::Set)
+        } else if self.rels.contains(&name) {
+            Some(Kind::Rel)
+        } else {
+            None
+        }
+    }
+
+    /// All base set names.
+    pub fn sets(&self) -> &[&'static str] {
+        &self.sets
+    }
+
+    /// All base relation names.
+    pub fn rels(&self) -> &[&'static str] {
+        &self.rels
+    }
+}
+
+impl Default for BaseEnv {
+    fn default() -> Self {
+        BaseEnv::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_contains_gpu_extensions() {
+        let env = BaseEnv::builtin();
+        for s in ["GEN", "SUR", "TEX", "CON", "SEMSC0", "AVDEVICE"] {
+            assert_eq!(env.kind_of(s), Some(Kind::Set), "{s}");
+        }
+        for r in ["vloc", "sr", "scta", "ssw", "sync_fence", "syncbar"] {
+            assert_eq!(env.kind_of(r), Some(Kind::Rel), "{r}");
+        }
+        assert_eq!(env.kind_of("nonsense"), None);
+    }
+
+    #[test]
+    fn custom_env() {
+        let mut env = BaseEnv::empty();
+        env.add_set("FOO").add_rel("bar");
+        assert_eq!(env.kind_of("FOO"), Some(Kind::Set));
+        assert_eq!(env.kind_of("bar"), Some(Kind::Rel));
+    }
+}

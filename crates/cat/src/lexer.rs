@@ -1,0 +1,367 @@
+//! Lexer for the `.cat` language.
+
+/// A lexical token of the `.cat` language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier (tags, relations, definition names). Hyphens are
+    /// allowed in the interior (`sc-per-location`), matching herd practice.
+    Name(String),
+    /// A double-quoted string (the model title).
+    Str(String),
+    /// `let`
+    Let,
+    /// `rec`
+    Rec,
+    /// `and`
+    And,
+    /// `empty`
+    Empty,
+    /// `irreflexive`
+    Irreflexive,
+    /// `acyclic`
+    Acyclic,
+    /// `flag`
+    Flag,
+    /// `as`
+    As,
+    /// `domain`
+    Domain,
+    /// `range`
+    Range,
+    /// `(`
+    LPar,
+    /// `)`
+    RPar,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `|`
+    Union,
+    /// `&`
+    Inter,
+    /// `\`
+    Diff,
+    /// `;`
+    Seq,
+    /// `*` — infix cartesian product or postfix reflexive-transitive closure
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `^-1`
+    Inverse,
+    /// `~`
+    Tilde,
+    /// `=`
+    Equals,
+    /// `_`
+    Underscore,
+}
+
+/// A lexical error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_name_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Tokenizes `.cat` source text.
+///
+/// Supports `(* ... *)` block comments (nested) and `//` line comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated comments/strings or unexpected
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '(' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                let start_line = line;
+                i += 2;
+                while depth > 0 {
+                    match (chars.get(i), chars.get(i + 1)) {
+                        (Some('('), Some('*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (Some('*'), Some(')')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        (Some('\n'), _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        (Some(_), _) => i += 1,
+                        (None, _) => {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated block comment".into(),
+                            })
+                        }
+                    }
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '(' => {
+                tokens.push(Token::LPar);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RPar);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Union);
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::Inter);
+                i += 1;
+            }
+            '\\' => {
+                tokens.push(Token::Diff);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Seq);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Question);
+                i += 1;
+            }
+            '~' => {
+                tokens.push(Token::Tilde);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '^' => {
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) == Some(&'1') {
+                    tokens.push(Token::Inverse);
+                    i += 3;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "expected `^-1`".into(),
+                    });
+                }
+            }
+            '_' if chars
+                .get(i + 1)
+                .is_none_or(|&c| !is_name_continue(c)) =>
+            {
+                tokens.push(Token::Underscore);
+                i += 1;
+            }
+            c if is_name_start(c) => {
+                let mut name = String::new();
+                while i < chars.len() && is_name_continue(chars[i]) {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(match name.as_str() {
+                    "let" => Token::Let,
+                    "rec" => Token::Rec,
+                    "and" => Token::And,
+                    "empty" => Token::Empty,
+                    "irreflexive" => Token::Irreflexive,
+                    "acyclic" => Token::Acyclic,
+                    "flag" => Token::Flag,
+                    "as" => Token::As,
+                    "domain" => Token::Domain,
+                    "range" => Token::Range,
+                    _ => Token::Name(name),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_definition() {
+        let toks = lex("let fr = rf^-1; co").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Let,
+                Token::Name("fr".into()),
+                Token::Equals,
+                Token::Name("rf".into()),
+                Token::Inverse,
+                Token::Seq,
+                Token::Name("co".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comments_and_strings() {
+        let toks = lex("\"PTX\" (* a (* nested *) comment *) let x = po // trailing").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Str("PTX".into()),
+                Token::Let,
+                Token::Name("x".into()),
+                Token::Equals,
+                Token::Name("po".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_underscore_and_star() {
+        let toks = lex("(_ * _) \\ (M * M)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LPar,
+                Token::Underscore,
+                Token::Star,
+                Token::Underscore,
+                Token::RPar,
+                Token::Diff,
+                Token::LPar,
+                Token::Name("M".into()),
+                Token::Star,
+                Token::Name("M".into()),
+                Token::RPar,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_names() {
+        let toks = lex("acyclic hb as sc-per-location").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Acyclic,
+                Token::Name("hb".into()),
+                Token::As,
+                Token::Name("sc-per-location".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn flag_tilde_empty() {
+        let toks = lex("flag ~empty dr as data-race").unwrap();
+        assert_eq!(toks[0], Token::Flag);
+        assert_eq!(toks[1], Token::Tilde);
+        assert_eq!(toks[2], Token::Empty);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_lone_caret() {
+        assert!(lex("rf ^ 2").is_err());
+    }
+
+    #[test]
+    fn underscore_prefixed_name_is_a_name() {
+        let toks = lex("_foo").unwrap();
+        assert_eq!(toks, vec![Token::Name("_foo".into())]);
+    }
+}

@@ -1,0 +1,461 @@
+//! Recursive-descent parser for `.cat` token streams.
+//!
+//! Operator precedence, weakest binding first:
+//!
+//! 1. `|` (union)
+//! 2. `;` (composition)
+//! 3. `\` (difference)
+//! 4. `&` (intersection)
+//! 5. infix `*` (cartesian product of sets)
+//! 6. postfix `+`, `*`, `?`, `^-1`
+//! 7. primaries: names, `_`, `[e]`, `(e)`, `domain(e)`, `range(e)`
+//!
+//! The token `*` is postfix when not followed by the start of an
+//! expression (so `r*; s` is a closure while `A * B` is a product).
+
+use crate::ast::{
+    AxiomKind, Expr, RawAxiom, RawDef, RawLet, RawModel, RawStatement,
+};
+use crate::lexer::Token;
+
+/// A syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending token in the stream.
+    pub position: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a raw model.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse_tokens(tokens: &[Token]) -> Result<RawModel, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.model()
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Name(n)) => {
+                self.pos += 1;
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn model(&mut self) -> Result<RawModel, ParseError> {
+        let mut model = RawModel::default();
+        if let Some(Token::Str(s)) = self.peek() {
+            model.name = Some(s.clone());
+            self.pos += 1;
+        }
+        while let Some(tok) = self.peek() {
+            match tok {
+                Token::Let => {
+                    let group = self.let_group()?;
+                    model.statements.push(RawStatement::Let(group));
+                }
+                Token::Empty | Token::Irreflexive | Token::Acyclic | Token::Flag | Token::Tilde => {
+                    let axiom = self.axiom()?;
+                    model.statements.push(RawStatement::Axiom(axiom));
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `let` or an axiom, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(model)
+    }
+
+    fn let_group(&mut self) -> Result<RawLet, ParseError> {
+        self.expect(&Token::Let, "`let`")?;
+        let recursive = if self.peek() == Some(&Token::Rec) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut defs = vec![self.binding()?];
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            defs.push(self.binding()?);
+        }
+        Ok(RawLet { recursive, defs })
+    }
+
+    fn binding(&mut self) -> Result<RawDef, ParseError> {
+        let name = self.name()?;
+        self.expect(&Token::Equals, "`=`")?;
+        let body = self.expr()?;
+        Ok(RawDef { name, body })
+    }
+
+    fn axiom(&mut self) -> Result<RawAxiom, ParseError> {
+        let flagged = if self.peek() == Some(&Token::Flag) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let negated = if self.peek() == Some(&Token::Tilde) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let kind = match self.bump().cloned() {
+            Some(Token::Empty) => AxiomKind::Empty,
+            Some(Token::Irreflexive) => AxiomKind::Irreflexive,
+            Some(Token::Acyclic) => AxiomKind::Acyclic,
+            other => return Err(self.error(format!("expected an axiom keyword, found {other:?}"))),
+        };
+        let expr = self.expr()?;
+        let name = if self.peek() == Some(&Token::As) {
+            self.pos += 1;
+            Some(self.name()?)
+        } else {
+            None
+        };
+        Ok(RawAxiom {
+            kind,
+            negated,
+            flagged,
+            expr,
+            name,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.union_expr()
+    }
+
+    fn union_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.seq_expr()?;
+        while self.peek() == Some(&Token::Union) {
+            self.pos += 1;
+            let rhs = self.seq_expr()?;
+            lhs = Expr::Union(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn seq_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.diff_expr()?;
+        while self.peek() == Some(&Token::Seq) {
+            self.pos += 1;
+            let rhs = self.diff_expr()?;
+            lhs = Expr::Seq(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn diff_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.inter_expr()?;
+        while self.peek() == Some(&Token::Diff) {
+            self.pos += 1;
+            let rhs = self.inter_expr()?;
+            lhs = Expr::Diff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn inter_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cross_expr()?;
+        while self.peek() == Some(&Token::Inter) {
+            self.pos += 1;
+            let rhs = self.cross_expr()?;
+            lhs = Expr::Inter(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// True when the current token can begin a primary expression.
+    fn at_expr_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Name(_)
+                    | Token::Underscore
+                    | Token::LPar
+                    | Token::LBracket
+                    | Token::Domain
+                    | Token::Range
+            )
+        )
+    }
+
+    fn cross_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.postfix_expr()?;
+        // Infix `*` only when an expression follows; otherwise the `*` was
+        // consumed by postfix_expr as a closure.
+        while self.peek() == Some(&Token::Star) {
+            // Look ahead past the star.
+            let save = self.pos;
+            self.pos += 1;
+            if self.at_expr_start() {
+                let rhs = self.postfix_expr()?;
+                lhs = Expr::Cross(Box::new(lhs), Box::new(rhs));
+            } else {
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    e = Expr::Plus(Box::new(e));
+                }
+                Some(Token::Question) => {
+                    self.pos += 1;
+                    e = Expr::Opt(Box::new(e));
+                }
+                Some(Token::Inverse) => {
+                    self.pos += 1;
+                    e = Expr::Inverse(Box::new(e));
+                }
+                Some(Token::Star) => {
+                    // Postfix closure only when no expression follows;
+                    // otherwise leave the `*` for cross_expr.
+                    if self.peek2().is_none_or(|t| {
+                        !matches!(
+                            t,
+                            Token::Name(_)
+                                | Token::Underscore
+                                | Token::LPar
+                                | Token::LBracket
+                                | Token::Domain
+                                | Token::Range
+                        )
+                    }) {
+                        self.pos += 1;
+                        e = Expr::Star(Box::new(e));
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Name(n)) => {
+                self.pos += 1;
+                Ok(Expr::Name(n))
+            }
+            Some(Token::Underscore) => {
+                self.pos += 1;
+                Ok(Expr::Universe)
+            }
+            Some(Token::LPar) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RPar, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::LBracket) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RBracket, "`]`")?;
+                Ok(Expr::Bracket(Box::new(e)))
+            }
+            Some(Token::Domain) => {
+                self.pos += 1;
+                self.expect(&Token::LPar, "`(`")?;
+                let e = self.expr()?;
+                self.expect(&Token::RPar, "`)`")?;
+                Ok(Expr::Domain(Box::new(e)))
+            }
+            Some(Token::Range) => {
+                self.pos += 1;
+                self.expect(&Token::LPar, "`(`")?;
+                let e = self.expr()?;
+                self.expect(&Token::RPar, "`)`")?;
+                Ok(Expr::Range(Box::new(e)))
+            }
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> RawModel {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    fn first_def(model: &RawModel) -> &RawDef {
+        match &model.statements[0] {
+            RawStatement::Let(l) => &l.defs[0],
+            _ => panic!("expected let"),
+        }
+    }
+
+    #[test]
+    fn parses_title_and_definition() {
+        let m = parse("\"Vulkan\" let fr = rf^-1; co");
+        assert_eq!(m.name.as_deref(), Some("Vulkan"));
+        assert_eq!(first_def(&m).name, "fr");
+        assert_eq!(first_def(&m).body.to_string(), "(rf^-1; co)");
+    }
+
+    #[test]
+    fn precedence_union_weakest() {
+        let m = parse("let x = a | b; c & d");
+        assert_eq!(first_def(&m).body.to_string(), "(a | (b; (c & d)))");
+    }
+
+    #[test]
+    fn difference_binds_tighter_than_seq() {
+        let m = parse("let x = a; b \\ c");
+        assert_eq!(first_def(&m).body.to_string(), "(a; (b \\ c))");
+    }
+
+    #[test]
+    fn cross_vs_closure_disambiguation() {
+        let m = parse("let x = A * B");
+        assert_eq!(first_def(&m).body.to_string(), "(A * B)");
+        let m = parse("let x = r*; s");
+        assert_eq!(first_def(&m).body.to_string(), "(r*; s)");
+        let m = parse("let x = (r; s)*");
+        assert_eq!(first_def(&m).body.to_string(), "(r; s)*");
+    }
+
+    #[test]
+    fn bracket_and_opt() {
+        let m = parse("let sw = [REL]; po?; [ACQ]");
+        assert_eq!(first_def(&m).body.to_string(), "(([REL]; po?); [ACQ])");
+    }
+
+    #[test]
+    fn universe_cross() {
+        let m = parse("let ms3 = ((M * M) & vloc) | ((_ * _) \\ (M * M))");
+        assert_eq!(
+            first_def(&m).body.to_string(),
+            "(((M * M) & vloc) | ((_ * _) \\ (M * M)))"
+        );
+    }
+
+    #[test]
+    fn let_rec_and_chain() {
+        let m = parse("let rec a = b and b = a");
+        match &m.statements[0] {
+            RawStatement::Let(l) => {
+                assert!(l.recursive);
+                assert_eq!(l.defs.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn axioms_with_names_and_flags() {
+        let m = parse(
+            "acyclic po | rf as no-thin-air\n irreflexive fr \n empty x \n flag ~empty dr as race",
+        );
+        let kinds: Vec<_> = m
+            .statements
+            .iter()
+            .map(|s| match s {
+                RawStatement::Axiom(a) => (a.kind, a.flagged, a.negated, a.name.clone()),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(kinds[0], (AxiomKind::Acyclic, false, false, Some("no-thin-air".into())));
+        assert_eq!(kinds[1], (AxiomKind::Irreflexive, false, false, None));
+        assert_eq!(kinds[2], (AxiomKind::Empty, false, false, None));
+        assert_eq!(kinds[3], (AxiomKind::Empty, true, true, Some("race".into())));
+    }
+
+    #[test]
+    fn rejects_missing_equals() {
+        let toks = lex("let x po").unwrap();
+        assert!(parse_tokens(&toks).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_operator() {
+        let toks = lex("let x = po |").unwrap();
+        assert!(parse_tokens(&toks).is_err());
+    }
+
+    #[test]
+    fn domain_range_primaries() {
+        let m = parse("let ws = domain(rf) | range(co)");
+        assert_eq!(first_def(&m).body.to_string(), "(domain(rf) | range(co))");
+    }
+
+    #[test]
+    fn deep_nesting_from_paper_figure4() {
+        // Line 16-27 shape of Figure 4.
+        let m = parse(
+            "let proxyPreservedCauBase = ([GEN]; (vloc & cauBase); [GEN]) \
+             | ([M]; (sameProx & scta & vloc & cauBase); [M]) \
+             | vloc & (cauBase & (pxyFM^-1); cauBase; [GEN])",
+        );
+        assert_eq!(first_def(&m).name, "proxyPreservedCauBase");
+    }
+}

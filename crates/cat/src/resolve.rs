@@ -1,0 +1,367 @@
+//! Name resolution and kind inference for raw `.cat` models.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, RawModel, RawStatement};
+use crate::env::{BaseEnv, Kind};
+use crate::model::{Axiom, CatModel, Def, DefBody, DefId, RelExpr, SetExpr};
+
+/// A name-resolution or kind error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError {
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ResolveError> {
+    Err(ResolveError {
+        message: message.into(),
+    })
+}
+
+/// Either a set or a relation expression (resolution result).
+enum Resolved {
+    Set(SetExpr),
+    Rel(RelExpr),
+}
+
+impl Resolved {
+    fn kind(&self) -> Kind {
+        match self {
+            Resolved::Set(_) => Kind::Set,
+            Resolved::Rel(_) => Kind::Rel,
+        }
+    }
+
+    fn into_rel(self, ctx: &str) -> Result<RelExpr, ResolveError> {
+        match self {
+            Resolved::Rel(r) => Ok(r),
+            Resolved::Set(_) => err(format!("expected a relation in {ctx}, found a set")),
+        }
+    }
+
+    fn into_set(self, ctx: &str) -> Result<SetExpr, ResolveError> {
+        match self {
+            Resolved::Set(s) => Ok(s),
+            Resolved::Rel(_) => err(format!("expected a set in {ctx}, found a relation")),
+        }
+    }
+}
+
+struct Resolver<'a> {
+    env: &'a BaseEnv,
+    /// Name → most recent DefId (cat shadowing).
+    scope: HashMap<String, DefId>,
+    defs: Vec<Def>,
+    /// Kinds for defs; needed for refs to recursive defs whose body is not
+    /// resolved yet (assumed `Rel`).
+    kinds: Vec<Kind>,
+}
+
+/// Resolves a raw model against a base environment.
+///
+/// # Errors
+///
+/// Returns a [`ResolveError`] for unknown names or kind mismatches.
+pub fn resolve(raw: &RawModel, env: &BaseEnv) -> Result<CatModel, ResolveError> {
+    let mut r = Resolver {
+        env,
+        scope: HashMap::new(),
+        defs: Vec::new(),
+        kinds: Vec::new(),
+    };
+    let mut axioms = Vec::new();
+    let mut rec_counter = 0usize;
+    for stmt in &raw.statements {
+        match stmt {
+            RawStatement::Let(group) => {
+                if group.recursive {
+                    let group_id = rec_counter;
+                    rec_counter += 1;
+                    // Pre-register all names of the group as relations.
+                    let first_id = r.defs.len();
+                    for (i, d) in group.defs.iter().enumerate() {
+                        r.defs.push(Def {
+                            name: d.name.clone(),
+                            body: DefBody::Rel(RelExpr::Id), // placeholder
+                            rec_group: Some(group_id),
+                        });
+                        r.kinds.push(Kind::Rel);
+                        r.scope.insert(d.name.clone(), first_id + i);
+                    }
+                    for (i, d) in group.defs.iter().enumerate() {
+                        let body = r
+                            .expr(&d.body)?
+                            .into_rel(&format!("recursive definition `{}`", d.name))?;
+                        r.defs[first_id + i].body = DefBody::Rel(body);
+                    }
+                } else {
+                    // Non-recursive groups bind simultaneously: resolve all
+                    // bodies first, then insert names.
+                    let mut resolved = Vec::new();
+                    for d in &group.defs {
+                        resolved.push((d.name.clone(), r.expr(&d.body)?));
+                    }
+                    for (name, body) in resolved {
+                        let id = r.defs.len();
+                        let kind = body.kind();
+                        let body = match body {
+                            Resolved::Set(s) => DefBody::Set(s),
+                            Resolved::Rel(rel) => DefBody::Rel(rel),
+                        };
+                        r.defs.push(Def {
+                            name: name.clone(),
+                            body,
+                            rec_group: None,
+                        });
+                        r.kinds.push(kind);
+                        r.scope.insert(name, id);
+                    }
+                }
+            }
+            RawStatement::Axiom(a) => {
+                let expr = r
+                    .expr(&a.expr)?
+                    .into_rel(&format!("{} axiom", a.kind))?;
+                axioms.push(Axiom {
+                    kind: a.kind,
+                    flagged: a.flagged,
+                    negated: a.negated,
+                    expr,
+                    name: a.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(CatModel::new(
+        raw.name.clone().unwrap_or_default(),
+        r.defs,
+        axioms,
+    ))
+}
+
+impl<'a> Resolver<'a> {
+    fn expr(&mut self, e: &Expr) -> Result<Resolved, ResolveError> {
+        match e {
+            Expr::Name(n) if n == "id" => Ok(Resolved::Rel(RelExpr::Id)),
+            Expr::Name(n) => {
+                if let Some(&id) = self.scope.get(n) {
+                    match self.kinds[id] {
+                        Kind::Set => Ok(Resolved::Set(SetExpr::Ref(id))),
+                        Kind::Rel => Ok(Resolved::Rel(RelExpr::Ref(id))),
+                    }
+                } else {
+                    match self.env.kind_of(n) {
+                        Some(Kind::Set) => Ok(Resolved::Set(SetExpr::Base(n.clone()))),
+                        Some(Kind::Rel) => Ok(Resolved::Rel(RelExpr::Base(n.clone()))),
+                        None => err(format!("unknown name `{n}`")),
+                    }
+                }
+            }
+            Expr::Universe => Ok(Resolved::Set(SetExpr::Universe)),
+            Expr::Never => err("internal: Never expression"),
+            Expr::Union(a, b) => self.binop(a, b, "union", SetExpr::Union, RelExpr::Union),
+            Expr::Inter(a, b) => self.binop(a, b, "intersection", SetExpr::Inter, RelExpr::Inter),
+            Expr::Diff(a, b) => self.binop(a, b, "difference", SetExpr::Diff, RelExpr::Diff),
+            Expr::Seq(a, b) => {
+                let ra = self.expr(a)?.into_rel("composition")?;
+                let rb = self.expr(b)?.into_rel("composition")?;
+                Ok(Resolved::Rel(RelExpr::Seq(Box::new(ra), Box::new(rb))))
+            }
+            Expr::Cross(a, b) => {
+                let sa = self.expr(a)?.into_set("cartesian product")?;
+                let sb = self.expr(b)?.into_set("cartesian product")?;
+                Ok(Resolved::Rel(RelExpr::Cross(sa, sb)))
+            }
+            Expr::Bracket(a) => {
+                let s = self.expr(a)?.into_set("bracket `[_]`")?;
+                Ok(Resolved::Rel(RelExpr::IdSet(s)))
+            }
+            Expr::Inverse(a) => {
+                let r = self.expr(a)?.into_rel("inverse")?;
+                Ok(Resolved::Rel(RelExpr::Inverse(Box::new(r))))
+            }
+            Expr::Plus(a) => {
+                let r = self.expr(a)?.into_rel("transitive closure")?;
+                Ok(Resolved::Rel(RelExpr::Plus(Box::new(r))))
+            }
+            Expr::Star(a) => {
+                let r = self.expr(a)?.into_rel("reflexive-transitive closure")?;
+                Ok(Resolved::Rel(RelExpr::Star(Box::new(r))))
+            }
+            Expr::Opt(a) => {
+                let r = self.expr(a)?.into_rel("option `?`")?;
+                Ok(Resolved::Rel(RelExpr::Opt(Box::new(r))))
+            }
+            Expr::Domain(a) => {
+                let r = self.expr(a)?.into_rel("domain")?;
+                Ok(Resolved::Set(SetExpr::Domain(Box::new(r))))
+            }
+            Expr::Range(a) => {
+                let r = self.expr(a)?.into_rel("range")?;
+                Ok(Resolved::Set(SetExpr::Range(Box::new(r))))
+            }
+        }
+    }
+
+    fn binop(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        what: &str,
+        mk_set: fn(Box<SetExpr>, Box<SetExpr>) -> SetExpr,
+        mk_rel: fn(Box<RelExpr>, Box<RelExpr>) -> RelExpr,
+    ) -> Result<Resolved, ResolveError> {
+        let ra = self.expr(a)?;
+        let rb = self.expr(b)?;
+        match (ra, rb) {
+            (Resolved::Set(x), Resolved::Set(y)) => {
+                Ok(Resolved::Set(mk_set(Box::new(x), Box::new(y))))
+            }
+            (Resolved::Rel(x), Resolved::Rel(y)) => {
+                Ok(Resolved::Rel(mk_rel(Box::new(x), Box::new(y))))
+            }
+            (x, y) => err(format!(
+                "kind mismatch in {what}: {} vs {} (in `{a}` {what} `{b}`)",
+                x.kind(),
+                y.kind()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AxiomKind;
+    use crate::lexer::lex;
+    use crate::parser::parse_tokens;
+
+    fn resolve_src(src: &str) -> Result<CatModel, ResolveError> {
+        let raw = parse_tokens(&lex(src).unwrap()).unwrap();
+        resolve(&raw, &BaseEnv::builtin())
+    }
+
+    #[test]
+    fn resolves_simple_model() {
+        let m = resolve_src("\"T\" let fr = rf^-1; co\nacyclic po | rf | fr | co").unwrap();
+        assert_eq!(m.name(), "T");
+        assert_eq!(m.defs().len(), 1);
+        assert_eq!(m.axioms().len(), 1);
+        assert_eq!(m.axioms()[0].kind, AxiomKind::Acyclic);
+    }
+
+    #[test]
+    fn shadowing_lets_redefine_co() {
+        // `let co = co+` : body refers to the base relation.
+        let m = resolve_src("let co = co+\nempty co \\ co").unwrap();
+        match &m.defs()[0].body {
+            DefBody::Rel(RelExpr::Plus(inner)) => {
+                assert_eq!(**inner, RelExpr::Base("co".into()));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        // The axiom's `co` references the definition, not the base.
+        match &m.axioms()[0].expr {
+            RelExpr::Diff(a, _) => assert_eq!(**a, RelExpr::Ref(0)),
+            other => panic!("unexpected axiom {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_definition_and_bracket() {
+        let m = resolve_src("let PRIV = (R | W) \\ NONPRIV\nempty [PRIV]; po; [PRIV]").unwrap();
+        assert!(matches!(m.defs()[0].body, DefBody::Set(_)));
+    }
+
+    #[test]
+    fn recursive_group() {
+        let m = resolve_src("let rec a = po | (a; a) and b = a | b").unwrap();
+        assert_eq!(m.defs()[0].rec_group, Some(0));
+        assert_eq!(m.defs()[1].rec_group, Some(0));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let e = resolve_src("let x = nonexistent").unwrap_err();
+        assert!(e.message.contains("unknown name"));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        assert!(resolve_src("let x = po | W").is_err());
+        assert!(resolve_src("let x = W; R").is_err());
+        assert!(resolve_src("let x = [po]").is_err());
+        assert!(resolve_src("let x = po * rf").is_err());
+        assert!(resolve_src("empty W").is_err());
+    }
+
+    #[test]
+    fn id_is_the_identity_relation() {
+        let m = resolve_src("let x = po & id").unwrap();
+        match &m.defs()[0].body {
+            DefBody::Rel(RelExpr::Inter(_, b)) => assert_eq!(**b, RelExpr::Id),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn universe_cross_is_full_relation() {
+        let m = resolve_src("let all = _ * _").unwrap();
+        match &m.defs()[0].body {
+            DefBody::Rel(RelExpr::Cross(SetExpr::Universe, SetExpr::Universe)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn domain_range_are_sets() {
+        let m = resolve_src("let ws = domain(co)\nlet rs = range(rf)\nempty [ws]; po; [rs]")
+            .unwrap();
+        assert!(matches!(m.defs()[0].body, DefBody::Set(_)));
+        assert!(matches!(m.defs()[1].body, DefBody::Set(_)));
+    }
+
+    #[test]
+    fn flagged_axiom_preserved() {
+        let m = resolve_src("let dr = loc & (po \\ po)\nflag ~empty dr as race").unwrap();
+        let a = &m.axioms()[0];
+        assert!(a.flagged);
+        assert!(a.negated);
+        assert_eq!(a.name.as_deref(), Some("race"));
+        assert_eq!(a.label(0), "race");
+    }
+
+    #[test]
+    fn referenced_base_rels_collected() {
+        let m = resolve_src("let fr = rf^-1; co\nacyclic po | fr").unwrap();
+        assert_eq!(m.referenced_base_rels(), vec!["co", "po", "rf"]);
+    }
+
+    #[test]
+    fn paper_figure4_fragment_resolves() {
+        let src = r#"
+"PTX v7.5 fragment"
+let sameProx = GEN * GEN | SUR * SUR | TEX * TEX | CON * CON
+let povloc = po & vloc
+let strongOp = F | (M & A) | (M & RLX)
+let ms1 = (po | po^-1) | ([strongOp]; sr; [strongOp])
+let ms2 = sameProx
+let ms3 = ((M * M) & vloc) | ((_ * _) \ (M * M))
+let ms = (ms1 & ms2 & ms3) \ id
+let dep = addr | data | ctrl
+acyclic (rf | dep) as no-thin-air
+"#;
+        let m = resolve_src(src).unwrap();
+        assert_eq!(m.defs().len(), 8);
+        assert_eq!(m.axioms()[0].label(0), "no-thin-air");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property test: pretty-printed `.cat` expressions re-parse to the same
+//! tree (the printer fully parenthesizes, so this exercises the parser's
+//! whole operator grammar).
+
+use gpumc_cat::{Expr, RawDef, RawModel};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("po".to_string()),
+        Just("rf".to_string()),
+        Just("co".to_string()),
+        Just("loc".to_string()),
+        Just("vloc".to_string()),
+        Just("sr".to_string()),
+        Just("W".to_string()),
+        Just("R".to_string()),
+        Just("ACQ".to_string()),
+        Just("SEMSC0".to_string()),
+        Just("some-name".to_string()),
+        Just("x_1".to_string()),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        name_strategy().prop_map(Expr::Name),
+        Just(Expr::Universe),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Cross(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Bracket(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Inverse(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Plus(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Opt(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Domain(Box::new(a))),
+            inner.prop_map(|a| Expr::Range(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printed_expressions_reparse_identically(e in expr_strategy()) {
+        let printed = format!("let z = {e}");
+        let raw: RawModel = match gpumc_cat::parse_raw(&printed) {
+            Ok(t) => t,
+            Err(err) => return Err(TestCaseError::fail(format!("parse: {err} in `{printed}`"))),
+        };
+        let def: &RawDef = match &raw.statements[0] {
+            gpumc_cat::RawStatement::Let(l) => &l.defs[0],
+            other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+        };
+        prop_assert_eq!(&def.body, &e, "printed: {}", printed);
+    }
+}

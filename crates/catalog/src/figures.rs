@@ -1,0 +1,187 @@
+//! The paper's figures as named litmus tests.
+
+use crate::{Property, Test};
+
+/// Figure 6: non-causal weak writes are not ordered by coherence in PTX.
+pub const FIG6_PARTIAL_CO: &str = r#"
+PTX fig6-partial-co
+{ x = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 | P2@cta 0,gpu 0 | P3@cta 0,gpu 0 ;
+st.weak x, 1 | st.weak x, 2 | ld.acquire.sys r0, x | ld.acquire.sys r2, x ;
+ | | ld.acquire.sys r1, x | ld.acquire.sys r3, x ;
+exists (P2:r0 == 1 /\ P2:r1 == 2 /\ P3:r2 == 2 /\ P3:r3 == 1)
+"#;
+
+/// Figure 7: store buffering with a dynamic control barrier.
+pub const FIG7_SB_BARRIER: &str = r#"
+PTX fig7-sb-dynamic-barrier
+{ x = 0; y = 0; z = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 | P2@cta 0,gpu 0 ;
+st.weak x, 1 | st.weak y, 1 | st.weak z, 1 ;
+ld.weak r2, z | bar.cta.sync 1 | ;
+bar.cta.sync r2 | ld.weak r1, x | ;
+ld.weak r0, y | | ;
+forall (P0:r0 == 1 \/ P1:r1 == 1)
+"#;
+
+/// Figure 5 (reconstructed): message passing across proxies with proxy
+/// fences.
+pub const FIG5_MP_PROXIES: &str = r#"
+PTX fig5-mp-proxies
+{ x = 0; flag = 0; s -> x @ surface; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+sust s, 1 | ld.acquire.cta r0, flag ;
+fence.proxy.surface.cta | fence.proxy.alias.cta ;
+st.release.cta flag, 1 | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+/// Figure 10: MP with a spinloop and release/acquire barriers.
+pub const FIG10_MP_SPIN: &str = r#"
+VULKAN fig10-mp-spin
+{ data = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 data, 1 | LC00: ;
+membar.rel.dv.semsc0 | ld.atom.dv.sc0 r1, flag ;
+st.atom.dv.sc0 flag, 1 | membar.acq.dv.semsc0 ;
+ | bne r1, 0, LC01 ;
+ | goto LC00 ;
+ | LC01: ;
+ | ld.atom.dv.sc0 r2, data ;
+exists (P1:r1 == 1 /\ P1:r2 != 1)
+"#;
+
+/// Figure 11: the unsound NIR loop-removal optimization.
+pub const FIG11_NIR_BUG: &str = r#"
+VULKAN fig11-nir-optimized
+{ data = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 data, 1 | membar.acq.dv.semsc0 ;
+membar.rel.dv.semsc0 | ld.atom.dv.sc0 r2, data ;
+st.atom.dv.sc0 flag, 1 | ;
+exists (P1:r2 != 1)
+"#;
+
+/// Figure 12: the ABP work-stealing deque push/steal snippet, with the
+/// fences that make it correct.
+pub const FIG12_DEQUE_FENCED: &str = r#"
+PTX fig12-deque
+{ arr[2] = {0,0}; t = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.weak arr[0], 1 | ld.acquire.gpu r0, t ;
+fence.acq_rel.gpu | fence.acq_rel.gpu ;
+ld.relaxed.gpu r1, t | ld.weak r2, arr[0] ;
+add r2, r1, 1 | ;
+st.relaxed.gpu t, r2 | ;
+exists (P1:r0 == 1 /\ P1:r2 == 0)
+"#;
+
+/// Figure 12 without fences: the original buggy deque.
+pub const FIG12_DEQUE_UNFENCED: &str = r#"
+PTX fig12-deque-buggy
+{ arr[2] = {0,0}; t = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.weak arr[0], 1 | ld.acquire.gpu r0, t ;
+ld.relaxed.gpu r1, t | ld.weak r2, arr[0] ;
+add r2, r1, 1 | ;
+st.relaxed.gpu t, r2 | ;
+exists (P1:r0 == 1 /\ P1:r2 == 0)
+"#;
+
+/// Figure 13: the libcu++ ticket mutex.
+pub const FIG13_TICKET_MUTEX: &str = r#"
+PTX fig13-ticket-mutex
+{ in = 0; out = 0; x = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.acquire.gpu.add r1, in, 1 | atom.acquire.gpu.add r1, in, 1 ;
+LC00: | LC10: ;
+ld.acquire.gpu r2, out | ld.acquire.gpu r2, out ;
+beq r1, r2, LC01 | beq r1, r2, LC11 ;
+goto LC00 | goto LC10 ;
+LC01: | LC11: ;
+ld.weak r3, x | ld.weak r3, x ;
+st.weak x, 1 | st.weak x, 2 ;
+atom.release.gpu.add r4, out, 1 | atom.release.gpu.add r4, out, 1 ;
+exists (P0:r1 == P0:r2 /\ P1:r1 == P1:r2 /\ P0:r3 == 0 /\ P1:r3 == 0)
+"#;
+
+/// Figure 13 with the acquire increments relaxed — the optimization
+/// Dartagnan shows to be sound (§5).
+pub const FIG13_TICKET_MUTEX_RELAXED: &str = r#"
+PTX fig13-ticket-mutex-rlx
+{ in = 0; out = 0; x = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.relaxed.gpu.add r1, in, 1 | atom.relaxed.gpu.add r1, in, 1 ;
+LC00: | LC10: ;
+ld.acquire.gpu r2, out | ld.acquire.gpu r2, out ;
+beq r1, r2, LC01 | beq r1, r2, LC11 ;
+goto LC00 | goto LC10 ;
+LC01: | LC11: ;
+ld.weak r3, x | ld.weak r3, x ;
+st.weak x, 1 | st.weak x, 2 ;
+atom.release.gpu.add r4, out, 1 | atom.release.gpu.add r4, out, 1 ;
+exists (P0:r1 == P0:r2 /\ P1:r1 == P1:r2 /\ P0:r3 == 0 /\ P1:r3 == 0)
+"#;
+
+/// Figure 16: the RMW-atomicity hole in the Vulkan model.
+pub const FIG16_RMW_ATOMICITY: &str = r#"
+VULKAN fig16-rmw-atomicity
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 0 | P2@sg 0,wg 0,qf 0 ;
+st.sc0 x, 1 | cbar.acqrel.semsc0 0 | cbar.acqrel.semsc0 0 ;
+cbar.acqrel.semsc0 0 | atom.add.dv.sc0 r0, x, 1 | atom.add.dv.sc0 r0, x, 1 ;
+exists (P1:r0 == 1 /\ P2:r0 == 1)
+"#;
+
+/// Figure 3 (simplified original XF barrier with plain accesses): racy.
+pub const FIG3_XF_RACY: &str = r#"
+VULKAN fig3-xf-original
+{ x = 0; f = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1 | LC00: ;
+st.sc0 f, 1 | ld.sc0 r1, f ;
+ | bne r1, 1, LC00 ;
+ | ld.sc0 r2, x ;
+exists (P1:r1 == 1 /\ P1:r2 == 0)
+"#;
+
+/// All figure tests with their paper-established expectations.
+pub fn figure_tests() -> Vec<Test> {
+    vec![
+        Test::new("fig6-partial-co", FIG6_PARTIAL_CO.into(), Property::Safety, 1).expect(true),
+        Test::new("fig7-sb-barrier", FIG7_SB_BARRIER.into(), Property::Safety, 1).expect(true),
+        Test::new("fig5-mp-proxies", FIG5_MP_PROXIES.into(), Property::Safety, 1).expect(false),
+        Test::new("fig10-mp-spin", FIG10_MP_SPIN.into(), Property::Safety, 2).expect(false),
+        Test::new("fig11-nir-bug", FIG11_NIR_BUG.into(), Property::Safety, 1).expect(true),
+        Test::new("fig12-deque", FIG12_DEQUE_FENCED.into(), Property::Safety, 1).expect(false),
+        Test::new(
+            "fig12-deque-buggy",
+            FIG12_DEQUE_UNFENCED.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(true),
+        Test::new(
+            "fig13-ticket-mutex",
+            FIG13_TICKET_MUTEX.into(),
+            Property::Safety,
+            2,
+        )
+        .expect(false),
+        Test::new(
+            "fig13-ticket-mutex-rlx",
+            FIG13_TICKET_MUTEX_RELAXED.into(),
+            Property::Safety,
+            2,
+        )
+        .expect(false),
+        Test::new(
+            "fig16-rmw-atomicity",
+            FIG16_RMW_ATOMICITY.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(true),
+        Test::new("fig3-xf-racy", FIG3_XF_RACY.into(), Property::DataRaceFreedom, 2).expect(true),
+    ]
+}

@@ -1,0 +1,108 @@
+//! Litmus-test corpora: the paper's figures, the Table 5 validation
+//! suites, the Figure 15 scalability series, and the Table 7
+//! synchronization primitives.
+//!
+//! Everything in this crate is *source text* in the `gpumc-litmus`
+//! dialects plus metadata — it has no dependency on the verifier, so the
+//! corpora can also be dumped to disk and consumed by the CLI.
+//!
+//! Suite sizes match the paper's test-collection sizes (§7.1): 106 PTX
+//! safety tests, 129 PTX proxy tests, 110 Vulkan safety tests, 106
+//! Vulkan DRF tests, and 73 forward-progress (liveness) tests.
+//!
+//! # Example
+//!
+//! ```
+//! let suite = gpumc_catalog::ptx_safety_suite();
+//! assert_eq!(suite.len(), 106);
+//! assert!(suite.iter().all(|t| t.source.trim_start().starts_with("PTX")));
+//! ```
+
+pub mod figures;
+mod patterns;
+mod primitives;
+mod scaling;
+
+pub use figures::figure_tests;
+pub use patterns::{
+    liveness_suite, ptx_proxy_suite, ptx_safety_suite, vulkan_drf_suite, vulkan_safety_suite,
+};
+pub use primitives::{
+    primitive_benchmarks, primitive_source, primitive_source_ptx, Grid, Primitive,
+    PrimitiveBench, Variant,
+};
+pub use scaling::{scaling_test, ScalePattern};
+
+/// Which property a test exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// `exists` / `~exists` / `forall` reachability.
+    Safety,
+    /// Stuck-spinloop detection (§6.4).
+    Liveness,
+    /// Data-race freedom via the Vulkan `dr` flag.
+    DataRaceFreedom,
+}
+
+/// A catalogued litmus test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Test {
+    /// Unique name within its suite.
+    pub name: String,
+    /// Litmus source (PTX or Vulkan dialect).
+    pub source: String,
+    /// The property the test exercises.
+    pub property: Property,
+    /// Suggested unrolling bound.
+    pub bound: u32,
+    /// Expected verdict, when the literature fixes one: for safety, does
+    /// the quantified condition have a witness; for liveness/DRF, is the
+    /// property violated. `None` when the expectation is only established
+    /// by cross-engine agreement.
+    pub expected: Option<bool>,
+    /// Whether the test uses control flow (and thus exceeds the
+    /// Alloy-style baseline, which only supports straight-line code).
+    pub uses_control_flow: bool,
+    /// Whether the test uses control barriers or the constant proxy
+    /// (unsupported by the published Alloy PTX tool, §6.1).
+    pub uses_barrier_or_constant_proxy: bool,
+}
+
+impl Test {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        source: String,
+        property: Property,
+        bound: u32,
+    ) -> Test {
+        let source_ref = &source;
+        let uses_control_flow = ["goto", "bne", "beq", "LC"]
+            .iter()
+            .any(|k| source_ref.contains(k));
+        let uses_barrier_or_constant_proxy = ["bar.", "cbar", "constant", "cld", "cst"]
+            .iter()
+            .any(|k| source_ref.contains(k));
+        Test {
+            name: name.into(),
+            source,
+            property,
+            bound,
+            expected: None,
+            uses_control_flow,
+            uses_barrier_or_constant_proxy,
+        }
+    }
+
+    pub(crate) fn expect(mut self, expected: bool) -> Test {
+        self.expected = Some(expected);
+        self
+    }
+
+    /// Whether the Alloy-style baseline supports this test (straight-line
+    /// code, no liveness, no control barriers / constant proxy).
+    pub fn alloy_supported(&self) -> bool {
+        !self.uses_control_flow
+            && !self.uses_barrier_or_constant_proxy
+            && self.property != Property::Liveness
+    }
+}

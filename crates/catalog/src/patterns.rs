@@ -1,0 +1,1149 @@
+//! Generated validation suites, sized like the paper's corpus (§7.1):
+//! classic weak-consistency patterns crossed with synchronization
+//! strengths, scopes, proxies and storage classes.
+
+use crate::{Property, Test};
+
+/// Synchronization strength applied to a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sync {
+    /// Plain (weak / non-atomic) accesses.
+    Weak,
+    /// Relaxed atomics.
+    Relaxed,
+    /// Release writes / acquire reads.
+    RelAcq,
+    /// Plain accesses ordered by acq_rel fences.
+    Fences,
+    /// Relaxed atomics ordered by SC fences.
+    FenceSc,
+}
+
+const SYNCS: [Sync; 5] = [
+    Sync::Weak,
+    Sync::Relaxed,
+    Sync::RelAcq,
+    Sync::Fences,
+    Sync::FenceSc,
+];
+
+/// Scope placement of the threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scoping {
+    /// Wide-enough scope for the thread placement.
+    Wide,
+    /// Scope narrower than the placement (cannot synchronize).
+    Narrow,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArchKind {
+    Ptx,
+    Vulkan,
+}
+
+/// Emission context for one test.
+struct Ctx {
+    arch: ArchKind,
+    sync: Sync,
+    scoping: Scoping,
+}
+
+impl Ctx {
+    fn scope(&self) -> &'static str {
+        match (self.arch, self.scoping) {
+            (ArchKind::Ptx, Scoping::Wide) => "gpu",
+            (ArchKind::Ptx, Scoping::Narrow) => "cta",
+            (ArchKind::Vulkan, Scoping::Wide) => "dv",
+            (ArchKind::Vulkan, Scoping::Narrow) => "wg",
+        }
+    }
+
+    fn header(&self, n_threads: usize) -> String {
+        let cells: Vec<String> = (0..n_threads)
+            .map(|i| match self.arch {
+                ArchKind::Ptx => format!("P{i}@cta {i},gpu 0"),
+                ArchKind::Vulkan => format!("P{i}@sg 0,wg {i},qf 0"),
+            })
+            .collect();
+        format!("{} ;", cells.join(" | "))
+    }
+
+    /// A store; `strong` marks the synchronizing (flag) write. Note that
+    /// with fence-based synchronization the flag access must still be
+    /// atomic: a plain access's reads-from is never morally strong in
+    /// PTX, and never `moa` in Vulkan.
+    fn st(&self, loc: &str, val: &str, strong: bool) -> String {
+        let s = self.scope();
+        match (self.arch, self.sync) {
+            (ArchKind::Ptx, Sync::Fences) if strong => format!("st.relaxed.{s} {loc}, {val}"),
+            (ArchKind::Vulkan, Sync::Fences) if strong => {
+                format!("st.atom.{s}.sc0 {loc}, {val}")
+            }
+            (ArchKind::Ptx, Sync::Weak | Sync::Fences) => format!("st.weak {loc}, {val}"),
+            (ArchKind::Ptx, Sync::Relaxed | Sync::FenceSc) => {
+                format!("st.relaxed.{s} {loc}, {val}")
+            }
+            (ArchKind::Ptx, Sync::RelAcq) => {
+                if strong {
+                    format!("st.release.{s} {loc}, {val}")
+                } else {
+                    format!("st.relaxed.{s} {loc}, {val}")
+                }
+            }
+            (ArchKind::Vulkan, Sync::Weak | Sync::Fences) => format!("st.sc0 {loc}, {val}"),
+            (ArchKind::Vulkan, Sync::Relaxed | Sync::FenceSc) => {
+                format!("st.atom.{s}.sc0 {loc}, {val}")
+            }
+            (ArchKind::Vulkan, Sync::RelAcq) => {
+                if strong {
+                    format!("st.atom.rel.{s}.sc0 {loc}, {val}")
+                } else {
+                    format!("st.atom.{s}.sc0 {loc}, {val}")
+                }
+            }
+        }
+    }
+
+    /// A load; `strong` marks the synchronizing (flag) read.
+    fn ld(&self, reg: &str, loc: &str, strong: bool) -> String {
+        let s = self.scope();
+        match (self.arch, self.sync) {
+            (ArchKind::Ptx, Sync::Fences) if strong => format!("ld.relaxed.{s} {reg}, {loc}"),
+            (ArchKind::Vulkan, Sync::Fences) if strong => {
+                format!("ld.atom.{s}.sc0 {reg}, {loc}")
+            }
+            (ArchKind::Ptx, Sync::Weak | Sync::Fences) => format!("ld.weak {reg}, {loc}"),
+            (ArchKind::Ptx, Sync::Relaxed | Sync::FenceSc) => {
+                format!("ld.relaxed.{s} {reg}, {loc}")
+            }
+            (ArchKind::Ptx, Sync::RelAcq) => {
+                if strong {
+                    format!("ld.acquire.{s} {reg}, {loc}")
+                } else {
+                    format!("ld.relaxed.{s} {reg}, {loc}")
+                }
+            }
+            (ArchKind::Vulkan, Sync::Weak | Sync::Fences) => format!("ld.sc0 {reg}, {loc}"),
+            (ArchKind::Vulkan, Sync::Relaxed | Sync::FenceSc) => {
+                format!("ld.atom.{s}.sc0 {reg}, {loc}")
+            }
+            (ArchKind::Vulkan, Sync::RelAcq) => {
+                if strong {
+                    format!("ld.atom.acq.{s}.sc0 {reg}, {loc}")
+                } else {
+                    format!("ld.atom.{s}.sc0 {reg}, {loc}")
+                }
+            }
+        }
+    }
+
+    /// The fence inserted between accesses for the fence-based syncs.
+    fn fence(&self) -> Option<String> {
+        let s = self.scope();
+        match (self.arch, self.sync) {
+            (ArchKind::Ptx, Sync::Fences) => Some(format!("fence.acq_rel.{s}")),
+            (ArchKind::Ptx, Sync::FenceSc) => Some(format!("fence.sc.{s}")),
+            (ArchKind::Vulkan, Sync::Fences) => Some(format!("membar.acq_rel.{s}.semsc0")),
+            (ArchKind::Vulkan, Sync::FenceSc) => Some(format!("membar.acq_rel.{s}.semsc0")),
+            _ => None,
+        }
+    }
+
+    fn arch_name(&self) -> &'static str {
+        match self.arch {
+            ArchKind::Ptx => "PTX",
+            ArchKind::Vulkan => "VULKAN",
+        }
+    }
+}
+
+/// Builds a test from per-thread instruction columns.
+fn table(ctx: &Ctx, name: &str, prelude: &str, cols: &[Vec<String>], cond: &str) -> String {
+    let rows = cols.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = format!("{} {}\n{{ {} }}\n{}\n", ctx.arch_name(), name, prelude, ctx.header(cols.len()));
+    for r in 0..rows {
+        let cells: Vec<&str> = cols
+            .iter()
+            .map(|c| c.get(r).map_or("", String::as_str))
+            .collect();
+        out.push_str(&format!("{} ;\n", cells.join(" | ")));
+    }
+    out.push_str(cond);
+    out.push('\n');
+    out
+}
+
+/// With-fence helper: weave a fence between two instructions if needed.
+fn seq(ctx: &Ctx, first: String, second: String) -> Vec<String> {
+    match ctx.fence() {
+        Some(f) => vec![first, f, second],
+        None => vec![first, second],
+    }
+}
+
+/// One pattern family: returns (name, source, expected-with-full-sync).
+///
+/// `expected` is `Some(reachable)` only where the literature fixes the
+/// verdict for the *weak* and *fully synchronized wide-scope* variants.
+fn family(ctx: &Ctx, fam: &str) -> (String, Option<bool>) {
+    let forbidden_when_synced = matches!(
+        (ctx.sync, ctx.scoping),
+        (Sync::RelAcq | Sync::Fences | Sync::FenceSc, Scoping::Wide)
+    );
+    let weak = ctx.sync == Sync::Weak;
+    match fam {
+        "MP" => {
+            let cols = vec![
+                seq(ctx, ctx.st("x", "1", false), ctx.st("flag", "1", true)),
+                seq(ctx, ctx.ld("r0", "flag", true), ctx.ld("r1", "x", false)),
+            ];
+            let src = table(
+                ctx,
+                "MP",
+                "x = 0; flag = 0;",
+                &cols,
+                "exists (P1:r0 == 1 /\\ P1:r1 == 0)",
+            );
+            let expected = if forbidden_when_synced {
+                Some(false)
+            } else if weak
+                || matches!(
+                    (ctx.sync, ctx.scoping),
+                    (Sync::RelAcq, Scoping::Narrow)
+                )
+            {
+                // Plain accesses, or correct orders at a scope narrower
+                // than the thread placement (the dv2wg situation of
+                // Table 7): the stale read is reachable.
+                Some(true)
+            } else {
+                None
+            };
+            (src, expected)
+        }
+        "SB" => {
+            let cols = vec![
+                seq(ctx, ctx.st("x", "1", true), ctx.ld("r0", "y", true)),
+                seq(ctx, ctx.st("y", "1", true), ctx.ld("r1", "x", true)),
+            ];
+            let src = table(
+                ctx,
+                "SB",
+                "x = 0; y = 0;",
+                &cols,
+                "exists (P0:r0 == 0 /\\ P1:r1 == 0)",
+            );
+            // SB is only forbidden by SC fences — which exist in PTX but
+            // not in Vulkan (release-acquire is Vulkan's strongest
+            // ordering, §7.3 item 3).
+            let expected = match (ctx.arch, ctx.sync, ctx.scoping) {
+                (ArchKind::Ptx, Sync::FenceSc, Scoping::Wide) => Some(false),
+                (_, Sync::Weak | Sync::Relaxed | Sync::RelAcq, _) => Some(true),
+                _ => None,
+            };
+            (src, expected)
+        }
+        "LB" => {
+            let cols = vec![
+                seq(ctx, ctx.ld("r0", "x", true), ctx.st("y", "1", true)),
+                seq(ctx, ctx.ld("r1", "y", true), ctx.st("x", "1", true)),
+            ];
+            let src = table(
+                ctx,
+                "LB",
+                "x = 0; y = 0;",
+                &cols,
+                "exists (P0:r0 == 1 /\\ P1:r1 == 1)",
+            );
+            let expected = if forbidden_when_synced { Some(false) } else { None };
+            (src, expected)
+        }
+        "IRIW" => {
+            let cols = vec![
+                vec![ctx.st("x", "1", true)],
+                vec![ctx.st("y", "1", true)],
+                seq(ctx, ctx.ld("r0", "x", true), ctx.ld("r1", "y", true)),
+                seq(ctx, ctx.ld("r2", "y", true), ctx.ld("r3", "x", true)),
+            ];
+            let src = table(
+                ctx,
+                "IRIW",
+                "x = 0; y = 0;",
+                &cols,
+                "exists (P2:r0 == 1 /\\ P2:r1 == 0 /\\ P3:r2 == 1 /\\ P3:r3 == 0)",
+            );
+            (src, None)
+        }
+        "CoRR" => {
+            let cols = vec![
+                vec![ctx.st("x", "1", true), ctx.st("x", "2", true)],
+                vec![ctx.ld("r0", "x", true), ctx.ld("r1", "x", true)],
+            ];
+            let src = table(
+                ctx,
+                "CoRR",
+                "x = 0;",
+                &cols,
+                "exists (P1:r0 == 2 /\\ P1:r1 == 1)",
+            );
+            // Fully-atomic wide-scope CoRR is forbidden in both models;
+            // at narrow scope the PTX reads are not morally strong with
+            // the writes and the inversion resurfaces.
+            let expected = match (ctx.sync, ctx.scoping) {
+                (Sync::Relaxed | Sync::RelAcq | Sync::FenceSc, Scoping::Wide) => Some(false),
+                _ => None,
+            };
+            (src, expected)
+        }
+        "CoWR" => {
+            let cols = vec![
+                vec![ctx.st("x", "1", true), ctx.ld("r0", "x", true)],
+                vec![ctx.st("x", "2", true)],
+            ];
+            let src = table(
+                ctx,
+                "CoWR",
+                "x = 0;",
+                &cols,
+                "exists (P0:r0 == 0)",
+            );
+            // Reading the initial value after the own write is a
+            // same-thread coherence violation in every configuration.
+            (src, Some(false))
+        }
+        "WRC" => {
+            let cols = vec![
+                vec![ctx.st("x", "1", true)],
+                seq(ctx, ctx.ld("r0", "x", true), ctx.st("y", "1", true)),
+                seq(ctx, ctx.ld("r1", "y", true), ctx.ld("r2", "x", false)),
+            ];
+            let src = table(
+                ctx,
+                "WRC",
+                "x = 0; y = 0;",
+                &cols,
+                "exists (P1:r0 == 1 /\\ P2:r1 == 1 /\\ P2:r2 == 0)",
+            );
+            let expected = if forbidden_when_synced { Some(false) } else { None };
+            (src, expected)
+        }
+        "ISA2" => {
+            let cols = vec![
+                seq(ctx, ctx.st("x", "1", false), ctx.st("y", "1", true)),
+                seq(ctx, ctx.ld("r0", "y", true), ctx.st("z", "1", true)),
+                seq(ctx, ctx.ld("r1", "z", true), ctx.ld("r2", "x", false)),
+            ];
+            let src = table(
+                ctx,
+                "ISA2",
+                "x = 0; y = 0; z = 0;",
+                &cols,
+                "exists (P1:r0 == 1 /\\ P2:r1 == 1 /\\ P2:r2 == 0)",
+            );
+            let expected = if forbidden_when_synced { Some(false) } else { None };
+            (src, expected)
+        }
+        "2+2W" => {
+            let cols = vec![
+                seq(ctx, ctx.st("x", "1", true), ctx.st("y", "2", true)),
+                seq(ctx, ctx.st("y", "1", true), ctx.st("x", "2", true)),
+            ];
+            let src = table(
+                ctx,
+                "2+2W",
+                "x = 0; y = 0;",
+                &cols,
+                "exists (x == 1 /\\ y == 1)",
+            );
+            (src, None)
+        }
+        "S" => {
+            let cols = vec![
+                seq(ctx, ctx.st("x", "2", false), ctx.st("y", "1", true)),
+                seq(ctx, ctx.ld("r0", "y", true), ctx.st("x", "1", false)),
+            ];
+            let src = table(
+                ctx,
+                "S",
+                "x = 0; y = 0;",
+                &cols,
+                "exists (P1:r0 == 1 /\\ x == 2)",
+            );
+            (src, None)
+        }
+        other => panic!("unknown family {other}"),
+    }
+}
+
+const FAMILIES: [&str; 10] = [
+    "MP", "SB", "LB", "IRIW", "CoRR", "CoWR", "WRC", "ISA2", "2+2W", "S",
+];
+
+fn sync_name(s: Sync) -> &'static str {
+    match s {
+        Sync::Weak => "weak",
+        Sync::Relaxed => "rlx",
+        Sync::RelAcq => "relacq",
+        Sync::Fences => "fence",
+        Sync::FenceSc => "fencesc",
+    }
+}
+
+fn family_suite(arch: ArchKind) -> Vec<Test> {
+    let mut out = Vec::new();
+    for fam in FAMILIES {
+        for sync in SYNCS {
+            for scoping in [Scoping::Wide, Scoping::Narrow] {
+                let ctx = Ctx { arch, sync, scoping };
+                let (src, expected) = family(&ctx, fam);
+                let scope_name = ctx.scope();
+                let mut t = Test::new(
+                    format!("{fam}-{}-{}", sync_name(sync), scope_name),
+                    src,
+                    Property::Safety,
+                    1,
+                );
+                t.expected = expected;
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// The 106 PTX safety litmus tests (without proxies), exercised by both
+/// PTX models (Table 5, "Safety" row for v6.0).
+pub fn ptx_safety_suite() -> Vec<Test> {
+    let mut out = family_suite(ArchKind::Ptx);
+    debug_assert_eq!(out.len(), 100);
+    // Six extra tests using barriers and RMWs.
+    out.push(
+        Test::new(
+            "MP-barrier-cta",
+            r#"
+PTX MP-barrier
+{ x = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+st.weak x, 1 | bar.cta.sync 0 ;
+bar.cta.sync 0 | ld.weak r0, x ;
+exists (P1:r0 == 0)
+"#
+            .into(),
+            Property::Safety,
+            1,
+        )
+        .expect(false),
+    );
+    out.push(
+        Test::new(
+            "SB-dynamic-barrier",
+            crate::figures::FIG7_SB_BARRIER.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(true),
+    );
+    out.push(
+        Test::new(
+            "rmw-add-unique",
+            r#"
+PTX rmw-add
+{ c = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.relaxed.gpu.add r0, c, 1 | atom.relaxed.gpu.add r0, c, 1 ;
+exists (P0:r0 == 0 /\ P1:r0 == 0)
+"#
+            .into(),
+            Property::Safety,
+            1,
+        )
+        .expect(false),
+    );
+    out.push(
+        Test::new(
+            "cas-exclusive",
+            r#"
+PTX cas-excl
+{ lock = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.acquire.gpu.cas r0, lock, 0, 1 | atom.acquire.gpu.cas r0, lock, 0, 2 ;
+exists (P0:r0 == 0 /\ P1:r0 == 0)
+"#
+            .into(),
+            Property::Safety,
+            1,
+        )
+        .expect(false),
+    );
+    out.push(
+        Test::new(
+            "MP-sys-cross-gpu",
+            r#"
+PTX MP-sys
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 1 ;
+st.relaxed.sys x, 1 | ld.acquire.sys r0, flag ;
+st.release.sys flag, 1 | ld.relaxed.sys r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#
+            .into(),
+            Property::Safety,
+            1,
+        )
+        .expect(false),
+    );
+    out.push(
+        Test::new(
+            "MP-gpu-cross-gpu",
+            r#"
+PTX MP-gpu-narrow
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 1 ;
+st.relaxed.gpu x, 1 | ld.acquire.gpu r0, flag ;
+st.release.gpu flag, 1 | ld.relaxed.gpu r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#
+            .into(),
+            Property::Safety,
+            1,
+        )
+        .expect(true),
+    );
+    assert_eq!(out.len(), 106);
+    out
+}
+
+/// The 129 PTX proxy tests (v7.5 only; Table 5's extra safety tests).
+pub fn ptx_proxy_suite() -> Vec<Test> {
+    let mut out = Vec::new();
+    let proxies = [("surface", "sust", "suld"), ("texture", "tst", "tld"), ("constant", "cst", "cld")];
+    // 4 families × 3 proxies × 5 fence configs × 2 scopes = 120.
+    for fam in ["MP", "CoWW", "SB", "CoRR"] {
+        for (proxy, pst, pld) in proxies {
+            for fences in ["none", "writer", "reader", "both", "alias"] {
+                for scope in ["cta", "gpu"] {
+                    let (src, expected) =
+                        proxy_test(fam, proxy, pst, pld, fences, scope);
+                    let mut t = Test::new(
+                        format!("{fam}-{proxy}-{fences}-{scope}"),
+                        src,
+                        Property::Safety,
+                        1,
+                    );
+                    t.expected = expected;
+                    out.push(t);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), 120);
+    // Nine alias-fence specific tests: same-location cross-proxy
+    // coherence with/without alias fences.
+    for proxy in ["surface", "texture", "constant"] {
+        for cfg in ["none", "one", "both"] {
+            let f0 = if cfg != "none" {
+                format!("fence.proxy.alias.{}\n", "cta")
+            } else {
+                String::new()
+            };
+            let f1 = if cfg == "both" {
+                format!("fence.proxy.alias.{}\n", "cta")
+            } else {
+                String::new()
+            };
+            let src = format!(
+                r#"
+PTX alias-{proxy}-{cfg}
+{{ x = 0; s -> x @ {proxy}; }}
+P0@cta 0,gpu 0 ;
+sust2 s, 1 ;
+{f0}ld.weak r0, x ;
+{f1}exists (P0:r0 == 0)
+"#
+            )
+            .replace(
+                "sust2",
+                match proxy {
+                    "surface" => "sust",
+                    "texture" => "tst",
+                    _ => "cst",
+                },
+            );
+            out.push(Test::new(
+                format!("alias-coherence-{proxy}-{cfg}"),
+                src,
+                Property::Safety,
+                1,
+            ));
+        }
+    }
+    assert_eq!(out.len(), 129);
+    out
+}
+
+fn proxy_test(
+    fam: &str,
+    proxy: &str,
+    pst: &str,
+    pld: &str,
+    fences: &str,
+    scope: &str,
+) -> (String, Option<bool>) {
+    let proxy_fence = format!("fence.proxy.{proxy}.{scope}");
+    let alias_fence = format!("fence.proxy.alias.{scope}");
+    let wf = matches!(fences, "writer" | "both");
+    let rf_ = matches!(fences, "reader" | "both" | "alias");
+    match fam {
+        "MP" => {
+            // Writer stores via the proxy; reader loads generically.
+            let mut c0 = vec![format!("{pst} s, 1")];
+            if wf {
+                c0.push(proxy_fence.clone());
+            }
+            c0.push(format!("st.release.{scope} flag, 1"));
+            let mut c1 = vec![format!("ld.acquire.{scope} r0, flag")];
+            if rf_ {
+                c1.push(alias_fence.clone());
+            }
+            c1.push("ld.weak r1, x".into());
+            // Same CTA: proxy fences act within a CTA (`pxyFM ⊆ scta`).
+            let src = two_thread_ptx(
+                &format!("MP-{proxy}-{fences}-{scope}"),
+                &format!("x = 0; flag = 0; s -> x @ {proxy};"),
+                &c0,
+                &c1,
+                "exists (P1:r0 == 1 /\\ P1:r1 == 0)",
+                false,
+            );
+            let expected = if fences == "both" && scope == "cta" {
+                Some(false)
+            } else if fences == "none" {
+                Some(true)
+            } else {
+                None
+            };
+            (src, expected)
+        }
+        "CoWW" => {
+            // Two writes to the same physical location via different
+            // proxies in one thread; read back generically.
+            let mut c0 = vec!["st.weak x, 1".to_string()];
+            if wf {
+                c0.push(proxy_fence.clone());
+            }
+            c0.push(format!("{pst} s, 2"));
+            if rf_ {
+                c0.push(alias_fence.clone());
+            }
+            c0.push("ld.weak r0, x".into());
+            let src = two_thread_ptx(
+                &format!("CoWW-{proxy}-{fences}-{scope}"),
+                &format!("x = 0; y = 0; s -> x @ {proxy};"),
+                &c0,
+                &["st.weak y, 1".to_string()],
+                "exists (P0:r0 == 1)",
+                false,
+            );
+            (src, None)
+        }
+        "SB" => {
+            let mut c0 = vec![format!("{pst} s, 1")];
+            if wf {
+                c0.push(proxy_fence.clone());
+            }
+            c0.push(format!("ld.relaxed.{scope} r0, y"));
+            let mut c1 = vec![format!("st.relaxed.{scope} y, 1")];
+            if rf_ {
+                c1.push(alias_fence.clone());
+            }
+            c1.push("ld.weak r1, x".into());
+            let src = two_thread_ptx(
+                &format!("SB-{proxy}-{fences}-{scope}"),
+                &format!("x = 0; y = 0; s -> x @ {proxy};"),
+                &c0,
+                &c1,
+                "exists (P0:r0 == 0 /\\ P1:r1 == 0)",
+                true,
+            );
+            (src, None)
+        }
+        "CoRR" => {
+            let mut c1 = vec![format!("{pld} r0, s")];
+            if rf_ {
+                c1.push(alias_fence.clone());
+            }
+            c1.push("ld.weak r1, x".into());
+            let src = two_thread_ptx(
+                &format!("CoRR-{proxy}-{fences}-{scope}"),
+                &format!("x = 0; s -> x @ {proxy};"),
+                &[format!("st.relaxed.{scope} x, 1")],
+                &c1,
+                "exists (P1:r0 == 1 /\\ P1:r1 == 0)",
+                true,
+            );
+            let _ = wf;
+            (src, None)
+        }
+        other => panic!("unknown proxy family {other}"),
+    }
+}
+
+fn two_thread_ptx(
+    name: &str,
+    prelude: &str,
+    c0: &[String],
+    c1: &[String],
+    cond: &str,
+    cross_cta: bool,
+) -> String {
+    let h1 = if cross_cta {
+        "P1@cta 1,gpu 0"
+    } else {
+        "P1@cta 0,gpu 0"
+    };
+    let rows = c0.len().max(c1.len());
+    let mut out = format!("PTX {name}\n{{ {prelude} }}\nP0@cta 0,gpu 0 | {h1} ;\n");
+    for r in 0..rows {
+        let a = c0.get(r).map_or("", String::as_str);
+        let b = c1.get(r).map_or("", String::as_str);
+        out.push_str(&format!("{a} | {b} ;\n"));
+    }
+    out.push_str(cond);
+    out.push('\n');
+    out
+}
+
+/// The 110 Vulkan safety tests (Table 5).
+pub fn vulkan_safety_suite() -> Vec<Test> {
+    let mut out = family_suite(ArchKind::Vulkan);
+    debug_assert_eq!(out.len(), 100);
+    let extras: [(&str, &str, u32, Option<bool>); 10] = [
+        (
+            "MP-av-vis-flags",
+            r#"
+VULKAN MP-avvis
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0.av.dv x, 1 | ld.atom.acq.dv.sc0 r0, flag ;
+st.atom.rel.dv.sc0.semav.semsc0 flag, 1 | ld.sc0.vis.dv r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            Some(false),
+        ),
+        (
+            "MP-missing-vis",
+            r#"
+VULKAN MP-novis
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0.priv x, 1 | ld.atom.acq.dv.sc0 r0, flag ;
+st.atom.rel.dv.sc0 flag, 1 | ld.sc0.priv r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            Some(true),
+        ),
+        (
+            "MP-avdevice-chain",
+            r#"
+VULKAN MP-avdevice
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1 | ld.atom.acq.dv.sc0 r0, flag ;
+avdevice | membar.acq.dv.semsc0 ;
+membar.rel.dv.semsc0 | visdevice ;
+st.atom.dv.sc0 flag, 1 | ld.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            None,
+        ),
+        (
+            "MP-ssw",
+            r#"
+VULKAN MP-ssw
+{ x = 0; flag = 0; ssw P0 P1; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 1 ;
+st.sc0 x, 1 | ld.sc0 r0, flag ;
+st.sc0 flag, 1 | ld.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            None,
+        ),
+        (
+            "MP-cbar-sync",
+            r#"
+VULKAN MP-cbar
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 1,wg 0,qf 0 ;
+st.atom.dv.sc0 x, 1 | cbar.acqrel.semsc0 0 ;
+cbar.acqrel.semsc0 0 | ld.atom.dv.sc0 r0, x ;
+exists (P1:r0 == 0)
+"#,
+            1,
+            Some(false),
+        ),
+        (
+            "MP-sg-scope-same-sg",
+            r#"
+VULKAN MP-sg
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 0 ;
+st.atom.sg.sc0 x, 1 | ld.atom.acq.sg.sc0 r0, flag ;
+st.atom.rel.sg.sc0 flag, 1 | ld.atom.sg.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            Some(false),
+        ),
+        (
+            "MP-qf-cross-qf",
+            r#"
+VULKAN MP-qf-narrow
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 1 ;
+st.atom.qf.sc0 x, 1 | ld.atom.acq.qf.sc0 r0, flag ;
+st.atom.rel.qf.sc0 flag, 1 | ld.atom.qf.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            Some(true),
+        ),
+        (
+            "MP-sc1-chain",
+            r#"
+VULKAN MP-sc1
+{ x = 0; y = 0 @ sc1; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 x, 1 | ld.atom.acq.dv.sc1 r0, y ;
+membar.rel.dv.semsc0.semsc1 | membar.acq.dv.semsc0.semsc1 ;
+st.atom.dv.sc1 y, 1 | ld.atom.dv.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            Some(false),
+        ),
+        (
+            "MP-sc-mismatch",
+            r#"
+VULKAN MP-scmismatch
+{ x = 0; y = 0 @ sc1; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 x, 1 | ld.atom.acq.dv.sc1 r0, y ;
+membar.rel.dv.semsc1 | membar.acq.dv.semsc1 ;
+st.atom.dv.sc1 y, 1 | ld.atom.dv.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+            1,
+            None,
+        ),
+        (
+            "fig16-rmw-atomicity",
+            crate::figures::FIG16_RMW_ATOMICITY,
+            1,
+            Some(true),
+        ),
+    ];
+    for (name, src, bound, expected) in extras {
+        let mut t = Test::new(name, src.into(), Property::Safety, bound);
+        t.expected = expected;
+        out.push(t);
+    }
+    assert_eq!(out.len(), 110);
+    out
+}
+
+/// The 106 Vulkan data-race tests: the family suite with the `exists`
+/// condition replaced by a `filter` (§7.1), plus six dedicated tests.
+pub fn vulkan_drf_suite() -> Vec<Test> {
+    let mut out = Vec::new();
+    for mut t in family_suite(ArchKind::Vulkan) {
+        // Replace the final condition with a filter.
+        let src = t
+            .source
+            .replace("exists (", "filter (")
+            .replace("forall (", "filter (");
+        t.source = src;
+        t.property = Property::DataRaceFreedom;
+        // Plain accesses race; fully synchronized wide accesses do not.
+        // Coherence-shaped families (CoRR/CoWR) have unsatisfiable
+        // filters, so no behaviour is even considered there.
+        let coherence_family = t.name.starts_with("CoRR") || t.name.starts_with("CoWR");
+        t.expected = match t.name.split('-').nth(1) {
+            Some("weak") if !coherence_family => Some(true),
+            Some("relacq") | Some("fence") | Some("fencesc")
+                if t.name.ends_with("dv") && t.name.starts_with("MP") =>
+            {
+                Some(false)
+            }
+            _ => None,
+        };
+        t.name = format!("drf-{}", t.name);
+        out.push(t);
+    }
+    debug_assert_eq!(out.len(), 100);
+    let extras: [(&str, &str, Option<bool>); 6] = [
+        (
+            "drf-priv-no-race",
+            r#"
+VULKAN drf-priv
+{ x = 0; y = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0.priv x, 1 | st.sc0.priv y, 1 ;
+exists (x == 1)
+"#,
+            Some(false),
+        ),
+        (
+            "drf-atomic-contention",
+            r#"
+VULKAN drf-atomics
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 x, 1 | st.atom.dv.sc0 x, 2 ;
+exists (x == 1)
+"#,
+            Some(false),
+        ),
+        (
+            "drf-atomic-scope-mismatch",
+            r#"
+VULKAN drf-scope-mismatch
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.wg.sc0 x, 1 | st.atom.wg.sc0 x, 2 ;
+exists (x == 1)
+"#,
+            Some(true),
+        ),
+        (
+            "drf-rmw-vs-plain",
+            r#"
+VULKAN drf-rmw-plain
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1 | atom.add.dv.sc0 r0, x, 1 ;
+exists (x == 2)
+"#,
+            Some(true),
+        ),
+        (
+            "drf-read-read",
+            r#"
+VULKAN drf-rr
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+ld.sc0 r0, x | ld.sc0 r0, x ;
+exists (P0:r0 == 0)
+"#,
+            Some(false),
+        ),
+        (
+            "drf-xf-original",
+            crate::figures::FIG3_XF_RACY,
+            Some(true),
+        ),
+    ];
+    for (name, src, expected) in extras {
+        let mut t = Test::new(name, src.into(), Property::DataRaceFreedom, 2);
+        t.expected = expected;
+        out.push(t);
+    }
+    assert_eq!(out.len(), 106);
+    out
+}
+
+/// The 73 forward-progress (liveness) tests, ported in spirit from the
+/// GPU Harbor suite (§7.1). Each exists in both dialects.
+pub fn liveness_suite() -> Vec<Test> {
+    let mut out = Vec::new();
+    for arch in [ArchKind::Ptx, ArchKind::Vulkan] {
+        for spinners in [1usize, 2, 3] {
+            for order_acq in [false, true] {
+                for fam in [
+                    "spin-never-set",
+                    "spin-wrong-value",
+                    "spin-deadlock-pair",
+                    "spin-writer",
+                    "spin-chain",
+                    "spin-after-barrier",
+                ] {
+                    let (src, expected) = liveness_test(arch, fam, spinners, order_acq);
+                    let mut t = Test::new(
+                        format!(
+                            "{fam}-{}-{}spin-{}",
+                            if arch == ArchKind::Ptx { "ptx" } else { "vk" },
+                            spinners,
+                            if order_acq { "acq" } else { "rlx" }
+                        ),
+                        src,
+                        Property::Liveness,
+                        2,
+                    );
+                    t.expected = Some(expected);
+                    out.push(t);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), 72);
+    // Figure 14 (in spirit): the XF-barrier deadlock — a leader waits
+    // for a representative that is itself waiting for the leader, as
+    // happens when the barrier's flags are not properly handed off.
+    out.push(
+        Test::new(
+            "fig14-xf-liveness",
+            r#"
+VULKAN fig14-xf-liveness
+{ fin = 0; fout = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+LC00: | LC10: ;
+ld.sc0 r0, fin | ld.sc0 r1, fout ;
+bne r0, 1, LC00 | bne r1, 1, LC10 ;
+st.sc0 fout, 1 | st.sc0 fin, 1 ;
+exists (P0:r0 == 1 /\ P1:r1 == 1)
+"#
+            .into(),
+            Property::Liveness,
+            2,
+        )
+        .expect(true),
+    );
+    assert_eq!(out.len(), 73);
+    out
+}
+
+fn liveness_test(arch: ArchKind, fam: &str, spinners: usize, acq: bool) -> (String, bool) {
+    let (hdr, ld, st): (fn(usize) -> String, String, String) = match arch {
+        ArchKind::Ptx => (
+            |i| format!("P{i}@cta 0,gpu 0"),
+            if acq {
+                "ld.acquire.gpu".into()
+            } else {
+                "ld.relaxed.gpu".into()
+            },
+            "st.relaxed.gpu".into(),
+        ),
+        ArchKind::Vulkan => (
+            |i| format!("P{i}@sg 0,wg {i},qf 0"),
+            if acq {
+                "ld.atom.acq.dv.sc0".into()
+            } else {
+                "ld.atom.dv.sc0".into()
+            },
+            "st.atom.dv.sc0".into(),
+        ),
+    };
+    let arch_name = if arch == ArchKind::Ptx { "PTX" } else { "VULKAN" };
+    let spin = |flag: &str| {
+        vec![
+            "LC00:".to_string(),
+            format!("{ld} r0, {flag}"),
+            "bne r0, 1, LC00".to_string(),
+        ]
+    };
+    let mut cols: Vec<Vec<String>> = Vec::new();
+    let violated;
+    match fam {
+        "spin-never-set" => {
+            for _ in 0..spinners {
+                cols.push(spin("flag"));
+            }
+            violated = true;
+        }
+        "spin-wrong-value" => {
+            for _ in 0..spinners {
+                cols.push(spin("flag"));
+            }
+            cols.push(vec![format!("{st} flag, 2")]);
+            violated = true;
+        }
+        "spin-deadlock-pair" => {
+            // P0 waits for f1 then sets f0; P1 waits for f0 then sets f1.
+            cols.push({
+                let mut c = spin("f1");
+                c.push(format!("{st} f0, 1"));
+                c
+            });
+            cols.push({
+                let mut c = spin("f0");
+                c.push(format!("{st} f1, 1"));
+                c
+            });
+            for _ in 2..spinners {
+                cols.push(spin("f0"));
+            }
+            violated = true;
+        }
+        "spin-writer" => {
+            for _ in 0..spinners {
+                cols.push(spin("flag"));
+            }
+            cols.push(vec![format!("{st} flag, 1")]);
+            violated = false;
+        }
+        "spin-chain" => {
+            // Writer sets f0; each spinner i waits for f_i and sets f_{i+1}.
+            cols.push(vec![format!("{st} f0, 1")]);
+            for i in 0..spinners {
+                let mut c = vec![
+                    format!("LC0{i}:"),
+                    format!("{ld} r0, f{i}"),
+                    format!("bne r0, 1, LC0{i}"),
+                ];
+                c.push(format!("{st} f{}, 1", i + 1));
+                cols.push(c);
+            }
+            violated = false;
+        }
+        "spin-after-barrier" => {
+            // Writer passes a control barrier before setting the flag —
+            // the flag still arrives, so no violation.
+            let bar = match arch {
+                ArchKind::Ptx => "bar.cta.sync 0".to_string(),
+                ArchKind::Vulkan => "cbar 0".to_string(),
+            };
+            for _ in 0..spinners {
+                let mut c = vec![bar.clone()];
+                c.extend(spin("flag"));
+                cols.push(c);
+            }
+            cols.push(vec![bar, format!("{st} flag, 1")]);
+            violated = false;
+        }
+        other => panic!("unknown liveness family {other}"),
+    }
+    // Memory prelude: every flag used.
+    let mut flags: Vec<&str> = Vec::new();
+    let joined = cols
+        .iter()
+        .flat_map(|c| c.iter())
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(" ");
+    for f in ["flag", "f0", "f1", "f2", "f3", "f4"] {
+        if joined.contains(&format!(", {f}")) || joined.contains(&format!("{f},")) {
+            flags.push(f);
+        }
+    }
+    let prelude: Vec<String> = flags.iter().map(|f| format!("{f} = 0;")).collect();
+    let header: Vec<String> = (0..cols.len()).map(hdr).collect();
+    let rows = cols.iter().map(Vec::len).max().unwrap_or(0);
+    let mut src = format!(
+        "{arch_name} {fam}\n{{ {} }}\n{} ;\n",
+        prelude.join(" "),
+        header.join(" | ")
+    );
+    for r in 0..rows {
+        let cells: Vec<&str> = cols
+            .iter()
+            .map(|c| c.get(r).map_or("", String::as_str))
+            .collect();
+        src.push_str(&format!("{} ;\n", cells.join(" | ")));
+    }
+    src.push_str("exists (P0:r0 == 1)\n");
+    (src, violated)
+}

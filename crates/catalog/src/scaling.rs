@@ -1,0 +1,198 @@
+//! Parametric pattern generators for the Figure 15 scalability study:
+//! MP, SB, LB, and IRIW scaled by thread count.
+
+use crate::{Property, Test};
+
+/// The four patterns of Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalePattern {
+    /// Message passing: producer/consumer pairs.
+    Mp,
+    /// Store buffering ring.
+    Sb,
+    /// Load buffering ring.
+    Lb,
+    /// Independent reads of independent writes: 2 writers, n-2 readers.
+    Iriw,
+}
+
+impl std::fmt::Display for ScalePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScalePattern::Mp => "MP",
+            ScalePattern::Sb => "SB",
+            ScalePattern::Lb => "LB",
+            ScalePattern::Iriw => "IRIW",
+        })
+    }
+}
+
+/// Generates a PTX test of the given pattern with `threads` threads.
+///
+/// # Panics
+///
+/// Panics if `threads < 2` (or `< 4` for IRIW).
+pub fn scaling_test(pattern: ScalePattern, threads: usize) -> Test {
+    assert!(threads >= 2, "patterns need at least two threads");
+    let src = match pattern {
+        ScalePattern::Mp => mp(threads),
+        ScalePattern::Sb => sb(threads),
+        ScalePattern::Lb => lb(threads),
+        ScalePattern::Iriw => {
+            assert!(threads >= 4, "IRIW needs at least four threads");
+            iriw(threads)
+        }
+    };
+    Test::new(
+        format!("{pattern}-{threads}"),
+        src,
+        Property::Safety,
+        1,
+    )
+}
+
+fn header(n: usize) -> String {
+    let cells: Vec<String> = (0..n).map(|i| format!("P{i}@cta {i},gpu 0")).collect();
+    format!("{} ;", cells.join(" | "))
+}
+
+fn rows_to_src(name: &str, prelude: &str, cols: &[Vec<String>], cond: &str) -> String {
+    let rows = cols.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = format!("PTX {name}\n{{ {prelude} }}\n{}\n", header(cols.len()));
+    for r in 0..rows {
+        let cells: Vec<&str> = cols
+            .iter()
+            .map(|c| c.get(r).map_or("", String::as_str))
+            .collect();
+        out.push_str(&format!("{} ;\n", cells.join(" | ")));
+    }
+    out.push_str(cond);
+    out.push('\n');
+    out
+}
+
+/// n/2 producer-consumer pairs over distinct location pairs.
+fn mp(n: usize) -> String {
+    let pairs = n / 2;
+    let mut prelude = String::new();
+    let mut cols = Vec::new();
+    let mut conds = Vec::new();
+    for p in 0..pairs {
+        prelude.push_str(&format!("x{p} = 0; f{p} = 0; "));
+        cols.push(vec![
+            format!("st.weak x{p}, 1"),
+            format!("st.weak f{p}, 1"),
+        ]);
+        cols.push(vec![
+            format!("ld.weak r0, f{p}"),
+            format!("ld.weak r1, x{p}"),
+        ]);
+        conds.push(format!("(P{}:r0 == 1 /\\ P{}:r1 == 0)", 2 * p + 1, 2 * p + 1));
+    }
+    if n % 2 == 1 {
+        cols.push(vec!["ld.weak r0, x0".into()]);
+    }
+    rows_to_src(
+        &format!("MP-{n}"),
+        &prelude,
+        &cols,
+        &format!("exists ({})", conds.join(" /\\ ")),
+    )
+}
+
+/// Store-buffering ring: thread i writes x_i and reads x_{i+1}.
+fn sb(n: usize) -> String {
+    let mut prelude = String::new();
+    let mut cols = Vec::new();
+    let mut conds = Vec::new();
+    for i in 0..n {
+        prelude.push_str(&format!("x{i} = 0; "));
+        let next = (i + 1) % n;
+        cols.push(vec![
+            format!("st.weak x{i}, 1"),
+            format!("ld.weak r0, x{next}"),
+        ]);
+        conds.push(format!("P{i}:r0 == 0"));
+    }
+    rows_to_src(
+        &format!("SB-{n}"),
+        &prelude,
+        &cols,
+        &format!("exists ({})", conds.join(" /\\ ")),
+    )
+}
+
+/// Load-buffering ring: thread i reads x_i and writes x_{i+1}.
+fn lb(n: usize) -> String {
+    let mut prelude = String::new();
+    let mut cols = Vec::new();
+    let mut conds = Vec::new();
+    for i in 0..n {
+        prelude.push_str(&format!("x{i} = 0; "));
+        let next = (i + 1) % n;
+        cols.push(vec![
+            format!("ld.weak r0, x{i}"),
+            format!("st.weak x{next}, 1"),
+        ]);
+        conds.push(format!("P{i}:r0 == 1"));
+    }
+    rows_to_src(
+        &format!("LB-{n}"),
+        &prelude,
+        &cols,
+        &format!("exists ({})", conds.join(" /\\ ")),
+    )
+}
+
+/// 2 writers, n-2 readers; adjacent readers must disagree on the order.
+fn iriw(n: usize) -> String {
+    let mut cols = vec![
+        vec!["st.relaxed.gpu x, 1".to_string()],
+        vec!["st.relaxed.gpu y, 1".to_string()],
+    ];
+    let readers = n - 2;
+    let mut conds = Vec::new();
+    for r in 0..readers {
+        let t = 2 + r;
+        if r % 2 == 0 {
+            cols.push(vec![
+                "ld.acquire.gpu r0, x".into(),
+                "ld.acquire.gpu r1, y".into(),
+            ]);
+            conds.push(format!("(P{t}:r0 == 1 /\\ P{t}:r1 == 0)"));
+        } else {
+            cols.push(vec![
+                "ld.acquire.gpu r0, y".into(),
+                "ld.acquire.gpu r1, x".into(),
+            ]);
+            conds.push(format!("(P{t}:r0 == 1 /\\ P{t}:r1 == 0)"));
+        }
+    }
+    rows_to_src(
+        &format!("IRIW-{n}"),
+        "x = 0; y = 0;",
+        &cols,
+        &format!("exists ({})", conds.join(" /\\ ")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_scale() {
+        for n in [2, 4, 8, 16] {
+            let t = scaling_test(ScalePattern::Sb, n);
+            assert_eq!(t.source.matches("st.weak").count(), n);
+        }
+        let t = scaling_test(ScalePattern::Iriw, 10);
+        assert_eq!(t.source.matches("ld.acquire").count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least four")]
+    fn iriw_minimum() {
+        let _ = scaling_test(ScalePattern::Iriw, 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! The `gpumc` command line — the analogue of the paper's
+//! `java -jar dartagnan.jar <test> <model.cat> --property=...` usage.
+
+use std::process::ExitCode;
+
+use gpumc::{EngineKind, Verifier};
+use gpumc_models::ModelKind;
+
+const USAGE: &str = "\
+gpumc — unified analysis of GPU consistency (PTX / Vulkan)
+
+USAGE:
+    gpumc verify <test.litmus> [OPTIONS]
+    gpumc models
+    gpumc dump-model <ptx-v6.0|ptx-v7.5|vulkan>
+    gpumc catalog [ptx|proxy|vulkan|drf|liveness|figures]
+
+OPTIONS:
+    --model <name>       consistency model: ptx-v6.0, ptx-v7.5, vulkan
+                         (default: inferred from the test dialect)
+    --property <p>       assertion | liveness | datarace  (default: assertion)
+    --engine <e>         sat | enumerate | alloy  (default: sat;
+                         `alloy` is the straight-line enumeration baseline)
+    --bound <n>          loop unrolling bound (default: 2)
+    --witness            print the witness execution graph
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("verify") => verify(&args[1..]),
+        Some("models") => {
+            for m in ModelKind::ALL {
+                println!("{m}\t({})", m.file_name());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("dump-model") => {
+            let name = args.get(1).ok_or("dump-model needs a model name")?;
+            let kind = ModelKind::from_name(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+            print!("{}", kind.source());
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("catalog") => catalog(args.get(1).map(String::as_str)),
+        _ => {
+            print!("{USAGE}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn catalog(which: Option<&str>) -> Result<ExitCode, String> {
+    let tests = match which.unwrap_or("figures") {
+        "ptx" => gpumc_catalog::ptx_safety_suite(),
+        "proxy" => gpumc_catalog::ptx_proxy_suite(),
+        "vulkan" => gpumc_catalog::vulkan_safety_suite(),
+        "drf" => gpumc_catalog::vulkan_drf_suite(),
+        "liveness" => gpumc_catalog::liveness_suite(),
+        "figures" => gpumc_catalog::figure_tests(),
+        other => return Err(format!("unknown suite `{other}`")),
+    };
+    for t in &tests {
+        println!("{}\t{:?}\texpected={:?}", t.name, t.property, t.expected);
+    }
+    eprintln!("{} tests", tests.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verify(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut model = None;
+    let mut property = "assertion".to_string();
+    let mut engine = "sat".to_string();
+    let mut bound = 2u32;
+    let mut show_witness = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => model = Some(it.next().ok_or("--model needs a value")?.clone()),
+            "--property" => property = it.next().ok_or("--property needs a value")?.clone(),
+            "--engine" => engine = it.next().ok_or("--engine needs a value")?.clone(),
+            "--bound" => {
+                bound = it
+                    .next()
+                    .ok_or("--bound needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --bound")?
+            }
+            "--witness" => show_witness = true,
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("missing test file")?;
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let program = gpumc::parse_litmus(&source).map_err(|e| e.to_string())?;
+
+    let kind = match model {
+        Some(name) => {
+            ModelKind::from_name(&name).ok_or_else(|| format!("unknown model `{name}`"))?
+        }
+        None => match program.arch {
+            gpumc::gpumc_ir::Arch::Ptx => ModelKind::Ptx75,
+            gpumc::gpumc_ir::Arch::Vulkan => ModelKind::Vulkan,
+        },
+    };
+    let engine = match engine.as_str() {
+        "sat" => EngineKind::Sat,
+        "enumerate" => EngineKind::Enumerate {
+            straight_line_only: false,
+        },
+        "alloy" => EngineKind::Enumerate {
+            straight_line_only: true,
+        },
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    let verifier = Verifier::new(gpumc_models::load(kind))
+        .with_engine(engine)
+        .with_bound(bound);
+
+    let (headline, witness, ok) = match property.as_str() {
+        "assertion" | "program_spec" => {
+            let o = verifier.check_assertion(&program).map_err(|e| e.to_string())?;
+            let verdict = match o.satisfied_expectation {
+                Some(true) => "condition expectation HOLDS",
+                Some(false) => "condition expectation FAILS",
+                None => "no condition",
+            };
+            (
+                format!(
+                    "{}: witness {} | {} | {} events, {} vars, {} clauses, {:.1} ms",
+                    program.name,
+                    if o.reachable { "FOUND" } else { "none" },
+                    verdict,
+                    o.stats.events,
+                    o.stats.sat_vars,
+                    o.stats.sat_clauses,
+                    o.stats.time_us as f64 / 1000.0
+                ),
+                o.witness,
+                o.satisfied_expectation.unwrap_or(true),
+            )
+        }
+        "liveness" => {
+            let o = verifier.check_liveness(&program).map_err(|e| e.to_string())?;
+            (
+                format!(
+                    "{}: liveness {} ({:.1} ms)",
+                    program.name,
+                    if o.violated { "VIOLATION" } else { "ok" },
+                    o.stats.time_us as f64 / 1000.0
+                ),
+                o.witness,
+                !o.violated,
+            )
+        }
+        "datarace" | "cat_spec" | "drf" => {
+            let o = verifier
+                .check_data_races(&program)
+                .map_err(|e| e.to_string())?;
+            (
+                format!(
+                    "{}: data race {} ({:.1} ms)",
+                    program.name,
+                    if o.violated { "FOUND" } else { "none" },
+                    o.stats.time_us as f64 / 1000.0
+                ),
+                o.witness,
+                !o.violated,
+            )
+        }
+        other => return Err(format!("unknown property `{other}`")),
+    };
+    println!("{headline}");
+    if show_witness {
+        if let Some(w) = witness {
+            print!("{}", w.rendering);
+        }
+    }
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::from(2) })
+}

@@ -1,0 +1,561 @@
+//! gpumc — unified analysis of GPU consistency models.
+//!
+//! A Rust reproduction of the verification pipeline of *"Towards Unified
+//! Analysis of GPU Consistency"* (ASPLOS 2024): a bounded model checker
+//! for GPU programs under the NVIDIA PTX (v6.0 / v7.5) and Khronos
+//! Vulkan memory consistency models, with litmus-test and SPIR-V
+//! front-ends.
+//!
+//! The central type is [`Verifier`]: configure a `.cat` consistency
+//! model, an engine, and an unrolling bound, then check safety
+//! (reachability of the test's `exists`/`forall` condition), liveness
+//! (stuck spinloops, §6.4 of the paper), and data-race freedom (the
+//! Vulkan model's flagged `dr` relation).
+//!
+//! Two engines implement every query and cross-validate each other:
+//!
+//! * [`EngineKind::Sat`] — the Dartagnan-style SAT encoding
+//!   (`gpumc-encode`), scaling to hundreds of events;
+//! * [`EngineKind::Enumerate`] — the Alloy-style explicit enumeration
+//!   (`gpumc-exec`), exact but exponential, and additionally restricted
+//!   to straight-line programs when mimicking the paper's baseline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpumc::{Verifier, EngineKind};
+//!
+//! let src = r#"
+//! PTX MP
+//! { x = 0; flag = 0; }
+//! P0@cta 0,gpu 0          | P1@cta 1,gpu 0 ;
+//! st.relaxed.gpu x, 1     | ld.acquire.gpu r0, flag ;
+//! st.release.gpu flag, 1  | ld.relaxed.gpu r1, x ;
+//! exists (P1:r0 == 1 /\ P1:r1 == 0)
+//! "#;
+//! let program = gpumc::parse_litmus(src)?;
+//! let verifier = Verifier::new(gpumc_models::ptx75());
+//! let outcome = verifier.check_assertion(&program)?;
+//! assert!(!outcome.reachable, "release/acquire forbids the stale read");
+//! assert!(outcome.satisfied_expectation == Some(false),
+//!         "the exists-condition is unsatisfiable");
+//! # Ok::<(), gpumc::VerifyError>(())
+//! ```
+
+use std::time::Instant;
+
+use gpumc_cat::CatModel;
+use gpumc_encode::{encode, EncodeOptions};
+use gpumc_exec::{enumerate, EnumerateOptions, Execution};
+use gpumc_ir::{compile, unroll, Assertion, Condition, EventGraph, Program};
+
+pub use gpumc_cat;
+pub use gpumc_encode;
+pub use gpumc_exec;
+pub use gpumc_ir;
+pub use gpumc_litmus;
+pub use gpumc_models;
+pub use gpumc_sat;
+pub use gpumc_spirv;
+
+/// Parses a litmus test in either dialect (see `gpumc-litmus`).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError::Parse`] describing the problem.
+pub fn parse_litmus(source: &str) -> Result<Program, VerifyError> {
+    gpumc_litmus::parse(source).map_err(|e| VerifyError::Parse(e.to_string()))
+}
+
+/// Which verification engine to use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineKind {
+    /// SAT-based bounded model checking (the Dartagnan pipeline).
+    Sat,
+    /// Explicit-state enumeration (the Alloy-style baseline). With
+    /// `straight_line_only`, programs with control flow are rejected,
+    /// mirroring the published prototypes' limitation.
+    Enumerate {
+        /// Reject programs with control flow, like the Alloy tools.
+        straight_line_only: bool,
+    },
+}
+
+/// An error produced by the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// Front-end failure.
+    Parse(String),
+    /// IR-level failure (unrolling, validation).
+    Ir(String),
+    /// The engine rejected the program or model.
+    Unsupported(String),
+    /// Resource exhaustion in the enumeration engine.
+    TooComplex(String),
+    /// Internal cross-validation failure (should never happen).
+    Internal(String),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Parse(m) => write!(f, "parse error: {m}"),
+            VerifyError::Ir(m) => write!(f, "ir error: {m}"),
+            VerifyError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            VerifyError::TooComplex(m) => write!(f, "too complex: {m}"),
+            VerifyError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<gpumc_exec::EnumerateError> for VerifyError {
+    fn from(e: gpumc_exec::EnumerateError) -> Self {
+        match e {
+            gpumc_exec::EnumerateError::Unsupported(m) => VerifyError::Unsupported(m),
+            gpumc_exec::EnumerateError::TooComplex(m) => VerifyError::TooComplex(m),
+        }
+    }
+}
+
+impl From<gpumc_encode::EncodeError> for VerifyError {
+    fn from(e: gpumc_encode::EncodeError) -> Self {
+        match e {
+            gpumc_encode::EncodeError::Unsupported(m) => VerifyError::Unsupported(m),
+            gpumc_encode::EncodeError::WitnessMismatch(m) => VerifyError::Internal(m),
+        }
+    }
+}
+
+/// A found witness, rendered for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Human-readable execution graph.
+    pub rendering: String,
+}
+
+impl Witness {
+    fn from_execution(e: &Execution<'_>) -> Witness {
+        Witness {
+            rendering: e.render(),
+        }
+    }
+}
+
+/// Outcome of an assertion (safety) check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionOutcome {
+    /// Whether the quantified condition's *witness* was found: for
+    /// `exists`/`~exists`, a behaviour satisfying the condition; for
+    /// `forall`, a behaviour violating it.
+    pub reachable: bool,
+    /// Whether the test's expectation holds: `exists` expects reachable,
+    /// `~exists` expects unreachable, `forall` expects no violation.
+    /// `None` when the program has no assertion.
+    pub satisfied_expectation: Option<bool>,
+    /// Witness execution, when one was found.
+    pub witness: Option<Witness>,
+    /// Measurement statistics.
+    pub stats: Stats,
+}
+
+/// Outcome of a liveness or data-race-freedom check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyOutcome {
+    /// Whether a violation (stuck state / race) was found.
+    pub violated: bool,
+    /// Witness execution, when violated.
+    pub witness: Option<Witness>,
+    /// Measurement statistics.
+    pub stats: Stats,
+}
+
+/// Measurement data attached to every outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Number of events in the compiled graph.
+    pub events: usize,
+    /// Number of threads.
+    pub threads: usize,
+    /// SAT variables (0 for the enumeration engine).
+    pub sat_vars: usize,
+    /// SAT clauses (0 for the enumeration engine).
+    pub sat_clauses: usize,
+    /// Candidate behaviours explored (enumeration engine only).
+    pub candidates: u64,
+    /// Wall-clock time in microseconds.
+    pub time_us: u128,
+}
+
+/// The verification façade: a consistency model, an engine, and a bound.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    model: CatModel,
+    engine: EngineKind,
+    bound: u32,
+    bv_width: usize,
+    use_bounds: bool,
+    enum_cap: Option<u64>,
+}
+
+impl Verifier {
+    /// Creates a SAT-engine verifier with unrolling bound 2.
+    pub fn new(model: CatModel) -> Verifier {
+        Verifier {
+            model,
+            engine: EngineKind::Sat,
+            bound: 2,
+            bv_width: 8,
+            use_bounds: true,
+            enum_cap: None,
+        }
+    }
+
+    /// Caps the enumeration engine's candidate count (builder style);
+    /// exceeding it returns [`VerifyError::TooComplex`], standing in for
+    /// the Alloy tools' out-of-memory failures in Figure 15.
+    pub fn with_enumeration_cap(mut self, cap: u64) -> Verifier {
+        self.enum_cap = Some(cap);
+        self
+    }
+
+    /// Selects the engine (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Verifier {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the loop-unrolling bound (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn with_bound(mut self, bound: u32) -> Verifier {
+        assert!(bound >= 1, "bound must be at least 1");
+        self.bound = bound;
+        self
+    }
+
+    /// Sets the bit-vector width of the SAT engine (builder style).
+    pub fn with_bv_width(mut self, width: usize) -> Verifier {
+        self.bv_width = width;
+        self
+    }
+
+    /// Enables or disables relation-analysis pruning (ablation switch).
+    pub fn with_relation_analysis(mut self, enabled: bool) -> Verifier {
+        self.use_bounds = enabled;
+        self
+    }
+
+    /// The configured model.
+    pub fn model(&self) -> &CatModel {
+        &self.model
+    }
+
+    /// Compiles a program to its event graph with this verifier's bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::Ir`] when validation or unrolling fails.
+    pub fn compile(&self, program: &Program) -> Result<EventGraph, VerifyError> {
+        let unrolled = unroll(program, self.bound).map_err(|e| VerifyError::Ir(e.message))?;
+        Ok(compile(&unrolled))
+    }
+
+    /// Checks the program's `exists`/`~exists`/`forall` condition.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn check_assertion(&self, program: &Program) -> Result<AssertionOutcome, VerifyError> {
+        let graph = self.compile(program)?;
+        let start = Instant::now();
+        let (reachable, witness, mut stats) = match &self.engine {
+            EngineKind::Sat => {
+                let mut enc = self.encode(&graph)?;
+                let r = enc.find_assertion_witness()?;
+                let stats = self.sat_stats(&graph, &enc);
+                (r.found, r.witness.as_ref().map(Witness::from_execution), stats)
+            }
+            EngineKind::Enumerate { straight_line_only } => {
+                let mut opts = EnumerateOptions {
+                    straight_line_only: *straight_line_only,
+                    ..EnumerateOptions::default()
+                };
+                if let Some(cap) = self.enum_cap {
+                    opts.max_candidates = cap;
+                }
+                let cond = graph.assertion.clone();
+                let mut found: Option<Witness> = None;
+                let st = enumerate(&graph, &self.model, &opts, |b| {
+                    if found.is_some() || !b.execution.all_completed() {
+                        return;
+                    }
+                    if let Some(a) = &cond {
+                        let (c, negate) = assertion_query(a);
+                        let holds = b.execution.eval_condition(c) == Some(true);
+                        if holds != negate {
+                            found = Some(Witness::from_execution(&b.execution));
+                        }
+                    }
+                })?;
+                let stats = Stats {
+                    events: graph.n_events(),
+                    threads: graph.threads().len(),
+                    candidates: st.candidates,
+                    ..Stats::default()
+                };
+                (found.is_some(), found, stats)
+            }
+        };
+        stats.time_us = start.elapsed().as_micros();
+        let satisfied_expectation = program.assertion.as_ref().map(|a| match a {
+            Assertion::Exists(_) => reachable,
+            Assertion::NotExists(_) => !reachable,
+            Assertion::Forall(_) => !reachable,
+        });
+        Ok(AssertionOutcome {
+            reachable,
+            satisfied_expectation,
+            witness,
+            stats,
+        })
+    }
+
+    /// Checks liveness (§6.4): searches for a consistent stuck state.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn check_liveness(&self, program: &Program) -> Result<PropertyOutcome, VerifyError> {
+        let graph = self.compile(program)?;
+        let start = Instant::now();
+        let (violated, witness, mut stats) = match &self.engine {
+            EngineKind::Sat => {
+                let mut enc = self.encode(&graph)?;
+                let r = enc.find_liveness_violation()?;
+                let stats = self.sat_stats(&graph, &enc);
+                (r.found, r.witness.as_ref().map(Witness::from_execution), stats)
+            }
+            EngineKind::Enumerate { straight_line_only } => {
+                if *straight_line_only {
+                    return Err(VerifyError::Unsupported(
+                        "the Alloy-style baseline cannot check liveness".into(),
+                    ));
+                }
+                let mut found: Option<Witness> = None;
+                let st = enumerate(&graph, &self.model, &EnumerateOptions::default(), |b| {
+                    if found.is_none() && b.execution.is_liveness_violation() {
+                        found = Some(Witness::from_execution(&b.execution));
+                    }
+                })?;
+                let stats = Stats {
+                    events: graph.n_events(),
+                    threads: graph.threads().len(),
+                    candidates: st.candidates,
+                    ..Stats::default()
+                };
+                (found.is_some(), found, stats)
+            }
+        };
+        stats.time_us = start.elapsed().as_micros();
+        Ok(PropertyOutcome {
+            violated,
+            witness,
+            stats,
+        })
+    }
+
+    /// Checks data-race freedom through the model's flagged `dr` axiom.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`VerifyError::Unsupported`] when the model has no
+    /// `dr` flag (the PTX models define races differently and do not
+    /// treat them as undefined behaviour, §3.5).
+    pub fn check_data_races(&self, program: &Program) -> Result<PropertyOutcome, VerifyError> {
+        let graph = self.compile(program)?;
+        let start = Instant::now();
+        let (violated, witness, mut stats) = match &self.engine {
+            EngineKind::Sat => {
+                let mut enc = self.encode(&graph)?;
+                let r = enc.find_flag("dr")?;
+                let stats = self.sat_stats(&graph, &enc);
+                (r.found, r.witness.as_ref().map(Witness::from_execution), stats)
+            }
+            EngineKind::Enumerate { straight_line_only } => {
+                if self.model.flagged_axioms().count() == 0 {
+                    return Err(VerifyError::Unsupported(
+                        "model defines no flagged data-race relation".into(),
+                    ));
+                }
+                let opts = EnumerateOptions {
+                    straight_line_only: *straight_line_only,
+                    ..EnumerateOptions::default()
+                };
+                let mut found: Option<Witness> = None;
+                let st = enumerate(&graph, &self.model, &opts, |b| {
+                    if found.is_none()
+                        && b.execution.all_completed()
+                        && b.verdict.has_flag("dr")
+                    {
+                        found = Some(Witness::from_execution(&b.execution));
+                    }
+                })?;
+                let stats = Stats {
+                    events: graph.n_events(),
+                    threads: graph.threads().len(),
+                    candidates: st.candidates,
+                    ..Stats::default()
+                };
+                (found.is_some(), found, stats)
+            }
+        };
+        stats.time_us = start.elapsed().as_micros();
+        Ok(PropertyOutcome {
+            violated,
+            witness,
+            stats,
+        })
+    }
+
+    fn encode<'g>(
+        &self,
+        graph: &'g EventGraph,
+    ) -> Result<gpumc_encode::Encoding<'g>, VerifyError> {
+        let opts = EncodeOptions {
+            bv_width: self.bv_width,
+            use_bounds: self.use_bounds,
+            ..EncodeOptions::default()
+        };
+        Ok(encode(graph, &self.model, &opts)?)
+    }
+
+    fn sat_stats(&self, graph: &EventGraph, enc: &gpumc_encode::Encoding<'_>) -> Stats {
+        Stats {
+            events: graph.n_events(),
+            threads: graph.threads().len(),
+            sat_vars: enc.num_vars(),
+            sat_clauses: enc.num_clauses(),
+            ..Stats::default()
+        }
+    }
+}
+
+fn assertion_query(a: &Assertion) -> (&Condition, bool) {
+    match a {
+        Assertion::Exists(c) | Assertion::NotExists(c) => (c, false),
+        Assertion::Forall(c) => (c, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP_WEAK: &str = r#"
+PTX MP
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.weak x, 1 | ld.weak r0, flag ;
+st.weak flag, 1 | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+    #[test]
+    fn sat_and_enumerate_agree_on_weak_mp() {
+        let p = parse_litmus(MP_WEAK).unwrap();
+        for engine in [
+            EngineKind::Sat,
+            EngineKind::Enumerate {
+                straight_line_only: false,
+            },
+        ] {
+            let v = Verifier::new(gpumc_models::ptx60()).with_engine(engine);
+            let o = v.check_assertion(&p).unwrap();
+            assert!(o.reachable);
+            assert_eq!(o.satisfied_expectation, Some(true));
+            assert!(o.witness.is_some());
+            assert!(o.stats.events > 0);
+        }
+    }
+
+    #[test]
+    fn straight_line_baseline_rejects_loops() {
+        let src = r#"
+PTX spin
+{ flag = 0; }
+P0@cta 0,gpu 0 ;
+LC00: ;
+ld.relaxed.gpu r0, flag ;
+bne r0, 1, LC00 ;
+exists (P0:r0 == 1)
+"#;
+        let p = parse_litmus(src).unwrap();
+        let v = Verifier::new(gpumc_models::ptx60()).with_engine(EngineKind::Enumerate {
+            straight_line_only: true,
+        });
+        assert!(matches!(
+            v.check_assertion(&p),
+            Err(VerifyError::Unsupported(_))
+        ));
+        // The SAT engine handles it.
+        let v = Verifier::new(gpumc_models::ptx60());
+        let o = v.check_liveness(&p).unwrap();
+        assert!(o.violated);
+    }
+
+    #[test]
+    fn drf_requires_a_flagged_model() {
+        let p = parse_litmus(MP_WEAK).unwrap();
+        let v = Verifier::new(gpumc_models::ptx60());
+        assert!(matches!(
+            v.check_data_races(&p),
+            Err(VerifyError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn vulkan_drf_query_finds_races() {
+        let src = r#"
+VULKAN race
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1       | ld.sc0 r0, x ;
+exists (P1:r0 == 1)
+"#;
+        let p = parse_litmus(src).unwrap();
+        let v = Verifier::new(gpumc_models::vulkan());
+        let o = v.check_data_races(&p).unwrap();
+        assert!(o.violated);
+        assert!(o.witness.is_some());
+    }
+
+    #[test]
+    fn witness_rendering_mentions_events() {
+        let p = parse_litmus(MP_WEAK).unwrap();
+        let v = Verifier::new(gpumc_models::ptx60());
+        let o = v.check_assertion(&p).unwrap();
+        let w = o.witness.unwrap();
+        assert!(w.rendering.contains("rf:"));
+        assert!(w.rendering.contains("P0:1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be at least 1")]
+    fn zero_bound_panics() {
+        let _ = Verifier::new(gpumc_models::ptx60()).with_bound(0);
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        assert!(matches!(
+            parse_litmus("garbage"),
+            Err(VerifyError::Parse(_))
+        ));
+    }
+}

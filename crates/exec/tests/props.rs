@@ -1,0 +1,110 @@
+//! Property-based tests of the relation algebra: the cat operators obey
+//! their algebraic laws on random relations.
+
+use gpumc_exec::{EventSet, Relation};
+use gpumc_ir::EventId;
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+fn rel_strategy() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..N, 0..N), 0..60).prop_map(|pairs| {
+        Relation::from_pairs(
+            N,
+            pairs
+                .into_iter()
+                .map(|(a, b)| (EventId(a as u32), EventId(b as u32))),
+        )
+    })
+}
+
+fn set_strategy() -> impl Strategy<Value = EventSet> {
+    proptest::collection::vec(0..N, 0..N).prop_map(|xs| {
+        let mut s = EventSet::empty(N);
+        for x in xs {
+            s.insert(EventId(x as u32));
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compose_is_associative(r in rel_strategy(), s in rel_strategy(), t in rel_strategy()) {
+        prop_assert_eq!(r.compose(&s).compose(&t), r.compose(&s.compose(&t)));
+    }
+
+    #[test]
+    fn union_distributes_over_compose(r in rel_strategy(), s in rel_strategy(), t in rel_strategy()) {
+        // (r | s); t == (r; t) | (s; t)
+        prop_assert_eq!(
+            r.union(&s).compose(&t),
+            r.compose(&t).union(&s.compose(&t))
+        );
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_antidistributes(r in rel_strategy(), s in rel_strategy()) {
+        prop_assert_eq!(r.inverse().inverse(), r.clone());
+        prop_assert_eq!(r.compose(&s).inverse(), s.inverse().compose(&r.inverse()));
+    }
+
+    #[test]
+    fn transitive_closure_is_idempotent_and_transitive(r in rel_strategy()) {
+        let tc = r.transitive_closure();
+        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        prop_assert_eq!(tc.compose(&tc).union(&tc), tc.clone(), "closure is transitive");
+        // r ⊆ r+
+        prop_assert_eq!(r.union(&tc), tc);
+    }
+
+    #[test]
+    fn refl_closure_contains_identity(r in rel_strategy()) {
+        let rc = r.refl_transitive_closure();
+        for i in 0..N as u32 {
+            prop_assert!(rc.contains(EventId(i), EventId(i)));
+        }
+        prop_assert_eq!(rc.clone().compose(&rc.clone()).union(&rc.clone()), rc);
+    }
+
+    #[test]
+    fn acyclicity_matches_closure_reflexivity(r in rel_strategy()) {
+        prop_assert_eq!(r.is_cyclic(), r.transitive_closure().has_reflexive_pair());
+    }
+
+    #[test]
+    fn identity_on_is_neutral_for_members(s in set_strategy(), r in rel_strategy()) {
+        let id = Relation::identity_on(&s);
+        // [S]; r keeps exactly the rows whose source is in S.
+        let restricted = id.compose(&r);
+        for (a, b) in r.iter() {
+            prop_assert_eq!(restricted.contains(a, b), s.contains(a));
+        }
+    }
+
+    #[test]
+    fn cross_product_has_expected_cardinality(a in set_strategy(), b in set_strategy()) {
+        let cr = Relation::cross(&a, &b);
+        prop_assert_eq!(cr.len(), a.len() * b.len());
+    }
+
+    #[test]
+    fn domain_range_consistency(r in rel_strategy()) {
+        let dom = r.domain();
+        let ran = r.range();
+        for (a, b) in r.iter() {
+            prop_assert!(dom.contains(a));
+            prop_assert!(ran.contains(b));
+        }
+        prop_assert_eq!(r.inverse().domain(), ran);
+    }
+
+    #[test]
+    fn set_algebra_laws(a in set_strategy(), b in set_strategy()) {
+        prop_assert_eq!(a.union(&b).diff(&b), a.diff(&b));
+        prop_assert_eq!(a.inter(&b), b.inter(&a));
+        prop_assert_eq!(a.diff(&b).inter(&b).len(), 0);
+    }
+}

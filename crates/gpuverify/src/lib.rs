@@ -1,0 +1,327 @@
+//! A GPUVerify-style static data-race analyzer (the Table 6 baseline).
+//!
+//! GPUVerify verifies race-freedom of GPU kernels with a *two-thread
+//! abstraction*: it tracks the access sets of two arbitrary distinct
+//! threads between barriers and reports a race when the sets may
+//! overlap. This reimplementation reproduces the baseline's documented
+//! strengths and weaknesses (§7.4 of the paper):
+//!
+//! * it is fast and needs no memory-model reasoning;
+//! * it supports *strong* atomics only: atomic↔atomic conflicts are
+//!   considered synchronized, anything else conflicts;
+//! * it is oblivious to memory scopes and to value-based synchronization
+//!   — accesses guarded by a spin lock still count, so lock-protected
+//!   critical sections are reported racy (the caslock false positive the
+//!   paper cites, mc-imperial/gpuverify#55);
+//! * barriers inside divergent control flow are *barrier divergence*
+//!   errors.
+//!
+//! # Example
+//!
+//! ```
+//! use gpumc_spirv::{Grid, Kernel, KExpr, Stmt};
+//!
+//! let mut k = Kernel::new("disjoint");
+//! let buf = k.buffer("out", 8);
+//! k.push(Stmt::store(buf, KExpr::Gid, KExpr::Const(1)));
+//! let verdict = gpumc_gpuverify::analyze(&k, Grid { local: 2, groups: 2 });
+//! assert_eq!(verdict, gpumc_gpuverify::Verdict::RaceFree);
+//! ```
+
+use gpumc_spirv::{Grid, KExpr, Kernel, Stmt};
+
+/// The analyzer's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No conflicting access pair was found.
+    RaceFree,
+    /// A potential race, with a description of the conflicting pair.
+    Race(String),
+    /// A barrier occurs in divergent control flow.
+    BarrierDivergence,
+}
+
+impl Verdict {
+    /// Whether the kernel was reported racy (divergence counts as a
+    /// failure, like GPUVerify's error verdicts).
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Verdict::RaceFree)
+    }
+}
+
+/// Symbolic index form under the two-thread abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Index {
+    /// `gid + c`: distinct for distinct threads at equal offsets.
+    GidPlus(u64),
+    /// A constant.
+    Const(u64),
+    /// Anything else (locals, lid/wgid arithmetic): may collide.
+    Unknown,
+}
+
+fn index_form(e: &KExpr) -> Index {
+    match e {
+        KExpr::Const(c) => Index::Const(*c),
+        KExpr::Gid => Index::GidPlus(0),
+        KExpr::Add(a, b) => match (index_form(a), index_form(b)) {
+            (Index::GidPlus(x), Index::Const(y)) | (Index::Const(y), Index::GidPlus(x)) => {
+                Index::GidPlus(x.wrapping_add(y))
+            }
+            (Index::Const(x), Index::Const(y)) => Index::Const(x.wrapping_add(y)),
+            _ => Index::Unknown,
+        },
+        KExpr::Sub(a, b) => match (index_form(a), index_form(b)) {
+            (Index::Const(x), Index::Const(y)) => Index::Const(x.wrapping_sub(y)),
+            _ => Index::Unknown,
+        },
+        _ => Index::Unknown,
+    }
+}
+
+/// May two distinct threads collide on these indices?
+fn may_collide(a: Index, b: Index) -> bool {
+    match (a, b) {
+        // Same gid offset: distinct threads use distinct elements.
+        (Index::GidPlus(x), Index::GidPlus(y)) => x != y,
+        (Index::Const(x), Index::Const(y)) => x == y,
+        // gid-based vs constant, or anything unknown: assume collision.
+        _ => true,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Access {
+    buf: u32,
+    index: Index,
+    write: bool,
+    atomic: bool,
+    interval: u32,
+    what: String,
+}
+
+struct Collector {
+    accesses: Vec<Access>,
+    interval: u32,
+    divergent_depth: u32,
+    barrier_divergence: bool,
+}
+
+impl Collector {
+    fn record(&mut self, buf: u32, index: &KExpr, write: bool, atomic: bool, what: &str) {
+        self.accesses.push(Access {
+            buf,
+            index: index_form(index),
+            write,
+            atomic,
+            interval: self.interval,
+            what: what.to_string(),
+        });
+    }
+
+    fn walk(&mut self, body: &[Stmt]) {
+        for s in body {
+            match s {
+                Stmt::Store { buf, index, .. } => self.record(buf.0, index, true, false, "store"),
+                Stmt::Load { buf, index, .. } => self.record(buf.0, index, false, false, "load"),
+                Stmt::AtomicStore { buf, index, .. } => {
+                    self.record(buf.0, index, true, true, "atomic store")
+                }
+                Stmt::AtomicLoad { buf, index, .. } => {
+                    self.record(buf.0, index, false, true, "atomic load")
+                }
+                Stmt::AtomicAdd { buf, index, .. } | Stmt::AtomicCas { buf, index, .. } => {
+                    self.record(buf.0, index, true, true, "atomic rmw")
+                }
+                Stmt::Assign { .. } | Stmt::Fence { .. } => {}
+                Stmt::Barrier { .. } => {
+                    if self.divergent_depth > 0 {
+                        self.barrier_divergence = true;
+                    } else {
+                        self.interval += 1;
+                    }
+                }
+                Stmt::If { then, els, .. } => {
+                    self.divergent_depth += 1;
+                    self.walk(then);
+                    self.walk(els);
+                    self.divergent_depth -= 1;
+                }
+                Stmt::While { body, .. } => {
+                    self.divergent_depth += 1;
+                    self.walk(body);
+                    self.divergent_depth -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Analyzes a kernel for data races under the two-thread abstraction.
+///
+/// The grid only matters in that a single-thread grid is trivially
+/// race-free.
+pub fn analyze(kernel: &Kernel, grid: Grid) -> Verdict {
+    if grid.threads() <= 1 {
+        return Verdict::RaceFree;
+    }
+    let mut c = Collector {
+        accesses: Vec::new(),
+        interval: 0,
+        divergent_depth: 0,
+        barrier_divergence: false,
+    };
+    c.walk(&kernel.body);
+    if c.barrier_divergence {
+        return Verdict::BarrierDivergence;
+    }
+    // Two arbitrary distinct threads run the same code: every pair of
+    // accesses in the same barrier interval is a candidate.
+    for a1 in &c.accesses {
+        for a2 in &c.accesses {
+            if a1.buf != a2.buf || a1.interval != a2.interval {
+                continue;
+            }
+            if !(a1.write || a2.write) {
+                continue;
+            }
+            if a1.atomic && a2.atomic {
+                continue; // strong atomics synchronize
+            }
+            if may_collide(a1.index, a2.index) {
+                let buf = kernel
+                    .buffers
+                    .get(a1.buf as usize)
+                    .map_or("?", |(n, _)| n.as_str());
+                return Verdict::Race(format!(
+                    "possible race on `{buf}`: {} vs {}",
+                    a1.what, a2.what
+                ));
+            }
+        }
+    }
+    Verdict::RaceFree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumc_ir::{MemOrder, Scope};
+
+    fn grid() -> Grid {
+        Grid { local: 2, groups: 2 }
+    }
+
+    #[test]
+    fn disjoint_writes_are_race_free() {
+        let mut k = Kernel::new("k");
+        let b = k.buffer("out", 8);
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
+        assert_eq!(analyze(&k, grid()), Verdict::RaceFree);
+    }
+
+    #[test]
+    fn same_cell_writes_race() {
+        let mut k = Kernel::new("k");
+        let b = k.buffer("out", 8);
+        k.push(Stmt::store(b, KExpr::Const(0), KExpr::Const(1)));
+        assert!(matches!(analyze(&k, grid()), Verdict::Race(_)));
+    }
+
+    #[test]
+    fn shifted_gid_indices_race() {
+        // out[gid] and out[gid+1] collide across adjacent threads.
+        let mut k = Kernel::new("k");
+        let b = k.buffer("out", 8);
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
+        let l = k.local();
+        k.push(Stmt::load(l, b, KExpr::add(KExpr::Gid, KExpr::Const(1))));
+        assert!(matches!(analyze(&k, grid()), Verdict::Race(_)));
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let mut k = Kernel::new("k");
+        let b = k.buffer("out", 8);
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
+        k.push(Stmt::Barrier { scope: Scope::Wg });
+        let l = k.local();
+        k.push(Stmt::load(l, b, KExpr::add(KExpr::Gid, KExpr::Const(1))));
+        assert_eq!(analyze(&k, grid()), Verdict::RaceFree);
+    }
+
+    #[test]
+    fn atomics_do_not_race_with_atomics() {
+        let mut k = Kernel::new("k");
+        let b = k.buffer("c", 1);
+        let l = k.local();
+        k.push(Stmt::AtomicAdd {
+            dst: l,
+            buf: b,
+            index: KExpr::Const(0),
+            operand: KExpr::Const(1),
+            order: MemOrder::AcqRel,
+            scope: Scope::Dv,
+        });
+        assert_eq!(analyze(&k, grid()), Verdict::RaceFree);
+    }
+
+    #[test]
+    fn lock_protected_section_is_a_false_positive() {
+        // A CAS spin lock around a plain store: semantically race-free,
+        // but the analyzer cannot see value-based synchronization — the
+        // caslock false positive from the paper.
+        let mut k = Kernel::new("caslock");
+        let lock = k.buffer("lock", 1);
+        let x = k.buffer("x", 1);
+        let got = k.local();
+        k.push(Stmt::While {
+            a: KExpr::Local(got),
+            cmp: gpumc_spirv::CmpKind::Ne,
+            b: KExpr::Const(0),
+            body: vec![Stmt::AtomicCas {
+                dst: got,
+                buf: lock,
+                index: KExpr::Const(0),
+                expected: KExpr::Const(0),
+                new: KExpr::Const(1),
+                order: MemOrder::Acquire,
+                scope: Scope::Dv,
+            }],
+        });
+        k.push(Stmt::store(x, KExpr::Const(0), KExpr::Const(1)));
+        k.push(Stmt::AtomicStore {
+            buf: lock,
+            index: KExpr::Const(0),
+            value: KExpr::Const(0),
+            order: MemOrder::Release,
+            scope: Scope::Dv,
+        });
+        assert!(matches!(analyze(&k, grid()), Verdict::Race(_)));
+    }
+
+    #[test]
+    fn barrier_in_branch_is_divergence() {
+        let mut k = Kernel::new("k");
+        let _ = k.buffer("x", 1);
+        k.push(Stmt::If {
+            a: KExpr::Gid,
+            cmp: gpumc_spirv::CmpKind::Eq,
+            b: KExpr::Const(0),
+            then: vec![Stmt::Barrier { scope: Scope::Wg }],
+            els: vec![],
+        });
+        assert_eq!(analyze(&k, grid()), Verdict::BarrierDivergence);
+    }
+
+    #[test]
+    fn single_thread_grid_trivially_safe() {
+        let mut k = Kernel::new("k");
+        let b = k.buffer("x", 1);
+        k.push(Stmt::store(b, KExpr::Const(0), KExpr::Const(1)));
+        assert_eq!(
+            analyze(&k, Grid { local: 1, groups: 1 }),
+            Verdict::RaceFree
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Target architectures and scope hierarchies (§3.1 of the paper).
+
+/// The GPU programming API whose consistency model governs a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// NVIDIA PTX (scopes: CTA < GPU < SYS; proxies).
+    Ptx,
+    /// Khronos Vulkan (scopes: subgroup < workgroup < queue family <
+    /// device; storage classes; availability/visibility).
+    Vulkan,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Arch::Ptx => "ptx",
+            Arch::Vulkan => "vulkan",
+        })
+    }
+}
+
+/// A synchronization scope — a level of the GPU memory hierarchy.
+///
+/// The PTX model defines three scopes (CTA, GPU, SYS); the Vulkan model
+/// four (subgroup, workgroup, queue family, device). The numeric order of
+/// the variants within one architecture reflects inclusion: a larger scope
+/// contains the smaller ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    // PTX scopes.
+    /// Compute thread array (thread block).
+    Cta,
+    /// All threads of one GPU device.
+    Gpu,
+    /// The whole heterogeneous system.
+    Sys,
+    // Vulkan scopes.
+    /// Subgroup.
+    Sg,
+    /// Workgroup.
+    Wg,
+    /// Queue family.
+    Qf,
+    /// Device.
+    Dv,
+}
+
+impl Scope {
+    /// The architecture the scope belongs to.
+    pub fn arch(self) -> Arch {
+        match self {
+            Scope::Cta | Scope::Gpu | Scope::Sys => Arch::Ptx,
+            Scope::Sg | Scope::Wg | Scope::Qf | Scope::Dv => Arch::Vulkan,
+        }
+    }
+
+    /// Scope level within its architecture, 0 = innermost.
+    pub fn level(self) -> u32 {
+        match self {
+            Scope::Cta | Scope::Sg => 0,
+            Scope::Gpu | Scope::Wg => 1,
+            Scope::Sys | Scope::Qf => 2,
+            Scope::Dv => 3,
+        }
+    }
+
+    /// The widest scope of an architecture.
+    pub fn widest(arch: Arch) -> Scope {
+        match arch {
+            Arch::Ptx => Scope::Sys,
+            Arch::Vulkan => Scope::Dv,
+        }
+    }
+
+    /// The narrowest scope of an architecture.
+    pub fn narrowest(arch: Arch) -> Scope {
+        match arch {
+            Arch::Ptx => Scope::Cta,
+            Arch::Vulkan => Scope::Sg,
+        }
+    }
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scope::Cta => "cta",
+            Scope::Gpu => "gpu",
+            Scope::Sys => "sys",
+            Scope::Sg => "sg",
+            Scope::Wg => "wg",
+            Scope::Qf => "qf",
+            Scope::Dv => "dv",
+        })
+    }
+}
+
+/// The position of a thread within the GPU execution hierarchy.
+///
+/// Coordinates are stored innermost-first:
+///
+/// * PTX: `[cta, gpu]` (the system level is implicit and unique);
+/// * Vulkan: `[sg, wg, qf]` (the device level is implicit and unique).
+///
+/// Two threads share a scope instance when their coordinates agree from
+/// that scope's level *outward* — e.g. two Vulkan threads are in the same
+/// workgroup iff their `wg` and `qf` coordinates both match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThreadPos {
+    arch: Arch,
+    coords: Vec<u32>,
+}
+
+impl ThreadPos {
+    /// A PTX thread position: CTA index within a GPU, GPU index.
+    pub fn ptx(cta: u32, gpu: u32) -> ThreadPos {
+        ThreadPos {
+            arch: Arch::Ptx,
+            coords: vec![cta, gpu],
+        }
+    }
+
+    /// A Vulkan thread position: subgroup, workgroup, queue-family indices.
+    pub fn vulkan(sg: u32, wg: u32, qf: u32) -> ThreadPos {
+        ThreadPos {
+            arch: Arch::Vulkan,
+            coords: vec![sg, wg, qf],
+        }
+    }
+
+    /// The architecture this position belongs to.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// Coordinates, innermost-first.
+    pub fn coords(&self) -> &[u32] {
+        &self.coords
+    }
+
+    /// Whether two threads lie within the same instance of `scope`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the positions belong to different architectures or the
+    /// scope belongs to another architecture.
+    pub fn same_scope(&self, other: &ThreadPos, scope: Scope) -> bool {
+        assert_eq!(self.arch, other.arch, "mixed-architecture comparison");
+        assert_eq!(scope.arch(), self.arch, "scope from wrong architecture");
+        let level = scope.level() as usize;
+        if level >= self.coords.len() {
+            return true; // widest scope: always shared
+        }
+        self.coords[level..] == other.coords[level..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_ordering_within_arch() {
+        assert!(Scope::Cta.level() < Scope::Gpu.level());
+        assert!(Scope::Gpu.level() < Scope::Sys.level());
+        assert!(Scope::Sg.level() < Scope::Wg.level());
+        assert!(Scope::Qf.level() < Scope::Dv.level());
+    }
+
+    #[test]
+    fn ptx_scope_membership() {
+        let a = ThreadPos::ptx(0, 0);
+        let b = ThreadPos::ptx(0, 0);
+        let c = ThreadPos::ptx(1, 0);
+        let d = ThreadPos::ptx(0, 1);
+        assert!(a.same_scope(&b, Scope::Cta));
+        assert!(!a.same_scope(&c, Scope::Cta));
+        assert!(a.same_scope(&c, Scope::Gpu));
+        assert!(!a.same_scope(&d, Scope::Gpu));
+        assert!(a.same_scope(&d, Scope::Sys));
+    }
+
+    #[test]
+    fn vulkan_scope_membership() {
+        let a = ThreadPos::vulkan(0, 0, 0);
+        let same_wg = ThreadPos::vulkan(1, 0, 0);
+        let same_qf = ThreadPos::vulkan(0, 1, 0);
+        let other_qf = ThreadPos::vulkan(0, 0, 1);
+        assert!(!a.same_scope(&same_wg, Scope::Sg));
+        assert!(a.same_scope(&same_wg, Scope::Wg));
+        assert!(!a.same_scope(&same_qf, Scope::Wg));
+        assert!(a.same_scope(&same_qf, Scope::Qf));
+        assert!(!a.same_scope(&other_qf, Scope::Qf));
+        assert!(a.same_scope(&other_qf, Scope::Dv));
+    }
+
+    #[test]
+    fn same_coordinates_in_different_outer_instances_differ() {
+        // sg 0 of wg 0 vs sg 0 of wg 1: NOT the same subgroup.
+        let a = ThreadPos::vulkan(0, 0, 0);
+        let b = ThreadPos::vulkan(0, 1, 0);
+        assert!(!a.same_scope(&b, Scope::Sg));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong architecture")]
+    fn cross_arch_scope_panics() {
+        let a = ThreadPos::ptx(0, 0);
+        let b = ThreadPos::ptx(0, 0);
+        a.same_scope(&b, Scope::Wg);
+    }
+
+    #[test]
+    fn widest_narrowest() {
+        assert_eq!(Scope::widest(Arch::Ptx), Scope::Sys);
+        assert_eq!(Scope::narrowest(Arch::Vulkan), Scope::Sg);
+    }
+}

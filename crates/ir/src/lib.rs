@@ -1,0 +1,59 @@
+//! Unified intermediate representation for GPU litmus tests and kernels.
+//!
+//! Both front-ends (the PTX/Vulkan litmus dialects and the SPIR-V subset)
+//! lower into this IR. A [`Program`] is a set of threads placed in a GPU
+//! scope hierarchy ([`ThreadPos`]), each a list of [`Instruction`]s over
+//! declared memory ([`MemoryDecl`]), with an optional safety assertion.
+//!
+//! The back half of the crate turns programs into *event graphs*:
+//!
+//! * [`unroll`] performs bounded loop unrolling, producing a per-thread
+//!   tree of guarded basic blocks (so register data-flow needs no phi
+//!   nodes) and detecting *spinloops* (side-effect-free loops), which the
+//!   liveness checker instruments per §6.4 of the paper;
+//! * [`compile`] flattens the unrolled trees into an [`EventGraph`]:
+//!   memory events carrying the tag sets of Table 2, symbolic values,
+//!   and control-flow guards.
+//!
+//! # Example
+//!
+//! ```
+//! use gpumc_ir::*;
+//!
+//! // A two-thread message-passing program built by hand.
+//! let mut p = Program::new(Arch::Ptx);
+//! let x = p.declare_memory(MemoryDecl::scalar("x"));
+//! let y = p.declare_memory(MemoryDecl::scalar("y"));
+//! let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
+//! t0.push(Instruction::store(MemRef::scalar(x), Operand::Const(1), AccessAttrs::weak()));
+//! t0.push(Instruction::store(MemRef::scalar(y), Operand::Const(1), AccessAttrs::weak()));
+//! p.add_thread(t0);
+//! let mut t1 = Thread::new("P1", ThreadPos::ptx(0, 0));
+//! t1.push(Instruction::load(Reg(0), MemRef::scalar(y), AccessAttrs::weak()));
+//! t1.push(Instruction::load(Reg(1), MemRef::scalar(x), AccessAttrs::weak()));
+//! p.add_thread(t1);
+//!
+//! let unrolled = unroll(&p, 2).unwrap();
+//! let graph = compile(&unrolled);
+//! assert_eq!(graph.events().iter().filter(|e| e.tags.contains(Tag::W)).count(),
+//!            2 + 2 /* init writes */);
+//! ```
+
+mod arch;
+mod compile;
+mod event;
+mod instr;
+mod mem;
+mod program;
+mod unroll;
+
+pub use arch::{Arch, Scope, ThreadPos};
+pub use compile::{compile, CompiledThread, EventGraph};
+pub use event::{Event, EventId, EventKind, Guard, Tag, TagSet, Val};
+pub use instr::{
+    AccessAttrs, AluOp, BarrierAttrs, CmpOp, FenceAttrs, Instruction, LabelId, MemOrder, MemRef,
+    Operand, Proxy, ProxyFence, Reg, RmwOp,
+};
+pub use mem::{LocId, MemoryDecl};
+pub use program::{Assertion, CondAtom, Condition, IrError, Program, Thread};
+pub use unroll::{unroll, BlockId, SpinInfo, UBlock, UTerm, UnrolledProgram, UnrolledThread};

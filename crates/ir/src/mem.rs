@@ -1,0 +1,128 @@
+//! Memory declarations: physical locations, virtual aliases, storage
+//! classes (§3.3 of the paper).
+
+use crate::instr::Proxy;
+
+/// Identifier of a declared memory name (an index into
+/// [`crate::Program::memory`]).
+///
+/// Note that several declared names may alias the same *physical* storage:
+/// a declaration with [`MemoryDecl::alias_of`] set introduces a new
+/// *virtual address* backed by another declaration, as in the paper's
+/// Figure 5 prelude where the surface name `s` aliases the generic
+/// location `x`. The relation `loc` compares physical storage; `vloc`
+/// compares declared names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(pub u32);
+
+impl LocId {
+    /// The index into the program's declaration list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A declared memory object: a scalar or array, possibly an alias of
+/// another declaration through a specific proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Number of elements (1 for scalars).
+    pub size: u32,
+    /// Initial values (padded with zeros to `size`).
+    pub init: Vec<u64>,
+    /// When set, this name is a virtual alias of the given declaration:
+    /// it shares physical storage but is a distinct virtual address.
+    pub alias_of: Option<LocId>,
+    /// The memory proxy through which this name accesses storage (PTX).
+    pub proxy: Proxy,
+    /// The Vulkan storage class of the declaration (0 or 1).
+    pub storage_class: u8,
+}
+
+impl MemoryDecl {
+    /// A zero-initialized scalar in the generic proxy, storage class 0.
+    pub fn scalar(name: impl Into<String>) -> MemoryDecl {
+        MemoryDecl {
+            name: name.into(),
+            size: 1,
+            init: Vec::new(),
+            alias_of: None,
+            proxy: Proxy::Generic,
+            storage_class: 0,
+        }
+    }
+
+    /// A zero-initialized array.
+    pub fn array(name: impl Into<String>, size: u32) -> MemoryDecl {
+        MemoryDecl {
+            size,
+            ..MemoryDecl::scalar(name)
+        }
+    }
+
+    /// Sets the initial value of element 0 (builder style).
+    pub fn with_init(mut self, value: u64) -> MemoryDecl {
+        if self.init.is_empty() {
+            self.init.push(value);
+        } else {
+            self.init[0] = value;
+        }
+        self
+    }
+
+    /// Declares this name as a virtual alias of `target` via `proxy`.
+    pub fn with_alias(mut self, target: LocId, proxy: Proxy) -> MemoryDecl {
+        self.alias_of = Some(target);
+        self.proxy = proxy;
+        self
+    }
+
+    /// Sets the Vulkan storage class (builder style).
+    pub fn with_storage_class(mut self, sc: u8) -> MemoryDecl {
+        self.storage_class = sc;
+        self
+    }
+
+    /// The initial value of element `i` (zero when unspecified).
+    pub fn init_value(&self, i: u32) -> u64 {
+        self.init.get(i as usize).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_defaults() {
+        let d = MemoryDecl::scalar("x");
+        assert_eq!(d.size, 1);
+        assert_eq!(d.init_value(0), 0);
+        assert_eq!(d.proxy, Proxy::Generic);
+        assert_eq!(d.storage_class, 0);
+        assert!(d.alias_of.is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let d = MemoryDecl::scalar("s")
+            .with_init(7)
+            .with_alias(LocId(0), Proxy::Surface)
+            .with_storage_class(1);
+        assert_eq!(d.init_value(0), 7);
+        assert_eq!(d.alias_of, Some(LocId(0)));
+        assert_eq!(d.proxy, Proxy::Surface);
+        assert_eq!(d.storage_class, 1);
+    }
+
+    #[test]
+    fn array_init_padding() {
+        let mut d = MemoryDecl::array("a", 4);
+        d.init = vec![1, 2];
+        assert_eq!(d.init_value(0), 1);
+        assert_eq!(d.init_value(1), 2);
+        assert_eq!(d.init_value(3), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Programs, threads, and safety conditions.
+
+use crate::arch::{Arch, ThreadPos};
+use crate::instr::{Instruction, Reg};
+use crate::mem::{LocId, MemoryDecl};
+
+/// A thread: a name, a position in the scope hierarchy, and code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Thread {
+    /// Display name (e.g. `P0`).
+    pub name: String,
+    /// Position in the GPU hierarchy.
+    pub pos: ThreadPos,
+    /// Instruction sequence.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Thread {
+    /// Creates an empty thread.
+    pub fn new(name: impl Into<String>, pos: ThreadPos) -> Thread {
+        Thread {
+            name: name.into(),
+            pos,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, i: Instruction) -> &mut Thread {
+        self.instructions.push(i);
+        self
+    }
+}
+
+/// An atom of a safety condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondAtom {
+    /// The final value of a register of a thread.
+    Register {
+        /// Thread index.
+        thread: usize,
+        /// Register.
+        reg: Reg,
+    },
+    /// The final value of a memory element.
+    Memory {
+        /// Location.
+        loc: LocId,
+        /// Element index.
+        index: u32,
+    },
+    /// A constant.
+    Const(u64),
+}
+
+/// A boolean condition over final register and memory values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Always true.
+    True,
+    /// Equality of two atoms.
+    Eq(CondAtom, CondAtom),
+    /// Disequality of two atoms.
+    Ne(CondAtom, CondAtom),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// `a /\ b`
+    pub fn and(a: Condition, b: Condition) -> Condition {
+        Condition::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a \/ b`
+    pub fn or(a: Condition, b: Condition) -> Condition {
+        Condition::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `P<t>:r == v`
+    pub fn reg_eq(thread: usize, reg: Reg, v: u64) -> Condition {
+        Condition::Eq(CondAtom::Register { thread, reg }, CondAtom::Const(v))
+    }
+
+    /// `P<t>:r != v`
+    pub fn reg_ne(thread: usize, reg: Reg, v: u64) -> Condition {
+        Condition::Ne(CondAtom::Register { thread, reg }, CondAtom::Const(v))
+    }
+}
+
+/// The quantifier of a litmus test's final condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Assertion {
+    /// `exists cond` — the condition is reachable (a *witness* query).
+    Exists(Condition),
+    /// `~exists cond` — the condition is unreachable.
+    NotExists(Condition),
+    /// `forall cond` — the condition holds in every behaviour.
+    Forall(Condition),
+}
+
+impl Assertion {
+    /// The condition under the quantifier.
+    pub fn condition(&self) -> &Condition {
+        match self {
+            Assertion::Exists(c) | Assertion::NotExists(c) | Assertion::Forall(c) => c,
+        }
+    }
+}
+
+/// An IR-level validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// A complete program: memory, threads, and conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Memory declarations; [`LocId`]s index into this list.
+    pub memory: Vec<MemoryDecl>,
+    /// Threads.
+    pub threads: Vec<Thread>,
+    /// The final safety condition, if any.
+    pub assertion: Option<Assertion>,
+    /// A `filter` condition restricting considered behaviours (used by
+    /// Vulkan data-race tests, see §7.1).
+    pub filter: Option<Condition>,
+    /// Pairs of thread indices marked *system-synchronizes-with*
+    /// (the Vulkan `ssw` base relation).
+    pub ssw_pairs: Vec<(usize, usize)>,
+    /// Test name (for reporting).
+    pub name: String,
+}
+
+impl Program {
+    /// Creates an empty program for an architecture.
+    pub fn new(arch: Arch) -> Program {
+        Program {
+            arch,
+            memory: Vec::new(),
+            threads: Vec::new(),
+            assertion: None,
+            filter: None,
+            ssw_pairs: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Declares a memory object, returning its id.
+    pub fn declare_memory(&mut self, decl: MemoryDecl) -> LocId {
+        let id = LocId(self.memory.len() as u32);
+        self.memory.push(decl);
+        id
+    }
+
+    /// Finds a declaration by name.
+    pub fn memory_by_name(&self, name: &str) -> Option<LocId> {
+        self.memory
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| LocId(i as u32))
+    }
+
+    /// Adds a thread, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread's position belongs to another architecture.
+    pub fn add_thread(&mut self, t: Thread) -> usize {
+        assert_eq!(
+            t.pos.arch(),
+            self.arch,
+            "thread position from wrong architecture"
+        );
+        self.threads.push(t);
+        self.threads.len() - 1
+    }
+
+    /// The *physical* backing store of a declaration: follows alias
+    /// chains to the root declaration.
+    pub fn physical_root(&self, loc: LocId) -> LocId {
+        let mut cur = loc;
+        let mut hops = 0;
+        while let Some(target) = self.memory[cur.index()].alias_of {
+            cur = target;
+            hops += 1;
+            assert!(
+                hops <= self.memory.len(),
+                "alias cycle in memory declarations"
+            );
+        }
+        cur
+    }
+
+    /// Validates basic well-formedness (labels defined, registers used
+    /// after assignment is *not* checked — reading an unwritten register
+    /// yields zero like litmus tools do).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] describing the first problem.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for (ti, t) in self.threads.iter().enumerate() {
+            let labels: Vec<u32> = t
+                .instructions
+                .iter()
+                .filter_map(|i| match i {
+                    Instruction::Label(l) => Some(*l),
+                    _ => None,
+                })
+                .collect();
+            let mut sorted = labels.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != labels.len() {
+                return Err(IrError {
+                    message: format!("thread {ti}: duplicate label"),
+                });
+            }
+            for i in &t.instructions {
+                let target = match i {
+                    Instruction::Goto(l) => Some(*l),
+                    Instruction::Branch { target, .. } => Some(*target),
+                    _ => None,
+                };
+                if let Some(l) = target {
+                    if !labels.contains(&l) {
+                        return Err(IrError {
+                            message: format!("thread {ti}: jump to undefined label {l}"),
+                        });
+                    }
+                }
+            }
+        }
+        for &(a, b) in &self.ssw_pairs {
+            if a >= self.threads.len() || b >= self.threads.len() {
+                return Err(IrError {
+                    message: format!("ssw pair ({a},{b}) references missing thread"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AccessAttrs, CmpOp, MemRef, Operand, Proxy};
+
+    fn mp_skeleton() -> Program {
+        let mut p = Program::new(Arch::Ptx);
+        let x = p.declare_memory(MemoryDecl::scalar("x"));
+        let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
+        t.push(Instruction::store(
+            MemRef::scalar(x),
+            Operand::Const(1),
+            AccessAttrs::weak(),
+        ));
+        p.add_thread(t);
+        p
+    }
+
+    #[test]
+    fn declare_and_lookup_memory() {
+        let mut p = Program::new(Arch::Vulkan);
+        let x = p.declare_memory(MemoryDecl::scalar("x"));
+        assert_eq!(p.memory_by_name("x"), Some(x));
+        assert_eq!(p.memory_by_name("y"), None);
+    }
+
+    #[test]
+    fn physical_root_follows_aliases() {
+        let mut p = Program::new(Arch::Ptx);
+        let x = p.declare_memory(MemoryDecl::scalar("x"));
+        let s = p.declare_memory(MemoryDecl::scalar("s").with_alias(x, Proxy::Surface));
+        let t = p.declare_memory(MemoryDecl::scalar("t").with_alias(s, Proxy::Texture));
+        assert_eq!(p.physical_root(t), x);
+        assert_eq!(p.physical_root(s), x);
+        assert_eq!(p.physical_root(x), x);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert!(mp_skeleton().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_undefined_label() {
+        let mut p = mp_skeleton();
+        p.threads[0].push(Instruction::Goto(42));
+        let e = p.validate().unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_label() {
+        let mut p = mp_skeleton();
+        p.threads[0].push(Instruction::Label(1));
+        p.threads[0].push(Instruction::Label(1));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ssw() {
+        let mut p = mp_skeleton();
+        p.ssw_pairs.push((0, 5));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn branch_targets_checked() {
+        let mut p = mp_skeleton();
+        p.threads[0].push(Instruction::Label(0));
+        p.threads[0].push(Instruction::Branch {
+            cmp: CmpOp::Eq,
+            a: Operand::Const(0),
+            b: Operand::Const(0),
+            target: 0,
+        });
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong architecture")]
+    fn cross_arch_thread_panics() {
+        let mut p = Program::new(Arch::Ptx);
+        p.add_thread(Thread::new("P0", ThreadPos::vulkan(0, 0, 0)));
+    }
+
+    #[test]
+    fn condition_builders() {
+        let c = Condition::and(
+            Condition::reg_eq(0, Reg(1), 1),
+            Condition::reg_ne(1, Reg(2), 0),
+        );
+        match c {
+            Condition::And(a, b) => {
+                assert!(matches!(*a, Condition::Eq(_, _)));
+                assert!(matches!(*b, Condition::Ne(_, _)));
+            }
+            _ => panic!(),
+        }
+    }
+}

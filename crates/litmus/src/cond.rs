@@ -1,0 +1,303 @@
+//! Parsing litmus conditions (`exists` / `~exists` / `forall` /
+//! `filter`).
+
+use gpumc_ir::{Assertion, CondAtom, Condition, Program, Reg};
+
+/// Parses one condition line and installs it into the program.
+pub fn parse_condition_line(line: &str, program: &mut Program) -> Result<(), String> {
+    let line = line.trim();
+    let (keyword, rest) = match line.find(|c: char| c.is_whitespace() || c == '(') {
+        Some(p) => (&line[..p], line[p..].trim()),
+        None => (line, ""),
+    };
+    let cond = parse_condition(rest, program)?;
+    match keyword {
+        "exists" => program.assertion = Some(Assertion::Exists(cond)),
+        "~exists" => program.assertion = Some(Assertion::NotExists(cond)),
+        "forall" => program.assertion = Some(Assertion::Forall(cond)),
+        "filter" => program.filter = Some(cond),
+        other => return Err(format!("unknown condition keyword `{other}`")),
+    }
+    Ok(())
+}
+
+/// Parses a condition expression.
+pub fn parse_condition(text: &str, program: &Program) -> Result<Condition, String> {
+    let tokens = tokenize(text)?;
+    let mut p = CondParser {
+        tokens,
+        pos: 0,
+        program,
+    };
+    let c = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!(
+            "trailing tokens after condition: {:?}",
+            &p.tokens[p.pos..]
+        ));
+    }
+    Ok(c)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    LPar,
+    RPar,
+    And,
+    Or,
+    Not,
+    Eq,
+    Ne,
+    Word(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LPar);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RPar);
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'\\') => {
+                out.push(Tok::And);
+                i += 2;
+            }
+            '\\' if chars.get(i + 1) == Some(&'/') => {
+                out.push(Tok::Or);
+                i += 2;
+            }
+            '&' if chars.get(i + 1) == Some(&'&') => {
+                out.push(Tok::And);
+                i += 2;
+            }
+            '|' if chars.get(i + 1) == Some(&'|') => {
+                out.push(Tok::Or);
+                i += 2;
+            }
+            '~' | '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '~' => {
+                out.push(Tok::Not);
+                i += 1;
+            }
+            '=' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Eq);
+                i += 2;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut w = String::new();
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || matches!(chars[i], '_' | ':' | '[' | ']'))
+                {
+                    w.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Tok::Word(w));
+            }
+            other => return Err(format!("unexpected character `{other}` in condition")),
+        }
+    }
+    Ok(out)
+}
+
+struct CondParser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    program: &'a Program,
+}
+
+impl<'a> CondParser<'a> {
+    fn or_expr(&mut self) -> Result<Condition, String> {
+        let mut lhs = self.and_expr()?;
+        while self.tokens.get(self.pos) == Some(&Tok::Or) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Condition::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Condition, String> {
+        let mut lhs = self.atom_expr()?;
+        while self.tokens.get(self.pos) == Some(&Tok::And) {
+            self.pos += 1;
+            let rhs = self.atom_expr()?;
+            lhs = Condition::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn atom_expr(&mut self) -> Result<Condition, String> {
+        match self.tokens.get(self.pos) {
+            Some(Tok::LPar) => {
+                self.pos += 1;
+                let c = self.or_expr()?;
+                if self.tokens.get(self.pos) != Some(&Tok::RPar) {
+                    return Err("expected `)`".into());
+                }
+                self.pos += 1;
+                Ok(c)
+            }
+            Some(Tok::Not) => {
+                self.pos += 1;
+                let c = self.atom_expr()?;
+                Ok(Condition::Not(Box::new(c)))
+            }
+            Some(Tok::Word(w)) if w == "true" => {
+                self.pos += 1;
+                Ok(Condition::True)
+            }
+            Some(Tok::Word(_)) => {
+                let a = self.atom()?;
+                let op = self.tokens.get(self.pos).cloned();
+                match op {
+                    Some(Tok::Eq) => {
+                        self.pos += 1;
+                        let b = self.atom()?;
+                        Ok(Condition::Eq(a, b))
+                    }
+                    Some(Tok::Ne) => {
+                        self.pos += 1;
+                        let b = self.atom()?;
+                        Ok(Condition::Ne(a, b))
+                    }
+                    other => Err(format!("expected `==` or `!=`, found {other:?}")),
+                }
+            }
+            other => Err(format!("expected a condition, found {other:?}")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<CondAtom, String> {
+        let Some(Tok::Word(w)) = self.tokens.get(self.pos).cloned() else {
+            return Err(format!(
+                "expected a value, found {:?}",
+                self.tokens.get(self.pos)
+            ));
+        };
+        self.pos += 1;
+        if let Ok(v) = w.parse::<u64>() {
+            return Ok(CondAtom::Const(v));
+        }
+        if let Some((tname, reg)) = w.split_once(':') {
+            let thread = self
+                .program
+                .threads
+                .iter()
+                .position(|t| t.name == tname)
+                .ok_or_else(|| format!("unknown thread `{tname}`"))?;
+            let reg = reg
+                .strip_prefix('r')
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or_else(|| format!("bad register `{reg}`"))?;
+            return Ok(CondAtom::Register {
+                thread,
+                reg: Reg(reg),
+            });
+        }
+        let (name, index) = match w.split_once('[') {
+            Some((n, rest)) => {
+                let idx = rest.trim_end_matches(']');
+                let index: u32 = idx.parse().map_err(|_| format!("bad index `{idx}`"))?;
+                (n, index)
+            }
+            None => (w.as_str(), 0),
+        };
+        let loc = self
+            .program
+            .memory_by_name(name)
+            .ok_or_else(|| format!("unknown memory location `{name}`"))?;
+        Ok(CondAtom::Memory { loc, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumc_ir::{Arch, MemoryDecl, Thread, ThreadPos};
+
+    fn prog() -> Program {
+        let mut p = Program::new(Arch::Ptx);
+        p.declare_memory(MemoryDecl::scalar("x"));
+        p.declare_memory(MemoryDecl::array("a", 4));
+        p.add_thread(Thread::new("P0", ThreadPos::ptx(0, 0)));
+        p.add_thread(Thread::new("P1", ThreadPos::ptx(1, 0)));
+        p
+    }
+
+    #[test]
+    fn parses_register_atoms() {
+        let p = prog();
+        let c = parse_condition("(P0:r1 == 1 /\\ P1:r2 != 0)", &p).unwrap();
+        match c {
+            Condition::And(a, b) => {
+                assert!(matches!(*a, Condition::Eq(CondAtom::Register { thread: 0, .. }, _)));
+                assert!(matches!(*b, Condition::Ne(CondAtom::Register { thread: 1, .. }, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_memory_and_array_atoms() {
+        let p = prog();
+        let c = parse_condition("x == 1 \\/ a[2] == 3", &p).unwrap();
+        match c {
+            Condition::Or(a, b) => {
+                assert!(matches!(*a, Condition::Eq(CondAtom::Memory { index: 0, .. }, _)));
+                assert!(matches!(*b, Condition::Eq(CondAtom::Memory { index: 2, .. }, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let p = prog();
+        let c = parse_condition("P0:r0 == 0 \\/ P0:r1 == 1 /\\ P1:r2 == 2", &p).unwrap();
+        assert!(matches!(c, Condition::Or(_, _)));
+    }
+
+    #[test]
+    fn negation_and_true() {
+        let p = prog();
+        let c = parse_condition("~(true)", &p).unwrap();
+        assert!(matches!(c, Condition::Not(_)));
+    }
+
+    #[test]
+    fn installs_assertions() {
+        let mut p = prog();
+        parse_condition_line("exists (P0:r0 == 1)", &mut p).unwrap();
+        assert!(matches!(p.assertion, Some(Assertion::Exists(_))));
+        parse_condition_line("~exists (P0:r0 == 1)", &mut p).unwrap();
+        assert!(matches!(p.assertion, Some(Assertion::NotExists(_))));
+        parse_condition_line("forall (P0:r0 == 1)", &mut p).unwrap();
+        assert!(matches!(p.assertion, Some(Assertion::Forall(_))));
+        parse_condition_line("filter (P0:r0 == 1)", &mut p).unwrap();
+        assert!(p.filter.is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let p = prog();
+        assert!(parse_condition("P9:r0 == 1", &p).is_err());
+        assert!(parse_condition("zz == 1", &p).is_err());
+        assert!(parse_condition("P0:r0 <", &p).is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! Parsing individual litmus instructions.
+
+use gpumc_ir::{
+    AccessAttrs, AluOp, Arch, BarrierAttrs, CmpOp, FenceAttrs, Instruction, MemOrder, MemRef,
+    Operand, Program, Proxy, ProxyFence, Reg, RmwOp, Scope,
+};
+
+/// Interns label names to numeric ids and tracks definition/reference so
+/// the parser can report labels that are used but never defined.
+#[derive(Debug, Default)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    defined: Vec<bool>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> LabelInterner {
+        LabelInterner::default()
+    }
+
+    fn intern(&mut self, name: &str, defines: bool) -> u32 {
+        let id = match self.names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.names.push(name.to_string());
+                self.defined.push(false);
+                self.names.len() - 1
+            }
+        };
+        if defines {
+            self.defined[id] = true;
+        }
+        id as u32
+    }
+
+    /// A label that was referenced but never defined, if any.
+    pub fn undefined_label(&self) -> Option<&str> {
+        self.names
+            .iter()
+            .zip(&self.defined)
+            .find(|(_, &d)| !d)
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+fn parse_operand(s: &str) -> Result<Operand, String> {
+    let s = s.trim();
+    if let Some(num) = s.strip_prefix('r') {
+        if let Ok(idx) = num.parse::<u32>() {
+            return Ok(Operand::Reg(Reg(idx)));
+        }
+    }
+    s.parse::<u64>()
+        .map(Operand::Const)
+        .map_err(|_| format!("bad operand `{s}`"))
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    match parse_operand(s)? {
+        Operand::Reg(r) => Ok(r),
+        Operand::Const(_) => Err(format!("expected a register, found `{s}`")),
+    }
+}
+
+fn parse_addr(s: &str, program: &Program) -> Result<MemRef, String> {
+    let s = s.trim();
+    let (name, index) = match s.split_once('[') {
+        Some((n, rest)) => {
+            let idx = rest.trim_end_matches(']').trim();
+            (n.trim(), parse_operand(idx)?)
+        }
+        None => (s, Operand::Const(0)),
+    };
+    let loc = program
+        .memory_by_name(name)
+        .ok_or_else(|| format!("unknown memory location `{name}`"))?;
+    Ok(MemRef { loc, index })
+}
+
+/// Attributes accumulated from dot-suffixes.
+#[derive(Debug)]
+struct Suffixes {
+    order: Option<MemOrder>,
+    scope: Option<Scope>,
+    atomic_marker: bool,
+    storage_annotation: Option<u8>,
+    sem_sc: u8,
+    av: bool,
+    vis: bool,
+    sem_av: bool,
+    sem_vis: bool,
+    av_device: bool,
+    vis_device: bool,
+    nonpriv: Option<bool>,
+    proxy_fence: Option<ProxyFence>,
+    rmw_op: Option<&'static str>,
+    rest: Vec<String>,
+}
+
+fn parse_suffixes(parts: &[&str]) -> Result<Suffixes, String> {
+    let mut s = Suffixes {
+        order: None,
+        scope: None,
+        atomic_marker: false,
+        storage_annotation: None,
+        sem_sc: 0,
+        av: false,
+        vis: false,
+        sem_av: false,
+        sem_vis: false,
+        av_device: false,
+        vis_device: false,
+        nonpriv: None,
+        proxy_fence: None,
+        rmw_op: None,
+        rest: Vec::new(),
+    };
+    for &p in parts {
+        match p {
+            "weak" => s.order = Some(MemOrder::Weak),
+            "relaxed" | "rlx" => s.order = Some(MemOrder::Relaxed),
+            "acquire" | "acq" => s.order = Some(MemOrder::Acquire),
+            "release" | "rel" => s.order = Some(MemOrder::Release),
+            "acq_rel" | "acqrel" => s.order = Some(MemOrder::AcqRel),
+            "sc" => s.order = Some(MemOrder::Sc),
+            "atom" => s.atomic_marker = true,
+            "cta" => s.scope = Some(Scope::Cta),
+            "gpu" => s.scope = Some(Scope::Gpu),
+            "sys" => s.scope = Some(Scope::Sys),
+            "sg" => s.scope = Some(Scope::Sg),
+            "wg" => s.scope = Some(Scope::Wg),
+            "qf" => s.scope = Some(Scope::Qf),
+            "dv" | "device" => s.scope = Some(Scope::Dv),
+            "sc0" => s.storage_annotation = Some(0),
+            "sc1" => s.storage_annotation = Some(1),
+            "semsc0" => s.sem_sc |= 0b01,
+            "semsc1" => s.sem_sc |= 0b10,
+            "semsc01" => s.sem_sc = 0b11,
+            "av" => s.av = true,
+            "vis" => s.vis = true,
+            "semav" => s.sem_av = true,
+            "semvis" => s.sem_vis = true,
+            "avdevice" => s.av_device = true,
+            "visdevice" => s.vis_device = true,
+            "nonpriv" => s.nonpriv = Some(true),
+            "priv" => s.nonpriv = Some(false),
+            "alias" => s.proxy_fence = Some(ProxyFence::Alias),
+            "texture" => s.proxy_fence = Some(ProxyFence::Texture),
+            "surface" => s.proxy_fence = Some(ProxyFence::Surface),
+            "constant" => s.proxy_fence = Some(ProxyFence::Constant),
+            "proxy" => {} // `fence.proxy.alias` — the kind follows
+            "sync" => {}  // `bar.cta.sync`
+            "add" | "exch" | "cas" | "inc" => {
+                s.rmw_op = Some(match p {
+                    "add" | "inc" => "add",
+                    "exch" => "exch",
+                    _ => "cas",
+                })
+            }
+            other => s.rest.push(other.to_string()),
+        }
+    }
+    if let Some(unknown) = s.rest.first() {
+        return Err(format!("unknown instruction suffix `.{unknown}`"));
+    }
+    Ok(s)
+}
+
+fn access_attrs(s: &Suffixes, arch: Arch, program: &Program, addr: &MemRef) -> Result<AccessAttrs, String> {
+    let decl = &program.memory[addr.loc.index()];
+    if let Some(ann) = s.storage_annotation {
+        if arch == Arch::Vulkan && decl.storage_class != ann {
+            return Err(format!(
+                "storage-class annotation .sc{ann} does not match declaration of `{}` (sc{})",
+                decl.name, decl.storage_class
+            ));
+        }
+    }
+    let order = s.order.unwrap_or(if s.atomic_marker {
+        MemOrder::Relaxed
+    } else {
+        MemOrder::Weak
+    });
+    let default_scope = Scope::widest(arch);
+    let mut attrs = if order.is_atomic() {
+        AccessAttrs::atomic(order, s.scope.unwrap_or(default_scope))
+    } else {
+        AccessAttrs {
+            scope: s.scope.unwrap_or(default_scope),
+            // Litmus-level non-atomic Vulkan accesses default to
+            // NonPrivate (they participate in synchronization) — the
+            // paper's examples assume this; `.priv` opts out.
+            nonpriv: arch == Arch::Vulkan,
+            ..AccessAttrs::weak()
+        }
+    };
+    attrs.sem_sc = s.sem_sc;
+    attrs.avail = s.av;
+    attrs.visible = s.vis;
+    attrs.sem_av = s.sem_av;
+    attrs.sem_vis = s.sem_vis;
+    if let Some(np) = s.nonpriv {
+        attrs.nonpriv = np || order.is_atomic();
+    }
+    Ok(attrs)
+}
+
+fn fence_attrs(s: &Suffixes, arch: Arch) -> FenceAttrs {
+    if let Some(kind) = s.proxy_fence {
+        return FenceAttrs::proxy_fence(kind, s.scope.unwrap_or(Scope::Cta));
+    }
+    let order = s.order.unwrap_or(match arch {
+        Arch::Ptx => MemOrder::Sc,
+        Arch::Vulkan => MemOrder::AcqRel,
+    });
+    let mut f = FenceAttrs::new(order, s.scope.unwrap_or(Scope::widest(arch)));
+    f.sem_sc = s.sem_sc;
+    f.sem_av = s.sem_av;
+    f.sem_vis = s.sem_vis;
+    f.av_device = s.av_device;
+    f.vis_device = s.vis_device;
+    f
+}
+
+/// Parses one litmus cell into zero or more IR instructions (a cell can
+/// hold a label definition plus an instruction).
+pub fn parse_instruction(
+    cell: &str,
+    arch: Arch,
+    program: &Program,
+    labels: &mut LabelInterner,
+) -> Result<Vec<Instruction>, String> {
+    let mut out = Vec::new();
+    let mut cell = cell.trim();
+    // Leading label definitions: `LC00:` or `LC00: instr`.
+    while let Some(colon) = cell.find(':') {
+        let head = &cell[..colon];
+        if head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && head.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            let id = labels.intern(head, true);
+            out.push(Instruction::Label(id));
+            cell = cell[colon + 1..].trim();
+        } else {
+            break;
+        }
+    }
+    if cell.is_empty() {
+        return Ok(out);
+    }
+    let (head, operands) = match cell.find(char::is_whitespace) {
+        Some(p) => (&cell[..p], cell[p..].trim()),
+        None => (cell, ""),
+    };
+    let ops: Vec<&str> = if operands.is_empty() {
+        Vec::new()
+    } else {
+        operands.split(',').map(str::trim).collect()
+    };
+    let parts: Vec<&str> = head.split('.').collect();
+    let mnemonic = parts[0];
+    let sfx = parse_suffixes(&parts[1..])?;
+
+    match mnemonic {
+        // Loads (including proxy sugar: suld/tld/cld read via the
+        // declared proxy of the address).
+        "ld" | "suld" | "tld" | "cld" => {
+            if ops.len() != 2 {
+                return Err(format!("`{mnemonic}` expects `dst, addr`"));
+            }
+            let dst = parse_reg(ops[0])?;
+            let addr = parse_addr(ops[1], program)?;
+            let attrs = access_attrs(&sfx, arch, program, &addr)?;
+            out.push(Instruction::Load { dst, addr, attrs });
+        }
+        "st" | "sust" | "tst" | "cst" => {
+            if ops.len() != 2 {
+                return Err(format!("`{mnemonic}` expects `addr, src`"));
+            }
+            let addr = parse_addr(ops[0], program)?;
+            let src = parse_operand(ops[1])?;
+            let attrs = access_attrs(&sfx, arch, program, &addr)?;
+            out.push(Instruction::Store { addr, src, attrs });
+        }
+        "atom" => {
+            let op = sfx
+                .rmw_op
+                .ok_or_else(|| "atom needs an operation suffix (.add/.exch/.cas)".to_string())?;
+            match op {
+                "cas" => {
+                    if ops.len() != 4 {
+                        return Err("`atom.cas` expects `dst, addr, expected, new`".into());
+                    }
+                    let dst = parse_reg(ops[0])?;
+                    let addr = parse_addr(ops[1], program)?;
+                    let expected = parse_operand(ops[2])?;
+                    let new = parse_operand(ops[3])?;
+                    let mut s2 = sfx;
+                    s2.atomic_marker = true;
+                    let attrs = access_attrs(&s2, arch, program, &addr)?;
+                    out.push(Instruction::Rmw {
+                        dst,
+                        addr,
+                        op: RmwOp::Cas { expected },
+                        operand: new,
+                        attrs,
+                    });
+                }
+                _ => {
+                    if ops.len() != 3 {
+                        return Err(format!("`atom.{op}` expects `dst, addr, operand`"));
+                    }
+                    let dst = parse_reg(ops[0])?;
+                    let addr = parse_addr(ops[1], program)?;
+                    let operand = parse_operand(ops[2])?;
+                    let mut s2 = sfx;
+                    s2.atomic_marker = true;
+                    let attrs = access_attrs(&s2, arch, program, &addr)?;
+                    out.push(Instruction::Rmw {
+                        dst,
+                        addr,
+                        op: if op == "add" {
+                            RmwOp::Add
+                        } else {
+                            RmwOp::Exchange
+                        },
+                        operand,
+                        attrs,
+                    });
+                }
+            }
+        }
+        "fence" | "membar" => {
+            out.push(Instruction::Fence {
+                attrs: fence_attrs(&sfx, arch),
+            });
+        }
+        "avdevice" => {
+            let mut f = FenceAttrs::new(MemOrder::Weak, sfx.scope.unwrap_or(Scope::Dv));
+            f.av_device = true;
+            out.push(Instruction::Fence { attrs: f });
+        }
+        "visdevice" => {
+            let mut f = FenceAttrs::new(MemOrder::Weak, sfx.scope.unwrap_or(Scope::Dv));
+            f.vis_device = true;
+            out.push(Instruction::Fence { attrs: f });
+        }
+        "bar" | "cbar" => {
+            if ops.len() != 1 {
+                return Err(format!("`{mnemonic}` expects a barrier id"));
+            }
+            let id = parse_operand(ops[0])?;
+            let scope = sfx.scope.unwrap_or(match arch {
+                Arch::Ptx => Scope::Cta,
+                Arch::Vulkan => Scope::Wg,
+            });
+            let fence = if sfx.order.is_some() || sfx.sem_sc != 0 {
+                let mut f = FenceAttrs::new(sfx.order.unwrap_or(MemOrder::AcqRel), scope);
+                f.sem_sc = sfx.sem_sc;
+                f.sem_av = sfx.sem_av;
+                f.sem_vis = sfx.sem_vis;
+                Some(f)
+            } else {
+                None
+            };
+            out.push(Instruction::Barrier {
+                attrs: BarrierAttrs { id, scope, fence },
+            });
+        }
+        "mov" | "add" | "sub" | "and" | "or" | "xor" => {
+            let op = match mnemonic {
+                "mov" => AluOp::Mov,
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                _ => AluOp::Xor,
+            };
+            if mnemonic == "mov" {
+                if ops.len() != 2 {
+                    return Err("`mov` expects `dst, src`".into());
+                }
+                let dst = parse_reg(ops[0])?;
+                let a = parse_operand(ops[1])?;
+                out.push(Instruction::Alu {
+                    dst,
+                    op,
+                    a,
+                    b: Operand::Const(0),
+                });
+            } else {
+                if ops.len() != 3 {
+                    return Err(format!("`{mnemonic}` expects `dst, a, b`"));
+                }
+                let dst = parse_reg(ops[0])?;
+                let a = parse_operand(ops[1])?;
+                let b = parse_operand(ops[2])?;
+                out.push(Instruction::Alu { dst, op, a, b });
+            }
+        }
+        "goto" => {
+            if ops.len() != 1 {
+                return Err("`goto` expects a label".into());
+            }
+            let id = labels.intern(ops[0], false);
+            out.push(Instruction::Goto(id));
+        }
+        "beq" | "bne" => {
+            if ops.len() != 3 {
+                return Err(format!("`{mnemonic}` expects `a, b, label`"));
+            }
+            let a = parse_operand(ops[0])?;
+            let b = parse_operand(ops[1])?;
+            let target = labels.intern(ops[2], false);
+            out.push(Instruction::Branch {
+                cmp: if mnemonic == "beq" {
+                    CmpOp::Eq
+                } else {
+                    CmpOp::Ne
+                },
+                a,
+                b,
+                target,
+            });
+        }
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    }
+    // Proxy sugar sanity: sust/tld/etc must target a matching alias.
+    let expect_proxy = match mnemonic {
+        "sust" | "suld" => Some(Proxy::Surface),
+        "tld" | "tst" => Some(Proxy::Texture),
+        "cld" | "cst" => Some(Proxy::Constant),
+        _ => None,
+    };
+    if let Some(proxy) = expect_proxy {
+        let addr = match out.last() {
+            Some(Instruction::Load { addr, .. }) | Some(Instruction::Store { addr, .. }) => *addr,
+            _ => unreachable!(),
+        };
+        let decl = &program.memory[addr.loc.index()];
+        if decl.proxy != proxy {
+            return Err(format!(
+                "`{mnemonic}` accesses `{}` which is declared in the {} proxy",
+                decl.name, decl.proxy
+            ));
+        }
+    }
+    Ok(out)
+}

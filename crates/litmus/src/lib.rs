@@ -1,0 +1,32 @@
+//! Litmus-test front-ends for the PTX and Vulkan assembly dialects.
+//!
+//! The syntax follows the paper's figures: columns are threads, the first
+//! row places each thread in the GPU hierarchy (`P0@cta 0,gpu 0` /
+//! `P1@sg 0,wg 1,qf 0`), the remaining rows are instructions, and the
+//! test ends with an `exists` / `~exists` / `forall` condition
+//! (optionally preceded by a `filter`). An optional `{ ... }` prelude
+//! declares memory: initial values, array sizes, PTX proxy aliases
+//! (`s -> x @ surface;`), Vulkan storage classes (`y @ sc1;`), and
+//! system-synchronizes-with marks (`ssw P0 P1;`).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! PTX MP
+//! { x = 0; flag = 0; }
+//! P0@cta 0,gpu 0          | P1@cta 1,gpu 0 ;
+//! st.weak x, 1            | ld.acquire.gpu r0, flag ;
+//! st.release.gpu flag, 1  | ld.weak r1, x ;
+//! exists (P1:r0 == 1 /\ P1:r1 == 0)
+//! "#;
+//! let program = gpumc_litmus::parse(src).expect("valid litmus test");
+//! assert_eq!(program.threads.len(), 2);
+//! assert_eq!(program.name, "MP");
+//! ```
+
+mod cond;
+mod instr;
+mod parse;
+
+pub use parse::{parse, parse_ptx, parse_vulkan, LitmusError};

@@ -1,0 +1,595 @@
+//! Top-level litmus parsing: sections, prelude, thread table.
+
+use gpumc_ir::{Arch, MemoryDecl, Program, Proxy, Thread, ThreadPos};
+
+#[cfg(test)]
+use gpumc_ir::Instruction;
+
+use crate::cond::parse_condition_line;
+use crate::instr::{parse_instruction, LabelInterner};
+
+/// A litmus parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitmusError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl LitmusError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> LitmusError {
+        LitmusError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LitmusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LitmusError {}
+
+/// Parses a litmus test, detecting the dialect from the leading
+/// `PTX <name>` or `VULKAN <name>` line.
+///
+/// # Errors
+///
+/// Returns a [`LitmusError`] describing the first problem.
+pub fn parse(source: &str) -> Result<Program, LitmusError> {
+    let first = source
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with("//"))
+        .unwrap_or("");
+    let arch = first.split_whitespace().next().unwrap_or("");
+    match arch.to_ascii_uppercase().as_str() {
+        "PTX" => parse_ptx(source),
+        "VULKAN" | "VK" => parse_vulkan(source),
+        other => Err(LitmusError::new(
+            1,
+            format!("expected a `PTX <name>` or `VULKAN <name>` header, found `{other}`"),
+        )),
+    }
+}
+
+/// Parses a PTX-dialect litmus test.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_ptx(source: &str) -> Result<Program, LitmusError> {
+    Parser::new(source, Arch::Ptx)?.run()
+}
+
+/// Parses a Vulkan-dialect litmus test.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_vulkan(source: &str) -> Result<Program, LitmusError> {
+    Parser::new(source, Arch::Vulkan)?.run()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    program: Program,
+    /// ssw thread-name pairs from the prelude, resolved to indices once
+    /// the thread table has been parsed.
+    pending_ssw: Vec<(String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str, arch: Arch) -> Result<Parser<'a>, LitmusError> {
+        let lines: Vec<(usize, &str)> = source
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = match l.find("//") {
+                    Some(p) => &l[..p],
+                    None => l,
+                };
+                (i + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Ok(Parser {
+            lines,
+            pos: 0,
+            program: Program::new(arch),
+            pending_ssw: Vec::new(),
+        })
+    }
+
+    fn here(&self) -> usize {
+        self.lines.get(self.pos).map_or(0, |(n, _)| *n)
+    }
+
+    fn run(mut self) -> Result<Program, LitmusError> {
+        self.header()?;
+        self.prelude()?;
+        self.thread_table()?;
+        self.conditions()?;
+        self.program
+            .validate()
+            .map_err(|e| LitmusError::new(0, e.message))?;
+        Ok(self.program)
+    }
+
+    fn header(&mut self) -> Result<(), LitmusError> {
+        let (n, line) = self.lines[self.pos];
+        let mut parts = line.split_whitespace();
+        let arch = parts.next().unwrap_or("");
+        let expect = match self.program.arch {
+            Arch::Ptx => "PTX",
+            Arch::Vulkan => "VULKAN",
+        };
+        if !arch.eq_ignore_ascii_case(expect) && !(expect == "VULKAN" && arch.eq_ignore_ascii_case("VK")) {
+            return Err(LitmusError::new(n, format!("expected `{expect}` header")));
+        }
+        self.program.name = parts.collect::<Vec<_>>().join(" ");
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn prelude(&mut self) -> Result<(), LitmusError> {
+        let Some(&(_, line)) = self.lines.get(self.pos) else {
+            return Ok(());
+        };
+        if !line.starts_with('{') {
+            return Ok(());
+        }
+        // Gather prelude text until the closing brace.
+        let mut text = String::new();
+        let mut closed = false;
+        while self.pos < self.lines.len() {
+            let (_, l) = self.lines[self.pos];
+            self.pos += 1;
+            text.push_str(l);
+            text.push(' ');
+            if l.contains('}') {
+                closed = true;
+                break;
+            }
+        }
+        if !closed {
+            return Err(LitmusError::new(self.here(), "unterminated prelude"));
+        }
+        let inner = text
+            .trim()
+            .trim_start_matches('{')
+            .trim_end_matches(|c: char| c.is_whitespace())
+            .trim_end_matches('}');
+        let mut pending_ssw: Vec<(String, String)> = Vec::new();
+        for entry in inner.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            self.prelude_entry(entry, &mut pending_ssw)?;
+        }
+        // ssw pairs resolve after threads are parsed: stash names.
+        self.pending_ssw = pending_ssw;
+        Ok(())
+    }
+
+    fn prelude_entry(
+        &mut self,
+        entry: &str,
+        pending_ssw: &mut Vec<(String, String)>,
+    ) -> Result<(), LitmusError> {
+        let n = self.here();
+        if let Some(rest) = entry.strip_prefix("ssw ") {
+            let names: Vec<&str> = rest.split_whitespace().collect();
+            if names.len() != 2 {
+                return Err(LitmusError::new(n, "ssw expects two thread names"));
+            }
+            pending_ssw.push((names[0].to_string(), names[1].to_string()));
+            return Ok(());
+        }
+        // Forms: `name = v`, `name`, `name[k]`, `name[k] = {a,b}`,
+        // `alias -> target @ proxy`, with an optional `@ sc0|sc1` suffix.
+        let (body, storage) = match entry.rsplit_once('@') {
+            Some((b, sfx)) if matches!(sfx.trim(), "sc0" | "sc1") => {
+                (b.trim(), if sfx.trim() == "sc1" { 1u8 } else { 0 })
+            }
+            _ => (entry, 0),
+        };
+        if let Some((alias, rest)) = body.split_once("->") {
+            // `s -> x @ surface`
+            let alias = alias.trim();
+            let (target, proxy) = match rest.split_once('@') {
+                Some((t, p)) => (t.trim(), p.trim()),
+                None => (rest.trim(), "generic"),
+            };
+            let proxy = match proxy {
+                "generic" | "gen" => Proxy::Generic,
+                "surface" | "sur" => Proxy::Surface,
+                "texture" | "tex" => Proxy::Texture,
+                "constant" | "con" => Proxy::Constant,
+                other => {
+                    return Err(LitmusError::new(n, format!("unknown proxy `{other}`")))
+                }
+            };
+            let target_id = self
+                .program
+                .memory_by_name(target)
+                .ok_or_else(|| LitmusError::new(n, format!("unknown alias target `{target}`")))?;
+            self.program.declare_memory(
+                MemoryDecl::scalar(alias)
+                    .with_alias(target_id, proxy)
+                    .with_storage_class(storage),
+            );
+            return Ok(());
+        }
+        let (lhs, init) = match body.split_once('=') {
+            Some((l, r)) => (l.trim(), Some(r.trim())),
+            None => (body.trim(), None),
+        };
+        let (name, size) = match lhs.split_once('[') {
+            Some((nm, sz)) => {
+                let sz = sz.trim_end_matches(']').trim();
+                let size: u32 = sz
+                    .parse()
+                    .map_err(|_| LitmusError::new(n, format!("bad array size `{sz}`")))?;
+                (nm.trim(), size)
+            }
+            None => (lhs, 1),
+        };
+        let mut decl = MemoryDecl::array(name, size).with_storage_class(storage);
+        if let Some(init) = init {
+            let inner = init.trim_start_matches('{').trim_end_matches('}');
+            for (i, v) in inner.split(',').enumerate() {
+                let v = v.trim();
+                if v.is_empty() {
+                    continue;
+                }
+                let value: u64 = v
+                    .parse()
+                    .map_err(|_| LitmusError::new(n, format!("bad initial value `{v}`")))?;
+                if i >= decl.init.len() {
+                    decl.init.resize(i + 1, 0);
+                }
+                decl.init[i] = value;
+            }
+        }
+        self.program.declare_memory(decl);
+        Ok(())
+    }
+
+    fn thread_table(&mut self) -> Result<(), LitmusError> {
+        let n = self.here();
+        let Some(&(_, header)) = self.lines.get(self.pos) else {
+            return Err(LitmusError::new(n, "missing thread header row"));
+        };
+        self.pos += 1;
+        let header = header.trim_end_matches(';').trim();
+        let mut threads = Vec::new();
+        for cell in header.split('|') {
+            threads.push(self.thread_header(cell.trim(), n)?);
+        }
+        let mut interners: Vec<LabelInterner> = threads.iter().map(|_| LabelInterner::new()).collect();
+        // Instruction rows until a condition keyword.
+        while let Some(&(row_n, line)) = self.lines.get(self.pos) {
+            let first_word = line.split_whitespace().next().unwrap_or("");
+            if matches!(first_word, "exists" | "~exists" | "forall" | "filter") {
+                break;
+            }
+            self.pos += 1;
+            let line = line.trim_end_matches(';').trim_end();
+            for (ti, cell) in line.split('|').enumerate() {
+                let cell = cell.trim();
+                if cell.is_empty() {
+                    continue;
+                }
+                if ti >= threads.len() {
+                    return Err(LitmusError::new(
+                        row_n,
+                        "more instruction columns than threads",
+                    ));
+                }
+                let instrs = parse_instruction(
+                    cell,
+                    self.program.arch,
+                    &self.program,
+                    &mut interners[ti],
+                )
+                .map_err(|m| LitmusError::new(row_n, m))?;
+                for i in instrs {
+                    threads[ti].push(i);
+                }
+            }
+        }
+        // Append label definitions that were referenced but follow the
+        // last row implicitly (e.g. a trailing `LC01:` column) — handled
+        // by the interner: any label referenced must also be defined.
+        for (ti, interner) in interners.iter().enumerate() {
+            if let Some(missing) = interner.undefined_label() {
+                return Err(LitmusError::new(
+                    n,
+                    format!("thread {ti}: label `{missing}` is never defined"),
+                ));
+            }
+        }
+        for t in threads {
+            self.program.add_thread(t);
+        }
+        // Resolve stashed ssw names.
+        for (a, b) in std::mem::take(&mut self.pending_ssw) {
+            let find = |name: &str| {
+                self.program
+                    .threads
+                    .iter()
+                    .position(|t| t.name == name)
+            };
+            let (Some(ia), Some(ib)) = (find(&a), find(&b)) else {
+                return Err(LitmusError::new(n, format!("unknown ssw thread `{a}`/`{b}`")));
+            };
+            self.program.ssw_pairs.push((ia, ib));
+            self.program.ssw_pairs.push((ib, ia));
+        }
+        Ok(())
+    }
+
+    fn thread_header(&self, cell: &str, n: usize) -> Result<Thread, LitmusError> {
+        // `P0@cta 0,gpu 0` or `P1@sg 0,wg 1,qf 0`.
+        let (name, spec) = cell
+            .split_once('@')
+            .ok_or_else(|| LitmusError::new(n, format!("bad thread header `{cell}`")))?;
+        let mut coords = std::collections::HashMap::new();
+        for part in spec.split(',') {
+            let mut it = part.split_whitespace();
+            let (Some(level), Some(idx)) = (it.next(), it.next()) else {
+                return Err(LitmusError::new(n, format!("bad scope spec `{part}`")));
+            };
+            let idx: u32 = idx
+                .parse()
+                .map_err(|_| LitmusError::new(n, format!("bad scope index `{idx}`")))?;
+            coords.insert(level.to_string(), idx);
+        }
+        let get = |k: &str| coords.get(k).copied().unwrap_or(0);
+        let pos = match self.program.arch {
+            Arch::Ptx => ThreadPos::ptx(get("cta"), get("gpu")),
+            Arch::Vulkan => ThreadPos::vulkan(get("sg"), get("wg"), get("qf")),
+        };
+        Ok(Thread::new(name.trim(), pos))
+    }
+
+    fn conditions(&mut self) -> Result<(), LitmusError> {
+        while let Some(&(n, line)) = self.lines.get(self.pos) {
+            // Conditions may span several lines; join until balanced or
+            // the next keyword.
+            let mut text = line.to_string();
+            self.pos += 1;
+            while let Some(&(_, next)) = self.lines.get(self.pos) {
+                let w = next.split_whitespace().next().unwrap_or("");
+                if matches!(w, "exists" | "~exists" | "forall" | "filter") {
+                    break;
+                }
+                text.push(' ');
+                text.push_str(next);
+                self.pos += 1;
+            }
+            parse_condition_line(&text, &mut self.program)
+                .map_err(|m| LitmusError::new(n, m))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumc_ir::{Assertion, EventKind, MemOrder, Tag};
+
+    const MP_PTX: &str = r#"
+PTX MP
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0          | P1@cta 1,gpu 0 ;
+st.weak x, 1            | ld.acquire.gpu r0, flag ;
+st.release.gpu flag, 1  | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+    #[test]
+    fn parses_mp_ptx() {
+        let p = parse(MP_PTX).unwrap();
+        assert_eq!(p.arch, Arch::Ptx);
+        assert_eq!(p.name, "MP");
+        assert_eq!(p.threads.len(), 2);
+        assert_eq!(p.memory.len(), 2);
+        assert_eq!(p.threads[0].instructions.len(), 2);
+        assert!(matches!(p.assertion, Some(Assertion::Exists(_))));
+    }
+
+    #[test]
+    fn parses_scopes_and_orders() {
+        let p = parse(MP_PTX).unwrap();
+        match &p.threads[1].instructions[0] {
+            Instruction::Load { attrs, .. } => {
+                assert_eq!(attrs.order, MemOrder::Acquire);
+                assert_eq!(attrs.scope, gpumc_ir::Scope::Gpu);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alias_prelude() {
+        let src = r#"
+PTX proxies
+{ x = 0; s -> x @ surface; t -> x @ texture; }
+P0@cta 0,gpu 0 ;
+sust s, 1 ;
+exists (x == 1)
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.memory.len(), 3);
+        assert_eq!(p.memory[1].alias_of, Some(gpumc_ir::LocId(0)));
+        assert_eq!(p.memory[1].proxy, Proxy::Surface);
+        assert_eq!(p.memory[2].proxy, Proxy::Texture);
+    }
+
+    #[test]
+    fn parses_vulkan_fig10_style() {
+        let src = r#"
+VULKAN MP-spin
+{ data = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0          | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 data, 1     | LC00: ;
+membar.rel.dv.semsc0       | ld.atom.dv.sc0 r1, flag ;
+st.atom.dv.sc0 flag, 1     | bne r1, 0, LC01 ;
+                           | goto LC00 ;
+                           | LC01: ;
+                           | membar.acq.dv.semsc0 ;
+                           | ld.atom.dv.sc0 r2, data ;
+exists (P1:r1 == 1 /\ P1:r2 != 1)
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.arch, Arch::Vulkan);
+        assert_eq!(p.threads[1].instructions.len(), 7);
+        // The spin structure compiles.
+        let g = gpumc_ir::compile(&gpumc_ir::unroll(&p, 2).unwrap());
+        assert!(g.n_events() > 5);
+    }
+
+    #[test]
+    fn parses_barriers_and_rmw() {
+        let src = r#"
+PTX ticket
+{ in = 0; out = 0; x = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.acquire.gpu.add r1, in, 1 | atom.acquire.gpu.add r1, in, 1 ;
+bar.cta.sync 0 | bar.cta.sync r1 ;
+exists (P0:r1 == 0)
+"#;
+        let p = parse(src).unwrap();
+        match &p.threads[0].instructions[0] {
+            Instruction::Rmw { attrs, .. } => {
+                assert_eq!(attrs.order, MemOrder::Acquire);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.threads[1].instructions[1] {
+            Instruction::Barrier { attrs } => {
+                assert_eq!(attrs.id, gpumc_ir::Operand::Reg(gpumc_ir::Reg(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_and_filter() {
+        let src = r#"
+PTX SB
+{ x = 0; y = 0; z = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+st.weak x, 1   | st.weak y, 1 ;
+ld.weak r0, y  | ld.weak r1, x ;
+filter (P0:r0 == 0)
+forall (P0:r0 == 1 \/ P1:r1 == 1)
+"#;
+        let p = parse(src).unwrap();
+        assert!(p.filter.is_some());
+        assert!(matches!(p.assertion, Some(Assertion::Forall(_))));
+    }
+
+    #[test]
+    fn ssw_pairs_resolve() {
+        let src = r#"
+VULKAN ssw-test
+{ x = 0; ssw P0 P1; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 1 ;
+st.sc0 x, 1       | ld.sc0 r0, x ;
+exists (P1:r0 == 1)
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.ssw_pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn storage_class_annotations() {
+        let src = r#"
+VULKAN sc
+{ x = 0; y = 0 @ sc1; }
+P0@sg 0,wg 0,qf 0 ;
+st.atom.dv.sc0 x, 1 ;
+st.atom.dv.sc1 y, 1 ;
+exists (x == 1)
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.memory[0].storage_class, 0);
+        assert_eq!(p.memory[1].storage_class, 1);
+        let g = gpumc_ir::compile(&gpumc_ir::unroll(&p, 2).unwrap());
+        let stores: Vec<_> = g
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Store { .. }))
+            .collect();
+        assert!(stores[0].tags.contains(Tag::SC0));
+        assert!(stores[1].tags.contains(Tag::SC1));
+    }
+
+    #[test]
+    fn rejects_mismatched_storage_annotation() {
+        let src = r#"
+VULKAN bad
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 ;
+st.atom.dv.sc1 x, 1 ;
+exists (x == 1)
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let src = r#"
+PTX bad
+{ x = 0; }
+P0@cta 0,gpu 0 ;
+st.weak nope, 1 ;
+exists (x == 1)
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_label() {
+        let src = r#"
+PTX bad
+{ x = 0; }
+P0@cta 0,gpu 0 ;
+goto LC99 ;
+exists (x == 0)
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn memory_condition_atoms() {
+        let src = r#"
+PTX memcond
+{ x = 0; }
+P0@cta 0,gpu 0 ;
+st.weak x, 7 ;
+exists (x == 7)
+"#;
+        let p = parse(src).unwrap();
+        match p.assertion.unwrap() {
+            Assertion::Exists(c) => match c {
+                gpumc_ir::Condition::Eq(a, b) => {
+                    assert!(matches!(a, gpumc_ir::CondAtom::Memory { .. }));
+                    assert!(matches!(b, gpumc_ir::CondAtom::Const(7)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The shipped `.cat` consistency models: PTX v6.0, PTX v7.5, Vulkan.
+//!
+//! The model sources live in `crates/models/cat/` and are embedded into
+//! the binary; [`load`] parses and resolves them through `gpumc-cat`.
+//!
+//! # Example
+//!
+//! ```
+//! let ptx = gpumc_models::ptx75();
+//! assert_eq!(ptx.name(), "PTX v7.5");
+//! assert!(ptx.axioms().iter().any(|a| a.name.as_deref() == Some("no-thin-air")));
+//! ```
+
+use gpumc_cat::CatModel;
+
+/// The PTX v6.0 model source (`cat/ptx-v6.0.cat`).
+pub const PTX60_CAT: &str = include_str!("../cat/ptx-v6.0.cat");
+/// The PTX v7.5 model source with mixed proxies (`cat/ptx-v7.5.cat`).
+pub const PTX75_CAT: &str = include_str!("../cat/ptx-v7.5.cat");
+/// The Vulkan model source (`cat/vulkan.cat`).
+pub const VULKAN_CAT: &str = include_str!("../cat/vulkan.cat");
+
+/// A shipped consistency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// NVIDIA PTX ISA 6.0.
+    Ptx60,
+    /// NVIDIA PTX ISA 7.5 (mixed proxies).
+    Ptx75,
+    /// Khronos Vulkan.
+    Vulkan,
+}
+
+impl ModelKind {
+    /// All shipped models.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Ptx60, ModelKind::Ptx75, ModelKind::Vulkan];
+
+    /// The embedded `.cat` source of the model.
+    pub fn source(self) -> &'static str {
+        match self {
+            ModelKind::Ptx60 => PTX60_CAT,
+            ModelKind::Ptx75 => PTX75_CAT,
+            ModelKind::Vulkan => VULKAN_CAT,
+        }
+    }
+
+    /// The conventional file name of the model.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            ModelKind::Ptx60 => "ptx-v6.0.cat",
+            ModelKind::Ptx75 => "ptx-v7.5.cat",
+            ModelKind::Vulkan => "vulkan.cat",
+        }
+    }
+
+    /// Parses a model name as used on the CLI (`ptx-v6.0`, `ptx-v7.5`,
+    /// `vulkan`/`spirv`).
+    pub fn from_name(name: &str) -> Option<ModelKind> {
+        match name {
+            "ptx-v6.0" | "ptx6" | "ptx60" => Some(ModelKind::Ptx60),
+            "ptx-v7.5" | "ptx7" | "ptx75" | "ptx" => Some(ModelKind::Ptx75),
+            "vulkan" | "spirv" | "vk" => Some(ModelKind::Vulkan),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModelKind::Ptx60 => "ptx-v6.0",
+            ModelKind::Ptx75 => "ptx-v7.5",
+            ModelKind::Vulkan => "vulkan",
+        })
+    }
+}
+
+/// Loads (parses + resolves) a shipped model.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse — that would be a
+/// packaging bug, covered by unit tests.
+pub fn load(kind: ModelKind) -> CatModel {
+    gpumc_cat::parse(kind.source())
+        .unwrap_or_else(|e| panic!("embedded model {kind} is invalid: {e}"))
+}
+
+/// The PTX v6.0 model.
+pub fn ptx60() -> CatModel {
+    load(ModelKind::Ptx60)
+}
+
+/// The PTX v7.5 model.
+pub fn ptx75() -> CatModel {
+    load(ModelKind::Ptx75)
+}
+
+/// The Vulkan model.
+pub fn vulkan() -> CatModel {
+    load(ModelKind::Vulkan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_parse() {
+        for kind in ModelKind::ALL {
+            let m = load(kind);
+            assert!(!m.axioms().is_empty(), "{kind} has axioms");
+        }
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(ptx60().name(), "PTX v6.0");
+        assert_eq!(ptx75().name(), "PTX v7.5");
+        assert_eq!(vulkan().name(), "VULKAN");
+    }
+
+    #[test]
+    fn ptx_models_use_gpu_base_relations() {
+        for m in [ptx60(), ptx75()] {
+            let rels = m.referenced_base_rels();
+            for r in ["sr", "sync_fence", "sync_barrier", "vloc", "rmw"] {
+                assert!(rels.iter().any(|x| x == r), "missing {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn vulkan_uses_scope_relations_and_flags_races() {
+        let m = vulkan();
+        let rels = m.referenced_base_rels();
+        for r in ["ssg", "swg", "sqf", "ssw", "syncbar", "vloc"] {
+            assert!(rels.iter().any(|x| x == r), "missing {r}");
+        }
+        assert_eq!(m.flagged_axioms().count(), 1);
+        assert_eq!(
+            m.flagged_axioms().next().unwrap().name.as_deref(),
+            Some("dr")
+        );
+    }
+
+    #[test]
+    fn proxies_only_in_ptx75() {
+        let has_proxy = |m: &CatModel| {
+            // sameProx is defined only in the proxy model.
+            m.def_id("sameProx").is_some()
+        };
+        assert!(!has_proxy(&ptx60()));
+        assert!(has_proxy(&ptx75()));
+        assert!(!has_proxy(&vulkan()));
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::from_name(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(ModelKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn axiom_labels_present() {
+        let m = ptx75();
+        let names: Vec<_> = m
+            .axioms()
+            .iter()
+            .filter_map(|a| a.name.as_deref())
+            .collect();
+        for expected in [
+            "coherence-causality",
+            "coherence-strong",
+            "fence-sc",
+            "atomicity",
+            "no-thin-air",
+            "causality",
+        ] {
+            assert!(names.contains(&expected), "missing axiom {expected}");
+        }
+    }
+}

@@ -1,0 +1,865 @@
+//! The CDCL solver core.
+
+use crate::heap::VarHeap;
+use crate::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Whether the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        matches!(self, SolveResult::Sat)
+    }
+
+    /// Whether the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+/// Aggregate solver statistics, useful for the paper's scalability plots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of decision variables created.
+    pub vars: usize,
+    /// Number of problem clauses added (after trivial simplification).
+    pub clauses: usize,
+    /// Number of learnt clauses currently stored.
+    pub learnt: usize,
+    /// Total conflicts encountered.
+    pub conflicts: u64,
+    /// Total decisions taken.
+    pub decisions: u64,
+    /// Total literals propagated.
+    pub propagations: u64,
+    /// Total restarts performed.
+    pub restarts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f32,
+    deleted: bool,
+}
+
+type ClauseRef = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// Cached "other" watched literal: if it is already true the clause is
+    /// satisfied and we can skip touching the clause memory.
+    blocker: Lit,
+}
+
+/// A MiniSat-style CDCL SAT solver.
+///
+/// See the crate-level documentation for an example. The solver is purely
+/// incremental in the sense that variables and clauses can be added at any
+/// time between `solve` calls, and `solve_with_assumptions` allows querying
+/// the same clause database under different temporary hypotheses (gpumc uses
+/// this to check safety and liveness over one program encoding).
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    order: VarHeap,
+    var_inc: f64,
+    /// Set once the clause database is known to be unsatisfiable.
+    unsat: bool,
+    seen: Vec<bool>,
+    stats: Stats,
+    /// Conflict budget per solve call; `None` means unlimited.
+    conflict_budget: Option<u64>,
+    /// Clause-activity increment (for learnt-clause deletion).
+    cla_inc: f32,
+    /// Number of live learnt clauses.
+    n_learnt: usize,
+    /// Learnt-clause cap before a database reduction.
+    max_learnt: usize,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order: crate::heap::VarHeap::new(),
+            var_inc: 1.0,
+            unsat: false,
+            seen: Vec::new(),
+            stats: Stats::default(),
+            conflict_budget: None,
+            cla_inc: 1.0,
+            n_learnt: 0,
+            max_learnt: 8_192,
+        }
+    }
+
+    /// Returns solver statistics.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.vars = self.assigns.len();
+        s.clauses = self.clauses.iter().filter(|c| !c.learnt).count();
+        s.learnt = self.clauses.iter().filter(|c| c.learnt && !c.deleted).count();
+        s
+    }
+
+    /// Limits the number of conflicts a single `solve` call may spend.
+    ///
+    /// Exhausting the budget panics — the budget is a diagnostic guard,
+    /// not a soft timeout. Use `None` (the default) to remove the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.push(v, &self.activity);
+        v
+    }
+
+    /// Creates a fresh variable and returns its positive literal.
+    pub fn new_lit(&mut self) -> Lit {
+        self.new_var().pos()
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt).count()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the clause made the database trivially
+    /// unsatisfiable (e.g. it was empty after simplification).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        // Clause addition happens at the root level; a model left in
+        // place by a previous `Sat` answer is discarded.
+        self.backtrack_to(0);
+        if self.unsat {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        ls.sort_unstable();
+        ls.dedup();
+        // Remove false literals, drop satisfied/tautological clauses.
+        let mut i = 0;
+        while i < ls.len() {
+            if i + 1 < ls.len() && ls[i] == !ls[i + 1] {
+                return true; // tautology: x | ~x
+            }
+            match self.lit_value(ls[i]) {
+                LBool::True => return true,
+                LBool::False => {
+                    ls.remove(i);
+                }
+                LBool::Undef => i += 1,
+            }
+        }
+        match ls.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(ls[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+                !self.unsat
+            }
+            _ => {
+                self.attach_clause(ls, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = Watcher {
+            cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            cref,
+            blocker: lits[0],
+        };
+        self.watches[lits[0].index()].push(w0);
+        self.watches[lits[1].index()].push(w1);
+        if learnt {
+            self.n_learnt += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: if learnt { self.cla_inc } else { 0.0 },
+            deleted: false,
+        });
+        cref
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in self.clauses.iter_mut().filter(|c| c.learnt) {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Deletes the less-active half of the learnt clauses (keeping
+    /// binary clauses and clauses currently used as reasons).
+    fn reduce_db(&mut self) {
+        let mut acts: Vec<f32> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|c| c.activity)
+            .collect();
+        if acts.len() < 2 {
+            return;
+        }
+        acts.sort_by(f32::total_cmp);
+        let median = acts[acts.len() / 2];
+        let locked: std::collections::HashSet<ClauseRef> =
+            self.reason.iter().flatten().copied().collect();
+        for (i, c) in self.clauses.iter_mut().enumerate() {
+            if c.learnt
+                && !c.deleted
+                && c.lits.len() > 2
+                && c.activity < median
+                && !locked.contains(&(i as ClauseRef))
+            {
+                c.deleted = true;
+                self.n_learnt -= 1;
+            }
+        }
+        self.max_learnt += self.max_learnt / 10;
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under(l.is_positive())
+    }
+
+    /// Value of a literal in the last satisfying model (after a `Sat` result).
+    ///
+    /// Returns `None` for variables the search never assigned (they are
+    /// unconstrained and may take either value).
+    pub fn value(&self, l: Lit) -> Option<bool> {
+        match self.lit_value(l) {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Value of a literal in the model, defaulting unconstrained variables
+    /// to `false`.
+    pub fn value_or_false(&self, l: Lit) -> bool {
+        self.value(l).unwrap_or(false)
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.reason[v] = from;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut keep = 0;
+            let mut i = 0;
+            'next_watcher: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: the blocker is already true.
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                if self.clauses[cref].deleted {
+                    continue; // drop the watcher
+                }
+                // Ensure false_lit is at position 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[keep] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    if self.lit_value(self.clauses[cref].lits[k]) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        let new_watch = self.clauses[cref].lits[1];
+                        self.watches[new_watch.index()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'next_watcher;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[keep] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                keep += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    // Copy remaining watchers back.
+                    while i < ws.len() {
+                        ws[keep] = ws[i];
+                        keep += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(keep);
+            self.watches[false_lit.index()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis.
+    ///
+    /// Returns the learnt clause (asserting literal first) and the level to
+    /// backtrack to.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let cur_level = self.decision_level();
+
+        loop {
+            self.bump_clause(conflict);
+            let start = usize::from(p.is_some());
+            // Iterate over the literals of the conflicting/reason clause.
+            for k in start..self.clauses[conflict as usize].lits.len() {
+                let q = self.clauses[conflict as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            conflict = self.reason[lit.var().index()].expect("non-decision must have reason");
+        }
+
+        // Local clause minimization: drop literals whose reason clause is
+        // subsumed by the remaining learnt literals (MiniSat's cheap
+        // variant). `seen` still marks the learnt literals here.
+        for l in &learnt {
+            self.seen[l.var().index()] = true;
+        }
+        let mut minimized = vec![learnt[0]];
+        'lits: for &l in &learnt[1..] {
+            let Some(cr) = self.reason[l.var().index()] else {
+                minimized.push(l);
+                continue;
+            };
+            for k in 1..self.clauses[cr as usize].lits.len() {
+                let q = self.clauses[cr as usize].lits[k];
+                if !self.seen[q.var().index()] && self.level[q.var().index()] > 0 {
+                    minimized.push(l);
+                    continue 'lits;
+                }
+            }
+        }
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let mut learnt = minimized;
+
+        // Find backtrack level: max level among learnt[1..].
+        let mut bt_level = 0;
+        let mut max_i = 1;
+        for (i, l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().index()];
+            if lv > bt_level {
+                bt_level = lv;
+                max_i = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_i);
+        }
+        (learnt, bt_level)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.polarity[v.index()] = l.is_positive();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if !self.order.contains(v) {
+                self.order.push(v, &self.activity);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.polarity[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solves the current clause database.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under temporary assumptions (literals forced true for this
+    /// call only). The clause database is unchanged afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a conflict budget was set and exhausted.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut luby_index = 0u64;
+        let mut conflicts_at_start = self.stats.conflicts;
+        let mut restart_limit = 32 * luby(luby_index);
+        let result = 'outer: loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if let Some(budget) = self.conflict_budget {
+                    assert!(
+                        self.stats.conflicts <= budget,
+                        "SAT conflict budget exhausted ({budget} conflicts)"
+                    );
+                }
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    break SolveResult::Unsat;
+                }
+                // If the conflict is at or below the assumption levels we
+                // must check whether it depends only on assumptions.
+                let (learnt, bt) = self.analyze(confl);
+                // Do not backtrack past the assumptions; if the learnt clause
+                // asserts below assumption depth, re-propagation decides.
+                self.backtrack_to(bt);
+                if learnt.len() == 1 {
+                    if self.decision_level() > 0 {
+                        // learnt unit conflicts with assumption context:
+                        // backtrack fully and enqueue at root.
+                        self.backtrack_to(0);
+                    }
+                    if self.lit_value(learnt[0]) == LBool::False {
+                        self.unsat = true;
+                        break SolveResult::Unsat;
+                    }
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], None);
+                    }
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    if self.lit_value(asserting) == LBool::Undef {
+                        self.unchecked_enqueue(asserting, Some(cref));
+                    } else if self.lit_value(asserting) == LBool::False {
+                        // Clause still conflicting after backtrack (can
+                        // happen when clamped by assumptions): give up on
+                        // this assumption context.
+                        if self.decision_level() == 0 {
+                            self.unsat = true;
+                        }
+                        break SolveResult::Unsat;
+                    }
+                }
+                // Restart handling.
+                if self.stats.conflicts - conflicts_at_start >= restart_limit {
+                    self.stats.restarts += 1;
+                    luby_index += 1;
+                    conflicts_at_start = self.stats.conflicts;
+                    restart_limit = 32 * luby(luby_index);
+                    self.backtrack_to(0);
+                }
+                if self.n_learnt > self.max_learnt {
+                    self.reduce_db();
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+            } else {
+                // Re-establish assumptions that are not yet on the trail.
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already implied: open an empty decision level
+                            // so indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            break 'outer SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                            continue 'outer;
+                        }
+                    }
+                }
+                match self.pick_branch() {
+                    None => break SolveResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        };
+        if result == SolveResult::Unsat {
+            self.backtrack_to(0);
+        }
+        // On SAT we leave the assignment in place so `value` works; the next
+        // solve call must start from level 0 though.
+        if result == SolveResult::Sat {
+            // Keep model readable; backtracking is deferred to next call.
+        }
+        result
+    }
+
+    /// Prepares the solver for another `solve` after a `Sat` answer
+    /// (clears the model assignment back to the root level).
+    pub fn clear_model(&mut self) {
+        self.backtrack_to(0);
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...), zero-indexed.
+fn luby(mut x: u64) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_lit()).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[1]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(false));
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        let mut s = Solver::new();
+        let a = s.new_lit();
+        s.add_clause([a]);
+        assert!(!s.add_clause([!a]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0]]);
+        for i in 0..3 {
+            s.add_clause([!v[i], v[i + 1]]);
+        }
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[3]), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3).map(|_| lits(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let mut s = Solver::new();
+        let n = 5;
+        let m = 4;
+        let p: Vec<Vec<Lit>> = (0..n).map(|_| lits(&mut s, m)).collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn xor_chain_sat_and_model_correct() {
+        // x0 xor x1 = 1, x1 xor x2 = 1, x0 = 1 => x1=0, x2=1
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor_true = |s: &mut Solver, a: Lit, b: Lit| {
+            s.add_clause([a, b]);
+            s.add_clause([!a, !b]);
+        };
+        xor_true(&mut s, v[0], v[1]);
+        xor_true(&mut s, v[1], v[2]);
+        s.add_clause([v[0]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[1]), Some(false));
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let a = s.new_lit();
+        let b = s.new_lit();
+        s.add_clause([!a, b]);
+        assert!(s.solve_with_assumptions(&[a]).is_sat());
+        assert_eq!(s.value(b), Some(true));
+        s.clear_model();
+        assert!(s.solve_with_assumptions(&[!b]).is_sat());
+        assert_eq!(s.value(b), Some(false));
+        s.clear_model();
+        // Contradicting assumptions => Unsat, but database still SAT after.
+        s.add_clause([a]);
+        assert!(s.solve_with_assumptions(&[!a]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_randomized() {
+        // Deterministic pseudo-random 3-SAT instances near the easy region;
+        // verify returned models actually satisfy every clause.
+        let mut seed = 0xdeadbeefu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            let nvars = 30 + (round % 5) * 10;
+            let nclauses = nvars * 3;
+            let mut s = Solver::new();
+            let vs = lits(&mut s, nvars);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vs[(next() as usize) % nvars];
+                    let l = if next() % 2 == 0 { v } else { !v };
+                    c.push(l);
+                }
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            if s.solve().is_sat() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.value_or_false(l)),
+                        "model does not satisfy clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_lit();
+        let b = s.new_lit();
+        s.add_clause([a, a, b]);
+        s.add_clause([a, !a]); // tautology, dropped
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn stats_track_progress() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 6);
+        for i in 0..5 {
+            s.add_clause([!v[i], v[i + 1]]);
+        }
+        s.add_clause([v[0]]);
+        let _ = s.solve();
+        let st = s.stats();
+        assert_eq!(st.vars, 6);
+        assert!(st.propagations > 0);
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}

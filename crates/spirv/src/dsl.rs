@@ -1,0 +1,273 @@
+//! The structured kernel language (OpenCL stand-in).
+
+use gpumc_ir::{MemOrder, Scope};
+
+/// A compute grid: `local` threads per workgroup, `groups` workgroups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grid {
+    /// Threads per workgroup.
+    pub local: u32,
+    /// Number of workgroups.
+    pub groups: u32,
+}
+
+impl Grid {
+    /// Total number of threads.
+    pub fn threads(&self) -> u32 {
+        self.local * self.groups
+    }
+}
+
+/// Identifier of a kernel buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub u32);
+
+/// Identifier of a kernel local variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub u32);
+
+/// Integer expressions over thread built-ins and locals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KExpr {
+    /// A constant.
+    Const(u64),
+    /// Global invocation id.
+    Gid,
+    /// Local invocation id (within the workgroup).
+    Lid,
+    /// Workgroup id.
+    WgId,
+    /// A local variable.
+    Local(LocalId),
+    /// Addition.
+    Add(Box<KExpr>, Box<KExpr>),
+    /// Subtraction (wrapping).
+    Sub(Box<KExpr>, Box<KExpr>),
+    /// Bitwise and (used for `tid & 1` style index math).
+    And(Box<KExpr>, Box<KExpr>),
+}
+
+impl KExpr {
+    /// `a + b`
+    pub fn add(a: KExpr, b: KExpr) -> KExpr {
+        KExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a & b`
+    pub fn and(a: KExpr, b: KExpr) -> KExpr {
+        KExpr::And(Box::new(a), Box::new(b))
+    }
+}
+
+/// Comparison kinds of branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Kernel statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `buf[index] = value` (plain store).
+    Store {
+        /// Target buffer.
+        buf: BufferId,
+        /// Element index.
+        index: KExpr,
+        /// Stored value.
+        value: KExpr,
+    },
+    /// `local = buf[index]` (plain load).
+    Load {
+        /// Destination local.
+        dst: LocalId,
+        /// Source buffer.
+        buf: BufferId,
+        /// Element index.
+        index: KExpr,
+    },
+    /// `atomic_store_explicit(&buf[index], value, order, scope)`
+    AtomicStore {
+        /// Target buffer.
+        buf: BufferId,
+        /// Element index.
+        index: KExpr,
+        /// Stored value.
+        value: KExpr,
+        /// Memory order.
+        order: MemOrder,
+        /// Scope.
+        scope: Scope,
+    },
+    /// `local = atomic_load_explicit(&buf[index], order, scope)`
+    AtomicLoad {
+        /// Destination local.
+        dst: LocalId,
+        /// Source buffer.
+        buf: BufferId,
+        /// Element index.
+        index: KExpr,
+        /// Memory order.
+        order: MemOrder,
+        /// Scope.
+        scope: Scope,
+    },
+    /// `local = atomic_fetch_add(&buf[index], operand)`
+    AtomicAdd {
+        /// Destination local (old value).
+        dst: LocalId,
+        /// Target buffer.
+        buf: BufferId,
+        /// Element index.
+        index: KExpr,
+        /// Added value.
+        operand: KExpr,
+        /// Memory order.
+        order: MemOrder,
+        /// Scope.
+        scope: Scope,
+    },
+    /// `local = atomic_compare_exchange(&buf[index], expected, new)`;
+    /// the local receives the *old* value.
+    AtomicCas {
+        /// Destination local (old value).
+        dst: LocalId,
+        /// Target buffer.
+        buf: BufferId,
+        /// Element index.
+        index: KExpr,
+        /// Expected value.
+        expected: KExpr,
+        /// Replacement value.
+        new: KExpr,
+        /// Memory order.
+        order: MemOrder,
+        /// Scope.
+        scope: Scope,
+    },
+    /// `local = expr` (ALU).
+    Assign {
+        /// Destination local.
+        dst: LocalId,
+        /// Value.
+        value: KExpr,
+    },
+    /// `barrier(CLK_GLOBAL_MEM_FENCE)` — an `OpControlBarrier` with
+    /// acquire-release memory semantics.
+    Barrier {
+        /// Barrier scope.
+        scope: Scope,
+    },
+    /// A standalone memory fence.
+    Fence {
+        /// Memory order.
+        order: MemOrder,
+        /// Scope.
+        scope: Scope,
+    },
+    /// `if (a cmp b) { then } else { els }`
+    If {
+        /// Left comparison operand.
+        a: KExpr,
+        /// Comparison.
+        cmp: CmpKind,
+        /// Right comparison operand.
+        b: KExpr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        els: Vec<Stmt>,
+    },
+    /// `while (a cmp b) { body }` — used for spinloops.
+    While {
+        /// Left comparison operand (re-evaluated each iteration).
+        a: KExpr,
+        /// Comparison.
+        cmp: CmpKind,
+        /// Right comparison operand.
+        b: KExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Shorthand for a plain store.
+    pub fn store(buf: BufferId, index: KExpr, value: KExpr) -> Stmt {
+        Stmt::Store { buf, index, value }
+    }
+
+    /// Shorthand for a plain load.
+    pub fn load(dst: LocalId, buf: BufferId, index: KExpr) -> Stmt {
+        Stmt::Load { dst, buf, index }
+    }
+}
+
+/// A kernel: buffers plus a statement list, executed by every thread of
+/// a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Declared buffers: (name, element count).
+    pub buffers: Vec<(String, u32)>,
+    /// Number of local variables used.
+    pub locals: u32,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new(name: impl Into<String>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            buffers: Vec::new(),
+            locals: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Declares a buffer.
+    pub fn buffer(&mut self, name: impl Into<String>, size: u32) -> BufferId {
+        self.buffers.push((name.into(), size));
+        BufferId(self.buffers.len() as u32 - 1)
+    }
+
+    /// Allocates a fresh local variable.
+    pub fn local(&mut self) -> LocalId {
+        self.locals += 1;
+        LocalId(self.locals - 1)
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, s: Stmt) -> &mut Kernel {
+        self.body.push(s);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_building() {
+        let mut k = Kernel::new("k");
+        let b = k.buffer("data", 16);
+        let l = k.local();
+        k.push(Stmt::load(l, b, KExpr::Gid));
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Local(l)));
+        assert_eq!(k.buffers.len(), 1);
+        assert_eq!(k.locals, 1);
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    fn grid_threads() {
+        assert_eq!(Grid { local: 4, groups: 3 }.threads(), 12);
+    }
+}

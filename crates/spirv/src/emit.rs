@@ -1,0 +1,361 @@
+//! Emitting disassembled SPIR-V text from kernels (the CLSPV substitute).
+
+use gpumc_ir::{MemOrder, Scope};
+
+use crate::dsl::{CmpKind, KExpr, Kernel, LocalId, Stmt};
+
+/// SPIR-V scope constant values.
+fn scope_value(s: Scope) -> u32 {
+    match s {
+        Scope::Dv => 1,         // Device
+        Scope::Wg => 2,         // Workgroup
+        Scope::Sg => 3,         // Subgroup
+        Scope::Qf => 5,         // QueueFamily
+        // PTX scopes do not occur in kernels; map conservatively.
+        Scope::Cta => 2,
+        Scope::Gpu | Scope::Sys => 1,
+    }
+}
+
+/// SPIR-V memory-semantics mask for an order (UniformMemory class).
+fn semantics_value(o: MemOrder) -> u32 {
+    const UNIFORM: u32 = 0x40;
+    match o {
+        MemOrder::Weak | MemOrder::Relaxed => 0,
+        MemOrder::Acquire => 0x2 | UNIFORM,
+        MemOrder::Release => 0x4 | UNIFORM,
+        MemOrder::AcqRel | MemOrder::Sc => 0x8 | UNIFORM,
+    }
+}
+
+struct Emitter {
+    out: String,
+    next_id: u32,
+    constants: Vec<(u64, String)>,
+    const_decls: String,
+}
+
+impl Emitter {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_id += 1;
+        format!("%{prefix}{}", self.next_id)
+    }
+
+    fn line(&mut self, s: &str) {
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn constant(&mut self, v: u64) -> String {
+        if let Some((_, id)) = self.constants.iter().find(|(c, _)| *c == v) {
+            return id.clone();
+        }
+        let id = format!("%uint_{v}");
+        self.const_decls
+            .push_str(&format!("{id} = OpConstant %uint {v}\n"));
+        self.constants.push((v, id.clone()));
+        id
+    }
+
+    /// Evaluates an expression, returning the SSA id (or constant id).
+    fn expr(&mut self, e: &KExpr) -> String {
+        match e {
+            KExpr::Const(v) => self.constant(*v),
+            KExpr::Gid => {
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpLoad %uint %gid"));
+                t
+            }
+            KExpr::Lid => {
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpLoad %uint %lid"));
+                t
+            }
+            KExpr::WgId => {
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpLoad %uint %wgid"));
+                t
+            }
+            KExpr::Local(LocalId(l)) => {
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpLoad %uint %l{l}"));
+                t
+            }
+            KExpr::Add(a, b) => self.binop("OpIAdd", a, b),
+            KExpr::Sub(a, b) => self.binop("OpISub", a, b),
+            KExpr::And(a, b) => self.binop("OpBitwiseAnd", a, b),
+        }
+    }
+
+    fn binop(&mut self, op: &str, a: &KExpr, b: &KExpr) -> String {
+        let (ia, ib) = (self.expr(a), self.expr(b));
+        let t = self.fresh("t");
+        self.line(&format!("{t} = {op} %uint {ia} {ib}"));
+        t
+    }
+
+    fn access(&mut self, buf: u32, index: &KExpr) -> String {
+        let idx = self.expr(index);
+        let p = self.fresh("p");
+        self.line(&format!("{p} = OpAccessChain %ptr_sb %buf{buf} {idx}"));
+        p
+    }
+
+    fn scope_sem(&mut self, scope: Scope, order: MemOrder) -> (String, String) {
+        let s = self.constant(u64::from(scope_value(scope)));
+        let m = self.constant(u64::from(semantics_value(order)));
+        (s, m)
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Store { buf, index, value } => {
+                let v = self.expr(value);
+                let p = self.access(buf.0, index);
+                self.line(&format!("OpStore {p} {v}"));
+            }
+            Stmt::Load { dst, buf, index } => {
+                let p = self.access(buf.0, index);
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpLoad %uint {p}"));
+                self.line(&format!("OpStore %l{} {t}", dst.0));
+            }
+            Stmt::AtomicStore {
+                buf,
+                index,
+                value,
+                order,
+                scope,
+            } => {
+                let v = self.expr(value);
+                let p = self.access(buf.0, index);
+                let (sc, sem) = self.scope_sem(*scope, *order);
+                self.line(&format!("OpAtomicStore {p} {sc} {sem} {v}"));
+            }
+            Stmt::AtomicLoad {
+                dst,
+                buf,
+                index,
+                order,
+                scope,
+            } => {
+                let p = self.access(buf.0, index);
+                let (sc, sem) = self.scope_sem(*scope, *order);
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpAtomicLoad %uint {p} {sc} {sem}"));
+                self.line(&format!("OpStore %l{} {t}", dst.0));
+            }
+            Stmt::AtomicAdd {
+                dst,
+                buf,
+                index,
+                operand,
+                order,
+                scope,
+            } => {
+                let v = self.expr(operand);
+                let p = self.access(buf.0, index);
+                let (sc, sem) = self.scope_sem(*scope, *order);
+                let t = self.fresh("t");
+                self.line(&format!("{t} = OpAtomicIAdd %uint {p} {sc} {sem} {v}"));
+                self.line(&format!("OpStore %l{} {t}", dst.0));
+            }
+            Stmt::AtomicCas {
+                dst,
+                buf,
+                index,
+                expected,
+                new,
+                order,
+                scope,
+            } => {
+                let e = self.expr(expected);
+                let n = self.expr(new);
+                let p = self.access(buf.0, index);
+                let (sc, sem) = self.scope_sem(*scope, *order);
+                let t = self.fresh("t");
+                self.line(&format!(
+                    "{t} = OpAtomicCompareExchange %uint {p} {sc} {sem} {sem} {n} {e}"
+                ));
+                self.line(&format!("OpStore %l{} {t}", dst.0));
+            }
+            Stmt::Assign { dst, value } => {
+                let v = self.expr(value);
+                self.line(&format!("OpStore %l{} {v}", dst.0));
+            }
+            Stmt::Barrier { scope } => {
+                let (sc, sem) = self.scope_sem(*scope, MemOrder::AcqRel);
+                self.line(&format!("OpControlBarrier {sc} {sc} {sem}"));
+            }
+            Stmt::Fence { order, scope } => {
+                let (sc, sem) = self.scope_sem(*scope, *order);
+                self.line(&format!("OpMemoryBarrier {sc} {sem}"));
+            }
+            Stmt::If {
+                a,
+                cmp,
+                b,
+                then,
+                els,
+            } => {
+                let ia = self.expr(a);
+                let ib = self.expr(b);
+                let c = self.fresh("c");
+                let op = match cmp {
+                    CmpKind::Eq => "OpIEqual",
+                    CmpKind::Ne => "OpINotEqual",
+                };
+                self.line(&format!("{c} = {op} %bool {ia} {ib}"));
+                let lt = self.fresh("then");
+                let le = self.fresh("else");
+                let lm = self.fresh("merge");
+                self.line(&format!("OpBranchConditional {c} {lt} {le}"));
+                self.line(&format!("{lt} = OpLabel"));
+                for s in then {
+                    self.stmt(s);
+                }
+                self.line(&format!("OpBranch {lm}"));
+                self.line(&format!("{le} = OpLabel"));
+                for s in els {
+                    self.stmt(s);
+                }
+                self.line(&format!("OpBranch {lm}"));
+                self.line(&format!("{lm} = OpLabel"));
+            }
+            Stmt::While { a, cmp, b, body } => {
+                let lh = self.fresh("head");
+                let lb = self.fresh("body");
+                let lx = self.fresh("exit");
+                self.line(&format!("OpBranch {lh}"));
+                self.line(&format!("{lh} = OpLabel"));
+                let ia = self.expr(a);
+                let ib = self.expr(b);
+                let c = self.fresh("c");
+                let op = match cmp {
+                    CmpKind::Eq => "OpIEqual",
+                    CmpKind::Ne => "OpINotEqual",
+                };
+                self.line(&format!("{c} = {op} %bool {ia} {ib}"));
+                self.line(&format!("OpBranchConditional {c} {lb} {lx}"));
+                self.line(&format!("{lb} = OpLabel"));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.line(&format!("OpBranch {lh}"));
+                self.line(&format!("{lx} = OpLabel"));
+            }
+        }
+    }
+}
+
+/// Lowers a kernel to disassembled SPIR-V text.
+pub fn emit_spirv(k: &Kernel) -> String {
+    let mut e = Emitter {
+        out: String::new(),
+        next_id: 0,
+        constants: Vec::new(),
+        const_decls: String::new(),
+    };
+    e.line("; SPIR-V");
+    e.line(&format!("; gpumc-clspv: kernel `{}`", k.name));
+    e.line("OpCapability Shader");
+    e.line("OpCapability VulkanMemoryModel");
+    e.line("OpMemoryModel Logical Vulkan");
+    e.line(&format!(
+        "OpEntryPoint GLCompute %main \"{}\" %gid %lid %wgid",
+        k.name
+    ));
+    for (i, (name, size)) in k.buffers.iter().enumerate() {
+        e.line(&format!("; buffer %buf{i} \"{name}\" size={size}"));
+        e.line(&format!("OpDecorate %buf{i} DescriptorSet 0"));
+        e.line(&format!("OpDecorate %buf{i} Binding {i}"));
+    }
+    e.line("%uint = OpTypeInt 32 0");
+    e.line("%bool = OpTypeBool");
+    e.line("%ptr_sb = OpTypePointer StorageBuffer %uint");
+    e.line("%ptr_fn = OpTypePointer Function %uint");
+    for (i, _) in k.buffers.iter().enumerate() {
+        e.line(&format!("%buf{i} = OpVariable %ptr_sb StorageBuffer"));
+    }
+    // Body into a temporary buffer so constants can precede the function.
+    let mut body = Emitter {
+        out: String::new(),
+        next_id: e.next_id,
+        constants: std::mem::take(&mut e.constants),
+        const_decls: std::mem::take(&mut e.const_decls),
+    };
+    body.line("%main = OpFunction %uint None %fnty");
+    body.line("%entry = OpLabel");
+    for l in 0..k.locals {
+        body.line(&format!("%l{l} = OpVariable %ptr_fn Function"));
+    }
+    for s in &k.body {
+        body.stmt(s);
+    }
+    body.line("OpReturn");
+    body.line("OpFunctionEnd");
+    e.out.push_str(&body.const_decls);
+    e.out.push_str(&body.out);
+    e.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Kernel;
+
+    #[test]
+    fn emits_header_and_buffers() {
+        let mut k = Kernel::new("simple");
+        let b = k.buffer("data", 4);
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
+        let t = emit_spirv(&k);
+        assert!(t.contains("OpMemoryModel Logical Vulkan"));
+        assert!(t.contains("OpEntryPoint GLCompute %main \"simple\""));
+        assert!(t.contains("%buf0 = OpVariable %ptr_sb StorageBuffer"));
+        assert!(t.contains("OpAccessChain %ptr_sb %buf0"));
+        assert!(t.contains("OpStore"));
+    }
+
+    #[test]
+    fn emits_atomics_with_scope_semantics() {
+        let mut k = Kernel::new("a");
+        let b = k.buffer("x", 1);
+        let l = k.local();
+        k.push(Stmt::AtomicAdd {
+            dst: l,
+            buf: b,
+            index: KExpr::Const(0),
+            operand: KExpr::Const(1),
+            order: MemOrder::AcqRel,
+            scope: Scope::Dv,
+        });
+        let t = emit_spirv(&k);
+        assert!(t.contains("OpAtomicIAdd %uint"));
+        assert!(t.contains("%uint_1 = OpConstant %uint 1")); // Device scope
+        assert!(t.contains("OpConstant %uint 72")); // AcqRel | Uniform
+    }
+
+    #[test]
+    fn emits_structured_control_flow() {
+        let mut k = Kernel::new("c");
+        let b = k.buffer("x", 1);
+        let l = k.local();
+        k.push(Stmt::While {
+            a: KExpr::Local(l),
+            cmp: CmpKind::Ne,
+            b: KExpr::Const(1),
+            body: vec![Stmt::AtomicLoad {
+                dst: l,
+                buf: b,
+                index: KExpr::Const(0),
+                order: MemOrder::Acquire,
+                scope: Scope::Dv,
+            }],
+        });
+        let t = emit_spirv(&k);
+        assert!(t.contains("OpBranchConditional"));
+        assert!(t.contains("OpINotEqual %bool"));
+        assert_eq!(t.matches("OpLabel").count(), 4); // entry+head+body+exit
+    }
+}

@@ -1,0 +1,45 @@
+//! SPIR-V front-end and the OpenCL-like kernel pipeline.
+//!
+//! The paper adds a front-end for "a subset of real SPIR-V assembly" to
+//! Dartagnan and feeds it kernels compiled from OpenCL by CLSPV. This
+//! crate rebuilds that pipeline:
+//!
+//! * [`Kernel`] — a small structured kernel language (the stand-in for
+//!   the OpenCL sources of the GPUVerify suite, see DESIGN.md
+//!   substitution #3);
+//! * [`emit_spirv`] — lowers a kernel to disassembled SPIR-V text in the
+//!   style of `spirv-dis` output (the CLSPV substitute): SSA ids,
+//!   `OpVariable Function` locals, scoped atomics with memory-semantics
+//!   masks, `OpControlBarrier`/`OpMemoryBarrier`, structured branches;
+//! * [`parse_spirv`] — parses that subset back into a [`Module`];
+//! * [`lower`] — instantiates a module for a concrete thread grid,
+//!   producing a `gpumc_ir::Program` ready for verification (the
+//!   built-in `GlobalInvocationId`/`LocalInvocationId`/`WorkgroupId`
+//!   become per-thread constants).
+//!
+//! # Example
+//!
+//! ```
+//! use gpumc_spirv::{emit_spirv, lower, parse_spirv, Grid, Kernel, KExpr, Stmt};
+//!
+//! // Each thread writes its own slot: race-free.
+//! let mut k = Kernel::new("disjoint_writes");
+//! let buf = k.buffer("out", 8);
+//! k.push(Stmt::store(buf, KExpr::Gid, KExpr::Const(1)));
+//! let text = emit_spirv(&k);
+//! let module = parse_spirv(&text).expect("round-trips");
+//! let program = lower(&module, Grid { local: 2, groups: 2 }).expect("lowers");
+//! assert_eq!(program.threads.len(), 4);
+//! ```
+
+pub mod corpus;
+mod dsl;
+mod emit;
+mod lower;
+mod parse;
+
+pub use dsl::{CmpKind, Grid, KExpr, Kernel, Stmt};
+pub use emit::emit_spirv;
+pub use lower::{lower, LowerError};
+pub use corpus::{gpuverify_corpus, Bucket, KernelCase};
+pub use parse::{parse_spirv, Module, SpirvError};

@@ -1,0 +1,566 @@
+//! Instantiating a SPIR-V module for a concrete thread grid.
+
+use std::collections::HashMap;
+
+use gpumc_ir::{
+    AccessAttrs, AluOp, Arch, CmpOp, FenceAttrs, Instruction, MemOrder, MemRef, MemoryDecl,
+    Operand, Program, Reg, RmwOp, Scope, Thread, ThreadPos,
+};
+
+use crate::dsl::Grid;
+use crate::parse::{Module, SpvInstr};
+
+/// A lowering error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, LowerError> {
+    Err(LowerError { message: m.into() })
+}
+
+fn scope_of(v: u64) -> Scope {
+    match v {
+        1 => Scope::Dv,
+        2 => Scope::Wg,
+        3 => Scope::Sg,
+        5 => Scope::Qf,
+        _ => Scope::Dv,
+    }
+}
+
+fn order_of(sem: u64) -> MemOrder {
+    if sem & 0x8 != 0 {
+        MemOrder::AcqRel
+    } else if sem & 0x4 != 0 {
+        MemOrder::Release
+    } else if sem & 0x2 != 0 {
+        MemOrder::Acquire
+    } else {
+        MemOrder::Relaxed
+    }
+}
+
+/// Per-thread SSA value.
+#[derive(Debug, Clone, Copy)]
+enum V {
+    Const(u64),
+    Reg(Reg),
+}
+
+impl V {
+    fn operand(self) -> Operand {
+        match self {
+            V::Const(c) => Operand::Const(c),
+            V::Reg(r) => Operand::Reg(r),
+        }
+    }
+}
+
+/// Instantiates a module for every thread of `grid`, producing a Vulkan
+/// program (one IR thread per invocation; the built-in ids become
+/// constants).
+///
+/// # Errors
+///
+/// Fails on instructions outside the supported subset.
+pub fn lower(module: &Module, grid: Grid) -> Result<Program, LowerError> {
+    let mut program = Program::new(Arch::Vulkan);
+    program.name = module.name.clone();
+    let mut buf_ids = HashMap::new();
+    for (id, name, size) in &module.buffers {
+        let loc = program.declare_memory(MemoryDecl::array(name.clone(), *size));
+        buf_ids.insert(id.clone(), loc);
+    }
+    for t in 0..grid.threads() {
+        let lid = t % grid.local;
+        let wgid = t / grid.local;
+        let thread = lower_thread(module, &buf_ids, t, lid, wgid)?;
+        program.add_thread(thread);
+    }
+    program
+        .validate()
+        .map_err(|e| LowerError { message: e.message })?;
+    Ok(program)
+}
+
+fn lower_thread(
+    module: &Module,
+    buf_ids: &HashMap<String, gpumc_ir::LocId>,
+    gid: u32,
+    lid: u32,
+    wgid: u32,
+) -> Result<Thread, LowerError> {
+    let mut th = Thread::new(format!("P{gid}"), ThreadPos::vulkan(0, wgid, 0));
+    // Registers: locals first, then temporaries.
+    let mut regs: HashMap<String, V> = HashMap::new();
+    let mut local_reg: HashMap<String, Reg> = HashMap::new();
+    let mut next_reg = 0u32;
+    for l in &module.locals {
+        local_reg.insert(l.clone(), Reg(next_reg));
+        next_reg += 1;
+    }
+    // Labels.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut next_label = 0u32;
+    let mut label_of = |name: &str, labels: &mut HashMap<String, u32>| {
+        *labels.entry(name.to_string()).or_insert_with(|| {
+            next_label += 1;
+            next_label - 1
+        })
+    };
+    // Access chains and comparisons resolved per SSA id.
+    let mut chains: HashMap<String, (gpumc_ir::LocId, Operand)> = HashMap::new();
+    let mut cmps: HashMap<String, (CmpOp, Operand, Operand)> = HashMap::new();
+
+    let id = |tok: &String| tok.trim_start_matches('%').to_string();
+    let value = |tok: &String,
+                 regs: &HashMap<String, V>,
+                 module: &Module|
+     -> Result<V, LowerError> {
+        let name = tok.trim_start_matches('%');
+        if let Some(v) = module.constants.get(name) {
+            return Ok(V::Const(*v));
+        }
+        match name {
+            "gid" => return Ok(V::Const(u64::from(gid))),
+            "lid" => return Ok(V::Const(u64::from(lid))),
+            "wgid" => return Ok(V::Const(u64::from(wgid))),
+            _ => {}
+        }
+        regs.get(name)
+            .copied()
+            .ok_or_else(|| LowerError {
+                message: format!("unknown SSA id %{name}"),
+            })
+    };
+    let const_value = |tok: &String, module: &Module| -> Result<u64, LowerError> {
+        module
+            .constants
+            .get(tok.trim_start_matches('%'))
+            .copied()
+            .ok_or_else(|| LowerError {
+                message: format!("scope/semantics operand `{tok}` must be a constant"),
+            })
+    };
+
+    let attrs = |order: MemOrder, scope: Scope| {
+        if order.is_atomic() {
+            AccessAttrs::atomic(order, scope)
+        } else {
+            AccessAttrs {
+                scope: Scope::Dv,
+                nonpriv: true,
+                ..AccessAttrs::weak()
+            }
+        }
+    };
+
+    for instr in &module.body {
+        lower_instr(
+            instr,
+            &mut th,
+            &mut regs,
+            &local_reg,
+            &mut next_reg,
+            &mut labels,
+            &mut label_of,
+            &mut chains,
+            &mut cmps,
+            buf_ids,
+            module,
+            &id,
+            &value,
+            &const_value,
+            &attrs,
+        )?;
+    }
+    Ok(th)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_instr(
+    instr: &SpvInstr,
+    th: &mut Thread,
+    regs: &mut HashMap<String, V>,
+    local_reg: &HashMap<String, Reg>,
+    next_reg: &mut u32,
+    labels: &mut HashMap<String, u32>,
+    label_of: &mut impl FnMut(&str, &mut HashMap<String, u32>) -> u32,
+    chains: &mut HashMap<String, (gpumc_ir::LocId, Operand)>,
+    cmps: &mut HashMap<String, (CmpOp, Operand, Operand)>,
+    buf_ids: &HashMap<String, gpumc_ir::LocId>,
+    module: &Module,
+    id: &impl Fn(&String) -> String,
+    value: &impl Fn(&String, &HashMap<String, V>, &Module) -> Result<V, LowerError>,
+    const_value: &impl Fn(&String, &Module) -> Result<u64, LowerError>,
+    attrs: &impl Fn(MemOrder, Scope) -> AccessAttrs,
+) -> Result<(), LowerError> {
+    let fresh = |next_reg: &mut u32| {
+        let r = Reg(*next_reg);
+        *next_reg += 1;
+        r
+    };
+    match instr.opcode.as_str() {
+        "OpLabel" => {
+            let r = instr.result.clone().unwrap_or_default();
+            let l = label_of(&r, labels);
+            th.push(Instruction::Label(l));
+        }
+        "OpBranch" => {
+            let l = label_of(&id(&instr.operands[0]), labels);
+            th.push(Instruction::Goto(l));
+        }
+        "OpBranchConditional" => {
+            let c = id(&instr.operands[0]);
+            let (cmp, a, b) = cmps
+                .get(&c)
+                .copied()
+                .ok_or_else(|| LowerError {
+                    message: format!("condition %{c} not defined by OpIEqual/OpINotEqual"),
+                })?;
+            let then = label_of(&id(&instr.operands[1]), labels);
+            let els = label_of(&id(&instr.operands[2]), labels);
+            th.push(Instruction::Branch {
+                cmp,
+                a,
+                b,
+                target: then,
+            });
+            th.push(Instruction::Goto(els));
+        }
+        "OpIEqual" | "OpINotEqual" => {
+            let a = value(&instr.operands[1], regs, module)?.operand();
+            let b = value(&instr.operands[2], regs, module)?.operand();
+            let cmp = if instr.opcode == "OpIEqual" {
+                CmpOp::Eq
+            } else {
+                CmpOp::Ne
+            };
+            cmps.insert(instr.result.clone().unwrap_or_default(), (cmp, a, b));
+        }
+        "OpIAdd" | "OpISub" | "OpBitwiseAnd" => {
+            let a = value(&instr.operands[1], regs, module)?;
+            let b = value(&instr.operands[2], regs, module)?;
+            let op = match instr.opcode.as_str() {
+                "OpIAdd" => AluOp::Add,
+                "OpISub" => AluOp::Sub,
+                _ => AluOp::And,
+            };
+            let res = instr.result.clone().unwrap_or_default();
+            if let (V::Const(x), V::Const(y)) = (a, b) {
+                regs.insert(res, V::Const(gpumc_ir::Val::apply(op, x, y)));
+            } else {
+                let r = fresh(next_reg);
+                th.push(Instruction::Alu {
+                    dst: r,
+                    op,
+                    a: a.operand(),
+                    b: b.operand(),
+                });
+                regs.insert(res, V::Reg(r));
+            }
+        }
+        "OpAccessChain" => {
+            let buf = id(&instr.operands[1]);
+            let loc = *buf_ids.get(&buf).ok_or_else(|| LowerError {
+                message: format!("unknown buffer %{buf}"),
+            })?;
+            let idx = value(&instr.operands[2], regs, module)?.operand();
+            chains.insert(instr.result.clone().unwrap_or_default(), (loc, idx));
+        }
+        "OpLoad" => {
+            let src = id(&instr.operands[1]);
+            let res = instr.result.clone().unwrap_or_default();
+            if let Some(r) = local_reg.get(&src) {
+                regs.insert(res, V::Reg(*r));
+            } else if matches!(src.as_str(), "gid" | "lid" | "wgid") {
+                let v = value(&instr.operands[1], regs, module)?;
+                regs.insert(res, v);
+            } else if let Some(&(loc, idx)) = chains.get(&src) {
+                let r = fresh(next_reg);
+                th.push(Instruction::Load {
+                    dst: r,
+                    addr: MemRef { loc, index: idx },
+                    attrs: attrs(MemOrder::Weak, Scope::Dv),
+                });
+                regs.insert(res, V::Reg(r));
+            } else {
+                return err(format!("OpLoad from unknown pointer %{src}"));
+            }
+        }
+        "OpStore" => {
+            let dst = id(&instr.operands[0]);
+            let v = value(&instr.operands[1], regs, module)?;
+            if let Some(r) = local_reg.get(&dst) {
+                th.push(Instruction::Alu {
+                    dst: *r,
+                    op: AluOp::Mov,
+                    a: v.operand(),
+                    b: Operand::Const(0),
+                });
+            } else if let Some(&(loc, idx)) = chains.get(&dst) {
+                th.push(Instruction::Store {
+                    addr: MemRef { loc, index: idx },
+                    src: v.operand(),
+                    attrs: attrs(MemOrder::Weak, Scope::Dv),
+                });
+            } else {
+                return err(format!("OpStore to unknown pointer %{dst}"));
+            }
+        }
+        "OpAtomicLoad" | "OpAtomicStore" | "OpAtomicIAdd" | "OpAtomicExchange"
+        | "OpAtomicCompareExchange" => {
+            lower_atomic(
+                instr, th, regs, next_reg, chains, module, id, value, const_value, attrs,
+            )?;
+        }
+        "OpControlBarrier" => {
+            let exec_scope = scope_of(const_value(&instr.operands[0], module)?);
+            let sem = const_value(&instr.operands[2], module)?;
+            let mut fence = FenceAttrs::new(order_of(sem), exec_scope);
+            fence.sem_sc = 0b01;
+            th.push(Instruction::Barrier {
+                attrs: gpumc_ir::BarrierAttrs {
+                    id: Operand::Const(0),
+                    scope: Scope::Wg,
+                    fence: Some(fence),
+                },
+            });
+        }
+        "OpMemoryBarrier" => {
+            let scope = scope_of(const_value(&instr.operands[0], module)?);
+            let sem = const_value(&instr.operands[1], module)?;
+            let mut fence = FenceAttrs::new(order_of(sem), scope);
+            fence.sem_sc = 0b01;
+            th.push(Instruction::Fence { attrs: fence });
+        }
+        "OpReturn" => {}
+        other => return err(format!("unsupported opcode {other}")),
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_atomic(
+    instr: &SpvInstr,
+    th: &mut Thread,
+    regs: &mut HashMap<String, V>,
+    next_reg: &mut u32,
+    chains: &HashMap<String, (gpumc_ir::LocId, Operand)>,
+    module: &Module,
+    id: &impl Fn(&String) -> String,
+    value: &impl Fn(&String, &HashMap<String, V>, &Module) -> Result<V, LowerError>,
+    const_value: &impl Fn(&String, &Module) -> Result<u64, LowerError>,
+    attrs: &impl Fn(MemOrder, Scope) -> AccessAttrs,
+) -> Result<(), LowerError> {
+    let fresh = |next_reg: &mut u32| {
+        let r = Reg(*next_reg);
+        *next_reg += 1;
+        r
+    };
+    // Operand layout: value-producing atomics start with the type id.
+    let (ptr_idx, scope_idx, sem_idx) = match instr.opcode.as_str() {
+        "OpAtomicStore" => (0, 1, 2),
+        _ => (1, 2, 3),
+    };
+    let ptr = id(&instr.operands[ptr_idx]);
+    let &(loc, index) = chains.get(&ptr).ok_or_else(|| LowerError {
+        message: format!("atomic on unknown pointer %{ptr}"),
+    })?;
+    let scope = scope_of(const_value(&instr.operands[scope_idx], module)?);
+    let mut order = order_of(const_value(&instr.operands[sem_idx], module)?);
+    if order == MemOrder::Weak {
+        order = MemOrder::Relaxed;
+    }
+    let a = attrs(order, scope);
+    let addr = MemRef { loc, index };
+    match instr.opcode.as_str() {
+        "OpAtomicStore" => {
+            let v = value(&instr.operands[3], regs, module)?;
+            th.push(Instruction::Store {
+                addr,
+                src: v.operand(),
+                attrs: a,
+            });
+        }
+        "OpAtomicLoad" => {
+            let r = fresh(next_reg);
+            th.push(Instruction::Load {
+                dst: r,
+                addr,
+                attrs: a,
+            });
+            regs.insert(instr.result.clone().unwrap_or_default(), V::Reg(r));
+        }
+        "OpAtomicIAdd" | "OpAtomicExchange" => {
+            let v = value(&instr.operands[4], regs, module)?;
+            let r = fresh(next_reg);
+            th.push(Instruction::Rmw {
+                dst: r,
+                addr,
+                op: if instr.opcode == "OpAtomicIAdd" {
+                    RmwOp::Add
+                } else {
+                    RmwOp::Exchange
+                },
+                operand: v.operand(),
+                attrs: a,
+            });
+            regs.insert(instr.result.clone().unwrap_or_default(), V::Reg(r));
+        }
+        "OpAtomicCompareExchange" => {
+            // ... %ptr %scope %semEq %semNeq %new %expected
+            let new = value(&instr.operands[5], regs, module)?;
+            let expected = value(&instr.operands[6], regs, module)?;
+            let r = fresh(next_reg);
+            th.push(Instruction::Rmw {
+                dst: r,
+                addr,
+                op: RmwOp::Cas {
+                    expected: expected.operand(),
+                },
+                operand: new.operand(),
+                attrs: a,
+            });
+            regs.insert(instr.result.clone().unwrap_or_default(), V::Reg(r));
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{CmpKind, Grid, KExpr, Kernel, Stmt};
+    use crate::emit::emit_spirv;
+    use crate::parse::parse_spirv;
+
+    fn pipeline(k: &Kernel, grid: Grid) -> Program {
+        lower(&parse_spirv(&emit_spirv(k)).unwrap(), grid).unwrap()
+    }
+
+    #[test]
+    fn disjoint_writes_lower_to_constant_indices() {
+        let mut k = Kernel::new("disjoint");
+        let b = k.buffer("out", 8);
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
+        let p = pipeline(&k, Grid { local: 2, groups: 2 });
+        assert_eq!(p.threads.len(), 4);
+        // Each thread stores to its own constant index.
+        for (t, th) in p.threads.iter().enumerate() {
+            match &th.instructions[..] {
+                [Instruction::Label(_), Instruction::Store { addr, .. }] => {
+                    assert_eq!(addr.index, Operand::Const(t as u64));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spinloop_lowers_to_labels_and_branches() {
+        let mut k = Kernel::new("spin");
+        let b = k.buffer("flag", 1);
+        let l = k.local();
+        k.push(Stmt::While {
+            a: KExpr::Local(l),
+            cmp: CmpKind::Ne,
+            b: KExpr::Const(1),
+            body: vec![Stmt::AtomicLoad {
+                dst: l,
+                buf: b,
+                index: KExpr::Const(0),
+                order: MemOrder::Acquire,
+                scope: Scope::Dv,
+            }],
+        });
+        let p = pipeline(&k, Grid { local: 1, groups: 1 });
+        let th = &p.threads[0];
+        assert!(th.instructions.iter().any(|i| matches!(i, Instruction::Branch { .. })));
+        assert!(th.instructions.iter().any(|i| matches!(
+            i,
+            Instruction::Load { attrs, .. } if attrs.order == MemOrder::Acquire
+        )));
+        // The program unrolls and compiles.
+        let g = gpumc_ir::compile(&gpumc_ir::unroll(&p, 2).unwrap());
+        assert!(g.n_events() > 2);
+    }
+
+    #[test]
+    fn barriers_and_fences_lower() {
+        let mut k = Kernel::new("sync");
+        let b = k.buffer("x", 1);
+        k.push(Stmt::store(b, KExpr::Const(0), KExpr::Const(1)));
+        k.push(Stmt::Barrier { scope: Scope::Wg });
+        k.push(Stmt::Fence {
+            order: MemOrder::Release,
+            scope: Scope::Dv,
+        });
+        let p = pipeline(&k, Grid { local: 2, groups: 1 });
+        let th = &p.threads[0];
+        assert!(th.instructions.iter().any(|i| matches!(i, Instruction::Barrier { .. })));
+        assert!(th.instructions.iter().any(|i| matches!(
+            i,
+            Instruction::Fence { attrs } if attrs.order == MemOrder::Release
+        )));
+    }
+
+    #[test]
+    fn atomic_cas_and_add_lower_to_rmws() {
+        let mut k = Kernel::new("rmw");
+        let b = k.buffer("c", 1);
+        let l1 = k.local();
+        let l2 = k.local();
+        k.push(Stmt::AtomicAdd {
+            dst: l1,
+            buf: b,
+            index: KExpr::Const(0),
+            operand: KExpr::Const(1),
+            order: MemOrder::AcqRel,
+            scope: Scope::Dv,
+        });
+        k.push(Stmt::AtomicCas {
+            dst: l2,
+            buf: b,
+            index: KExpr::Const(0),
+            expected: KExpr::Const(0),
+            new: KExpr::Const(9),
+            order: MemOrder::Acquire,
+            scope: Scope::Dv,
+        });
+        let p = pipeline(&k, Grid { local: 1, groups: 1 });
+        let rmws: Vec<_> = p.threads[0]
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Rmw { .. }))
+            .collect();
+        assert_eq!(rmws.len(), 2);
+    }
+
+    #[test]
+    fn workgroup_placement_follows_grid() {
+        let mut k = Kernel::new("grid");
+        let b = k.buffer("x", 1);
+        let l = k.local();
+        k.push(Stmt::load(l, b, KExpr::Const(0)));
+        let p = pipeline(&k, Grid { local: 2, groups: 3 });
+        let wgs: Vec<u32> = p
+            .threads
+            .iter()
+            .map(|t| t.pos.coords()[1])
+            .collect();
+        assert_eq!(wgs, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Parser for the disassembled SPIR-V subset.
+
+use std::collections::HashMap;
+
+/// A parsed SPIR-V instruction (operands are raw tokens).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpvInstr {
+    /// Result id (`%x = ...`), without the `%`.
+    pub result: Option<String>,
+    /// Opcode, e.g. `OpLoad`.
+    pub opcode: String,
+    /// Operand tokens (ids keep their `%`).
+    pub operands: Vec<String>,
+}
+
+/// A parsed SPIR-V module (the subset gpumc supports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Entry-point name.
+    pub name: String,
+    /// Buffers: (id like `buf0`, display name, element count).
+    pub buffers: Vec<(String, String, u32)>,
+    /// Integer constants by id.
+    pub constants: HashMap<String, u64>,
+    /// Function-body instructions in order (from `%main` on).
+    pub body: Vec<SpvInstr>,
+    /// Ids of `Function`-storage local variables, in declaration order.
+    pub locals: Vec<String>,
+}
+
+/// A SPIR-V parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpirvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpirvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpirvError {}
+
+/// Parses disassembled SPIR-V text (the subset produced by
+/// [`crate::emit_spirv`], which mirrors `spirv-dis` output).
+///
+/// # Errors
+///
+/// Returns a [`SpirvError`] for malformed lines or missing sections.
+pub fn parse_spirv(text: &str) -> Result<Module, SpirvError> {
+    let mut module = Module {
+        name: String::new(),
+        buffers: Vec::new(),
+        constants: HashMap::new(),
+        body: Vec::new(),
+        locals: Vec::new(),
+    };
+    let mut buffer_meta: HashMap<String, (String, u32)> = HashMap::new();
+    let mut in_function = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let n = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            // Buffer metadata comments carry names and sizes.
+            let c = comment.trim();
+            if let Some(rest) = c.strip_prefix("buffer ") {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                if toks.len() >= 3 {
+                    let id = toks[0].trim_start_matches('%').to_string();
+                    let name = toks[1].trim_matches('"').to_string();
+                    let size: u32 = toks[2]
+                        .strip_prefix("size=")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| SpirvError {
+                            line: n,
+                            message: "bad buffer size annotation".into(),
+                        })?;
+                    buffer_meta.insert(id, (name, size));
+                }
+            }
+            continue;
+        }
+        let instr = parse_line(line, n)?;
+        match instr.opcode.as_str() {
+            "OpEntryPoint" => {
+                module.name = instr
+                    .operands
+                    .iter()
+                    .find(|o| o.starts_with('"'))
+                    .map(|o| o.trim_matches('"').to_string())
+                    .unwrap_or_default();
+            }
+            "OpConstant" => {
+                if let (Some(r), Some(v)) = (
+                    &instr.result,
+                    instr.operands.get(1).and_then(|v| v.parse::<u64>().ok()),
+                ) {
+                    module.constants.insert(r.clone(), v);
+                }
+            }
+            "OpVariable" => {
+                let storage = instr.operands.get(1).map(String::as_str);
+                match storage {
+                    Some("StorageBuffer") => {
+                        if let Some(r) = &instr.result {
+                            let (name, size) = buffer_meta
+                                .get(r)
+                                .cloned()
+                                .unwrap_or_else(|| (r.clone(), 1));
+                            module.buffers.push((r.clone(), name, size));
+                        }
+                    }
+                    Some("Function") => {
+                        if let Some(r) = &instr.result {
+                            module.locals.push(r.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            "OpFunction" => in_function = true,
+            "OpFunctionEnd" => in_function = false,
+            "OpCapability" | "OpMemoryModel" | "OpDecorate" | "OpTypeInt" | "OpTypeBool"
+            | "OpTypePointer" => {}
+            _ if in_function => module.body.push(instr),
+            other => {
+                return Err(SpirvError {
+                    line: n,
+                    message: format!("unsupported instruction outside function: {other}"),
+                })
+            }
+        }
+    }
+    if module.name.is_empty() {
+        return Err(SpirvError {
+            line: 0,
+            message: "missing OpEntryPoint".into(),
+        });
+    }
+    Ok(module)
+}
+
+fn parse_line(line: &str, n: usize) -> Result<SpvInstr, SpirvError> {
+    let (result, rest) = match line.split_once('=') {
+        Some((lhs, rhs)) if lhs.trim_start().starts_with('%') => (
+            Some(lhs.trim().trim_start_matches('%').to_string()),
+            rhs.trim(),
+        ),
+        _ => (None, line),
+    };
+    // Tokenize, keeping quoted strings whole.
+    let mut toks: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in rest.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && !in_str => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    let Some(opcode) = toks.first().cloned() else {
+        return Err(SpirvError {
+            line: n,
+            message: "empty instruction".into(),
+        });
+    };
+    if !opcode.starts_with("Op") {
+        return Err(SpirvError {
+            line: n,
+            message: format!("expected an opcode, found `{opcode}`"),
+        });
+    }
+    Ok(SpvInstr {
+        result,
+        opcode,
+        operands: toks[1..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{KExpr, Kernel, Stmt};
+    use crate::emit::emit_spirv;
+
+    #[test]
+    fn round_trips_emitted_module() {
+        let mut k = Kernel::new("rt");
+        let b = k.buffer("data", 8);
+        let l = k.local();
+        k.push(Stmt::load(l, b, KExpr::Gid));
+        k.push(Stmt::store(b, KExpr::Gid, KExpr::Local(l)));
+        let m = parse_spirv(&emit_spirv(&k)).unwrap();
+        assert_eq!(m.name, "rt");
+        assert_eq!(m.buffers, vec![("buf0".into(), "data".into(), 8)]);
+        assert_eq!(m.locals, vec!["l0".to_string()]);
+        assert!(m.body.iter().any(|i| i.opcode == "OpAccessChain"));
+    }
+
+    #[test]
+    fn parses_constants() {
+        let m = parse_spirv(
+            "OpEntryPoint GLCompute %main \"k\"\n%uint_7 = OpConstant %uint 7\n%main = OpFunction\nOpReturn\nOpFunctionEnd",
+        )
+        .unwrap();
+        assert_eq!(m.constants.get("uint_7"), Some(&7));
+    }
+
+    #[test]
+    fn rejects_missing_entry_point() {
+        assert!(parse_spirv("%uint = OpTypeInt 32 0").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spirv("this is not spirv").is_err());
+    }
+}

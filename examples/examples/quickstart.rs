@@ -1,0 +1,58 @@
+//! Quickstart: verify the message-passing idiom under PTX.
+//!
+//! Run with: `cargo run -p gpumc-examples --example quickstart`
+
+use gpumc::{EngineKind, Verifier};
+
+const MP_WEAK: &str = r#"
+PTX MP-weak
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0   | P1@cta 1,gpu 0 ;
+st.weak x, 1     | ld.weak r0, flag ;
+st.weak flag, 1  | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+const MP_RELACQ: &str = r#"
+PTX MP-relacq
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0          | P1@cta 1,gpu 0 ;
+st.relaxed.gpu x, 1     | ld.acquire.gpu r0, flag ;
+st.release.gpu flag, 1  | ld.relaxed.gpu r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+fn main() -> Result<(), gpumc::VerifyError> {
+    let verifier = Verifier::new(gpumc_models::ptx75());
+
+    println!("== message passing with plain (weak) accesses ==");
+    let program = gpumc::parse_litmus(MP_WEAK)?;
+    let outcome = verifier.check_assertion(&program)?;
+    println!(
+        "stale read reachable: {} ({} events, {:.1} ms)",
+        outcome.reachable,
+        outcome.stats.events,
+        outcome.stats.time_us as f64 / 1000.0
+    );
+    if let Some(w) = &outcome.witness {
+        println!("--- witness ---\n{}", w.rendering);
+    }
+
+    println!("== message passing with release/acquire atomics ==");
+    let program = gpumc::parse_litmus(MP_RELACQ)?;
+    let outcome = verifier.check_assertion(&program)?;
+    println!("stale read reachable: {}", outcome.reachable);
+    assert!(!outcome.reachable, "release/acquire forbids the stale read");
+
+    println!("== cross-check with the enumeration engine ==");
+    let enumerator = Verifier::new(gpumc_models::ptx75()).with_engine(EngineKind::Enumerate {
+        straight_line_only: false,
+    });
+    let again = enumerator.check_assertion(&program)?;
+    println!(
+        "enumeration agrees: {} ({} candidate behaviours explored)",
+        again.reachable == outcome.reachable,
+        again.stats.candidates
+    );
+    Ok(())
+}

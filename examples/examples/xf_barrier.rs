@@ -1,0 +1,57 @@
+//! The XF inter-workgroup barrier (§1/§7.4): safety of the portable
+//! version and the liveness/data-race bugs of the original.
+//!
+//! Run with: `cargo run -p gpumc-examples --example xf_barrier --release`
+
+use gpumc::Verifier;
+use gpumc_catalog::{primitive_source, Grid, Primitive, Variant};
+
+fn main() -> Result<(), gpumc::VerifyError> {
+    let verifier = Verifier::new(gpumc_models::vulkan()).with_bound(2);
+
+    println!("== portable XF barrier, 2 threads/wg × 2 workgroups ==");
+    let src = primitive_source(Primitive::XfBarrier, Variant::Base, Grid::new(2, 2));
+    let program = gpumc::parse_litmus(&src)?;
+    let o = verifier.check_assertion(&program)?;
+    println!(
+        "stale observation after the barrier: {} ({} events, {:.1} ms)",
+        o.reachable,
+        o.stats.events,
+        o.stats.time_us as f64 / 1000.0
+    );
+    assert!(!o.reachable, "the release-acquire barrier is correct");
+
+    println!();
+    println!("== weakened: the representative's release relaxed (rel2rx-2) ==");
+    let src = primitive_source(Primitive::XfBarrier, Variant::Rel2Rx(2), Grid::new(2, 2));
+    let program = gpumc::parse_litmus(&src)?;
+    let o = verifier.check_assertion(&program)?;
+    println!("stale observation: {}", o.reachable);
+    assert!(o.reachable, "relaxing any barrier introduces a bug (Table 7)");
+
+    println!();
+    println!("== the original (plain-access) barrier races (Fig. 3) ==");
+    let racy = gpumc::parse_litmus(gpumc_catalog::figures::FIG3_XF_RACY)?;
+    let races = verifier.check_data_races(&racy)?;
+    println!("data race found: {}", races.violated);
+    assert!(races.violated);
+
+    println!();
+    println!("== a mis-handshaked barrier deadlocks (Fig. 14 in spirit) ==");
+    let deadlock = gpumc::parse_litmus(
+        r#"
+VULKAN xf-deadlock
+{ fin = 0; fout = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+LC00: | LC10: ;
+ld.sc0 r0, fin | ld.sc0 r1, fout ;
+bne r0, 1, LC00 | bne r1, 1, LC10 ;
+st.sc0 fout, 1 | st.sc0 fin, 1 ;
+exists (P0:r0 == 1 /\ P1:r1 == 1)
+"#,
+    )?;
+    let live = verifier.check_liveness(&deadlock)?;
+    println!("liveness violation (threads spin forever): {}", live.violated);
+    assert!(live.violated);
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! See the `examples/` directory for runnable binaries.

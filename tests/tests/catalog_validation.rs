@@ -1,0 +1,165 @@
+//! Validates the generated corpora: everything parses, expected verdicts
+//! hold under the SAT engine, and a sample cross-checks against the
+//! enumeration engine.
+
+use gpumc::{EngineKind, Verifier};
+use gpumc_catalog::{
+    figure_tests, liveness_suite, primitive_benchmarks, ptx_proxy_suite, ptx_safety_suite,
+    scaling_test, vulkan_drf_suite, vulkan_safety_suite, Property, Test,
+};
+use gpumc_models::ModelKind;
+
+fn model_for(test: &Test) -> ModelKind {
+    if test.source.trim_start().starts_with("VULKAN") {
+        ModelKind::Vulkan
+    } else if test.source.contains("proxy") || test.source.contains("->") {
+        ModelKind::Ptx75
+    } else {
+        ModelKind::Ptx60
+    }
+}
+
+fn check_expected(test: &Test) {
+    let program = gpumc::parse_litmus(&test.source)
+        .unwrap_or_else(|e| panic!("{}: parse failed: {e}\n{}", test.name, test.source));
+    let model = model_for(test);
+    let v = Verifier::new(gpumc_models::load(model)).with_bound(test.bound);
+    let got = match test.property {
+        Property::Safety => v
+            .check_assertion(&program)
+            .unwrap_or_else(|e| panic!("{}: {e}", test.name))
+            .reachable,
+        Property::Liveness => v
+            .check_liveness(&program)
+            .unwrap_or_else(|e| panic!("{}: {e}", test.name))
+            .violated,
+        Property::DataRaceFreedom => v
+            .check_data_races(&program)
+            .unwrap_or_else(|e| panic!("{}: {e}", test.name))
+            .violated,
+    };
+    if let Some(expected) = test.expected {
+        assert_eq!(
+            got, expected,
+            "{}: expected {expected}, got {got}\n{}",
+            test.name, test.source
+        );
+    }
+}
+
+#[test]
+fn all_suites_parse() {
+    let mut n = 0;
+    for t in ptx_safety_suite()
+        .iter()
+        .chain(ptx_proxy_suite().iter())
+        .chain(vulkan_safety_suite().iter())
+        .chain(vulkan_drf_suite().iter())
+        .chain(liveness_suite().iter())
+        .chain(figure_tests().iter())
+    {
+        gpumc::parse_litmus(&t.source)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}\n{}", t.name, t.source));
+        n += 1;
+    }
+    for b in primitive_benchmarks() {
+        gpumc::parse_litmus(&b.test.source)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}\n{}", b.name, b.test.source));
+        n += 1;
+    }
+    for p in [
+        gpumc_catalog::ScalePattern::Mp,
+        gpumc_catalog::ScalePattern::Sb,
+        gpumc_catalog::ScalePattern::Lb,
+        gpumc_catalog::ScalePattern::Iriw,
+    ] {
+        for threads in [4, 8] {
+            let t = scaling_test(p, threads);
+            gpumc::parse_litmus(&t.source)
+                .unwrap_or_else(|e| panic!("{}: parse failed: {e}", t.name));
+            n += 1;
+        }
+    }
+    assert!(n >= 106 + 129 + 110 + 106 + 73 + 20 + 8);
+}
+
+#[test]
+fn suite_sizes_match_the_paper() {
+    assert_eq!(ptx_safety_suite().len(), 106);
+    assert_eq!(ptx_proxy_suite().len(), 129);
+    assert_eq!(vulkan_safety_suite().len(), 110);
+    assert_eq!(vulkan_drf_suite().len(), 106);
+    assert_eq!(liveness_suite().len(), 73);
+}
+
+#[test]
+fn ptx_expected_verdicts_hold() {
+    for t in ptx_safety_suite().iter().filter(|t| t.expected.is_some()) {
+        check_expected(t);
+    }
+}
+
+#[test]
+fn ptx_proxy_expected_verdicts_hold() {
+    for t in ptx_proxy_suite().iter().filter(|t| t.expected.is_some()) {
+        check_expected(t);
+    }
+}
+
+#[test]
+fn vulkan_expected_verdicts_hold() {
+    for t in vulkan_safety_suite().iter().filter(|t| t.expected.is_some()) {
+        check_expected(t);
+    }
+}
+
+#[test]
+fn vulkan_drf_expected_verdicts_hold() {
+    for t in vulkan_drf_suite().iter().filter(|t| t.expected.is_some()) {
+        check_expected(t);
+    }
+}
+
+#[test]
+fn liveness_expected_verdicts_hold() {
+    for t in liveness_suite().iter().filter(|t| t.expected.is_some()) {
+        check_expected(t);
+    }
+}
+
+#[test]
+fn figure_expected_verdicts_hold() {
+    for t in figure_tests().iter().filter(|t| t.expected.is_some()) {
+        check_expected(t);
+    }
+}
+
+#[test]
+fn engines_agree_on_generated_sample() {
+    // Every 7th generated safety test, both engines, verdicts equal.
+    let sample: Vec<Test> = ptx_safety_suite()
+        .into_iter()
+        .chain(vulkan_safety_suite())
+        .step_by(7)
+        .collect();
+    for t in sample {
+        let program = gpumc::parse_litmus(&t.source).unwrap();
+        let model = model_for(&t);
+        let sat = Verifier::new(gpumc_models::load(model))
+            .with_bound(t.bound)
+            .check_assertion(&program)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        let enumr = Verifier::new(gpumc_models::load(model))
+            .with_bound(t.bound)
+            .with_engine(EngineKind::Enumerate {
+                straight_line_only: false,
+            })
+            .check_assertion(&program)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert_eq!(
+            sat.reachable, enumr.reachable,
+            "{}: engines disagree\n{}",
+            t.name, t.source
+        );
+    }
+}

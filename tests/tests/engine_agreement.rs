@@ -1,0 +1,403 @@
+//! Cross-engine validation: the SAT engine (Dartagnan-style) and the
+//! explicit-state engine (Alloy-style) must produce identical verdicts.
+//! This is the paper's Table 5 validation methodology, run continuously.
+
+use gpumc_encode::{encode, EncodeOptions};
+use gpumc_exec::{enumerate, EnumerateOptions};
+use gpumc_ir::{compile, unroll, Assertion, EventGraph};
+use gpumc_models::{load, ModelKind};
+
+struct Verdicts {
+    condition: bool,
+    liveness: bool,
+    race: Option<bool>,
+}
+
+fn graph(src: &str, bound: u32) -> EventGraph {
+    let p = gpumc_litmus::parse(src).expect("litmus parses");
+    compile(&unroll(&p, bound).expect("unrolls"))
+}
+
+fn enumerate_verdicts(g: &EventGraph, model: ModelKind) -> Verdicts {
+    let m = load(model);
+    let cond = g.assertion.clone();
+    let mut v = Verdicts {
+        condition: false,
+        liveness: false,
+        race: if model == ModelKind::Vulkan {
+            Some(false)
+        } else {
+            None
+        },
+    };
+    enumerate(g, &m, &EnumerateOptions::default(), |b| {
+        if b.execution.is_liveness_violation() {
+            v.liveness = true;
+        }
+        if b.execution.all_completed() {
+            if b.verdict.has_flag("dr") {
+                if let Some(r) = &mut v.race {
+                    *r = true;
+                }
+            }
+            if let Some(a) = &cond {
+                let c = match a {
+                    Assertion::Exists(c) | Assertion::NotExists(c) | Assertion::Forall(c) => c,
+                };
+                let holds = b.execution.eval_condition(c) == Some(true);
+                let target = !matches!(a, Assertion::Forall(_));
+                if holds == target {
+                    v.condition = true;
+                }
+            }
+        }
+    })
+    .expect("enumeration succeeds");
+    v
+}
+
+fn sat_verdicts(g: &EventGraph, model: ModelKind) -> Verdicts {
+    let m = load(model);
+    let mut enc = encode(g, &m, &EncodeOptions::default()).expect("encodes");
+    let condition = enc.find_assertion_witness().expect("query").found;
+    let liveness = enc.find_liveness_violation().expect("query").found;
+    let race = if model == ModelKind::Vulkan {
+        Some(enc.find_flag("dr").expect("query").found)
+    } else {
+        None
+    };
+    Verdicts {
+        condition,
+        liveness,
+        race,
+    }
+}
+
+fn assert_agreement(name: &str, src: &str, model: ModelKind, bound: u32) {
+    let g = graph(src, bound);
+    let e = enumerate_verdicts(&g, model);
+    let s = sat_verdicts(&g, model);
+    assert_eq!(
+        e.condition, s.condition,
+        "{name} [{model}]: condition verdict disagrees (enum={}, sat={})",
+        e.condition, s.condition
+    );
+    assert_eq!(
+        e.liveness, s.liveness,
+        "{name} [{model}]: liveness verdict disagrees"
+    );
+    assert_eq!(e.race, s.race, "{name} [{model}]: race verdict disagrees");
+}
+
+// A corpus of litmus tests spanning the GPU features: both engines must
+// agree on every single one.
+
+const CORPUS_PTX: &[(&str, &str, u32)] = &[
+    (
+        "MP-weak",
+        r#"
+PTX MP-weak
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.weak x, 1 | ld.weak r0, flag ;
+st.weak flag, 1 | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "MP-relacq",
+        r#"
+PTX MP-relacq
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.relaxed.gpu x, 1 | ld.acquire.gpu r0, flag ;
+st.release.gpu flag, 1 | ld.relaxed.gpu r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "SB-weak",
+        r#"
+PTX SB
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.weak x, 1 | st.weak y, 1 ;
+ld.weak r0, y | ld.weak r1, x ;
+exists (P0:r0 == 0 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "SB-fence-sc",
+        r#"
+PTX SB-fence
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.relaxed.gpu x, 1 | st.relaxed.gpu y, 1 ;
+fence.sc.gpu | fence.sc.gpu ;
+ld.relaxed.gpu r0, y | ld.relaxed.gpu r1, x ;
+exists (P0:r0 == 0 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "LB-weak",
+        r#"
+PTX LB
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+ld.weak r0, x | ld.weak r1, y ;
+st.weak y, 1 | st.weak x, 1 ;
+exists (P0:r0 == 1 /\ P1:r1 == 1)
+"#,
+        1,
+    ),
+    (
+        "LB-data-dep",
+        r#"
+PTX LB-dep
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+ld.weak r0, x | ld.weak r1, y ;
+st.weak y, r0 | st.weak x, r1 ;
+exists (P0:r0 == 1 /\ P1:r1 == 1)
+"#,
+        1,
+    ),
+    (
+        "IRIW-acquire",
+        r#"
+PTX IRIW
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 | P2@cta 2,gpu 0 | P3@cta 3,gpu 0 ;
+st.relaxed.gpu x, 1 | st.relaxed.gpu y, 1 | ld.acquire.gpu r0, x | ld.acquire.gpu r2, y ;
+ | | ld.acquire.gpu r1, y | ld.acquire.gpu r3, x ;
+exists (P2:r0 == 1 /\ P2:r1 == 0 /\ P3:r2 == 1 /\ P3:r3 == 0)
+"#,
+        1,
+    ),
+    (
+        "CoRR-atomic",
+        r#"
+PTX CoRR
+{ x = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+st.relaxed.gpu x, 1 | ld.relaxed.gpu r0, x ;
+st.relaxed.gpu x, 2 | ld.relaxed.gpu r1, x ;
+exists (P1:r0 == 2 /\ P1:r1 == 1)
+"#,
+        1,
+    ),
+    (
+        "fig6-weak-partial-co",
+        r#"
+PTX fig6
+{ x = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 | P2@cta 0,gpu 0 | P3@cta 0,gpu 0 ;
+st.weak x, 1 | st.weak x, 2 | ld.acquire.sys r0, x | ld.acquire.sys r2, x ;
+ | | ld.acquire.sys r1, x | ld.acquire.sys r3, x ;
+exists (P2:r0 == 1 /\ P2:r1 == 2 /\ P3:r2 == 2 /\ P3:r3 == 1)
+"#,
+        1,
+    ),
+    (
+        "rmw-add-contention",
+        r#"
+PTX rmw
+{ c = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.relaxed.gpu.add r0, c, 1 | atom.relaxed.gpu.add r0, c, 1 ;
+exists (P0:r0 == 0 /\ P1:r0 == 0)
+"#,
+        1,
+    ),
+    (
+        "cas-lock-handoff",
+        r#"
+PTX cas
+{ lock = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+atom.acquire.gpu.cas r0, lock, 0, 1 | atom.acquire.gpu.cas r0, lock, 0, 2 ;
+exists (P0:r0 == 0 /\ P1:r0 == 0)
+"#,
+        1,
+    ),
+    (
+        "spin-unset-flag",
+        r#"
+PTX spin
+{ flag = 0; done = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+LC00: | st.weak done, 1 ;
+ld.relaxed.gpu r0, flag | ;
+bne r0, 1, LC00 | ;
+exists (P0:r0 == 1)
+"#,
+        2,
+    ),
+    (
+        "spin-with-writer",
+        r#"
+PTX spin2
+{ flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+LC00: | st.relaxed.gpu flag, 1 ;
+ld.relaxed.gpu r0, flag | ;
+bne r0, 1, LC00 | ;
+exists (P0:r0 == 1)
+"#,
+        2,
+    ),
+    (
+        "barrier-sb",
+        r#"
+PTX fig7
+{ x = 0; y = 0; z = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 | P2@cta 0,gpu 0 ;
+st.weak x, 1 | st.weak y, 1 | st.weak z, 1 ;
+ld.weak r2, z | bar.cta.sync 1 | ;
+bar.cta.sync r2 | ld.weak r1, x | ;
+ld.weak r0, y | | ;
+forall (P0:r0 == 1 \/ P1:r1 == 1)
+"#,
+        1,
+    ),
+    (
+        "mp-proxy-fenced",
+        r#"
+PTX mp-proxy
+{ x = 0; flag = 0; s -> x @ surface; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+sust s, 1 | ld.acquire.cta r0, flag ;
+fence.proxy.surface.cta | fence.proxy.alias.cta ;
+st.release.cta flag, 1 | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "mp-proxy-unfenced",
+        r#"
+PTX mp-proxy-weak
+{ x = 0; flag = 0; s -> x @ surface; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+sust s, 1 | ld.acquire.cta r0, flag ;
+st.release.cta flag, 1 | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "branchy-control-dep",
+        r#"
+PTX ctrl
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+ld.weak r0, x | ld.weak r1, y ;
+beq r0, 0, LC00 | st.weak x, 1 ;
+st.weak y, 1 | ;
+LC00: | ;
+exists (P0:r0 == 1 /\ P1:r1 == 1)
+"#,
+        1,
+    ),
+];
+
+const CORPUS_VULKAN: &[(&str, &str, u32)] = &[
+    (
+        "vk-mp-atomics",
+        r#"
+VULKAN vk-mp
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 x, 1 | ld.atom.acq.dv.sc0 r0, flag ;
+st.atom.rel.dv.sc0 flag, 1 | ld.atom.dv.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "vk-mp-fences",
+        r#"
+VULKAN vk-mp-fence
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1 | ld.atom.dv.sc0 r0, flag ;
+membar.rel.dv.semsc0 | membar.acq.dv.semsc0 ;
+st.atom.dv.sc0 flag, 1 | ld.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "vk-racy-plain",
+        r#"
+VULKAN vk-race
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1 | ld.sc0 r0, x ;
+exists (P1:r0 == 1)
+"#,
+        1,
+    ),
+    (
+        "vk-scope-too-narrow",
+        r#"
+VULKAN vk-scope
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.wg.sc0 x, 1 | ld.atom.acq.wg.sc0 r0, flag ;
+st.atom.rel.wg.sc0 flag, 1 | ld.atom.wg.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+    (
+        "vk-fig16-rmw",
+        r#"
+VULKAN fig16
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 0 | P2@sg 0,wg 0,qf 0 ;
+st.sc0 x, 1 | cbar.acqrel.semsc0 0 | cbar.acqrel.semsc0 0 ;
+cbar.acqrel.semsc0 0 | atom.add.dv.sc0 r0, x, 1 | atom.add.dv.sc0 r0, x, 1 ;
+exists (P1:r0 == 1 /\ P2:r0 == 1)
+"#,
+        1,
+    ),
+    (
+        "vk-storage-classes",
+        r#"
+VULKAN vk-sc1
+{ x = 0; y = 0 @ sc1; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 x, 1 | ld.atom.acq.dv.sc1 r0, y ;
+membar.rel.dv.semsc1 | membar.acq.dv.semsc0 ;
+st.atom.dv.sc1 y, 1 | ld.atom.dv.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#,
+        1,
+    ),
+];
+
+#[test]
+fn engines_agree_on_ptx_corpus_v60() {
+    for (name, src, bound) in CORPUS_PTX {
+        assert_agreement(name, src, ModelKind::Ptx60, *bound);
+    }
+}
+
+#[test]
+fn engines_agree_on_ptx_corpus_v75() {
+    for (name, src, bound) in CORPUS_PTX {
+        assert_agreement(name, src, ModelKind::Ptx75, *bound);
+    }
+}
+
+#[test]
+fn engines_agree_on_vulkan_corpus() {
+    for (name, src, bound) in CORPUS_VULKAN {
+        assert_agreement(name, src, ModelKind::Vulkan, *bound);
+    }
+}

@@ -1,0 +1,426 @@
+//! Validation of the shipped PTX and Vulkan models against the verdicts
+//! the paper reports for its figures, using the explicit-state engine as
+//! the oracle.
+
+use gpumc_exec::{enumerate, EnumerateOptions};
+use gpumc_ir::{compile, unroll, Assertion, EventGraph};
+use gpumc_models::{load, ModelKind};
+
+/// Enumerates consistent behaviours of a litmus source under a model and
+/// summarizes: (condition reachable, any consistent behaviour at all,
+/// any data-race flag, any liveness violation).
+struct Summary {
+    cond_reachable: bool,
+    any_consistent: bool,
+    raced: bool,
+    liveness_violation: bool,
+}
+
+fn graph(src: &str, bound: u32) -> EventGraph {
+    let p = gpumc_litmus::parse(src).expect("litmus parses");
+    compile(&unroll(&p, bound).expect("unrolls"))
+}
+
+fn run(src: &str, model: ModelKind, bound: u32) -> Summary {
+    let g = graph(src, bound);
+    let m = load(model);
+    let cond = g.assertion.clone();
+    let mut s = Summary {
+        cond_reachable: false,
+        any_consistent: false,
+        raced: false,
+        liveness_violation: false,
+    };
+    enumerate(&g, &m, &EnumerateOptions::default(), |b| {
+        s.any_consistent = true;
+        if b.verdict.has_flag("dr") {
+            s.raced = true;
+        }
+        if b.execution.is_liveness_violation() {
+            s.liveness_violation = true;
+        }
+        if b.execution.all_completed() {
+            if let Some(a) = &cond {
+                let c = match a {
+                    Assertion::Exists(c) | Assertion::NotExists(c) | Assertion::Forall(c) => c,
+                };
+                if b.execution.eval_condition(c) == Some(true) {
+                    s.cond_reachable = true;
+                }
+            }
+        }
+    })
+    .expect("enumeration succeeds");
+    s
+}
+
+// --------------------------------------------------------------------
+// PTX: message passing and scopes
+// --------------------------------------------------------------------
+
+const MP_WEAK: &str = r#"
+PTX MP-weak
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0       | P1@cta 1,gpu 0 ;
+st.weak x, 1         | ld.weak r0, flag ;
+st.weak flag, 1      | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+const MP_RELACQ: &str = r#"
+PTX MP-relacq
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0          | P1@cta 1,gpu 0 ;
+st.relaxed.gpu x, 1     | ld.acquire.gpu r0, flag ;
+st.release.gpu flag, 1  | ld.relaxed.gpu r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+const MP_SCOPE_TOO_NARROW: &str = r#"
+PTX MP-cta-scope
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0          | P1@cta 1,gpu 0 ;
+st.relaxed.cta x, 1     | ld.acquire.cta r0, flag ;
+st.release.cta flag, 1  | ld.relaxed.cta r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+const MP_FENCES: &str = r#"
+PTX MP-fences
+{ x = 0; flag = 0; }
+P0@cta 0,gpu 0       | P1@cta 1,gpu 0 ;
+st.weak x, 1         | ld.relaxed.gpu r0, flag ;
+fence.acq_rel.gpu    | fence.acq_rel.gpu ;
+st.relaxed.gpu flag, 1 | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+#[test]
+fn ptx_weak_mp_allowed_in_both_versions() {
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(MP_WEAK, m, 1);
+        assert!(s.any_consistent);
+        assert!(s.cond_reachable, "{m}: weak MP stale read must be allowed");
+    }
+}
+
+#[test]
+fn ptx_release_acquire_mp_forbidden() {
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(MP_RELACQ, m, 1);
+        assert!(s.any_consistent);
+        assert!(!s.cond_reachable, "{m}: rel/acq MP must be forbidden");
+    }
+}
+
+#[test]
+fn ptx_mp_with_fences_forbidden() {
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(MP_FENCES, m, 1);
+        assert!(!s.cond_reachable, "{m}: fence MP must be forbidden");
+    }
+}
+
+#[test]
+fn ptx_cta_scope_across_ctas_is_too_weak() {
+    // Like Table 7's dv2wg rows: correct orders, wrong scope.
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(MP_SCOPE_TOO_NARROW, m, 1);
+        assert!(
+            s.cond_reachable,
+            "{m}: cta-scoped sync across CTAs cannot forbid the stale read"
+        );
+    }
+}
+
+#[test]
+fn ptx_cta_scope_within_one_cta_suffices() {
+    let src = MP_SCOPE_TOO_NARROW.replace("P1@cta 1,gpu 0", "P1@cta 0,gpu 0");
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(&src, m, 1);
+        assert!(!s.cond_reachable, "{m}: same-CTA cta-scope sync works");
+    }
+}
+
+// --------------------------------------------------------------------
+// PTX: Figure 6 — coherence is not total for weak writes
+// --------------------------------------------------------------------
+
+const FIG6_WEAK: &str = r#"
+PTX fig6-weak
+{ x = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 | P2@cta 0,gpu 0       | P3@cta 0,gpu 0 ;
+st.weak x, 1   | st.weak x, 2   | ld.acquire.sys r0, x | ld.acquire.sys r2, x ;
+               |                | ld.acquire.sys r1, x | ld.acquire.sys r3, x ;
+exists (P2:r0 == 1 /\ P2:r1 == 2 /\ P3:r2 == 2 /\ P3:r3 == 1)
+"#;
+
+#[test]
+fn ptx_fig6_weak_writes_unordered_by_coherence() {
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(FIG6_WEAK, m, 1);
+        assert!(
+            s.cond_reachable,
+            "{m}: threads may observe weak writes in contradicting orders (Fig. 6)"
+        );
+    }
+}
+
+#[test]
+fn ptx_fig6_atomic_writes_are_ordered() {
+    let src = FIG6_WEAK
+        .replace("st.weak x, 1", "st.relaxed.sys x, 1")
+        .replace("st.weak x, 2", "st.relaxed.sys x, 2");
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let s = run(&src, m, 1);
+        assert!(
+            !s.cond_reachable,
+            "{m}: morally strong writes are coherence-ordered"
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// PTX: Figure 7 — store buffering with a dynamic control barrier
+// --------------------------------------------------------------------
+
+const FIG7: &str = r#"
+PTX fig7-sb-barrier
+{ x = 0; y = 0; z = 0; }
+P0@cta 0,gpu 0   | P1@cta 0,gpu 0  | P2@cta 0,gpu 0 ;
+st.weak x, 1     | st.weak y, 1    | st.weak z, 1 ;
+ld.weak r2, z    | bar.cta.sync 1  | ;
+bar.cta.sync r2  | ld.weak r1, x   | ;
+ld.weak r0, y    |                 | ;
+forall (P0:r0 == 1 \/ P1:r1 == 1)
+"#;
+
+#[test]
+fn ptx_fig7_dynamic_barrier_forall_violated() {
+    // The load of z may return 0, so P0's barrier id may differ from
+    // P1's and the barriers do not synchronize: both-zero is reachable,
+    // violating the forall.
+    for m in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        let g = graph(FIG7, 1);
+        let model = load(m);
+        let mut both_zero = false;
+        let mut matched_both_zero = false;
+        enumerate(&g, &model, &EnumerateOptions::default(), |b| {
+            if !b.execution.all_completed() {
+                return;
+            }
+            let r0 = b.execution.final_reg(0, gpumc_ir::Reg(0));
+            let r1 = b.execution.final_reg(1, gpumc_ir::Reg(1));
+            let r2 = b.execution.final_reg(0, gpumc_ir::Reg(2));
+            if r0 == Some(0) && r1 == Some(0) {
+                both_zero = true;
+                if r2 == Some(1) {
+                    matched_both_zero = true;
+                }
+            }
+        })
+        .unwrap();
+        assert!(both_zero, "{m}: mismatched barrier ids allow both-zero");
+        assert!(
+            !matched_both_zero,
+            "{m}: matching barriers forbid both-zero"
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// PTX v7.5: proxies
+// --------------------------------------------------------------------
+
+const MP_PROXY_FENCED: &str = r#"
+PTX mp-proxy-fenced
+{ x = 0; flag = 0; s -> x @ surface; }
+P0@cta 0,gpu 0           | P1@cta 0,gpu 0 ;
+sust s, 1                | ld.acquire.cta r0, flag ;
+fence.proxy.surface.cta  | fence.proxy.alias.cta ;
+st.release.cta flag, 1   | ld.weak r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+#[test]
+fn ptx75_proxy_fences_restore_mp_ordering() {
+    let s = run(MP_PROXY_FENCED, ModelKind::Ptx75, 1);
+    assert!(s.any_consistent);
+    assert!(
+        !s.cond_reachable,
+        "surface write + proxy fences + rel/acq forbids the stale generic read"
+    );
+}
+
+#[test]
+fn ptx75_missing_proxy_fences_allow_stale_read() {
+    let src = MP_PROXY_FENCED
+        .replace("fence.proxy.surface.cta  ", "")
+        .replace("fence.proxy.alias.cta ", "");
+    let s = run(&src, ModelKind::Ptx75, 1);
+    assert!(
+        s.cond_reachable,
+        "without proxy fences the surface write may be invisible via the generic proxy"
+    );
+}
+
+// --------------------------------------------------------------------
+// Vulkan: Figures 10/11 — the NIR compiler bug
+// --------------------------------------------------------------------
+
+const FIG10: &str = r#"
+VULKAN fig10-mp-spin
+{ data = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0        | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 data, 1   | LC00: ;
+membar.rel.dv.semsc0     | ld.atom.dv.sc0 r1, flag ;
+st.atom.dv.sc0 flag, 1   | membar.acq.dv.semsc0 ;
+                         | bne r1, 0, LC01 ;
+                         | goto LC00 ;
+                         | LC01: ;
+                         | ld.atom.dv.sc0 r2, data ;
+exists (P1:r1 == 1 /\ P1:r2 != 1)
+"#;
+
+const FIG11: &str = r#"
+VULKAN fig11-nir-optimized
+{ data = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0        | P1@sg 0,wg 1,qf 0 ;
+st.atom.dv.sc0 data, 1   | membar.acq.dv.semsc0 ;
+membar.rel.dv.semsc0     | ld.atom.dv.sc0 r2, data ;
+st.atom.dv.sc0 flag, 1   | ;
+exists (P1:r2 != 1)
+"#;
+
+#[test]
+fn vulkan_fig10_spin_mp_forbidden() {
+    let s = run(FIG10, ModelKind::Vulkan, 2);
+    assert!(s.any_consistent);
+    assert!(
+        !s.cond_reachable,
+        "release/acquire barriers around the spinloop forbid stale data (Fig. 10)"
+    );
+}
+
+#[test]
+fn vulkan_fig11_optimized_code_is_broken() {
+    let s = run(FIG11, ModelKind::Vulkan, 1);
+    assert!(
+        s.cond_reachable,
+        "after the unsound loop removal, stale data is observable (Fig. 11)"
+    );
+}
+
+// --------------------------------------------------------------------
+// Vulkan: data races
+// --------------------------------------------------------------------
+
+const VK_RACY_MP: &str = r#"
+VULKAN racy-mp
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1       | ld.sc0 r0, flag ;
+st.sc0 flag, 1    | ld.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+
+#[test]
+fn vulkan_plain_mp_is_racy() {
+    let s = run(VK_RACY_MP, ModelKind::Vulkan, 1);
+    assert!(s.any_consistent);
+    assert!(s.raced, "plain cross-workgroup accesses race");
+}
+
+#[test]
+fn vulkan_synchronized_mp_is_race_free() {
+    let src = r#"
+VULKAN drf-mp
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0        | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1              | ld.atom.acq.dv.sc0 r0, flag ;
+membar.rel.dv.semsc0     | membar.acq.dv.semsc0 ;
+st.atom.rel.dv.sc0 flag, 1 | ld.sc0 r1, x ;
+filter (P1:r0 == 1)
+exists (P1:r1 == 0)
+"#;
+    let s = run(src, ModelKind::Vulkan, 1);
+    assert!(s.any_consistent);
+    assert!(
+        !s.raced,
+        "fence-synchronized accesses are location-ordered, hence race-free"
+    );
+    assert!(!s.cond_reachable, "and the stale read is forbidden");
+}
+
+// --------------------------------------------------------------------
+// Vulkan: Figure 16 — the RMW atomicity bug in the model
+// --------------------------------------------------------------------
+
+const FIG16: &str = r#"
+VULKAN fig16-rmw-atomicity
+{ x = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 0,qf 0      | P2@sg 0,wg 0,qf 0 ;
+st.sc0 x, 1       | cbar.acqrel.semsc0 0   | cbar.acqrel.semsc0 0 ;
+cbar.acqrel.semsc0 0 | atom.add.dv.sc0 r0, x, 1 | atom.add.dv.sc0 r0, x, 1 ;
+exists (P1:r0 == 1 /\ P2:r0 == 1)
+"#;
+
+#[test]
+fn vulkan_fig16_rmw_atomicity_hole_reproduced() {
+    // The Vulkan model allows both RMWs to read the non-atomic store's
+    // value: asmo only orders atomics, so the intervening RMW write is
+    // not seen by the Atomicity axiom. The paper reported this as a
+    // model bug (KhronosGroup/Vulkan-MemoryModel#36).
+    let s = run(FIG16, ModelKind::Vulkan, 1);
+    assert!(s.any_consistent);
+    assert!(
+        s.cond_reachable,
+        "the published model admits the atomicity violation (Fig. 16)"
+    );
+}
+
+#[test]
+fn vulkan_fig16_atomic_store_restores_atomicity() {
+    let src = FIG16.replace("st.sc0 x, 1", "st.atom.dv.sc0 x, 1");
+    let s = run(&src, ModelKind::Vulkan, 1);
+    assert!(
+        !s.cond_reachable,
+        "with an atomic store, asmo orders all writes and atomicity holds"
+    );
+}
+
+// --------------------------------------------------------------------
+// Liveness (§6.4)
+// --------------------------------------------------------------------
+
+#[test]
+fn ptx_spin_on_unset_flag_violates_liveness() {
+    let src = r#"
+PTX spin-forever
+{ flag = 0; }
+P0@cta 0,gpu 0 ;
+LC00: ;
+ld.relaxed.gpu r0, flag ;
+bne r0, 1, LC00 ;
+exists (P0:r0 == 1)
+"#;
+    let s = run(src, ModelKind::Ptx60, 2);
+    assert!(s.liveness_violation);
+    assert!(!s.cond_reachable);
+}
+
+#[test]
+fn ptx_spin_with_writer_eventually_exits() {
+    let src = r#"
+PTX spin-exits
+{ flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;
+LC00:          | st.relaxed.gpu flag, 1 ;
+ld.relaxed.gpu r0, flag | ;
+bne r0, 1, LC00 | ;
+exists (P0:r0 == 1)
+"#;
+    let s = run(src, ModelKind::Ptx60, 2);
+    assert!(!s.liveness_violation, "the write is co-maximal, the spin must exit");
+    assert!(s.cond_reachable);
+}

@@ -1,0 +1,69 @@
+//! Portability of synchronization primitives across architectures: the
+//! same lock algorithm verified under the PTX model (the paper's §5
+//! workflow of porting primitives between GPU APIs).
+
+use gpumc::Verifier;
+use gpumc_catalog::{primitive_source_ptx, Grid, Primitive, Variant};
+use gpumc_models::ModelKind;
+
+fn correct(p: Primitive, variant: Variant, grid: Grid, model: ModelKind) -> bool {
+    let src = primitive_source_ptx(p, variant, grid);
+    let program = gpumc::parse_litmus(&src).expect("ptx primitive parses");
+    let o = Verifier::new(gpumc_models::load(model))
+        .with_bound(2)
+        .check_assertion(&program)
+        .expect("verifies");
+    !o.reachable
+}
+
+#[test]
+fn ptx_caslock_correct_and_relaxations_buggy() {
+    for model in [ModelKind::Ptx60, ModelKind::Ptx75] {
+        assert!(
+            correct(Primitive::CasLock, Variant::Base, Grid::new(2, 2), model),
+            "{model}: caslock is correct under PTX"
+        );
+        assert!(
+            !correct(Primitive::CasLock, Variant::Acq2Rx(0), Grid::new(2, 2), model),
+            "{model}: relaxing the acquire breaks it"
+        );
+        assert!(
+            !correct(Primitive::CasLock, Variant::Rel2Rx(0), Grid::new(2, 2), model),
+            "{model}: relaxing the release breaks it"
+        );
+    }
+}
+
+#[test]
+fn ptx_scope_reduction_mirrors_dv2wg() {
+    // gpu→cta with threads in different CTAs: broken, like Vulkan dv2wg.
+    assert!(!correct(
+        Primitive::CasLock,
+        Variant::Dv2Wg,
+        Grid::new(2, 2),
+        ModelKind::Ptx75
+    ));
+    // Same CTA: correct again.
+    assert!(correct(
+        Primitive::CasLock,
+        Variant::Dv2Wg,
+        Grid::new(2, 1),
+        ModelKind::Ptx75
+    ));
+}
+
+#[test]
+fn ptx_ticketlock_ports_correctly() {
+    assert!(correct(
+        Primitive::TicketLock,
+        Variant::Base,
+        Grid::new(2, 2),
+        ModelKind::Ptx75
+    ));
+    assert!(!correct(
+        Primitive::TicketLock,
+        Variant::Rel2Rx(0),
+        Grid::new(2, 2),
+        ModelKind::Ptx75
+    ));
+}
