@@ -10,6 +10,7 @@ fn mp_graph(threads: usize) -> gpumc::gpumc_ir::EventGraph {
     gpumc::gpumc_ir::compile(&gpumc::gpumc_ir::unroll(&p, 1).unwrap())
 }
 
+#[allow(clippy::needless_range_loop)] // i1 < i2 index pairs read better as ranges
 fn bench_solver_pigeonhole(c: &mut Criterion) {
     c.bench_function("sat/pigeonhole-7-into-6", |b| {
         b.iter(|| {
@@ -124,6 +125,43 @@ fn bench_cat_parse(c: &mut Criterion) {
     });
 }
 
+/// Model loading: a fresh `.cat` parse per use vs the process-wide shared
+/// cache (`load_shared` parses each model at most once per process).
+fn bench_model_cache(c: &mut Criterion) {
+    use gpumc_models::ModelKind;
+    c.bench_function("models/load-uncached-ptx75", |b| {
+        b.iter(|| gpumc::gpumc_cat::parse(ModelKind::Ptx75.source()).unwrap())
+    });
+    c.bench_function("models/load-shared-ptx75", |b| {
+        b.iter(|| gpumc_models::load_shared(ModelKind::Ptx75))
+    });
+}
+
+/// Batch verification: the suite runner over the figure corpus with one
+/// worker vs the machine's full worker pool. On a single-core host the two
+/// converge; with more cores the `jobs-N` wall time drops while the
+/// rendered table stays byte-identical.
+fn bench_suite_jobs(c: &mut Criterion) {
+    let tests = gpumc_catalog::figure_tests();
+    let n = gpumc::effective_jobs(0);
+    for jobs in [1, n] {
+        let runner = gpumc::SuiteRunner::new(gpumc::SuiteConfig {
+            jobs,
+            ..Default::default()
+        });
+        c.bench_function(&format!("suite/figures-jobs-{jobs}"), |b| {
+            b.iter(|| {
+                let report = runner.run(&tests);
+                assert_eq!(report.passed(), tests.len());
+                report
+            })
+        });
+        if n == 1 {
+            break; // single-core host: jobs-1 and jobs-N are the same config
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -133,6 +171,8 @@ criterion_group! {
         bench_encode,
         bench_end_to_end,
         bench_ablation_bounds,
-        bench_cat_parse
+        bench_cat_parse,
+        bench_model_cache,
+        bench_suite_jobs
 }
 criterion_main!(benches);

@@ -1,16 +1,34 @@
 use gpumc::Verifier;
 use std::io::Write;
 fn main() {
-    let start: usize = std::env::var("START").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
-    for b in gpumc_catalog::primitive_benchmarks().into_iter().skip(start) {
+    let start: usize = std::env::var("START")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    for b in gpumc_catalog::primitive_benchmarks()
+        .into_iter()
+        .skip(start)
+    {
         let t0 = std::time::Instant::now();
         let p = gpumc::parse_litmus(&b.test.source).unwrap();
         let v = Verifier::new(gpumc_models::vulkan()).with_bound(b.test.bound);
         let o = v.check_assertion(&p).unwrap();
         let correct = !o.reachable;
-        println!("{:24} {} |T|={} |E|={} correct={} (expect {}) {:?}{}",
-            b.name, b.grid, b.grid.threads(), o.stats.events, correct, b.expect_correct,
-            t0.elapsed(), if correct != b.expect_correct {"  MISMATCH!"} else {""});
+        println!(
+            "{:24} {} |T|={} |E|={} correct={} (expect {}) {:?}{}",
+            b.name,
+            b.grid,
+            b.grid.threads(),
+            o.stats.events,
+            correct,
+            b.expect_correct,
+            t0.elapsed(),
+            if correct != b.expect_correct {
+                "  MISMATCH!"
+            } else {
+                ""
+            }
+        );
         std::io::stdout().flush().ok();
     }
 }

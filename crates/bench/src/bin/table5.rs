@@ -2,7 +2,7 @@
 //! Dartagnan-style engine vs the Alloy-style baseline, per model, with
 //! average verification times.
 //!
-//! Run with: `cargo run --release -p gpumc-bench --bin table5`
+//! Run with: `cargo run --release -p gpumc-bench --bin table5 [-- --jobs N]`
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -30,11 +30,19 @@ impl Row {
             self.time_us as f64 / 1000.0 / self.total() as f64
         }
     }
+    fn count(&mut self, property: Property, us: u128) {
+        self.time_us += us;
+        match property {
+            Property::Safety => self.safety += 1,
+            Property::Liveness => self.liveness += 1,
+            Property::DataRaceFreedom => self.drf += 1,
+        }
+    }
 }
 
 fn run_one(t: &Test, model: ModelKind, engine: EngineKind) -> Result<u128, VerifyError> {
     let program = gpumc::parse_litmus(&t.source)?;
-    let v = Verifier::new(gpumc_models::load(model))
+    let v = Verifier::new(gpumc_models::load_shared(model))
         .with_bound(t.bound)
         .with_engine(engine);
     let t0 = Instant::now();
@@ -52,39 +60,43 @@ fn run_one(t: &Test, model: ModelKind, engine: EngineKind) -> Result<u128, Verif
     Ok(t0.elapsed().as_micros())
 }
 
-fn suite_rows(model: ModelKind, tests: &[Test]) -> (Row, Row) {
-    let mut dartagnan = Row::default();
-    let mut alloy = Row::default();
-    for t in tests {
-        // Dartagnan supports everything in the catalog.
-        match run_one(t, model, EngineKind::Sat) {
-            Ok(us) => {
-                dartagnan.time_us += us;
-                match t.property {
-                    Property::Safety => dartagnan.safety += 1,
-                    Property::Liveness => dartagnan.liveness += 1,
-                    Property::DataRaceFreedom => dartagnan.drf += 1,
-                }
+/// Runs a suite against one model on the worker pool, returning the
+/// Dartagnan and Alloy rows. Per-test work is independent; the fold back
+/// into rows happens on the collected, input-ordered results, so the
+/// table is identical for every `--jobs` value.
+fn suite_rows(model: ModelKind, tests: &[Test], jobs: usize) -> (Row, Row) {
+    let timings = gpumc::parallel_map_ordered(tests, jobs, |_, t| {
+        let dartagnan = match run_one(t, model, EngineKind::Sat) {
+            Ok(us) => Some(us),
+            Err(e) => {
+                eprintln!("dartagnan failed on {}: {e}", t.name);
+                None
             }
-            Err(e) => eprintln!("dartagnan failed on {}: {e}", t.name),
-        }
+        };
         // The Alloy baseline: straight-line only, no liveness, no control
         // barriers / constant proxy.
-        if t.alloy_supported() {
-            if let Ok(us) = run_one(
+        let alloy = if t.alloy_supported() {
+            run_one(
                 t,
                 model,
                 EngineKind::Enumerate {
                     straight_line_only: true,
                 },
-            ) {
-                alloy.time_us += us;
-                match t.property {
-                    Property::Safety => alloy.safety += 1,
-                    Property::Liveness => alloy.liveness += 1,
-                    Property::DataRaceFreedom => alloy.drf += 1,
-                }
-            }
+            )
+            .ok()
+        } else {
+            None
+        };
+        (dartagnan, alloy)
+    });
+    let mut dartagnan = Row::default();
+    let mut alloy = Row::default();
+    for (t, (d, a)) in tests.iter().zip(timings) {
+        if let Some(us) = d {
+            dartagnan.count(t.property, us);
+        }
+        if let Some(us) = a {
+            alloy.count(t.property, us);
         }
     }
     (dartagnan, alloy)
@@ -131,6 +143,7 @@ fn print_block(out: &mut impl std::io::Write, name: &str, d: Row, a: Option<Row>
 }
 
 fn main() {
+    let jobs = gpumc_bench::jobs_from_args();
     let ptx_safety = gpumc_catalog::ptx_safety_suite();
     let ptx_proxy = gpumc_catalog::ptx_proxy_suite();
     let vk_safety = gpumc_catalog::vulkan_safety_suite();
@@ -158,6 +171,8 @@ fn main() {
         both.len()
     );
 
+    let batch = Instant::now();
+    let mut aggregate_us = 0u128;
     let mut out: Box<dyn std::io::Write> = Box::new(std::io::stdout());
     writeln!(out, "Table 5: comparing Dartagnan- and Alloy-style engines").unwrap();
 
@@ -172,7 +187,8 @@ fn main() {
     // The 73-liveness suite of the paper is arch-independent; pad the
     // PTX liveness set by reusing the Vulkan family shapes in the PTX
     // dialect is already done by the generator (36 per arch + fig14).
-    let (d, _a) = suite_rows(ModelKind::Ptx60, &tests);
+    let (d, _a) = suite_rows(ModelKind::Ptx60, &tests, jobs);
+    aggregate_us += d.time_us;
     print_block(&mut out, "Ptx v6.0", d, None);
 
     // PTX v7.5: adds the proxy suite; the Alloy baseline supports only
@@ -180,13 +196,25 @@ fn main() {
     let mut tests = ptx_safety;
     tests.extend(ptx_proxy);
     tests.extend(ptx_live);
-    let (d, a) = suite_rows(ModelKind::Ptx75, &tests);
+    let (d, a) = suite_rows(ModelKind::Ptx75, &tests, jobs);
+    aggregate_us += d.time_us + a.time_us;
     print_block(&mut out, "Ptx v7.5", d, Some(a));
 
     // Vulkan: safety + drf + liveness.
     let mut tests = vk_safety;
     tests.extend(vk_drf);
     tests.extend(vk_live);
-    let (d, a) = suite_rows(ModelKind::Vulkan, &tests);
+    let (d, a) = suite_rows(ModelKind::Vulkan, &tests, jobs);
+    aggregate_us += d.time_us + a.time_us;
     print_block(&mut out, "Vulkan", d, Some(a));
+
+    eprintln!(
+        "{}",
+        gpumc_bench::timing_footer(
+            "table5",
+            jobs,
+            batch.elapsed(),
+            std::time::Duration::from_micros(aggregate_us as u64),
+        )
+    );
 }

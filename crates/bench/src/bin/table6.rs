@@ -1,14 +1,17 @@
 //! Regenerates Table 6: tool validation against the GPUVerify-style
 //! baseline on the synthesized kernel corpus (DESIGN.md substitution #3).
 //!
-//! Run with: `cargo run --release -p gpumc-bench --bin table6`
+//! Run with: `cargo run --release -p gpumc-bench --bin table6 [-- --jobs N]`
 
 use std::time::Instant;
 
 use gpumc::Verifier;
+use gpumc_models::ModelKind;
 use gpumc_spirv::{emit_spirv, gpuverify_corpus, lower, parse_spirv, Bucket};
 
 fn main() {
+    let jobs = gpumc_bench::jobs_from_args();
+    let batch = Instant::now();
     let corpus = gpuverify_corpus();
     let compile_fail = corpus
         .iter()
@@ -19,20 +22,29 @@ fn main() {
         .filter(|c| c.bucket == Bucket::TriviallyRaceFree)
         .count();
 
-    // --- the Dartagnan-style verifier on the verifiable kernels.
-    let mut gpumc_time = 0u128;
-    let mut gpumc_count = 0usize;
-    let mut gpumc_racy: Vec<(String, bool)> = Vec::new();
-    for case in corpus.iter().filter(|c| c.bucket == Bucket::Verifiable) {
+    // --- the Dartagnan-style verifier on the verifiable kernels, fanned
+    //     out over the worker pool (each kernel is independent).
+    let verifiable: Vec<_> = corpus
+        .iter()
+        .filter(|c| c.bucket == Bucket::Verifiable)
+        .collect();
+    let verdicts = gpumc::parallel_map_ordered(&verifiable, jobs, |_, case| {
         let kernel = case.kernel.as_ref().expect("verifiable kernels exist");
         let text = emit_spirv(kernel);
         let module = parse_spirv(&text).expect("parses");
         let program = lower(&module, case.grid).expect("lowers");
-        let v = Verifier::new(gpumc_models::vulkan()).with_bound(2);
+        let v = Verifier::new(gpumc_models::load_shared(ModelKind::Vulkan)).with_bound(2);
         let t0 = Instant::now();
-        match v.check_data_races(&program) {
+        let outcome = v.check_data_races(&program);
+        (outcome, t0.elapsed().as_micros())
+    });
+    let mut gpumc_time = 0u128;
+    let mut gpumc_count = 0usize;
+    let mut gpumc_racy: Vec<(String, bool)> = Vec::new();
+    for (case, (outcome, us)) in verifiable.iter().zip(verdicts) {
+        match outcome {
             Ok(o) => {
-                gpumc_time += t0.elapsed().as_micros();
+                gpumc_time += us;
                 gpumc_count += 1;
                 gpumc_racy.push((case.name.clone(), o.violated));
                 if let Some(expected) = case.expected_racy {
@@ -53,12 +65,10 @@ fn main() {
     let mut gv_time = 0u128;
     let mut gv_count = 0usize;
     let mut gv_verdicts: Vec<(String, bool)> = Vec::new();
-    for case in corpus.iter().filter(|c| {
-        matches!(
-            c.bucket,
-            Bucket::Verifiable | Bucket::UnsupportedByVerifier
-        )
-    }) {
+    for case in corpus
+        .iter()
+        .filter(|c| matches!(c.bucket, Bucket::Verifiable | Bucket::UnsupportedByVerifier))
+    {
         let kernel = case.kernel.as_ref().expect("kernels exist");
         let t0 = Instant::now();
         let verdict = gpumc_gpuverify::analyze(kernel, case.grid);
@@ -115,4 +125,13 @@ fn main() {
             }
         );
     }
+    eprintln!(
+        "{}",
+        gpumc_bench::timing_footer(
+            "table6",
+            jobs,
+            batch.elapsed(),
+            std::time::Duration::from_micros((gpumc_time + gv_time) as u64),
+        )
+    );
 }

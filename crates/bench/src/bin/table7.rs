@@ -1,39 +1,55 @@
 //! Regenerates Table 7: verification of synchronization primitives
 //! (caslock / ticketlock / ttaslock / xf-barrier and their weakenings).
 //!
-//! Run with: `cargo run --release -p gpumc-bench --bin table7`
+//! Run with: `cargo run --release -p gpumc-bench --bin table7 [-- --jobs N]`
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use gpumc::Verifier;
+use gpumc_models::ModelKind;
 
 fn main() {
+    let jobs = gpumc_bench::jobs_from_args();
     // `FAST=1` skips the slowest correct-case row (ttaslock base, ~15
     // minutes on the reference machine) for quick harness runs.
     let fast = std::env::var("FAST").is_ok();
+    let batch = Instant::now();
+    let benches: Vec<_> = gpumc_catalog::primitive_benchmarks()
+        .into_iter()
+        .filter(|b| {
+            if fast && b.name == "ttaslock" {
+                println!("{:26} (skipped under FAST=1)", b.name);
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+
+    // Each primitive is independent; fan out, then print in input order.
+    let results = gpumc::parallel_map_ordered(&benches, jobs, |_, b| {
+        let program = match gpumc::parse_litmus(&b.test.source) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("parse failed: {e}")),
+        };
+        let v =
+            Verifier::new(gpumc_models::load_shared(ModelKind::Vulkan)).with_bound(b.test.bound);
+        let t0 = Instant::now();
+        v.check_assertion(&program)
+            .map(|o| (o, t0.elapsed().as_millis()))
+            .map_err(|e| e.to_string())
+    });
+
     println!(
         "{:26} {:>5} {:>4} {:>5} {:>8} {:>10}",
         "Benchmark", "Grid", "|T|", "|E|", "Correct", "Time (ms)"
     );
     let mut csv = String::from("benchmark,grid,threads,events,correct,expected,time_ms\n");
-    for b in gpumc_catalog::primitive_benchmarks() {
-        if fast && b.name == "ttaslock" {
-            println!("{:26} (skipped under FAST=1)", b.name);
-            continue;
-        }
-        let program = match gpumc::parse_litmus(&b.test.source) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{}: parse failed: {e}", b.name);
-                continue;
-            }
-        };
-        let v = Verifier::new(gpumc_models::vulkan()).with_bound(b.test.bound);
-        let t0 = Instant::now();
-        match v.check_assertion(&program) {
-            Ok(o) => {
-                let ms = t0.elapsed().as_millis();
+    let mut aggregate_ms = 0u128;
+    for (b, result) in benches.iter().zip(results) {
+        match result {
+            Ok((o, ms)) => {
+                aggregate_ms += ms;
                 let correct = !o.reachable;
                 println!(
                     "{:26} {:>5} {:>4} {:>5} {:>8} {:>10}{}",
@@ -59,7 +75,6 @@ fn main() {
                     b.expect_correct,
                     ms
                 ));
-                std::io::stdout().flush().ok();
             }
             Err(e) => eprintln!("{}: {e}", b.name),
         }
@@ -69,4 +84,13 @@ fn main() {
     } else {
         eprintln!("wrote table7.csv");
     }
+    eprintln!(
+        "{}",
+        gpumc_bench::timing_footer(
+            "table7",
+            jobs,
+            batch.elapsed(),
+            std::time::Duration::from_millis(aggregate_ms as u64),
+        )
+    );
 }

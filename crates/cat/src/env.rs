@@ -31,27 +31,74 @@ pub struct BaseEnv {
 /// Base event tags: the herd basics plus Table 2 of the paper.
 pub const BUILTIN_SETS: &[&str] = &[
     // Core event classes.
-    "M", "W", "R", "F", "B", "CBAR", "I", "IW", "RMW",
+    "M",
+    "W",
+    "R",
+    "F",
+    "B",
+    "CBAR",
+    "I",
+    "IW",
+    "RMW",
     // Memory orders / atomicity.
-    "A", "ACQ", "REL", "SC", "RLX",
+    "A",
+    "ACQ",
+    "REL",
+    "SC",
+    "RLX",
     // Vulkan privacy.
     "NONPRIV",
     // Instruction scope tags: Vulkan then PTX.
-    "SG", "WG", "QF", "DV", "CTA", "GPU", "SYS",
+    "SG",
+    "WG",
+    "QF",
+    "DV",
+    "CTA",
+    "GPU",
+    "SYS",
     // PTX proxies and the alias proxy fence.
-    "GEN", "SUR", "TEX", "CON", "ALIAS",
+    "GEN",
+    "SUR",
+    "TEX",
+    "CON",
+    "ALIAS",
     // Vulkan storage classes and storage-class semantics.
-    "SC0", "SC1", "SEMSC0", "SEMSC1",
+    "SC0",
+    "SC1",
+    "SEMSC0",
+    "SEMSC1",
     // Vulkan availability / visibility.
-    "AV", "VIS", "SEMAV", "SEMVIS", "AVDEVICE", "VISDEVICE",
+    "AV",
+    "VIS",
+    "SEMAV",
+    "SEMVIS",
+    "AVDEVICE",
+    "VISDEVICE",
 ];
 
 /// Base relations: the herd basics plus Table 1 of the paper.
 pub const BUILTIN_RELS: &[&str] = &[
-    "po", "rf", "co", "loc", "ext", "int", "rmw", "addr", "data", "ctrl",
+    "po",
+    "rf",
+    "co",
+    "loc",
+    "ext",
+    "int",
+    "rmw",
+    "addr",
+    "data",
+    "ctrl",
     // Table 1 (GPU extensions).
-    "vloc", "sr", "scta", "ssg", "swg", "sqf", "ssw", "syncbar",
-    "sync_barrier", "sync_fence",
+    "vloc",
+    "sr",
+    "scta",
+    "ssg",
+    "swg",
+    "sqf",
+    "ssw",
+    "syncbar",
+    "sync_barrier",
+    "sync_fence",
 ];
 
 impl BaseEnv {

@@ -227,10 +227,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     });
                 }
             }
-            '_' if chars
-                .get(i + 1)
-                .is_none_or(|&c| !is_name_continue(c)) =>
-            {
+            '_' if chars.get(i + 1).is_none_or(|&c| !is_name_continue(c)) => {
                 tokens.push(Token::Underscore);
                 i += 1;
             }

@@ -196,10 +196,7 @@ fn collect_rel(r: &RelExpr, out: &mut Vec<String>) {
             collect_set(a, out);
             collect_set(b, out);
         }
-        RelExpr::Union(a, b)
-        | RelExpr::Inter(a, b)
-        | RelExpr::Diff(a, b)
-        | RelExpr::Seq(a, b) => {
+        RelExpr::Union(a, b) | RelExpr::Inter(a, b) | RelExpr::Diff(a, b) | RelExpr::Seq(a, b) => {
             collect_rel(a, out);
             collect_rel(b, out);
         }

@@ -13,9 +13,7 @@
 //! The token `*` is postfix when not followed by the start of an
 //! expression (so `r*; s` is a closure while `A * B` is a product).
 
-use crate::ast::{
-    AxiomKind, Expr, RawAxiom, RawDef, RawLet, RawModel, RawStatement,
-};
+use crate::ast::{AxiomKind, Expr, RawAxiom, RawDef, RawLet, RawModel, RawStatement};
 use crate::lexer::Token;
 
 /// A syntax error.
@@ -110,9 +108,7 @@ impl<'a> Parser<'a> {
                     model.statements.push(RawStatement::Axiom(axiom));
                 }
                 other => {
-                    return Err(self.error(format!(
-                        "expected `let` or an axiom, found {other:?}"
-                    )))
+                    return Err(self.error(format!("expected `let` or an axiom, found {other:?}")))
                 }
             }
         }
@@ -424,10 +420,16 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        assert_eq!(kinds[0], (AxiomKind::Acyclic, false, false, Some("no-thin-air".into())));
+        assert_eq!(
+            kinds[0],
+            (AxiomKind::Acyclic, false, false, Some("no-thin-air".into()))
+        );
         assert_eq!(kinds[1], (AxiomKind::Irreflexive, false, false, None));
         assert_eq!(kinds[2], (AxiomKind::Empty, false, false, None));
-        assert_eq!(kinds[3], (AxiomKind::Empty, true, true, Some("race".into())));
+        assert_eq!(
+            kinds[3],
+            (AxiomKind::Empty, true, true, Some("race".into()))
+        );
     }
 
     #[test]

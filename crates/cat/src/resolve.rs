@@ -128,9 +128,7 @@ pub fn resolve(raw: &RawModel, env: &BaseEnv) -> Result<CatModel, ResolveError> 
                 }
             }
             RawStatement::Axiom(a) => {
-                let expr = r
-                    .expr(&a.expr)?
-                    .into_rel(&format!("{} axiom", a.kind))?;
+                let expr = r.expr(&a.expr)?.into_rel(&format!("{} axiom", a.kind))?;
                 axioms.push(Axiom {
                     kind: a.kind,
                     flagged: a.flagged,
@@ -324,8 +322,8 @@ mod tests {
 
     #[test]
     fn domain_range_are_sets() {
-        let m = resolve_src("let ws = domain(co)\nlet rs = range(rf)\nempty [ws]; po; [rs]")
-            .unwrap();
+        let m =
+            resolve_src("let ws = domain(co)\nlet rs = range(rf)\nempty [ws]; po; [rs]").unwrap();
         assert!(matches!(m.defs()[0].body, DefBody::Set(_)));
         assert!(matches!(m.defs()[1].body, DefBody::Set(_)));
     }

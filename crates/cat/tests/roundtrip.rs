@@ -23,22 +23,14 @@ fn name_strategy() -> impl Strategy<Value = String> {
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        name_strategy().prop_map(Expr::Name),
-        Just(Expr::Universe),
-    ];
+    let leaf = prop_oneof![name_strategy().prop_map(Expr::Name), Just(Expr::Universe),];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Cross(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cross(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::Bracket(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Inverse(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Plus(Box::new(a))),

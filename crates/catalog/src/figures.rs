@@ -148,12 +148,36 @@ exists (P1:r1 == 1 /\ P1:r2 == 0)
 /// All figure tests with their paper-established expectations.
 pub fn figure_tests() -> Vec<Test> {
     vec![
-        Test::new("fig6-partial-co", FIG6_PARTIAL_CO.into(), Property::Safety, 1).expect(true),
-        Test::new("fig7-sb-barrier", FIG7_SB_BARRIER.into(), Property::Safety, 1).expect(true),
-        Test::new("fig5-mp-proxies", FIG5_MP_PROXIES.into(), Property::Safety, 1).expect(false),
+        Test::new(
+            "fig6-partial-co",
+            FIG6_PARTIAL_CO.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(true),
+        Test::new(
+            "fig7-sb-barrier",
+            FIG7_SB_BARRIER.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(true),
+        Test::new(
+            "fig5-mp-proxies",
+            FIG5_MP_PROXIES.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(false),
         Test::new("fig10-mp-spin", FIG10_MP_SPIN.into(), Property::Safety, 2).expect(false),
         Test::new("fig11-nir-bug", FIG11_NIR_BUG.into(), Property::Safety, 1).expect(true),
-        Test::new("fig12-deque", FIG12_DEQUE_FENCED.into(), Property::Safety, 1).expect(false),
+        Test::new(
+            "fig12-deque",
+            FIG12_DEQUE_FENCED.into(),
+            Property::Safety,
+            1,
+        )
+        .expect(false),
         Test::new(
             "fig12-deque-buggy",
             FIG12_DEQUE_UNFENCED.into(),
@@ -182,6 +206,12 @@ pub fn figure_tests() -> Vec<Test> {
             1,
         )
         .expect(true),
-        Test::new("fig3-xf-racy", FIG3_XF_RACY.into(), Property::DataRaceFreedom, 2).expect(true),
+        Test::new(
+            "fig3-xf-racy",
+            FIG3_XF_RACY.into(),
+            Property::DataRaceFreedom,
+            2,
+        )
+        .expect(true),
     ]
 }

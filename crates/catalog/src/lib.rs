@@ -28,8 +28,8 @@ pub use patterns::{
     liveness_suite, ptx_proxy_suite, ptx_safety_suite, vulkan_drf_suite, vulkan_safety_suite,
 };
 pub use primitives::{
-    primitive_benchmarks, primitive_source, primitive_source_ptx, Grid, Primitive,
-    PrimitiveBench, Variant,
+    primitive_benchmarks, primitive_source, primitive_source_ptx, Grid, Primitive, PrimitiveBench,
+    Variant,
 };
 pub use scaling::{scaling_test, ScalePattern};
 

@@ -161,7 +161,13 @@ impl Ctx {
 /// Builds a test from per-thread instruction columns.
 fn table(ctx: &Ctx, name: &str, prelude: &str, cols: &[Vec<String>], cond: &str) -> String {
     let rows = cols.iter().map(Vec::len).max().unwrap_or(0);
-    let mut out = format!("{} {}\n{{ {} }}\n{}\n", ctx.arch_name(), name, prelude, ctx.header(cols.len()));
+    let mut out = format!(
+        "{} {}\n{{ {} }}\n{}\n",
+        ctx.arch_name(),
+        name,
+        prelude,
+        ctx.header(cols.len())
+    );
     for r in 0..rows {
         let cells: Vec<&str> = cols
             .iter()
@@ -207,12 +213,7 @@ fn family(ctx: &Ctx, fam: &str) -> (String, Option<bool>) {
             );
             let expected = if forbidden_when_synced {
                 Some(false)
-            } else if weak
-                || matches!(
-                    (ctx.sync, ctx.scoping),
-                    (Sync::RelAcq, Scoping::Narrow)
-                )
-            {
+            } else if weak || matches!((ctx.sync, ctx.scoping), (Sync::RelAcq, Scoping::Narrow)) {
                 // Plain accesses, or correct orders at a scope narrower
                 // than the thread placement (the dv2wg situation of
                 // Table 7): the stale read is reachable.
@@ -256,7 +257,11 @@ fn family(ctx: &Ctx, fam: &str) -> (String, Option<bool>) {
                 &cols,
                 "exists (P0:r0 == 1 /\\ P1:r1 == 1)",
             );
-            let expected = if forbidden_when_synced { Some(false) } else { None };
+            let expected = if forbidden_when_synced {
+                Some(false)
+            } else {
+                None
+            };
             (src, expected)
         }
         "IRIW" => {
@@ -301,13 +306,7 @@ fn family(ctx: &Ctx, fam: &str) -> (String, Option<bool>) {
                 vec![ctx.st("x", "1", true), ctx.ld("r0", "x", true)],
                 vec![ctx.st("x", "2", true)],
             ];
-            let src = table(
-                ctx,
-                "CoWR",
-                "x = 0;",
-                &cols,
-                "exists (P0:r0 == 0)",
-            );
+            let src = table(ctx, "CoWR", "x = 0;", &cols, "exists (P0:r0 == 0)");
             // Reading the initial value after the own write is a
             // same-thread coherence violation in every configuration.
             (src, Some(false))
@@ -325,7 +324,11 @@ fn family(ctx: &Ctx, fam: &str) -> (String, Option<bool>) {
                 &cols,
                 "exists (P1:r0 == 1 /\\ P2:r1 == 1 /\\ P2:r2 == 0)",
             );
-            let expected = if forbidden_when_synced { Some(false) } else { None };
+            let expected = if forbidden_when_synced {
+                Some(false)
+            } else {
+                None
+            };
             (src, expected)
         }
         "ISA2" => {
@@ -341,7 +344,11 @@ fn family(ctx: &Ctx, fam: &str) -> (String, Option<bool>) {
                 &cols,
                 "exists (P1:r0 == 1 /\\ P2:r1 == 1 /\\ P2:r2 == 0)",
             );
-            let expected = if forbidden_when_synced { Some(false) } else { None };
+            let expected = if forbidden_when_synced {
+                Some(false)
+            } else {
+                None
+            };
             (src, expected)
         }
         "2+2W" => {
@@ -395,7 +402,11 @@ fn family_suite(arch: ArchKind) -> Vec<Test> {
     for fam in FAMILIES {
         for sync in SYNCS {
             for scoping in [Scoping::Wide, Scoping::Narrow] {
-                let ctx = Ctx { arch, sync, scoping };
+                let ctx = Ctx {
+                    arch,
+                    sync,
+                    scoping,
+                };
                 let (src, expected) = family(&ctx, fam);
                 let scope_name = ctx.scope();
                 let mut t = Test::new(
@@ -517,14 +528,17 @@ exists (P1:r0 == 1 /\ P1:r1 == 0)
 /// The 129 PTX proxy tests (v7.5 only; Table 5's extra safety tests).
 pub fn ptx_proxy_suite() -> Vec<Test> {
     let mut out = Vec::new();
-    let proxies = [("surface", "sust", "suld"), ("texture", "tst", "tld"), ("constant", "cst", "cld")];
+    let proxies = [
+        ("surface", "sust", "suld"),
+        ("texture", "tst", "tld"),
+        ("constant", "cst", "cld"),
+    ];
     // 4 families × 3 proxies × 5 fence configs × 2 scopes = 120.
     for fam in ["MP", "CoWW", "SB", "CoRR"] {
         for (proxy, pst, pld) in proxies {
             for fences in ["none", "writer", "reader", "both", "alias"] {
                 for scope in ["cta", "gpu"] {
-                    let (src, expected) =
-                        proxy_test(fam, proxy, pst, pld, fences, scope);
+                    let (src, expected) = proxy_test(fam, proxy, pst, pld, fences, scope);
                     let mut t = Test::new(
                         format!("{fam}-{proxy}-{fences}-{scope}"),
                         src,
@@ -941,11 +955,7 @@ exists (P0:r0 == 0)
 "#,
             Some(false),
         ),
-        (
-            "drf-xf-original",
-            crate::figures::FIG3_XF_RACY,
-            Some(true),
-        ),
+        ("drf-xf-original", crate::figures::FIG3_XF_RACY, Some(true)),
     ];
     for (name, src, expected) in extras {
         let mut t = Test::new(name, src.into(), Property::DataRaceFreedom, 2);
@@ -1037,7 +1047,11 @@ fn liveness_test(arch: ArchKind, fam: &str, spinners: usize, acq: bool) -> (Stri
             "st.atom.dv.sc0".into(),
         ),
     };
-    let arch_name = if arch == ArchKind::Ptx { "PTX" } else { "VULKAN" };
+    let arch_name = if arch == ArchKind::Ptx {
+        "PTX"
+    } else {
+        "VULKAN"
+    };
     let spin = |flag: &str| {
         vec![
             "LC00:".to_string(),
@@ -1046,20 +1060,19 @@ fn liveness_test(arch: ArchKind, fam: &str, spinners: usize, acq: bool) -> (Stri
         ]
     };
     let mut cols: Vec<Vec<String>> = Vec::new();
-    let violated;
-    match fam {
+    let violated = match fam {
         "spin-never-set" => {
             for _ in 0..spinners {
                 cols.push(spin("flag"));
             }
-            violated = true;
+            true
         }
         "spin-wrong-value" => {
             for _ in 0..spinners {
                 cols.push(spin("flag"));
             }
             cols.push(vec![format!("{st} flag, 2")]);
-            violated = true;
+            true
         }
         "spin-deadlock-pair" => {
             // P0 waits for f1 then sets f0; P1 waits for f0 then sets f1.
@@ -1076,14 +1089,14 @@ fn liveness_test(arch: ArchKind, fam: &str, spinners: usize, acq: bool) -> (Stri
             for _ in 2..spinners {
                 cols.push(spin("f0"));
             }
-            violated = true;
+            true
         }
         "spin-writer" => {
             for _ in 0..spinners {
                 cols.push(spin("flag"));
             }
             cols.push(vec![format!("{st} flag, 1")]);
-            violated = false;
+            false
         }
         "spin-chain" => {
             // Writer sets f0; each spinner i waits for f_i and sets f_{i+1}.
@@ -1097,7 +1110,7 @@ fn liveness_test(arch: ArchKind, fam: &str, spinners: usize, acq: bool) -> (Stri
                 c.push(format!("{st} f{}, 1", i + 1));
                 cols.push(c);
             }
-            violated = false;
+            false
         }
         "spin-after-barrier" => {
             // Writer passes a control barrier before setting the flag —
@@ -1112,10 +1125,10 @@ fn liveness_test(arch: ArchKind, fam: &str, spinners: usize, acq: bool) -> (Stri
                 cols.push(c);
             }
             cols.push(vec![bar, format!("{st} flag, 1")]);
-            violated = false;
+            false
         }
         other => panic!("unknown liveness family {other}"),
-    }
+    };
     // Memory prelude: every flag used.
     let mut flags: Vec<&str> = Vec::new();
     let joined = cols

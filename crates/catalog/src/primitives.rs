@@ -139,7 +139,10 @@ impl Style {
 fn emit(name: &str, prelude: &str, cols: &[(String, Vec<String>)], cond: &str) -> String {
     let rows = cols.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
     let headers: Vec<&str> = cols.iter().map(|(h, _)| h.as_str()).collect();
-    let mut out = format!("VULKAN {name}\n{{ {prelude} }}\n{} ;\n", headers.join(" | "));
+    let mut out = format!(
+        "VULKAN {name}\n{{ {prelude} }}\n{} ;\n",
+        headers.join(" | ")
+    );
     for r in 0..rows {
         let cells: Vec<&str> = cols
             .iter()
@@ -267,9 +270,17 @@ fn xf_barrier(s: &Style, grid: Grid) -> String {
             code.push(format!("cbar.acqrel.semsc0 {wg}"));
             if local == 0 {
                 // Representative.
-                code.push(format!("st.atom{}.{scope}.sc0 fin[{}], 1", s.rel(2), wg - 1));
+                code.push(format!(
+                    "st.atom{}.{scope}.sc0 fin[{}], 1",
+                    s.rel(2),
+                    wg - 1
+                ));
                 code.push("LC01:".to_string());
-                code.push(format!("ld.atom{}.{scope}.sc0 r0, fout[{}]", s.acq(2), wg - 1));
+                code.push(format!(
+                    "ld.atom{}.{scope}.sc0 r0, fout[{}]",
+                    s.acq(2),
+                    wg - 1
+                ));
                 code.push("bne r0, 1, LC01".to_string());
             }
             code.push(format!("cbar.acqrel.semsc0 {}", wg + 50));
@@ -295,29 +306,84 @@ fn xf_barrier(s: &Style, grid: Grid) -> String {
 pub fn primitive_benchmarks() -> Vec<PrimitiveBench> {
     let rows: Vec<(Primitive, Variant, Grid, bool)> = vec![
         (Primitive::CasLock, Variant::Base, Grid::new(2, 3), true),
-        (Primitive::CasLock, Variant::Acq2Rx(0), Grid::new(4, 2), false),
-        (Primitive::CasLock, Variant::Rel2Rx(0), Grid::new(4, 2), false),
+        (
+            Primitive::CasLock,
+            Variant::Acq2Rx(0),
+            Grid::new(4, 2),
+            false,
+        ),
+        (
+            Primitive::CasLock,
+            Variant::Rel2Rx(0),
+            Grid::new(4, 2),
+            false,
+        ),
         (Primitive::CasLock, Variant::Dv2Wg, Grid::new(4, 1), true),
         (Primitive::CasLock, Variant::Dv2Wg, Grid::new(4, 2), false),
         (Primitive::TicketLock, Variant::Base, Grid::new(2, 3), true),
-        (Primitive::TicketLock, Variant::Acq2Rx(0), Grid::new(4, 2), false),
-        (Primitive::TicketLock, Variant::Rel2Rx(0), Grid::new(4, 2), false),
+        (
+            Primitive::TicketLock,
+            Variant::Acq2Rx(0),
+            Grid::new(4, 2),
+            false,
+        ),
+        (
+            Primitive::TicketLock,
+            Variant::Rel2Rx(0),
+            Grid::new(4, 2),
+            false,
+        ),
         (Primitive::TicketLock, Variant::Dv2Wg, Grid::new(4, 1), true),
-        (Primitive::TicketLock, Variant::Dv2Wg, Grid::new(4, 2), false),
+        (
+            Primitive::TicketLock,
+            Variant::Dv2Wg,
+            Grid::new(4, 2),
+            false,
+        ),
         // ttaslock's nested spin explodes under the tree-shaped
         // unroller, so its grids are scaled down from the paper's 4.2
         // (see EXPERIMENTS.md); the verdicts and the correct-vs-buggy
         // time asymmetry are unaffected.
         (Primitive::TtasLock, Variant::Base, Grid::new(2, 2), true),
-        (Primitive::TtasLock, Variant::Acq2Rx(0), Grid::new(2, 2), false),
-        (Primitive::TtasLock, Variant::Rel2Rx(0), Grid::new(2, 2), false),
+        (
+            Primitive::TtasLock,
+            Variant::Acq2Rx(0),
+            Grid::new(2, 2),
+            false,
+        ),
+        (
+            Primitive::TtasLock,
+            Variant::Rel2Rx(0),
+            Grid::new(2, 2),
+            false,
+        ),
         (Primitive::TtasLock, Variant::Dv2Wg, Grid::new(2, 1), true),
         (Primitive::TtasLock, Variant::Dv2Wg, Grid::new(2, 2), false),
         (Primitive::XfBarrier, Variant::Base, Grid::new(3, 3), true),
-        (Primitive::XfBarrier, Variant::Acq2Rx(1), Grid::new(2, 2), false),
-        (Primitive::XfBarrier, Variant::Acq2Rx(2), Grid::new(2, 2), false),
-        (Primitive::XfBarrier, Variant::Rel2Rx(1), Grid::new(2, 2), false),
-        (Primitive::XfBarrier, Variant::Rel2Rx(2), Grid::new(2, 2), false),
+        (
+            Primitive::XfBarrier,
+            Variant::Acq2Rx(1),
+            Grid::new(2, 2),
+            false,
+        ),
+        (
+            Primitive::XfBarrier,
+            Variant::Acq2Rx(2),
+            Grid::new(2, 2),
+            false,
+        ),
+        (
+            Primitive::XfBarrier,
+            Variant::Rel2Rx(1),
+            Grid::new(2, 2),
+            false,
+        ),
+        (
+            Primitive::XfBarrier,
+            Variant::Rel2Rx(2),
+            Grid::new(2, 2),
+            false,
+        ),
     ];
     rows.into_iter()
         .map(|(p, variant, grid, correct)| {
@@ -327,12 +393,7 @@ pub fn primitive_benchmarks() -> Vec<PrimitiveBench> {
                 format!("{p}-{variant}")
             };
             let source = primitive_source(p, variant, grid);
-            let mut test = Test::new(
-                format!("{name}-{grid}"),
-                source,
-                Property::Safety,
-                2,
-            );
+            let mut test = Test::new(format!("{name}-{grid}"), source, Property::Safety, 2);
             // Correct ⇔ the violating condition is unreachable.
             test.expected = Some(!correct);
             PrimitiveBench {
@@ -345,59 +406,6 @@ pub fn primitive_benchmarks() -> Vec<PrimitiveBench> {
             }
         })
         .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn twenty_rows_like_table7() {
-        let rows = primitive_benchmarks();
-        assert_eq!(rows.len(), 20);
-        assert_eq!(rows.iter().filter(|r| r.expect_correct).count(), 7);
-    }
-
-    #[test]
-    fn caslock_source_shape() {
-        let src = primitive_source(Primitive::CasLock, Variant::Base, Grid::new(2, 3));
-        assert_eq!(src.matches("atom.cas.acq.dv.sc0").count(), 6);
-        assert_eq!(src.matches("st.atom.rel.dv.sc0 lock, 0").count(), 6);
-        assert!(src.contains("P2@sg 0,wg 1,qf 0"));
-    }
-
-    #[test]
-    fn variants_change_orders_and_scopes() {
-        let relaxed = primitive_source(Primitive::CasLock, Variant::Acq2Rx(0), Grid::new(4, 2));
-        assert!(relaxed.contains("atom.cas.dv.sc0"));
-        assert!(!relaxed.contains("cas.acq"));
-        let narrow = primitive_source(Primitive::CasLock, Variant::Dv2Wg, Grid::new(4, 2));
-        assert!(narrow.contains("atom.cas.acq.wg.sc0"));
-        assert!(!narrow.contains(".dv."));
-    }
-
-    #[test]
-    fn xf_barrier_structure() {
-        let src = primitive_source(Primitive::XfBarrier, Variant::Base, Grid::new(3, 3));
-        // Two follower workgroups: two fin/fout slots.
-        assert!(src.contains("fin[2]"));
-        // Leaders' barrier id 9 + two barriers per follower thread.
-        assert_eq!(src.matches("cbar.acqrel.semsc0 99").count(), 3);
-        // Each follower thread arrives at two distinct barrier instances.
-        assert_eq!(src.matches("cbar.acqrel.semsc0 1").count(), 3);
-        assert_eq!(src.matches("cbar.acqrel.semsc0 51").count(), 3);
-    }
-
-    #[test]
-    fn xf_acq_site_selection() {
-        let v1 = primitive_source(Primitive::XfBarrier, Variant::Acq2Rx(1), Grid::new(2, 2));
-        // Site 1 (leader spin) relaxed; site 2 (representative) acquire.
-        assert!(v1.contains("ld.atom.dv.sc0 r0, fin[0]"));
-        assert!(v1.contains("ld.atom.acq.dv.sc0 r0, fout[0]"));
-        let v2 = primitive_source(Primitive::XfBarrier, Variant::Acq2Rx(2), Grid::new(2, 2));
-        assert!(v2.contains("ld.atom.acq.dv.sc0 r0, fin[0]"));
-        assert!(v2.contains("ld.atom.dv.sc0 r0, fout[0]"));
-    }
 }
 
 /// Emits a PTX-dialect version of a lock primitive (the paper's
@@ -414,7 +422,11 @@ pub fn primitive_source_ptx(p: Primitive, variant: Variant, grid: Grid) -> Strin
         p != Primitive::XfBarrier,
         "the XF barrier is provided in the Vulkan dialect only"
     );
-    let scope = if variant == Variant::Dv2Wg { "cta" } else { "gpu" };
+    let scope = if variant == Variant::Dv2Wg {
+        "cta"
+    } else {
+        "gpu"
+    };
     let acq = |site: u8| match variant {
         Variant::Acq2Rx(s) if s == 0 || s == site => "relaxed",
         _ => "acquire",
@@ -469,7 +481,10 @@ pub fn primitive_source_ptx(p: Primitive, variant: Variant, grid: Grid) -> Strin
     };
     let mut src = format!(
         "PTX {p}-{variant}-{grid}-ptx\n{{ {prelude} }}\n{} ;\n",
-        cols.iter().map(|(h, _)| h.as_str()).collect::<Vec<_>>().join(" | ")
+        cols.iter()
+            .map(|(h, _)| h.as_str())
+            .collect::<Vec<_>>()
+            .join(" | ")
     );
     let rows = cols.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
     for r in 0..rows {
@@ -482,4 +497,57 @@ pub fn primitive_source_ptx(p: Primitive, variant: Variant, grid: Grid) -> Strin
     src.push_str(&mutex_condition(grid, reg));
     src.push('\n');
     src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_rows_like_table7() {
+        let rows = primitive_benchmarks();
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows.iter().filter(|r| r.expect_correct).count(), 7);
+    }
+
+    #[test]
+    fn caslock_source_shape() {
+        let src = primitive_source(Primitive::CasLock, Variant::Base, Grid::new(2, 3));
+        assert_eq!(src.matches("atom.cas.acq.dv.sc0").count(), 6);
+        assert_eq!(src.matches("st.atom.rel.dv.sc0 lock, 0").count(), 6);
+        assert!(src.contains("P2@sg 0,wg 1,qf 0"));
+    }
+
+    #[test]
+    fn variants_change_orders_and_scopes() {
+        let relaxed = primitive_source(Primitive::CasLock, Variant::Acq2Rx(0), Grid::new(4, 2));
+        assert!(relaxed.contains("atom.cas.dv.sc0"));
+        assert!(!relaxed.contains("cas.acq"));
+        let narrow = primitive_source(Primitive::CasLock, Variant::Dv2Wg, Grid::new(4, 2));
+        assert!(narrow.contains("atom.cas.acq.wg.sc0"));
+        assert!(!narrow.contains(".dv."));
+    }
+
+    #[test]
+    fn xf_barrier_structure() {
+        let src = primitive_source(Primitive::XfBarrier, Variant::Base, Grid::new(3, 3));
+        // Two follower workgroups: two fin/fout slots.
+        assert!(src.contains("fin[2]"));
+        // Leaders' barrier id 9 + two barriers per follower thread.
+        assert_eq!(src.matches("cbar.acqrel.semsc0 99").count(), 3);
+        // Each follower thread arrives at two distinct barrier instances.
+        assert_eq!(src.matches("cbar.acqrel.semsc0 1").count(), 3);
+        assert_eq!(src.matches("cbar.acqrel.semsc0 51").count(), 3);
+    }
+
+    #[test]
+    fn xf_acq_site_selection() {
+        let v1 = primitive_source(Primitive::XfBarrier, Variant::Acq2Rx(1), Grid::new(2, 2));
+        // Site 1 (leader spin) relaxed; site 2 (representative) acquire.
+        assert!(v1.contains("ld.atom.dv.sc0 r0, fin[0]"));
+        assert!(v1.contains("ld.atom.acq.dv.sc0 r0, fout[0]"));
+        let v2 = primitive_source(Primitive::XfBarrier, Variant::Acq2Rx(2), Grid::new(2, 2));
+        assert!(v2.contains("ld.atom.acq.dv.sc0 r0, fin[0]"));
+        assert!(v2.contains("ld.atom.dv.sc0 r0, fout[0]"));
+    }
 }

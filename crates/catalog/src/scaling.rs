@@ -43,12 +43,7 @@ pub fn scaling_test(pattern: ScalePattern, threads: usize) -> Test {
             iriw(threads)
         }
     };
-    Test::new(
-        format!("{pattern}-{threads}"),
-        src,
-        Property::Safety,
-        1,
-    )
+    Test::new(format!("{pattern}-{threads}"), src, Property::Safety, 1)
 }
 
 fn header(n: usize) -> String {
@@ -79,15 +74,16 @@ fn mp(n: usize) -> String {
     let mut conds = Vec::new();
     for p in 0..pairs {
         prelude.push_str(&format!("x{p} = 0; f{p} = 0; "));
-        cols.push(vec![
-            format!("st.weak x{p}, 1"),
-            format!("st.weak f{p}, 1"),
-        ]);
+        cols.push(vec![format!("st.weak x{p}, 1"), format!("st.weak f{p}, 1")]);
         cols.push(vec![
             format!("ld.weak r0, f{p}"),
             format!("ld.weak r1, x{p}"),
         ]);
-        conds.push(format!("(P{}:r0 == 1 /\\ P{}:r1 == 0)", 2 * p + 1, 2 * p + 1));
+        conds.push(format!(
+            "(P{}:r0 == 1 /\\ P{}:r1 == 0)",
+            2 * p + 1,
+            2 * p + 1
+        ));
     }
     if n % 2 == 1 {
         cols.push(vec!["ld.weak r0, x0".into()]);

@@ -11,11 +11,12 @@ gpumc — unified analysis of GPU consistency (PTX / Vulkan)
 
 USAGE:
     gpumc verify <test.litmus> [OPTIONS]
+    gpumc suite <ptx|proxy|vulkan|drf|liveness|figures> [OPTIONS]
     gpumc models
     gpumc dump-model <ptx-v6.0|ptx-v7.5|vulkan>
     gpumc catalog [ptx|proxy|vulkan|drf|liveness|figures]
 
-OPTIONS:
+OPTIONS (verify):
     --model <name>       consistency model: ptx-v6.0, ptx-v7.5, vulkan
                          (default: inferred from the test dialect)
     --property <p>       assertion | liveness | datarace  (default: assertion)
@@ -23,6 +24,16 @@ OPTIONS:
                          `alloy` is the straight-line enumeration baseline)
     --bound <n>          loop unrolling bound (default: 2)
     --witness            print the witness execution graph
+
+OPTIONS (suite):
+    --jobs <n>           worker threads (default: all cores; 1 = serial)
+    --engine <e>         sat | enumerate | alloy  (default: sat)
+    --model <name>       model override (default: per-test, from dialect)
+    --thorough           also cross-check a secondary property per test,
+                         reusing the per-test relation-analysis bounds
+
+The suite result table on stdout is deterministic (identical for any
+--jobs value); timings go to stderr.
 ";
 
 fn main() -> ExitCode {
@@ -39,6 +50,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("verify") => verify(&args[1..]),
+        Some("suite") => suite(&args[1..]),
         Some("models") => {
             for m in ModelKind::ALL {
                 println!("{m}\t({})", m.file_name());
@@ -47,7 +59,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         Some("dump-model") => {
             let name = args.get(1).ok_or("dump-model needs a model name")?;
-            let kind = ModelKind::from_name(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+            let kind =
+                ModelKind::from_name(name).ok_or_else(|| format!("unknown model `{name}`"))?;
             print!("{}", kind.source());
             Ok(ExitCode::SUCCESS)
         }
@@ -59,8 +72,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-fn catalog(which: Option<&str>) -> Result<ExitCode, String> {
-    let tests = match which.unwrap_or("figures") {
+fn suite_tests(name: &str) -> Result<Vec<gpumc_catalog::Test>, String> {
+    Ok(match name {
         "ptx" => gpumc_catalog::ptx_safety_suite(),
         "proxy" => gpumc_catalog::ptx_proxy_suite(),
         "vulkan" => gpumc_catalog::vulkan_safety_suite(),
@@ -68,12 +81,66 @@ fn catalog(which: Option<&str>) -> Result<ExitCode, String> {
         "liveness" => gpumc_catalog::liveness_suite(),
         "figures" => gpumc_catalog::figure_tests(),
         other => return Err(format!("unknown suite `{other}`")),
-    };
+    })
+}
+
+fn parse_engine(name: &str) -> Result<EngineKind, String> {
+    Ok(match name {
+        "sat" => EngineKind::Sat,
+        "enumerate" => EngineKind::Enumerate {
+            straight_line_only: false,
+        },
+        "alloy" => EngineKind::Enumerate {
+            straight_line_only: true,
+        },
+        other => return Err(format!("unknown engine `{other}`")),
+    })
+}
+
+fn catalog(which: Option<&str>) -> Result<ExitCode, String> {
+    let tests = suite_tests(which.unwrap_or("figures"))?;
     for t in &tests {
         println!("{}\t{:?}\texpected={:?}", t.name, t.property, t.expected);
     }
     eprintln!("{} tests", tests.len());
     Ok(ExitCode::SUCCESS)
+}
+
+fn suite(args: &[String]) -> Result<ExitCode, String> {
+    let mut name = None;
+    let mut config = gpumc::SuiteConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                config.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --jobs")?
+            }
+            "--engine" => config.engine = parse_engine(it.next().ok_or("--engine needs a value")?)?,
+            "--model" => {
+                let m = it.next().ok_or("--model needs a value")?;
+                config.model =
+                    Some(ModelKind::from_name(m).ok_or_else(|| format!("unknown model `{m}`"))?);
+            }
+            "--thorough" => config.thorough = true,
+            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let name = name.ok_or("missing suite name (ptx|proxy|vulkan|drf|liveness|figures)")?;
+    let tests = suite_tests(&name)?;
+    let report = gpumc::SuiteRunner::new(config).run(&tests);
+    // Deterministic table on stdout; timings (non-deterministic) on stderr.
+    print!("{}", report.render_table());
+    eprintln!("{}", report.render_summary());
+    Ok(if report.passed() == report.results.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn verify(args: &[String]) -> Result<ExitCode, String> {
@@ -97,9 +164,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| "bad --bound")?
             }
             "--witness" => show_witness = true,
-            other if !other.starts_with('-') && path.is_none() => {
-                path = Some(other.to_string())
-            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -116,23 +181,16 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             gpumc::gpumc_ir::Arch::Vulkan => ModelKind::Vulkan,
         },
     };
-    let engine = match engine.as_str() {
-        "sat" => EngineKind::Sat,
-        "enumerate" => EngineKind::Enumerate {
-            straight_line_only: false,
-        },
-        "alloy" => EngineKind::Enumerate {
-            straight_line_only: true,
-        },
-        other => return Err(format!("unknown engine `{other}`")),
-    };
+    let engine = parse_engine(&engine)?;
     let verifier = Verifier::new(gpumc_models::load(kind))
         .with_engine(engine)
         .with_bound(bound);
 
     let (headline, witness, ok) = match property.as_str() {
         "assertion" | "program_spec" => {
-            let o = verifier.check_assertion(&program).map_err(|e| e.to_string())?;
+            let o = verifier
+                .check_assertion(&program)
+                .map_err(|e| e.to_string())?;
             let verdict = match o.satisfied_expectation {
                 Some(true) => "condition expectation HOLDS",
                 Some(false) => "condition expectation FAILS",
@@ -154,7 +212,9 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             )
         }
         "liveness" => {
-            let o = verifier.check_liveness(&program).map_err(|e| e.to_string())?;
+            let o = verifier
+                .check_liveness(&program)
+                .map_err(|e| e.to_string())?;
             (
                 format!(
                     "{}: liveness {} ({:.1} ms)",
@@ -189,5 +249,9 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", w.rendering);
         }
     }
-    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::from(2) })
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }

@@ -42,6 +42,7 @@
 //! # Ok::<(), gpumc::VerifyError>(())
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use gpumc_cat::CatModel;
@@ -49,7 +50,14 @@ use gpumc_encode::{encode, EncodeOptions};
 use gpumc_exec::{enumerate, EnumerateOptions, Execution};
 use gpumc_ir::{compile, unroll, Assertion, Condition, EventGraph, Program};
 
+pub mod suite;
+
+pub use suite::{
+    effective_jobs, parallel_map_ordered, SuiteConfig, SuiteReport, SuiteRunner, TestResult,
+};
+
 pub use gpumc_cat;
+pub use gpumc_catalog;
 pub use gpumc_encode;
 pub use gpumc_exec;
 pub use gpumc_ir;
@@ -190,27 +198,38 @@ pub struct Stats {
 
 /// The verification façade: a consistency model, an engine, and a bound.
 ///
+/// The model is held behind an [`Arc`] so a compiled (parsed + resolved)
+/// `.cat` model can be shared immutably across worker threads — cloning a
+/// `Verifier` never re-parses or deep-copies the model. Construct from
+/// either an owned [`CatModel`] or a shared handle such as
+/// [`gpumc_models::load_shared`].
+///
 /// See the crate-level example.
 #[derive(Debug, Clone)]
 pub struct Verifier {
-    model: CatModel,
+    model: Arc<CatModel>,
     engine: EngineKind,
     bound: u32,
     bv_width: usize,
     use_bounds: bool,
     enum_cap: Option<u64>,
+    bounds_memo: Option<Arc<gpumc_encode::BoundsMemo>>,
 }
 
 impl Verifier {
     /// Creates a SAT-engine verifier with unrolling bound 2.
-    pub fn new(model: CatModel) -> Verifier {
+    ///
+    /// Accepts an owned [`CatModel`] or an `Arc<CatModel>` (e.g. from
+    /// [`gpumc_models::load_shared`]); the latter avoids any copy.
+    pub fn new(model: impl Into<Arc<CatModel>>) -> Verifier {
         Verifier {
-            model,
+            model: model.into(),
             engine: EngineKind::Sat,
             bound: 2,
             bv_width: 8,
             use_bounds: true,
             enum_cap: None,
+            bounds_memo: None,
         }
     }
 
@@ -251,9 +270,22 @@ impl Verifier {
         self
     }
 
+    /// Reuses relation-analysis bounds through `memo` (builder style):
+    /// repeated checks of the same (program, bound) — e.g. safety then
+    /// liveness of one test — compute the Table 3 bounds once.
+    pub fn with_bounds_memo(mut self, memo: Arc<gpumc_encode::BoundsMemo>) -> Verifier {
+        self.bounds_memo = Some(memo);
+        self
+    }
+
     /// The configured model.
     pub fn model(&self) -> &CatModel {
         &self.model
+    }
+
+    /// A shared handle to the configured model (no deep copy).
+    pub fn shared_model(&self) -> Arc<CatModel> {
+        Arc::clone(&self.model)
     }
 
     /// Compiles a program to its event graph with this verifier's bound.
@@ -279,7 +311,11 @@ impl Verifier {
                 let mut enc = self.encode(&graph)?;
                 let r = enc.find_assertion_witness()?;
                 let stats = self.sat_stats(&graph, &enc);
-                (r.found, r.witness.as_ref().map(Witness::from_execution), stats)
+                (
+                    r.found,
+                    r.witness.as_ref().map(Witness::from_execution),
+                    stats,
+                )
             }
             EngineKind::Enumerate { straight_line_only } => {
                 let mut opts = EnumerateOptions {
@@ -339,7 +375,11 @@ impl Verifier {
                 let mut enc = self.encode(&graph)?;
                 let r = enc.find_liveness_violation()?;
                 let stats = self.sat_stats(&graph, &enc);
-                (r.found, r.witness.as_ref().map(Witness::from_execution), stats)
+                (
+                    r.found,
+                    r.witness.as_ref().map(Witness::from_execution),
+                    stats,
+                )
             }
             EngineKind::Enumerate { straight_line_only } => {
                 if *straight_line_only {
@@ -385,7 +425,11 @@ impl Verifier {
                 let mut enc = self.encode(&graph)?;
                 let r = enc.find_flag("dr")?;
                 let stats = self.sat_stats(&graph, &enc);
-                (r.found, r.witness.as_ref().map(Witness::from_execution), stats)
+                (
+                    r.found,
+                    r.witness.as_ref().map(Witness::from_execution),
+                    stats,
+                )
             }
             EngineKind::Enumerate { straight_line_only } => {
                 if self.model.flagged_axioms().count() == 0 {
@@ -399,10 +443,7 @@ impl Verifier {
                 };
                 let mut found: Option<Witness> = None;
                 let st = enumerate(&graph, &self.model, &opts, |b| {
-                    if found.is_none()
-                        && b.execution.all_completed()
-                        && b.verdict.has_flag("dr")
-                    {
+                    if found.is_none() && b.execution.all_completed() && b.verdict.has_flag("dr") {
                         found = Some(Witness::from_execution(&b.execution));
                     }
                 })?;
@@ -423,16 +464,21 @@ impl Verifier {
         })
     }
 
-    fn encode<'g>(
-        &self,
-        graph: &'g EventGraph,
-    ) -> Result<gpumc_encode::Encoding<'g>, VerifyError> {
+    fn encode<'g>(&self, graph: &'g EventGraph) -> Result<gpumc_encode::Encoding<'g>, VerifyError> {
         let opts = EncodeOptions {
             bv_width: self.bv_width,
             use_bounds: self.use_bounds,
             ..EncodeOptions::default()
         };
-        Ok(encode(graph, &self.model, &opts)?)
+        match &self.bounds_memo {
+            Some(memo) => Ok(gpumc_encode::encode_memoized(
+                graph,
+                &self.model,
+                &opts,
+                memo,
+            )?),
+            None => Ok(encode(graph, &self.model, &opts)?),
+        }
     }
 
     fn sat_stats(&self, graph: &EventGraph, enc: &gpumc_encode::Encoding<'_>) -> Stats {

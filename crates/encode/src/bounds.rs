@@ -4,18 +4,26 @@
 //! in some execution; a *lower bound* contains the pairs guaranteed to
 //! belong whenever both events execute. For static relations the two
 //! coincide and the SAT encoding needs no decision variables at all.
+//!
+//! The computed bounds are split off into [`StaticBounds`] — an owned,
+//! graph-independent value — so that repeated encodings of the same
+//! (program, bound) pair (e.g. a safety check followed by a liveness
+//! check of one litmus test) can share a single computation through
+//! [`crate::BoundsMemo`] instead of redoing the Table 3 analysis.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gpumc_cat::{CatModel, DefBody, RelExpr, SetExpr};
 use gpumc_exec::{EventSet, Relation};
 use gpumc_ir::{Arch, EventGraph, EventId, EventKind, Scope, Tag};
 
-/// Static bounds for the base sets and all relations of a model.
+/// The owned result of the relation analysis: static bounds for the base
+/// sets and all relations of a model, detached from the graph borrow so
+/// they can be cached and shared across threads.
 #[derive(Debug)]
-pub struct RelationAnalysis<'g> {
-    graph: &'g EventGraph,
-    /// When false, alias-based pruning is disabled (ablation mode).
+pub struct StaticBounds {
+    /// When false, alias-based pruning was disabled (ablation mode).
     precise: bool,
     sets: HashMap<String, EventSet>,
     upper: HashMap<String, Relation>,
@@ -26,39 +34,38 @@ pub struct RelationAnalysis<'g> {
     def_sets: Vec<Option<EventSet>>,
 }
 
-impl<'g> RelationAnalysis<'g> {
-    /// Computes bounds for a graph under a model.
-    pub fn new(graph: &'g EventGraph, model: &CatModel) -> RelationAnalysis<'g> {
-        RelationAnalysis::new_with(graph, model, true)
-    }
+/// Static bounds paired with the graph they were computed for.
+#[derive(Debug)]
+pub struct RelationAnalysis<'g> {
+    graph: &'g EventGraph,
+    bounds: Arc<StaticBounds>,
+}
 
-    /// Like [`RelationAnalysis::new`], optionally disabling the
-    /// alias-based pruning of Table 3 (`precise = false`) for the
-    /// relation-analysis ablation.
-    pub fn new_with(
-        graph: &'g EventGraph,
-        model: &CatModel,
-        precise: bool,
-    ) -> RelationAnalysis<'g> {
-        let mut a = RelationAnalysis {
+impl StaticBounds {
+    /// Computes bounds for a graph under a model. `precise = false`
+    /// disables the alias-based pruning of Table 3 (ablation mode).
+    pub fn compute(graph: &EventGraph, model: &CatModel, precise: bool) -> StaticBounds {
+        let mut ctx = Ctx {
             graph,
-            precise,
-            sets: HashMap::new(),
-            upper: HashMap::new(),
-            lower: HashMap::new(),
-            def_upper: Vec::new(),
-            def_lower: Vec::new(),
-            def_sets: Vec::new(),
+            b: StaticBounds {
+                precise,
+                sets: HashMap::new(),
+                upper: HashMap::new(),
+                lower: HashMap::new(),
+                def_upper: Vec::new(),
+                def_lower: Vec::new(),
+                def_sets: Vec::new(),
+            },
         };
-        a.compute_sets();
-        a.compute_base();
-        a.compute_defs(model);
-        a
+        ctx.compute_sets();
+        ctx.compute_base();
+        ctx.compute_defs(model);
+        ctx.b
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g EventGraph {
-        self.graph
+    /// Whether alias-based pruning was enabled.
+    pub fn precise(&self) -> bool {
+        self.precise
     }
 
     /// Static members of a base set.
@@ -86,23 +93,129 @@ impl<'g> RelationAnalysis<'g> {
         self.def_sets.get(id).and_then(|s| s.as_ref())
     }
 
-    /// Upper bound of an arbitrary relation expression.
-    pub fn upper_of(&self, e: &RelExpr) -> Relation {
-        self.eval_rel(e, true)
+    fn eval_set(&self, g: &EventGraph, e: &SetExpr) -> EventSet {
+        let n = g.n_events();
+        match e {
+            SetExpr::Base(name) => self
+                .sets
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| EventSet::empty(n)),
+            SetExpr::Ref(id) => self.def_sets[*id].clone().expect("set def"),
+            SetExpr::Universe => EventSet::full(n),
+            SetExpr::Union(a, b) => self.eval_set(g, a).union(&self.eval_set(g, b)),
+            SetExpr::Inter(a, b) => self.eval_set(g, a).inter(&self.eval_set(g, b)),
+            SetExpr::Diff(a, b) => self.eval_set(g, a).diff(&self.eval_set(g, b)),
+            SetExpr::Domain(r) => self.eval_rel(g, r, true).domain(),
+            SetExpr::Range(r) => self.eval_rel(g, r, true).range(),
+        }
     }
 
-    /// Lower bound of an arbitrary relation expression.
-    pub fn lower_of(&self, e: &RelExpr) -> Relation {
-        self.eval_rel(e, false)
+    /// Evaluates a relation expression to its upper (`upper == true`) or
+    /// lower bound.
+    fn eval_rel(&self, g: &EventGraph, e: &RelExpr, upper: bool) -> Relation {
+        let n = g.n_events();
+        match e {
+            RelExpr::Base(name) => {
+                let map = if upper { &self.upper } else { &self.lower };
+                map.get(name).cloned().unwrap_or_else(|| Relation::empty(n))
+            }
+            RelExpr::Ref(id) => if upper {
+                self.def_upper[*id].clone()
+            } else {
+                self.def_lower[*id].clone()
+            }
+            .expect("relation def"),
+            RelExpr::Id => Relation::identity(n),
+            RelExpr::IdSet(s) => Relation::identity_on(&self.eval_set(g, s)),
+            RelExpr::Cross(a, b) => {
+                let r = Relation::cross(&self.eval_set(g, a), &self.eval_set(g, b));
+                // Remove mutually exclusive pairs in both bounds.
+                self.filter_coexist(g, r)
+            }
+            RelExpr::Union(a, b) => self
+                .eval_rel(g, a, upper)
+                .union(&self.eval_rel(g, b, upper)),
+            RelExpr::Inter(a, b) => self
+                .eval_rel(g, a, upper)
+                .inter(&self.eval_rel(g, b, upper)),
+            // diff mixes bounds: upper(a \ b) = upper(a) \ lower(b).
+            RelExpr::Diff(a, b) => self
+                .eval_rel(g, a, upper)
+                .diff(&self.eval_rel(g, b, !upper)),
+            RelExpr::Seq(a, b) => {
+                let ra = self.eval_rel(g, a, upper);
+                let rb = self.eval_rel(g, b, upper);
+                if upper {
+                    ra.compose(&rb)
+                } else {
+                    self.guaranteed_compose(g, &ra, &rb)
+                }
+            }
+            RelExpr::Inverse(a) => self.eval_rel(g, a, upper).inverse(),
+            RelExpr::Plus(a) => {
+                let r = self.eval_rel(g, a, upper);
+                if upper {
+                    r.transitive_closure()
+                } else {
+                    r // conservative lower bound
+                }
+            }
+            RelExpr::Star(a) => {
+                let r = self.eval_rel(g, a, upper);
+                if upper {
+                    r.refl_transitive_closure()
+                } else {
+                    r.refl_closure()
+                }
+            }
+            RelExpr::Opt(a) => self.eval_rel(g, a, upper).refl_closure(),
+        }
     }
 
-    /// Static members of an arbitrary set expression.
-    pub fn set_of(&self, e: &SetExpr) -> EventSet {
-        self.eval_set(e)
+    fn filter_coexist(&self, g: &EventGraph, r: Relation) -> Relation {
+        let n = g.n_events();
+        let mut out = Relation::empty(n);
+        for (a, b) in r.iter() {
+            if g.can_coexist(a, b) {
+                out.insert(a, b);
+            }
+        }
+        out
     }
 
-    // -- base computation ------------------------------------------------
+    /// Lower-bound composition: the midpoint must be guaranteed to
+    /// execute whenever both endpoints do (init block or an ancestor
+    /// block of one endpoint).
+    fn guaranteed_compose(&self, g: &EventGraph, a: &Relation, b: &Relation) -> Relation {
+        let n = g.n_events();
+        let mut out = Relation::empty(n);
+        for (x, m) in a.iter() {
+            for (m2, y) in b.iter() {
+                if m != m2 {
+                    continue;
+                }
+                let mb = g.event(m).block;
+                let guaranteed = mb == 0
+                    || g.is_ancestor(mb, g.event(x).block)
+                    || g.is_ancestor(mb, g.event(y).block);
+                if guaranteed && g.can_coexist(x, y) {
+                    out.insert(x, y);
+                }
+            }
+        }
+        out
+    }
+}
 
+/// The computation context: a graph borrow plus the bounds under
+/// construction.
+struct Ctx<'g> {
+    graph: &'g EventGraph,
+    b: StaticBounds,
+}
+
+impl Ctx<'_> {
     fn compute_sets(&mut self) {
         let g = self.graph;
         let n = g.n_events();
@@ -113,13 +226,13 @@ impl<'g> RelationAnalysis<'g> {
                     s.insert(e.id);
                 }
             }
-            self.sets.insert(tag.name().to_string(), s);
+            self.b.sets.insert(tag.name().to_string(), s);
         }
-        let m = self.sets["R"].union(&self.sets["W"]);
-        self.sets.insert("M".into(), m);
-        self.sets.insert("CBAR".into(), self.sets["B"].clone());
-        self.sets.insert("I".into(), self.sets["IW"].clone());
-        self.sets.insert("_".into(), EventSet::full(n));
+        let m = self.b.sets["R"].union(&self.b.sets["W"]);
+        self.b.sets.insert("M".into(), m);
+        self.b.sets.insert("CBAR".into(), self.b.sets["B"].clone());
+        self.b.sets.insert("I".into(), self.b.sets["IW"].clone());
+        self.b.sets.insert("_".into(), EventSet::full(n));
     }
 
     fn pairs(&self, mut f: impl FnMut(EventId, EventId) -> bool) -> Relation {
@@ -178,8 +291,10 @@ impl<'g> RelationAnalysis<'g> {
                 (Some(ta), Some(tb)) if ta == tb)
                 && g.event(a).po_index < g.event(b).po_index
         });
-        let int = self.pairs(|a, b| g.event(a).thread.is_some() && g.event(a).thread == g.event(b).thread
-            || (g.event(a).thread.is_none() && g.event(b).thread.is_none()));
+        let int = self.pairs(|a, b| {
+            g.event(a).thread.is_some() && g.event(a).thread == g.event(b).thread
+                || (g.event(a).thread.is_none() && g.event(b).thread.is_none())
+        });
         let ext = self.pairs(|a, b| g.event(a).thread != g.event(b).thread);
         self.insert_static("po", po);
         self.insert_static("int", int);
@@ -187,15 +302,14 @@ impl<'g> RelationAnalysis<'g> {
 
         // loc / vloc. In ablation mode (`!precise`) the may-alias pruning
         // is skipped: every memory pair stays in the upper bounds.
-        let precise = self.precise;
+        let precise = self.b.precise;
         let loc_u = self.pairs(|a, b| {
             g.event(a).is_memory() && g.event(b).is_memory() && (!precise || g.may_alias(a, b))
         });
-        let loc_l = self.pairs(|a, b| {
-            g.event(a).is_memory() && g.event(b).is_memory() && g.must_alias(a, b)
-        });
-        self.upper.insert("loc".into(), loc_u);
-        self.lower.insert("loc".into(), loc_l);
+        let loc_l = self
+            .pairs(|a, b| g.event(a).is_memory() && g.event(b).is_memory() && g.must_alias(a, b));
+        self.b.upper.insert("loc".into(), loc_u);
+        self.b.lower.insert("loc".into(), loc_l);
         let vloc_u = self.pairs(|a, b| {
             if !(g.event(a).is_memory() && g.event(b).is_memory()) {
                 return false;
@@ -210,26 +324,25 @@ impl<'g> RelationAnalysis<'g> {
             g.virtual_loc(a) == g.virtual_loc(b) && g.may_alias(a, b)
         });
         let vloc_l = self.pairs(|a, b| g.same_virtual(a, b));
-        self.upper.insert("vloc".into(), vloc_u);
-        self.lower.insert("vloc".into(), vloc_l);
+        self.b.upper.insert("vloc".into(), vloc_u);
+        self.b.lower.insert("vloc".into(), vloc_l);
 
         // rf / co — decision relations; lower bounds empty (except the
         // init-first co edges, which always hold).
-        let w = self.sets["W"].clone();
-        let r = self.sets["R"].clone();
-        let iw = self.sets["IW"].clone();
+        let w = self.b.sets["W"].clone();
+        let r = self.b.sets["R"].clone();
+        let iw = self.b.sets["IW"].clone();
         let rf_u =
             self.pairs(|a, b| w.contains(a) && r.contains(b) && (!precise || g.may_alias(a, b)));
-        self.upper.insert("rf".into(), rf_u);
-        self.lower.insert("rf".into(), Relation::empty(n));
+        self.b.upper.insert("rf".into(), rf_u);
+        self.b.lower.insert("rf".into(), Relation::empty(n));
         let co_u = self.pairs(|a, b| {
             w.contains(a) && w.contains(b) && !iw.contains(b) && (!precise || g.may_alias(a, b))
         });
-        let co_l = self.pairs(|a, b| {
-            iw.contains(a) && w.contains(b) && !iw.contains(b) && g.must_alias(a, b)
-        });
-        self.upper.insert("co".into(), co_u);
-        self.lower.insert("co".into(), co_l);
+        let co_l = self
+            .pairs(|a, b| iw.contains(a) && w.contains(b) && !iw.contains(b) && g.must_alias(a, b));
+        self.b.upper.insert("co".into(), co_u);
+        self.b.lower.insert("co".into(), co_l);
 
         // rmw — static pairs.
         let rmw = self.pairs(|a, b| match &g.event(b).kind {
@@ -266,15 +379,15 @@ impl<'g> RelationAnalysis<'g> {
             self.insert_static(name, rel);
         }
         let ssw = self.pairs(|a, b| {
-            g.ssw_pairs.iter().any(|&(t1, t2)| {
-                g.event(a).thread == Some(t1) && g.event(b).thread == Some(t2)
-            })
+            g.ssw_pairs
+                .iter()
+                .any(|&(t1, t2)| g.event(a).thread == Some(t1) && g.event(b).thread == Some(t2))
         });
         self.insert_static("ssw", ssw);
 
         // Barriers (Table 3 rows 3-4): ids may be dynamic, so the bounds
         // differ when a static comparison is impossible.
-        let bar = self.sets["B"].clone();
+        let bar = self.b.sets["B"].clone();
         let static_id = |e: EventId| match &g.event(e).kind {
             EventKind::Barrier { id, .. } => id.as_const(),
             _ => None,
@@ -292,29 +405,35 @@ impl<'g> RelationAnalysis<'g> {
                 && bar.contains(b)
                 && matches!((static_id(a), static_id(b)), (Some(x), Some(y)) if x == y)
         });
-        let scta = self.upper["scta"].clone();
-        self.upper
+        let scta = self.b.upper["scta"].clone();
+        self.b
+            .upper
             .insert("sync_barrier".into(), syncbar_u.inter(&scta.refl_closure()));
-        self.lower
+        self.b
+            .lower
             .insert("sync_barrier".into(), syncbar_l.inter(&scta.refl_closure()));
-        self.upper.insert("syncbar".into(), syncbar_u);
-        self.lower.insert("syncbar".into(), syncbar_l);
+        self.b.upper.insert("syncbar".into(), syncbar_u);
+        self.b.lower.insert("syncbar".into(), syncbar_l);
 
         // sync_fence (Table 3 row 5): no lower bound; the upper bound is
         // the sr-related SC fence pairs.
-        let f = self.sets["F"].clone();
-        let sc = self.sets["SC"].clone();
-        let sr_u = self.upper["sr"].clone();
+        let f = self.b.sets["F"].clone();
+        let sc = self.b.sets["SC"].clone();
+        let sr_u = self.b.upper["sr"].clone();
         let sync_fence_u = self.pairs(|a, b| {
-            f.contains(a) && sc.contains(a) && f.contains(b) && sc.contains(b) && sr_u.contains(a, b)
+            f.contains(a)
+                && sc.contains(a)
+                && f.contains(b)
+                && sc.contains(b)
+                && sr_u.contains(a, b)
         });
-        self.upper.insert("sync_fence".into(), sync_fence_u);
-        self.lower.insert("sync_fence".into(), Relation::empty(n));
+        self.b.upper.insert("sync_fence".into(), sync_fence_u);
+        self.b.lower.insert("sync_fence".into(), Relation::empty(n));
     }
 
     fn insert_static(&mut self, name: &str, r: Relation) {
-        self.upper.insert(name.to_string(), r.clone());
-        self.lower.insert(name.to_string(), r);
+        self.b.upper.insert(name.to_string(), r.clone());
+        self.b.lower.insert(name.to_string(), r);
     }
 
     fn dependencies(&self) -> (Relation, Relation, Relation) {
@@ -375,29 +494,29 @@ impl<'g> RelationAnalysis<'g> {
     fn compute_defs(&mut self, model: &CatModel) {
         let n = self.graph.n_events();
         for (i, def) in model.defs().iter().enumerate() {
-            debug_assert_eq!(i, self.def_upper.len());
+            debug_assert_eq!(i, self.b.def_upper.len());
             match &def.body {
                 DefBody::Set(s) => {
-                    let set = self.eval_set(s);
-                    self.def_sets.push(Some(set));
-                    self.def_upper.push(None);
-                    self.def_lower.push(None);
+                    let set = self.b.eval_set(self.graph, s);
+                    self.b.def_sets.push(Some(set));
+                    self.b.def_upper.push(None);
+                    self.b.def_lower.push(None);
                 }
                 DefBody::Rel(r) => {
                     if def.rec_group.is_some() {
                         // Kleene-iterate the whole group on upper bounds.
-                        self.def_sets.push(None);
-                        self.def_upper.push(Some(Relation::empty(n)));
-                        self.def_lower.push(Some(Relation::empty(n)));
+                        self.b.def_sets.push(None);
+                        self.b.def_upper.push(Some(Relation::empty(n)));
+                        self.b.def_lower.push(Some(Relation::empty(n)));
                         // Iterate only once the group is fully registered:
                         // handled below by re-scanning groups.
                         let _ = r;
                     } else {
-                        let u = self.eval_rel(r, true);
-                        let l = self.eval_rel(r, false);
-                        self.def_sets.push(None);
-                        self.def_upper.push(Some(u));
-                        self.def_lower.push(Some(l));
+                        let u = self.b.eval_rel(self.graph, r, true);
+                        let l = self.b.eval_rel(self.graph, r, false);
+                        self.b.def_sets.push(None);
+                        self.b.def_upper.push(Some(u));
+                        self.b.def_lower.push(Some(l));
                     }
                 }
             }
@@ -420,9 +539,9 @@ impl<'g> RelationAnalysis<'g> {
                     let DefBody::Rel(body) = &def.body else {
                         continue;
                     };
-                    let next = self.eval_rel(body, true);
-                    if self.def_upper[i].as_ref() != Some(&next) {
-                        self.def_upper[i] = Some(next);
+                    let next = self.b.eval_rel(self.graph, body, true);
+                    if self.b.def_upper[i].as_ref() != Some(&next) {
+                        self.b.def_upper[i] = Some(next);
                         changed = true;
                     }
                 }
@@ -432,117 +551,86 @@ impl<'g> RelationAnalysis<'g> {
             }
         }
     }
+}
 
-    fn eval_set(&self, e: &SetExpr) -> EventSet {
-        let n = self.graph.n_events();
-        match e {
-            SetExpr::Base(name) => self
-                .sets
-                .get(name)
-                .cloned()
-                .unwrap_or_else(|| EventSet::empty(n)),
-            SetExpr::Ref(id) => self.def_sets[*id].clone().expect("set def"),
-            SetExpr::Universe => EventSet::full(n),
-            SetExpr::Union(a, b) => self.eval_set(a).union(&self.eval_set(b)),
-            SetExpr::Inter(a, b) => self.eval_set(a).inter(&self.eval_set(b)),
-            SetExpr::Diff(a, b) => self.eval_set(a).diff(&self.eval_set(b)),
-            SetExpr::Domain(r) => self.eval_rel(r, true).domain(),
-            SetExpr::Range(r) => self.eval_rel(r, true).range(),
+impl<'g> RelationAnalysis<'g> {
+    /// Computes bounds for a graph under a model.
+    pub fn new(graph: &'g EventGraph, model: &CatModel) -> RelationAnalysis<'g> {
+        RelationAnalysis::new_with(graph, model, true)
+    }
+
+    /// Like [`RelationAnalysis::new`], optionally disabling the
+    /// alias-based pruning of Table 3 (`precise = false`) for the
+    /// relation-analysis ablation.
+    pub fn new_with(
+        graph: &'g EventGraph,
+        model: &CatModel,
+        precise: bool,
+    ) -> RelationAnalysis<'g> {
+        RelationAnalysis {
+            graph,
+            bounds: Arc::new(StaticBounds::compute(graph, model, precise)),
         }
     }
 
-    /// Evaluates a relation expression to its upper (`upper == true`) or
-    /// lower bound.
-    fn eval_rel(&self, e: &RelExpr, upper: bool) -> Relation {
-        let n = self.graph.n_events();
-        match e {
-            RelExpr::Base(name) => {
-                let map = if upper { &self.upper } else { &self.lower };
-                map.get(name)
-                    .cloned()
-                    .unwrap_or_else(|| Relation::empty(n))
-            }
-            RelExpr::Ref(id) => if upper {
-                self.def_upper[*id].clone()
-            } else {
-                self.def_lower[*id].clone()
-            }
-            .expect("relation def"),
-            RelExpr::Id => Relation::identity(n),
-            RelExpr::IdSet(s) => Relation::identity_on(&self.eval_set(s)),
-            RelExpr::Cross(a, b) => {
-                let r = Relation::cross(&self.eval_set(a), &self.eval_set(b));
-                // Remove mutually exclusive pairs in both bounds.
-                self.filter_coexist(r)
-            }
-            RelExpr::Union(a, b) => self.eval_rel(a, upper).union(&self.eval_rel(b, upper)),
-            RelExpr::Inter(a, b) => self.eval_rel(a, upper).inter(&self.eval_rel(b, upper)),
-            // diff mixes bounds: upper(a \ b) = upper(a) \ lower(b).
-            RelExpr::Diff(a, b) => self.eval_rel(a, upper).diff(&self.eval_rel(b, !upper)),
-            RelExpr::Seq(a, b) => {
-                let ra = self.eval_rel(a, upper);
-                let rb = self.eval_rel(b, upper);
-                if upper {
-                    ra.compose(&rb)
-                } else {
-                    self.guaranteed_compose(&ra, &rb)
-                }
-            }
-            RelExpr::Inverse(a) => self.eval_rel(a, upper).inverse(),
-            RelExpr::Plus(a) => {
-                let r = self.eval_rel(a, upper);
-                if upper {
-                    r.transitive_closure()
-                } else {
-                    r // conservative lower bound
-                }
-            }
-            RelExpr::Star(a) => {
-                let r = self.eval_rel(a, upper);
-                if upper {
-                    r.refl_transitive_closure()
-                } else {
-                    r.refl_closure()
-                }
-            }
-            RelExpr::Opt(a) => self.eval_rel(a, upper).refl_closure(),
-        }
+    /// Pairs previously computed bounds with a (structurally identical)
+    /// graph — the sharing entry point used by [`crate::BoundsMemo`].
+    ///
+    /// The caller is responsible for `bounds` having been computed on a
+    /// graph with the same structure (same events/blocks/threads), which
+    /// the memo guarantees through its fingerprint key.
+    pub fn from_shared(graph: &'g EventGraph, bounds: Arc<StaticBounds>) -> RelationAnalysis<'g> {
+        RelationAnalysis { graph, bounds }
     }
 
-    fn filter_coexist(&self, r: Relation) -> Relation {
-        let g = self.graph;
-        let n = g.n_events();
-        let mut out = Relation::empty(n);
-        for (a, b) in r.iter() {
-            if g.can_coexist(a, b) {
-                out.insert(a, b);
-            }
-        }
-        out
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g EventGraph {
+        self.graph
     }
 
-    /// Lower-bound composition: the midpoint must be guaranteed to
-    /// execute whenever both endpoints do (init block or an ancestor
-    /// block of one endpoint).
-    fn guaranteed_compose(&self, a: &Relation, b: &Relation) -> Relation {
-        let g = self.graph;
-        let n = g.n_events();
-        let mut out = Relation::empty(n);
-        for (x, m) in a.iter() {
-            for (m2, y) in b.iter() {
-                if m != m2 {
-                    continue;
-                }
-                let mb = g.event(m).block;
-                let guaranteed = mb == 0
-                    || g.is_ancestor(mb, g.event(x).block)
-                    || g.is_ancestor(mb, g.event(y).block);
-                if guaranteed && g.can_coexist(x, y) {
-                    out.insert(x, y);
-                }
-            }
-        }
-        out
+    /// The shared bounds handle.
+    pub fn bounds(&self) -> &Arc<StaticBounds> {
+        &self.bounds
+    }
+
+    /// Static members of a base set.
+    pub fn set(&self, name: &str) -> Option<&EventSet> {
+        self.bounds.set(name)
+    }
+
+    /// Upper bound of a base relation.
+    pub fn base_upper(&self, name: &str) -> Option<&Relation> {
+        self.bounds.base_upper(name)
+    }
+
+    /// Lower bound of a base relation.
+    pub fn base_lower(&self, name: &str) -> Option<&Relation> {
+        self.bounds.base_lower(name)
+    }
+
+    /// Upper bound of a model definition (relations only).
+    pub fn def_upper(&self, id: usize) -> Option<&Relation> {
+        self.bounds.def_upper(id)
+    }
+
+    /// Static member set of a set-kinded definition.
+    pub fn def_set(&self, id: usize) -> Option<&EventSet> {
+        self.bounds.def_set(id)
+    }
+
+    /// Upper bound of an arbitrary relation expression.
+    pub fn upper_of(&self, e: &RelExpr) -> Relation {
+        self.bounds.eval_rel(self.graph, e, true)
+    }
+
+    /// Lower bound of an arbitrary relation expression.
+    pub fn lower_of(&self, e: &RelExpr) -> Relation {
+        self.bounds.eval_rel(self.graph, e, false)
+    }
+
+    /// Static members of an arbitrary set expression.
+    pub fn set_of(&self, e: &SetExpr) -> EventSet {
+        self.bounds.eval_set(self.graph, e)
     }
 }
 
@@ -569,7 +657,9 @@ exists (P1:r0 == 1 /\ P1:r1 == 0)
         let g = mp_graph();
         let model = gpumc_cat::parse("let x = po | sr | scta\nacyclic x").unwrap();
         let a = RelationAnalysis::new(&g, &model);
-        for name in ["po", "sr", "scta", "int", "ext", "rmw", "addr", "data", "ctrl"] {
+        for name in [
+            "po", "sr", "scta", "int", "ext", "rmw", "addr", "data", "ctrl",
+        ] {
             assert_eq!(
                 a.base_upper(name),
                 a.base_lower(name),
@@ -667,5 +757,19 @@ exists (P1:r0 == 1 /\ P1:r1 == 0)
         for (x, y) in rf.iter() {
             assert!(obs.contains(x, y));
         }
+    }
+
+    #[test]
+    fn shared_bounds_answer_like_fresh_ones() {
+        let g = mp_graph();
+        let model = gpumc_cat::parse("let fr = rf^-1; co\nacyclic fr | po").unwrap();
+        let fresh = RelationAnalysis::new(&g, &model);
+        let shared = RelationAnalysis::from_shared(&g, Arc::clone(fresh.bounds()));
+        for name in ["po", "rf", "co", "loc", "vloc"] {
+            assert_eq!(fresh.base_upper(name), shared.base_upper(name));
+            assert_eq!(fresh.base_lower(name), shared.base_lower(name));
+        }
+        let fr = model.def_id("fr").unwrap();
+        assert_eq!(fresh.def_upper(fr), shared.def_upper(fr));
     }
 }

@@ -106,6 +106,37 @@ pub fn encode<'g>(
     opts: &EncodeOptions,
 ) -> Result<Encoding<'g>, EncodeError> {
     let analysis = RelationAnalysis::new_with(graph, model, opts.use_bounds);
+    build(graph, model, opts, analysis)
+}
+
+/// Like [`encode`], but sources the relation-analysis bounds from `memo`
+/// so repeated encodings of the same (program, bound) graph — e.g. the
+/// safety, liveness and DRF checks of one test — compute them only once.
+///
+/// # Errors
+///
+/// Same failure modes as [`encode`].
+pub fn encode_memoized<'g>(
+    graph: &'g EventGraph,
+    model: &CatModel,
+    opts: &EncodeOptions,
+    memo: &crate::BoundsMemo,
+) -> Result<Encoding<'g>, EncodeError> {
+    let bounds = memo.get_or_compute(graph, model, opts.use_bounds);
+    build(
+        graph,
+        model,
+        opts,
+        RelationAnalysis::from_shared(graph, bounds),
+    )
+}
+
+fn build<'g>(
+    graph: &'g EventGraph,
+    model: &CatModel,
+    opts: &EncodeOptions,
+    analysis: RelationAnalysis<'g>,
+) -> Result<Encoding<'g>, EncodeError> {
     let mut enc = Encoding {
         graph,
         model: model.clone(),
@@ -624,6 +655,8 @@ impl<'g> Encoding<'g> {
                         self.def_rels.push(Some(rel));
                         self.def_sets.push(None);
                     }
+                    // `j` walks `defs` and `def_rels` in lockstep.
+                    #[allow(clippy::needless_range_loop)]
                     for j in start..end {
                         let DefBody::Rel(body) = &defs[j].body else {
                             unreachable!("recursive defs are relations");
@@ -1366,21 +1399,31 @@ impl<'g> Encoding<'g> {
             };
             for (a, b) in interp.iter() {
                 if !upper.contains(a, b) {
-                    out.push(format!("base {name}: ({},{}) outside upper bound", a.0, b.0));
+                    out.push(format!(
+                        "base {name}: ({},{}) outside upper bound",
+                        a.0, b.0
+                    ));
                     continue;
                 }
                 let lit = self.base_lit(&name, a, b);
                 if !self.f.value_or_false(lit) {
-                    out.push(format!("base {name}: ({},{}) true in interp, false in SAT", a.0, b.0));
+                    out.push(format!(
+                        "base {name}: ({},{}) true in interp, false in SAT",
+                        a.0, b.0
+                    ));
                 }
             }
         }
         // Compare definitions.
         let interp = Interpreter::new(&self.model);
         for (i, def) in self.model.defs().iter().enumerate() {
-            let gpumc_cat::DefBody::Rel(_) = &def.body else { continue };
+            let gpumc_cat::DefBody::Rel(_) = &def.body else {
+                continue;
+            };
             let val = interp.eval_named_rel(&def.name, exec);
-            let Some(enc) = self.def_rels[i].clone() else { continue };
+            let Some(enc) = self.def_rels[i].clone() else {
+                continue;
+            };
             for (a, b) in val.iter() {
                 match enc.pairs.get(&(a.0, b.0)) {
                     None => out.push(format!(

@@ -19,6 +19,9 @@
 //!   negations (see DESIGN.md §"closure encoding").
 //! * Queries — safety (`exists`/`forall` conditions), liveness (§6.4
 //!   co-maximal stuck spinloops), and flagged detectors (data races).
+//! * [`BoundsMemo`] — an opt-in cache of the (expensive, graph-sized)
+//!   bounds so the several encodings of one test share a single
+//!   relation analysis; see [`encode_memoized`].
 //!
 //! Every satisfying assignment is decoded into a concrete
 //! [`gpumc_exec::Execution`] and *re-validated* with the explicit
@@ -27,6 +30,10 @@
 
 mod bounds;
 mod encode;
+mod memo;
 
-pub use bounds::RelationAnalysis;
-pub use encode::{encode, encode_traced, EncodeError, EncodeOptions, Encoding, QueryResult};
+pub use bounds::{RelationAnalysis, StaticBounds};
+pub use encode::{
+    encode, encode_memoized, encode_traced, EncodeError, EncodeOptions, Encoding, QueryResult,
+};
+pub use memo::BoundsMemo;

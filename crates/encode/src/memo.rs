@@ -1,0 +1,190 @@
+//! A memo for relation-analysis static bounds.
+//!
+//! Verifying one litmus test usually encodes the *same* (program, bound)
+//! graph several times — once per checked property (safety, liveness,
+//! DRF) — and each encoding used to redo the full Table 3 bounds
+//! computation. [`BoundsMemo`] caches the owned [`StaticBounds`] keyed by
+//! a structural fingerprint of the graph plus the model and the precision
+//! flag, so the analysis runs once and every later encoding shares it.
+//!
+//! Bounds hold O(n²)-bitmap relations per graph, so the memo is opt-in
+//! and caller-owned rather than a process-wide static: batch drivers
+//! create one memo per test (or per bounded batch) and drop it when done,
+//! keeping peak memory proportional to in-flight work.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gpumc_cat::CatModel;
+use gpumc_ir::EventGraph;
+
+use crate::bounds::StaticBounds;
+
+/// Cache key: (graph fingerprint, model fingerprint, precise flag).
+type Key = (u64, u64, bool);
+
+/// A thread-safe cache of relation-analysis bounds.
+///
+/// Cheap to create (`const`-initialized, no allocation until first use)
+/// and safe to share across worker threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct BoundsMemo {
+    map: Mutex<BTreeMap<Key, Arc<StaticBounds>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl BoundsMemo {
+    /// An empty memo.
+    pub const fn new() -> BoundsMemo {
+        BoundsMemo {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the cached bounds for `(graph, model, precise)`, computing
+    /// and inserting them on first request.
+    ///
+    /// The computation runs outside the lock, so a slow analysis never
+    /// blocks unrelated lookups; if two threads race on the same key the
+    /// first insertion wins and both get the same `Arc`.
+    pub fn get_or_compute(
+        &self,
+        graph: &EventGraph,
+        model: &CatModel,
+        precise: bool,
+    ) -> Arc<StaticBounds> {
+        let key = (graph.fingerprint(), model_fingerprint(model), precise);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(StaticBounds::compute(graph, model, precise));
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(map.entry(key).or_insert(computed))
+    }
+
+    /// Number of lookups answered from cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute bounds.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the memo has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Structural fingerprint of a model (same caveats as
+/// [`EventGraph::fingerprint`]: process-local, never persist).
+fn model_fingerprint(model: &CatModel) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{model:?}").hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumc_ir::{compile, unroll};
+
+    fn graph(src: &str, bound: u32) -> EventGraph {
+        let p = gpumc_litmus::parse(src).unwrap();
+        compile(&unroll(&p, bound).unwrap())
+    }
+
+    const MP: &str = "PTX MP\n{ x = 0; flag = 0; }\n\
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;\n\
+st.weak x, 1 | ld.weak r0, flag ;\n\
+st.weak flag, 1 | ld.weak r1, x ;\n\
+exists (P1:r0 == 1 /\\ P1:r1 == 0)";
+
+    #[test]
+    fn same_graph_computes_once() {
+        let memo = BoundsMemo::new();
+        let g = graph(MP, 1);
+        let model = gpumc_models::ptx60();
+        let a = memo.get_or_compute(&g, &model, true);
+        let b = memo.get_or_compute(&g, &model, true);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the bounds");
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn recompiled_graph_still_hits() {
+        // The suite runner checks several properties of one test, each
+        // compiling its own EventGraph; equal structure must share.
+        let memo = BoundsMemo::new();
+        let model = gpumc_models::ptx60();
+        let g1 = graph(MP, 1);
+        let g2 = graph(MP, 1);
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        let a = memo.get_or_compute(&g1, &model, true);
+        let b = memo.get_or_compute(&g2, &model, true);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let memo = BoundsMemo::new();
+        let model60 = gpumc_models::ptx60();
+        let model75 = gpumc_models::ptx75();
+        let g1 = graph(MP, 1);
+        // MP is loop-free, so a higher bound unrolls to the same graph —
+        // and must therefore share the memo entry.
+        assert_eq!(graph(MP, 2).fingerprint(), g1.fingerprint());
+        let sb: &str = "PTX SB\n{ x = 0; y = 0; }\n\
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;\n\
+st.weak x, 1 | st.weak y, 1 ;\n\
+ld.weak r0, y | ld.weak r1, x ;\n\
+exists (P0:r0 == 0 /\\ P1:r1 == 0)";
+        let g2 = graph(sb, 1);
+        assert_ne!(
+            g1.fingerprint(),
+            g2.fingerprint(),
+            "program changes the graph"
+        );
+        let _ = memo.get_or_compute(&g1, &model60, true);
+        let _ = memo.get_or_compute(&g1, &model60, false);
+        let _ = memo.get_or_compute(&g1, &model75, true);
+        let _ = memo.get_or_compute(&g2, &model60, true);
+        assert_eq!(memo.misses(), 4);
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.len(), 4);
+    }
+
+    #[test]
+    fn memo_is_shareable_across_threads() {
+        let memo = Arc::new(BoundsMemo::new());
+        let model = gpumc_models::ptx60();
+        let g = graph(MP, 1);
+        let first = memo.get_or_compute(&g, &model, true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let b = memo.get_or_compute(&g, &model, true);
+                    assert!(Arc::ptr_eq(&first, &b));
+                });
+            }
+        });
+        assert_eq!(memo.len(), 1);
+    }
+}

@@ -96,8 +96,8 @@ impl BaseInterpretation {
                 if let (Some(pa), Some(pb)) = (exec.addrs[a.index()], exec.addrs[b.index()]) {
                     if pa == pb {
                         loc.insert(a, b);
-                        let iw = g.event(a).tags.contains(Tag::IW)
-                            || g.event(b).tags.contains(Tag::IW);
+                        let iw =
+                            g.event(a).tags.contains(Tag::IW) || g.event(b).tags.contains(Tag::IW);
                         let va = exec.vaddrs[a.index()];
                         let vb = exec.vaddrs[b.index()];
                         if iw || va == vb {
@@ -184,7 +184,11 @@ fn dependencies(exec: &Execution<'_>) -> (Relation, Relation, Relation) {
             EventKind::Store { value, .. } | EventKind::RmwStore { value, .. } => {
                 let mut rs = Vec::new();
                 value.reads(&mut rs);
-                if let EventKind::RmwStore { cas_expected: Some(c), .. } = &ev.kind {
+                if let EventKind::RmwStore {
+                    cas_expected: Some(c),
+                    ..
+                } = &ev.kind
+                {
                     c.reads(&mut rs);
                 }
                 for r in rs {
@@ -248,10 +252,8 @@ fn scoped_sr(exec: &Execution<'_>) -> Relation {
             let (Some(ta), Some(tb)) = (ea.thread, eb.thread) else {
                 continue;
             };
-            let (Some(sa), Some(sb)) = (
-                event_scope(ea.tags, g.arch),
-                event_scope(eb.tags, g.arch),
-            ) else {
+            let (Some(sa), Some(sb)) = (event_scope(ea.tags, g.arch), event_scope(eb.tags, g.arch))
+            else {
                 continue;
             };
             let pa = &g.threads()[ta].pos;
@@ -347,9 +349,9 @@ fn sync_fence(exec: &Execution<'_>) -> Relation {
 pub(crate) fn outcome_of(term: &UTerm) -> crate::execution::ThreadOutcome {
     match term {
         UTerm::End { .. } => crate::execution::ThreadOutcome::Completed,
-        UTerm::Bound { spin: Some(s) } => crate::execution::ThreadOutcome::Stuck {
-            spin_read: s.read,
-        },
+        UTerm::Bound { spin: Some(s) } => {
+            crate::execution::ThreadOutcome::Stuck { spin_read: s.read }
+        }
         UTerm::Bound { spin: None } => crate::execution::ThreadOutcome::Incomplete,
         UTerm::Branch { .. } => unreachable!("leaf terminator expected"),
     }

@@ -185,7 +185,10 @@ impl Relation {
     ///
     /// Panics if either id is outside the universe.
     pub fn insert(&mut self, a: EventId, b: EventId) {
-        assert!(a.index() < self.n && b.index() < self.n, "event outside universe");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "event outside universe"
+        );
         self.words[a.index() * self.row_words + b.index() / WORD] |= 1 << (b.index() % WORD);
     }
 
@@ -258,8 +261,7 @@ impl Relation {
         let mut out = Relation::empty(self.n);
         for i in 0..self.n {
             let row_i = self.row(i);
-            let out_row =
-                &mut out.words[i * out.row_words..(i + 1) * out.row_words];
+            let out_row = &mut out.words[i * out.row_words..(i + 1) * out.row_words];
             for (wi, &w) in row_i.iter().enumerate() {
                 let mut bits = w;
                 while bits != 0 {
@@ -492,10 +494,7 @@ mod tests {
             for _ in 0..40 {
                 t.insert(e(next() % n as u32), e(next() % n as u32));
             }
-            assert_eq!(
-                r.union(&s).inter(&t),
-                r.inter(&t).union(&s.inter(&t))
-            );
+            assert_eq!(r.union(&s).inter(&t), r.inter(&t).union(&s.inter(&t)));
         }
     }
 }

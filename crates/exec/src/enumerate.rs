@@ -7,9 +7,7 @@
 //! precisely the scaling contrast Figure 15 of the paper demonstrates.
 
 use gpumc_cat::CatModel;
-use gpumc_ir::{
-    Arch, BlockId, EventGraph, EventId, EventKind, Tag, UTerm, Val,
-};
+use gpumc_ir::{Arch, BlockId, EventGraph, EventId, EventKind, Tag, UTerm, Val};
 
 use crate::base::outcome_of;
 use crate::execution::Execution;
@@ -93,7 +91,10 @@ pub fn enumerate<'g>(
         graph,
         interp: Interpreter::new(model),
         needs_fence_order: graph.arch == Arch::Ptx
-            && model.referenced_base_rels().iter().any(|r| r == "sync_fence"),
+            && model
+                .referenced_base_rels()
+                .iter()
+                .any(|r| r == "sync_fence"),
         opts,
         stats: EnumStats::default(),
         visit: &mut visit,
@@ -130,9 +131,10 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
     fn run(&mut self) -> Result<(), EnumerateError> {
         let g = self.graph;
         if self.opts.straight_line_only {
-            let has_cf = g.blocks().iter().any(|b| {
-                matches!(b.term, UTerm::Branch { .. } | UTerm::Bound { .. })
-            });
+            let has_cf = g
+                .blocks()
+                .iter()
+                .any(|b| matches!(b.term, UTerm::Branch { .. } | UTerm::Bound { .. }));
             if has_cf {
                 return Err(EnumerateError::Unsupported(
                     "control-flow instructions (straight-line engine)".into(),
@@ -370,7 +372,9 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
                 continue;
             }
             let a = addrs[w.index()].expect("write has address");
-            let slot = groups.iter_mut().find(|(iw, _)| addrs[iw.index()] == Some(a));
+            let slot = groups
+                .iter_mut()
+                .find(|(iw, _)| addrs[iw.index()] == Some(a));
             match slot {
                 Some((_, v)) => v.push(w),
                 None => {
@@ -502,12 +506,7 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
 /// All coherence orders for one location: `iw` first, then every strict
 /// partial order (PTX) or total order (Vulkan) over the other writes,
 /// transitively closed.
-fn location_orders(
-    g: &EventGraph,
-    n: usize,
-    iw: EventId,
-    others: &[EventId],
-) -> Vec<Relation> {
+fn location_orders(g: &EventGraph, n: usize, iw: EventId, others: &[EventId]) -> Vec<Relation> {
     let mut base = Relation::empty(n);
     for &w in others {
         base.insert(iw, w);

@@ -1,8 +1,6 @@
 //! Concrete candidate executions (behaviours).
 
-use gpumc_ir::{
-    Condition, CondAtom, EventGraph, EventId, LocId, Reg, UTerm, Val,
-};
+use gpumc_ir::{CondAtom, Condition, EventGraph, EventId, LocId, Reg, UTerm, Val};
 
 use crate::bitrel::{EventSet, Relation};
 
@@ -207,8 +205,7 @@ impl<'g> Execution<'g> {
         let _ = writeln!(out, "execution of `{}`:", self.graph.name);
         for e in self.executed.iter() {
             let ev = self.graph.event(e);
-            let val = self.values[e.index()]
-                .map_or(String::from("?"), |v| v.to_string());
+            let val = self.values[e.index()].map_or(String::from("?"), |v| v.to_string());
             let addr = self.vaddrs[e.index()].map_or(String::new(), |(l, i)| {
                 let name = &self.graph.memory[l.index()].name;
                 if i == 0 {

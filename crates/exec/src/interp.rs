@@ -1,6 +1,6 @@
 //! Evaluating `.cat` models over concrete executions.
 
-use gpumc_cat::{AxiomKind, Axiom, CatModel, DefBody, RelExpr, SetExpr};
+use gpumc_cat::{Axiom, AxiomKind, CatModel, DefBody, RelExpr, SetExpr};
 use gpumc_ir::EventId;
 
 use crate::base::BaseInterpretation;
@@ -188,10 +188,7 @@ fn eval_set(e: &SetExpr, base: &BaseInterpretation, defs: &[Value]) -> EventSet 
         },
         // The universe restricted to executed events (consistent with the
         // SAT encoding, where every relation is execution-gated).
-        SetExpr::Universe => base
-            .set("_")
-            .cloned()
-            .unwrap_or_else(|| EventSet::full(n)),
+        SetExpr::Universe => base.set("_").cloned().unwrap_or_else(|| EventSet::full(n)),
         SetExpr::Union(a, b) => eval_set(a, base, defs).union(&eval_set(b, base, defs)),
         SetExpr::Inter(a, b) => eval_set(a, base, defs).inter(&eval_set(b, base, defs)),
         SetExpr::Diff(a, b) => eval_set(a, base, defs).diff(&eval_set(b, base, defs)),
@@ -213,9 +210,7 @@ fn eval_rel(e: &RelExpr, base: &BaseInterpretation, defs: &[Value]) -> Relation 
         },
         RelExpr::Id => Relation::identity(n),
         RelExpr::IdSet(s) => Relation::identity_on(&eval_set(s, base, defs)),
-        RelExpr::Cross(a, b) => {
-            Relation::cross(&eval_set(a, base, defs), &eval_set(b, base, defs))
-        }
+        RelExpr::Cross(a, b) => Relation::cross(&eval_set(a, base, defs), &eval_set(b, base, defs)),
         RelExpr::Union(a, b) => eval_rel(a, base, defs).union(&eval_rel(b, base, defs)),
         RelExpr::Inter(a, b) => eval_rel(a, base, defs).inter(&eval_rel(b, base, defs)),
         RelExpr::Diff(a, b) => eval_rel(a, base, defs).diff(&eval_rel(b, base, defs)),

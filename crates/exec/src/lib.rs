@@ -28,8 +28,6 @@ mod interp;
 
 pub use base::BaseInterpretation;
 pub use bitrel::{EventSet, Relation};
-pub use enumerate::{
-    enumerate, enumerate_consistent, Behavior, EnumerateError, EnumerateOptions,
-};
+pub use enumerate::{enumerate, enumerate_consistent, Behavior, EnumerateError, EnumerateOptions};
 pub use execution::{Execution, ThreadOutcome};
 pub use interp::{ConsistencyVerdict, FlagHit, Interpreter};

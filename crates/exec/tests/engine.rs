@@ -42,12 +42,28 @@ fn mp_program() -> Program {
     let x = p.declare_memory(MemoryDecl::scalar("x"));
     let y = p.declare_memory(MemoryDecl::scalar("y"));
     let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
-    t0.push(Instruction::store(MemRef::scalar(x), 1u64.into(), weak(MemOrder::Weak)));
-    t0.push(Instruction::store(MemRef::scalar(y), 1u64.into(), weak(MemOrder::Weak)));
+    t0.push(Instruction::store(
+        MemRef::scalar(x),
+        1u64.into(),
+        weak(MemOrder::Weak),
+    ));
+    t0.push(Instruction::store(
+        MemRef::scalar(y),
+        1u64.into(),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t0);
     let mut t1 = Thread::new("P1", ThreadPos::ptx(1, 0));
-    t1.push(Instruction::load(Reg(0), MemRef::scalar(y), weak(MemOrder::Weak)));
-    t1.push(Instruction::load(Reg(1), MemRef::scalar(x), weak(MemOrder::Weak)));
+    t1.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(y),
+        weak(MemOrder::Weak),
+    ));
+    t1.push(Instruction::load(
+        Reg(1),
+        MemRef::scalar(x),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t1);
     p.assertion = Some(Assertion::Exists(Condition::and(
         Condition::reg_eq(1, Reg(0), 1),
@@ -66,13 +82,18 @@ fn behaviors(p: &Program, cat: &str, bound: u32) -> Vec<(bool, bool)> {
     let graph = graph_of(p, bound);
     let cond = p.assertion.as_ref().map(|a| a.condition().clone());
     let mut out = Vec::new();
-    enumerate(&graph, &model, &EnumerateOptions::default(), |b: &Behavior| {
-        let holds = cond
-            .as_ref()
-            .and_then(|c| b.execution.eval_condition(c))
-            .unwrap_or(false);
-        out.push((b.execution.all_completed(), holds));
-    })
+    enumerate(
+        &graph,
+        &model,
+        &EnumerateOptions::default(),
+        |b: &Behavior| {
+            let holds = cond
+                .as_ref()
+                .and_then(|c| b.execution.eval_condition(c))
+                .unwrap_or(false);
+            out.push((b.execution.all_completed(), holds));
+        },
+    )
     .unwrap();
     out
 }
@@ -91,7 +112,10 @@ fn mp_forbidden_under_full_sc() {
     let p = mp_program();
     let bs = behaviors(&p, SC_FULL, 1);
     assert!(!bs.is_empty());
-    assert!(bs.iter().all(|&(_, holds)| !holds), "SC forbids stale MP read");
+    assert!(
+        bs.iter().all(|&(_, holds)| !holds),
+        "SC forbids stale MP read"
+    );
 }
 
 #[test]
@@ -102,12 +126,28 @@ fn sb_allows_both_zero_only_under_weak_model() {
     let x = p.declare_memory(MemoryDecl::scalar("x"));
     let y = p.declare_memory(MemoryDecl::scalar("y"));
     let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
-    t0.push(Instruction::store(MemRef::scalar(x), 1u64.into(), weak(MemOrder::Weak)));
-    t0.push(Instruction::load(Reg(0), MemRef::scalar(y), weak(MemOrder::Weak)));
+    t0.push(Instruction::store(
+        MemRef::scalar(x),
+        1u64.into(),
+        weak(MemOrder::Weak),
+    ));
+    t0.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(y),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t0);
     let mut t1 = Thread::new("P1", ThreadPos::ptx(1, 0));
-    t1.push(Instruction::store(MemRef::scalar(y), 1u64.into(), weak(MemOrder::Weak)));
-    t1.push(Instruction::load(Reg(1), MemRef::scalar(x), weak(MemOrder::Weak)));
+    t1.push(Instruction::store(
+        MemRef::scalar(y),
+        1u64.into(),
+        weak(MemOrder::Weak),
+    ));
+    t1.push(Instruction::load(
+        Reg(1),
+        MemRef::scalar(x),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t1);
     p.assertion = Some(Assertion::Exists(Condition::and(
         Condition::reg_eq(0, Reg(0), 0),
@@ -125,12 +165,28 @@ fn coherence_forbids_corr_inversion() {
     let mut p = Program::new(Arch::Ptx);
     let x = p.declare_memory(MemoryDecl::scalar("x"));
     let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
-    t0.push(Instruction::store(MemRef::scalar(x), 1u64.into(), weak(MemOrder::Weak)));
-    t0.push(Instruction::store(MemRef::scalar(x), 2u64.into(), weak(MemOrder::Weak)));
+    t0.push(Instruction::store(
+        MemRef::scalar(x),
+        1u64.into(),
+        weak(MemOrder::Weak),
+    ));
+    t0.push(Instruction::store(
+        MemRef::scalar(x),
+        2u64.into(),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t0);
     let mut t1 = Thread::new("P1", ThreadPos::ptx(1, 0));
-    t1.push(Instruction::load(Reg(0), MemRef::scalar(x), weak(MemOrder::Weak)));
-    t1.push(Instruction::load(Reg(1), MemRef::scalar(x), weak(MemOrder::Weak)));
+    t1.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(x),
+        weak(MemOrder::Weak),
+    ));
+    t1.push(Instruction::load(
+        Reg(1),
+        MemRef::scalar(x),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t1);
     p.assertion = Some(Assertion::Exists(Condition::and(
         Condition::reg_eq(1, Reg(0), 2),
@@ -242,7 +298,11 @@ fn spinloop_liveness_violation_detected() {
     let flag = p.declare_memory(MemoryDecl::scalar("flag"));
     let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
     t0.push(Instruction::Label(0));
-    t0.push(Instruction::load(Reg(0), MemRef::scalar(flag), weak(MemOrder::Weak)));
+    t0.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(flag),
+        weak(MemOrder::Weak),
+    ));
     t0.push(Instruction::Branch {
         cmp: CmpOp::Ne,
         a: Operand::Reg(Reg(0)),
@@ -259,7 +319,10 @@ fn spinloop_liveness_violation_detected() {
         }
     })
     .unwrap();
-    assert!(violation, "spinning on a never-set flag must be a liveness bug");
+    assert!(
+        violation,
+        "spinning on a never-set flag must be a liveness bug"
+    );
 }
 
 #[test]
@@ -269,7 +332,11 @@ fn spinloop_with_writer_has_no_liveness_violation() {
     let flag = p.declare_memory(MemoryDecl::scalar("flag"));
     let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
     t0.push(Instruction::Label(0));
-    t0.push(Instruction::load(Reg(0), MemRef::scalar(flag), weak(MemOrder::Weak)));
+    t0.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(flag),
+        weak(MemOrder::Weak),
+    ));
     t0.push(Instruction::Branch {
         cmp: CmpOp::Ne,
         a: Operand::Reg(Reg(0)),
@@ -278,7 +345,11 @@ fn spinloop_with_writer_has_no_liveness_violation() {
     });
     p.add_thread(t0);
     let mut t1 = Thread::new("P1", ThreadPos::ptx(1, 0));
-    t1.push(Instruction::store(MemRef::scalar(flag), 1u64.into(), weak(MemOrder::Weak)));
+    t1.push(Instruction::store(
+        MemRef::scalar(flag),
+        1u64.into(),
+        weak(MemOrder::Weak),
+    ));
     p.add_thread(t1);
     let model = gpumc_cat::parse(SC_PER_LOC).unwrap();
     let graph = graph_of(&p, 2);
@@ -301,7 +372,11 @@ fn straight_line_restriction_rejects_loops() {
     let x = p.declare_memory(MemoryDecl::scalar("x"));
     let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
     t.push(Instruction::Label(0));
-    t.push(Instruction::load(Reg(0), MemRef::scalar(x), weak(MemOrder::Weak)));
+    t.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(x),
+        weak(MemOrder::Weak),
+    ));
     t.push(Instruction::Branch {
         cmp: CmpOp::Ne,
         a: Operand::Reg(Reg(0)),
@@ -354,7 +429,11 @@ fn dependency_cycle_rejected() {
     let x = p.declare_memory(MemoryDecl::scalar("x"));
     let y = p.declare_memory(MemoryDecl::scalar("y"));
     let mut t0 = Thread::new("P0", ThreadPos::ptx(0, 0));
-    t0.push(Instruction::load(Reg(0), MemRef::scalar(x), weak(MemOrder::Weak)));
+    t0.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(x),
+        weak(MemOrder::Weak),
+    ));
     t0.push(Instruction::store(
         MemRef::scalar(y),
         Operand::Reg(Reg(0)),
@@ -362,7 +441,11 @@ fn dependency_cycle_rejected() {
     ));
     p.add_thread(t0);
     let mut t1 = Thread::new("P1", ThreadPos::ptx(1, 0));
-    t1.push(Instruction::load(Reg(1), MemRef::scalar(y), weak(MemOrder::Weak)));
+    t1.push(Instruction::load(
+        Reg(1),
+        MemRef::scalar(y),
+        weak(MemOrder::Weak),
+    ));
     t1.push(Instruction::store(
         MemRef::scalar(x),
         Operand::Reg(Reg(1)),
@@ -420,7 +503,11 @@ fn dynamic_array_index_addresses() {
     ));
     p.add_thread(t0);
     let mut t1 = Thread::new("P1", ThreadPos::ptx(1, 0));
-    t1.push(Instruction::load(Reg(0), MemRef::scalar(idx), weak(MemOrder::Weak)));
+    t1.push(Instruction::load(
+        Reg(0),
+        MemRef::scalar(idx),
+        weak(MemOrder::Weak),
+    ));
     t1.push(Instruction::load(
         Reg(1),
         MemRef::indexed(a, Reg(0)),

@@ -209,7 +209,10 @@ mod tests {
     use gpumc_ir::{MemOrder, Scope};
 
     fn grid() -> Grid {
-        Grid { local: 2, groups: 2 }
+        Grid {
+            local: 2,
+            groups: 2,
+        }
     }
 
     #[test]
@@ -320,7 +323,13 @@ mod tests {
         let b = k.buffer("x", 1);
         k.push(Stmt::store(b, KExpr::Const(0), KExpr::Const(1)));
         assert_eq!(
-            analyze(&k, Grid { local: 1, groups: 1 }),
+            analyze(
+                &k,
+                Grid {
+                    local: 1,
+                    groups: 1
+                }
+            ),
             Verdict::RaceFree
         );
     }

@@ -111,6 +111,25 @@ pub fn compile(u: &UnrolledProgram) -> EventGraph {
 }
 
 impl EventGraph {
+    /// A structural fingerprint of the graph, stable within a process.
+    ///
+    /// Two graphs compiled from the same program at the same unrolling
+    /// bound hash equal; any structural difference (events, blocks,
+    /// threads, memory, assertion, …) perturbs the hash. Used as a cache
+    /// key for per-graph derived data such as relation-analysis bounds.
+    /// Not stable across compiler or library versions — never persist it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        // DefaultHasher::new() is deterministic (unkeyed SipHash), unlike
+        // RandomState-built hashers, so equal graphs agree across threads.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // EventGraph derives Eq but not Hash (some leaves don't); the Debug
+        // rendering is a faithful structural serialization of every field,
+        // so hashing it preserves `a == b => fp(a) == fp(b)`.
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
+
     /// All events, indexed by [`EventId`].
     pub fn events(&self) -> &[Event] {
         &self.events
@@ -176,9 +195,7 @@ impl EventGraph {
     pub fn mutually_exclusive(&self, a: BlockId, b: BlockId) -> bool {
         let (ba, bb) = (&self.blocks[a as usize], &self.blocks[b as usize]);
         match (ba.thread, bb.thread) {
-            (Some(ta), Some(tb)) if ta == tb => {
-                !self.is_ancestor(a, b) && !self.is_ancestor(b, a)
-            }
+            (Some(ta), Some(tb)) if ta == tb => !self.is_ancestor(a, b) && !self.is_ancestor(b, a),
             _ => false,
         }
     }
@@ -240,7 +257,9 @@ impl EventGraph {
     pub fn static_addr(&self, e: EventId) -> Option<(LocId, u64)> {
         match &self.event(e).kind {
             crate::event::EventKind::Init { loc, index, .. } => Some((*loc, u64::from(*index))),
-            k => k.addr().and_then(|a| a.index.as_const().map(|i| (a.loc, i))),
+            k => k
+                .addr()
+                .and_then(|a| a.index.as_const().map(|i| (a.loc, i))),
         }
     }
 
@@ -326,7 +345,11 @@ mod tests {
         let mut p = Program::new(Arch::Ptx);
         let x = p.declare_memory(MemoryDecl::scalar("x"));
         let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
-        t.push(Instruction::load(Reg(0), MemRef::scalar(x), AccessAttrs::weak()));
+        t.push(Instruction::load(
+            Reg(0),
+            MemRef::scalar(x),
+            AccessAttrs::weak(),
+        ));
         t.push(Instruction::Branch {
             cmp: CmpOp::Eq,
             a: Operand::Reg(Reg(0)),
@@ -419,7 +442,10 @@ mod tests {
         let (e1, e2) = (ids[0], ids[1]);
         assert!(g.may_alias(e1, e2));
         assert!(g.must_alias(e1, e2));
-        assert!(!g.same_virtual(e1, e2), "x and s are distinct virtual addresses");
+        assert!(
+            !g.same_virtual(e1, e2),
+            "x and s are distinct virtual addresses"
+        );
         // Init event is same-virtual with both.
         let init = crate::event::EventId(0);
         assert!(g.same_virtual(init, e1));
@@ -441,9 +467,7 @@ mod tests {
         let g = branchy_graph();
         let leaves = g.thread_leaves(0);
         assert_eq!(leaves.len(), 2);
-        assert!(leaves
-            .iter()
-            .all(|(_, t)| matches!(t, UTerm::End { .. })));
+        assert!(leaves.iter().all(|(_, t)| matches!(t, UTerm::End { .. })));
     }
 
     #[test]

@@ -196,7 +196,11 @@ impl<'a> Unroller<'a> {
         id
     }
 
-    fn fresh_block(&mut self, thread: usize, parent: Option<(BlockId, bool)>) -> Result<BlockId, IrError> {
+    fn fresh_block(
+        &mut self,
+        thread: usize,
+        parent: Option<(BlockId, bool)>,
+    ) -> Result<BlockId, IrError> {
         if self.blocks.len() >= MAX_BLOCKS {
             return Err(IrError {
                 message: format!(
@@ -276,15 +280,18 @@ impl<'a> Unroller<'a> {
                     let id = self.fresh_event();
                     let av = Self::addr_val(&state.regs, addr);
                     let tags = access_tags(arch, &attrs, false, self.program, addr.loc);
-                    self.push_event(block, Event {
-                        id,
-                        thread: Some(ti),
-                        kind: EventKind::Load { reg: dst, addr: av },
-                        tags,
+                    self.push_event(
                         block,
-                        po_index: state.po_index,
-                        label,
-                    });
+                        Event {
+                            id,
+                            thread: Some(ti),
+                            kind: EventKind::Load { reg: dst, addr: av },
+                            tags,
+                            block,
+                            po_index: state.po_index,
+                            label,
+                        },
+                    );
                     state.po_index += 1;
                     state.regs.insert(dst, Val::Read(id));
                     state.last_load = Some((state.pc, id));
@@ -295,15 +302,18 @@ impl<'a> Unroller<'a> {
                     let av = Self::addr_val(&state.regs, addr);
                     let value = Self::operand_val(&state.regs, src);
                     let tags = access_tags(arch, &attrs, true, self.program, addr.loc);
-                    self.push_event(block, Event {
-                        id,
-                        thread: Some(ti),
-                        kind: EventKind::Store { addr: av, value },
-                        tags,
+                    self.push_event(
                         block,
-                        po_index: state.po_index,
-                        label,
-                    });
+                        Event {
+                            id,
+                            thread: Some(ti),
+                            kind: EventKind::Store { addr: av, value },
+                            tags,
+                            block,
+                            po_index: state.po_index,
+                            label,
+                        },
+                    );
                     state.po_index += 1;
                     state.pc += 1;
                 }
@@ -330,35 +340,43 @@ impl<'a> Unroller<'a> {
                             None,
                         ),
                         crate::instr::RmwOp::Exchange => (opval, None),
-                        crate::instr::RmwOp::Cas { expected } => (
-                            opval,
-                            Some(Self::operand_val(&state.regs, expected)),
-                        ),
+                        crate::instr::RmwOp::Cas { expected } => {
+                            (opval, Some(Self::operand_val(&state.regs, expected)))
+                        }
                     };
-                    self.push_event(block, Event {
-                        id: rid,
-                        thread: Some(ti),
-                        kind: EventKind::RmwLoad { reg: dst, addr: av.clone() },
-                        tags: rtags,
+                    self.push_event(
                         block,
-                        po_index: state.po_index,
-                        label: label.clone(),
-                    });
-                    state.po_index += 1;
-                    self.push_event(block, Event {
-                        id: wid,
-                        thread: Some(ti),
-                        kind: EventKind::RmwStore {
-                            addr: av,
-                            value,
-                            read: rid,
-                            cas_expected,
+                        Event {
+                            id: rid,
+                            thread: Some(ti),
+                            kind: EventKind::RmwLoad {
+                                reg: dst,
+                                addr: av.clone(),
+                            },
+                            tags: rtags,
+                            block,
+                            po_index: state.po_index,
+                            label: label.clone(),
                         },
-                        tags: wtags,
+                    );
+                    state.po_index += 1;
+                    self.push_event(
                         block,
-                        po_index: state.po_index,
-                        label,
-                    });
+                        Event {
+                            id: wid,
+                            thread: Some(ti),
+                            kind: EventKind::RmwStore {
+                                addr: av,
+                                value,
+                                read: rid,
+                                cas_expected,
+                            },
+                            tags: wtags,
+                            block,
+                            po_index: state.po_index,
+                            label,
+                        },
+                    );
                     state.po_index += 1;
                     state.regs.insert(dst, Val::Read(rid));
                     state.pc += 1;
@@ -366,15 +384,18 @@ impl<'a> Unroller<'a> {
                 Instruction::Fence { attrs } => {
                     let id = self.fresh_event();
                     let tags = fence_tags(arch, &attrs);
-                    self.push_event(block, Event {
-                        id,
-                        thread: Some(ti),
-                        kind: EventKind::Fence(attrs),
-                        tags,
+                    self.push_event(
                         block,
-                        po_index: state.po_index,
-                        label,
-                    });
+                        Event {
+                            id,
+                            thread: Some(ti),
+                            kind: EventKind::Fence(attrs),
+                            tags,
+                            block,
+                            po_index: state.po_index,
+                            label,
+                        },
+                    );
                     state.po_index += 1;
                     state.pc += 1;
                 }
@@ -402,15 +423,18 @@ impl<'a> Unroller<'a> {
                             tags.insert(scope_tag(f.scope));
                         }
                     }
-                    self.push_event(block, Event {
-                        id,
-                        thread: Some(ti),
-                        kind: EventKind::Barrier { id: idval, attrs },
-                        tags,
+                    self.push_event(
                         block,
-                        po_index: state.po_index,
-                        label,
-                    });
+                        Event {
+                            id,
+                            thread: Some(ti),
+                            kind: EventKind::Barrier { id: idval, attrs },
+                            tags,
+                            block,
+                            po_index: state.po_index,
+                            label,
+                        },
+                    );
                     state.po_index += 1;
                     state.pc += 1;
                 }
@@ -719,7 +743,11 @@ mod tests {
             Operand::Const(1),
             AccessAttrs::weak(),
         ));
-        t.push(Instruction::load(Reg(0), MemRef::scalar(x), AccessAttrs::weak()));
+        t.push(Instruction::load(
+            Reg(0),
+            MemRef::scalar(x),
+            AccessAttrs::weak(),
+        ));
         p.add_thread(t);
         let u = unroll(&p, 2).unwrap();
         assert_eq!(u.n_init, 1);
@@ -740,7 +768,11 @@ mod tests {
         let (mut p, x) = simple_program();
         let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
         t.push(Instruction::Label(0));
-        t.push(Instruction::load(Reg(0), MemRef::scalar(x), AccessAttrs::weak()));
+        t.push(Instruction::load(
+            Reg(0),
+            MemRef::scalar(x),
+            AccessAttrs::weak(),
+        ));
         t.push(Instruction::Branch {
             cmp: CmpOp::Ne,
             a: Operand::Reg(Reg(0)),
@@ -780,7 +812,11 @@ mod tests {
         let (mut p, x) = simple_program();
         let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
         t.push(Instruction::Label(0));
-        t.push(Instruction::load(Reg(0), MemRef::scalar(x), AccessAttrs::weak()));
+        t.push(Instruction::load(
+            Reg(0),
+            MemRef::scalar(x),
+            AccessAttrs::weak(),
+        ));
         t.push(Instruction::store(
             MemRef::scalar(x),
             Operand::Const(2),
@@ -820,7 +856,11 @@ mod tests {
     fn branch_splits_blocks_with_correct_parents() {
         let (mut p, x) = simple_program();
         let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
-        t.push(Instruction::load(Reg(0), MemRef::scalar(x), AccessAttrs::weak()));
+        t.push(Instruction::load(
+            Reg(0),
+            MemRef::scalar(x),
+            AccessAttrs::weak(),
+        ));
         t.push(Instruction::Branch {
             cmp: CmpOp::Eq,
             a: Operand::Reg(Reg(0)),
@@ -848,7 +888,10 @@ mod tests {
         assert_eq!(branch_blocks.len(), 1);
         let (tb, eb) = branch_blocks[0];
         assert_eq!(u.blocks[tb as usize].parent.map(|(_, pol)| pol), Some(true));
-        assert_eq!(u.blocks[eb as usize].parent.map(|(_, pol)| pol), Some(false));
+        assert_eq!(
+            u.blocks[eb as usize].parent.map(|(_, pol)| pol),
+            Some(false)
+        );
         // Only the else branch stores.
         assert_eq!(u.blocks[tb as usize].events.len(), 0);
         assert_eq!(u.blocks[eb as usize].events.len(), 1);
@@ -927,7 +970,11 @@ mod tests {
             AccessAttrs::weak(),
         ));
         t.push(Instruction::Label(0));
-        t.push(Instruction::load(Reg(0), MemRef::scalar(x), AccessAttrs::weak()));
+        t.push(Instruction::load(
+            Reg(0),
+            MemRef::scalar(x),
+            AccessAttrs::weak(),
+        ));
         p.add_thread(t);
         let u = unroll(&p, 2).unwrap();
         assert_eq!(u.blocks.len(), 2);
@@ -939,7 +986,10 @@ mod tests {
     fn fence_sc_tags() {
         let (mut p, _) = simple_program();
         let mut t = Thread::new("P0", ThreadPos::ptx(0, 0));
-        t.push(Instruction::fence(FenceAttrs::new(MemOrder::Sc, Scope::Gpu)));
+        t.push(Instruction::fence(FenceAttrs::new(
+            MemOrder::Sc,
+            Scope::Gpu,
+        )));
         p.add_thread(t);
         let u = unroll(&p, 2).unwrap();
         let e = &u.blocks[1].events[0];

@@ -246,8 +246,14 @@ mod tests {
         let c = parse_condition("(P0:r1 == 1 /\\ P1:r2 != 0)", &p).unwrap();
         match c {
             Condition::And(a, b) => {
-                assert!(matches!(*a, Condition::Eq(CondAtom::Register { thread: 0, .. }, _)));
-                assert!(matches!(*b, Condition::Ne(CondAtom::Register { thread: 1, .. }, _)));
+                assert!(matches!(
+                    *a,
+                    Condition::Eq(CondAtom::Register { thread: 0, .. }, _)
+                ));
+                assert!(matches!(
+                    *b,
+                    Condition::Ne(CondAtom::Register { thread: 1, .. }, _)
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -259,8 +265,14 @@ mod tests {
         let c = parse_condition("x == 1 \\/ a[2] == 3", &p).unwrap();
         match c {
             Condition::Or(a, b) => {
-                assert!(matches!(*a, Condition::Eq(CondAtom::Memory { index: 0, .. }, _)));
-                assert!(matches!(*b, Condition::Eq(CondAtom::Memory { index: 2, .. }, _)));
+                assert!(matches!(
+                    *a,
+                    Condition::Eq(CondAtom::Memory { index: 0, .. }, _)
+                ));
+                assert!(matches!(
+                    *b,
+                    Condition::Eq(CondAtom::Memory { index: 2, .. }, _)
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -167,7 +167,12 @@ fn parse_suffixes(parts: &[&str]) -> Result<Suffixes, String> {
     Ok(s)
 }
 
-fn access_attrs(s: &Suffixes, arch: Arch, program: &Program, addr: &MemRef) -> Result<AccessAttrs, String> {
+fn access_attrs(
+    s: &Suffixes,
+    arch: Arch,
+    program: &Program,
+    addr: &MemRef,
+) -> Result<AccessAttrs, String> {
     let decl = &program.memory[addr.loc.index()];
     if let Some(ann) = s.storage_annotation {
         if arch == Arch::Vulkan && decl.storage_class != ann {
@@ -236,9 +241,7 @@ pub fn parse_instruction(
     // Leading label definitions: `LC00:` or `LC00: instr`.
     while let Some(colon) = cell.find(':') {
         let head = &cell[..colon];
-        if head
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        if head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && head.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
         {
             let id = labels.intern(head, true);

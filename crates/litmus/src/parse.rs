@@ -129,7 +129,9 @@ impl<'a> Parser<'a> {
             Arch::Ptx => "PTX",
             Arch::Vulkan => "VULKAN",
         };
-        if !arch.eq_ignore_ascii_case(expect) && !(expect == "VULKAN" && arch.eq_ignore_ascii_case("VK")) {
+        let arch_ok = arch.eq_ignore_ascii_case(expect)
+            || (expect == "VULKAN" && arch.eq_ignore_ascii_case("VK"));
+        if !arch_ok {
             return Err(LitmusError::new(n, format!("expected `{expect}` header")));
         }
         self.program.name = parts.collect::<Vec<_>>().join(" ");
@@ -212,9 +214,7 @@ impl<'a> Parser<'a> {
                 "surface" | "sur" => Proxy::Surface,
                 "texture" | "tex" => Proxy::Texture,
                 "constant" | "con" => Proxy::Constant,
-                other => {
-                    return Err(LitmusError::new(n, format!("unknown proxy `{other}`")))
-                }
+                other => return Err(LitmusError::new(n, format!("unknown proxy `{other}`"))),
             };
             let target_id = self
                 .program
@@ -273,7 +273,8 @@ impl<'a> Parser<'a> {
         for cell in header.split('|') {
             threads.push(self.thread_header(cell.trim(), n)?);
         }
-        let mut interners: Vec<LabelInterner> = threads.iter().map(|_| LabelInterner::new()).collect();
+        let mut interners: Vec<LabelInterner> =
+            threads.iter().map(|_| LabelInterner::new()).collect();
         // Instruction rows until a condition keyword.
         while let Some(&(row_n, line)) = self.lines.get(self.pos) {
             let first_word = line.split_whitespace().next().unwrap_or("");
@@ -293,13 +294,9 @@ impl<'a> Parser<'a> {
                         "more instruction columns than threads",
                     ));
                 }
-                let instrs = parse_instruction(
-                    cell,
-                    self.program.arch,
-                    &self.program,
-                    &mut interners[ti],
-                )
-                .map_err(|m| LitmusError::new(row_n, m))?;
+                let instrs =
+                    parse_instruction(cell, self.program.arch, &self.program, &mut interners[ti])
+                        .map_err(|m| LitmusError::new(row_n, m))?;
                 for i in instrs {
                     threads[ti].push(i);
                 }
@@ -321,14 +318,12 @@ impl<'a> Parser<'a> {
         }
         // Resolve stashed ssw names.
         for (a, b) in std::mem::take(&mut self.pending_ssw) {
-            let find = |name: &str| {
-                self.program
-                    .threads
-                    .iter()
-                    .position(|t| t.name == name)
-            };
+            let find = |name: &str| self.program.threads.iter().position(|t| t.name == name);
             let (Some(ia), Some(ib)) = (find(&a), find(&b)) else {
-                return Err(LitmusError::new(n, format!("unknown ssw thread `{a}`/`{b}`")));
+                return Err(LitmusError::new(
+                    n,
+                    format!("unknown ssw thread `{a}`/`{b}`"),
+                ));
             };
             self.program.ssw_pairs.push((ia, ib));
             self.program.ssw_pairs.push((ib, ia));
@@ -375,8 +370,7 @@ impl<'a> Parser<'a> {
                 text.push_str(next);
                 self.pos += 1;
             }
-            parse_condition_line(&text, &mut self.program)
-                .map_err(|m| LitmusError::new(n, m))?;
+            parse_condition_line(&text, &mut self.program).map_err(|m| LitmusError::new(n, m))?;
         }
         Ok(())
     }

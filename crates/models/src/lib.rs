@@ -3,13 +3,28 @@
 //! The model sources live in `crates/models/cat/` and are embedded into
 //! the binary; [`load`] parses and resolves them through `gpumc-cat`.
 //!
+//! Parsing and resolving a model is pure front-end work, so it is done at
+//! most **once per [`ModelKind`] per process**: [`load_shared`] returns a
+//! process-wide `Arc<CatModel>` from a [`OnceLock`] cache, and [`load`]
+//! clones out of the same cache. Batch drivers (the suite runner, the
+//! bench binaries) share the `Arc` across worker threads; [`parse_count`]
+//! exposes the number of actual parses for tests and diagnostics.
+//!
 //! # Example
 //!
 //! ```
 //! let ptx = gpumc_models::ptx75();
 //! assert_eq!(ptx.name(), "PTX v7.5");
 //! assert!(ptx.axioms().iter().any(|a| a.name.as_deref() == Some("no-thin-air")));
+//!
+//! // Shared handles point at the same parsed model.
+//! let a = gpumc_models::load_shared(gpumc_models::ModelKind::Ptx75);
+//! let b = gpumc_models::load_shared(gpumc_models::ModelKind::Ptx75);
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
 //! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use gpumc_cat::CatModel;
 
@@ -75,15 +90,58 @@ impl std::fmt::Display for ModelKind {
     }
 }
 
-/// Loads (parses + resolves) a shipped model.
+/// One cache slot per [`ModelKind::ALL`] entry.
+static CACHE: [OnceLock<Arc<CatModel>>; 3] = [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+
+/// Number of times an embedded model source has actually been parsed.
+static PARSES: AtomicUsize = AtomicUsize::new(0);
+
+fn cache_index(kind: ModelKind) -> usize {
+    match kind {
+        ModelKind::Ptx60 => 0,
+        ModelKind::Ptx75 => 1,
+        ModelKind::Vulkan => 2,
+    }
+}
+
+/// Returns the process-wide shared instance of a shipped model,
+/// parsing and resolving it on first use only.
+///
+/// The returned `Arc` is shared freely across threads; the parse runs
+/// exactly once per [`ModelKind`] per process.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse — that would be a
+/// packaging bug, covered by unit tests.
+pub fn load_shared(kind: ModelKind) -> Arc<CatModel> {
+    CACHE[cache_index(kind)]
+        .get_or_init(|| {
+            PARSES.fetch_add(1, Ordering::SeqCst);
+            let model = gpumc_cat::parse(kind.source())
+                .unwrap_or_else(|e| panic!("embedded model {kind} is invalid: {e}"));
+            Arc::new(model)
+        })
+        .clone()
+}
+
+/// How many embedded-model parses this process has performed (at most
+/// one per [`ModelKind`]). Exposed for the cache-effectiveness tests.
+pub fn parse_count() -> usize {
+    PARSES.load(Ordering::SeqCst)
+}
+
+/// Loads a shipped model by value.
+///
+/// Since the shared cache was introduced this clones the cached instance
+/// instead of re-parsing; prefer [`load_shared`] to avoid the clone.
 ///
 /// # Panics
 ///
 /// Panics if the embedded source fails to parse — that would be a
 /// packaging bug, covered by unit tests.
 pub fn load(kind: ModelKind) -> CatModel {
-    gpumc_cat::parse(kind.source())
-        .unwrap_or_else(|e| panic!("embedded model {kind} is invalid: {e}"))
+    (*load_shared(kind)).clone()
 }
 
 /// The PTX v6.0 model.
@@ -153,6 +211,47 @@ mod tests {
         assert!(!has_proxy(&ptx60()));
         assert!(has_proxy(&ptx75()));
         assert!(!has_proxy(&vulkan()));
+    }
+
+    #[test]
+    fn shared_cache_parses_each_model_once() {
+        // Warm every slot first so concurrent sibling tests cannot bump
+        // the counter between our observations.
+        for kind in ModelKind::ALL {
+            let _ = load_shared(kind);
+        }
+        let parses = parse_count();
+        assert!(
+            parses <= ModelKind::ALL.len(),
+            "at most one parse per model"
+        );
+
+        // Hammer the cache from several threads: no new parses, and every
+        // handle aliases the same instance.
+        let first = load_shared(ModelKind::Ptx75);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for kind in ModelKind::ALL {
+                        let m = load_shared(kind);
+                        assert!(!m.axioms().is_empty());
+                    }
+                    assert!(Arc::ptr_eq(&first, &load_shared(ModelKind::Ptx75)));
+                });
+            }
+        });
+        assert_eq!(parse_count(), parses, "cache hits must not re-parse");
+
+        // `load` also goes through the cache.
+        let _ = load(ModelKind::Ptx75);
+        assert_eq!(parse_count(), parses);
+    }
+
+    #[test]
+    fn models_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CatModel>();
+        assert_send_sync::<Arc<CatModel>>();
     }
 
     #[test]

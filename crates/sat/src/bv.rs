@@ -54,10 +54,9 @@ impl BitVec {
     ///
     /// Unconstrained bits read as zero.
     pub fn value_in(&self, f: &Formula) -> u64 {
-        self.bits
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &l)| acc | (u64::from(f.value_or_false(l)) << i))
+        self.bits.iter().enumerate().fold(0u64, |acc, (i, &l)| {
+            acc | (u64::from(f.value_or_false(l)) << i)
+        })
     }
 
     /// Returns a literal equivalent to `self == other`.

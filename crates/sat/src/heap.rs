@@ -18,10 +18,12 @@ impl VarHeap {
         VarHeap::default()
     }
 
+    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.heap.len()
     }
 
+    #[cfg(test)]
     pub(crate) fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -124,7 +126,9 @@ mod tests {
         for i in 0..4 {
             h.push(Var(i), &activity);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity)).map(|v| v.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.0)
+            .collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
     }
 

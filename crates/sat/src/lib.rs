@@ -48,7 +48,11 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    ///
+    /// Not `std::ops::Neg`: this maps a `Var` to a `Lit`, it does not negate
+    /// a value of the same type.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit::new(self, false)
     }

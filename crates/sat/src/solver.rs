@@ -123,11 +123,19 @@ impl Solver {
     }
 
     /// Returns solver statistics.
+    ///
+    /// `clauses` and `learnt` count *live* clauses only, matching
+    /// [`Solver::num_clauses`]; clauses removed by database reduction are
+    /// excluded from both.
     pub fn stats(&self) -> Stats {
         let mut s = self.stats;
         s.vars = self.assigns.len();
-        s.clauses = self.clauses.iter().filter(|c| !c.learnt).count();
-        s.learnt = self.clauses.iter().filter(|c| c.learnt && !c.deleted).count();
+        s.clauses = self.num_clauses();
+        s.learnt = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count();
         s
     }
 
@@ -165,9 +173,13 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of problem (non-learnt) clauses.
+    /// Number of live problem (non-learnt, non-deleted) clauses. Always
+    /// equals [`Solver::stats`]`().clauses`.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Adds a clause (a disjunction of literals).
@@ -670,6 +682,12 @@ fn luby(mut x: u64) -> u64 {
     1 << seq
 }
 
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +700,45 @@ mod tests {
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn clause_counts_exclude_deleted_clauses() {
+        // `stats().clauses` and `num_clauses()` must agree and count live
+        // clauses only — deletion (database reduction) removes a clause
+        // from both, whether problem or learnt.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        s.add_clause([v[1], v[2]]);
+        assert_eq!(s.num_clauses(), 3);
+        assert_eq!(s.stats().clauses, 3);
+
+        // Simulate what reduce_db does to a clause.
+        s.clauses[1].deleted = true;
+        assert_eq!(s.num_clauses(), 2, "deleted clauses are not live");
+        assert_eq!(
+            s.stats().clauses,
+            s.num_clauses(),
+            "stats() and num_clauses() agree on live clauses"
+        );
+
+        // A deleted learnt clause disappears from the learnt count too.
+        s.clauses.push(Clause {
+            lits: vec![v[0], v[2]],
+            learnt: true,
+            activity: 0.0,
+            deleted: false,
+        });
+        assert_eq!(s.stats().learnt, 1);
+        s.clauses.last_mut().unwrap().deleted = true;
+        assert_eq!(s.stats().learnt, 0);
+        assert_eq!(
+            s.num_clauses(),
+            2,
+            "learnt clauses never count as problem clauses"
+        );
     }
 
     #[test]
@@ -717,6 +774,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i1 < i2 index pairs read better as ranges
     fn pigeonhole_3_into_2_is_unsat() {
         // p[i][j]: pigeon i in hole j.
         let mut s = Solver::new();
@@ -735,6 +793,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i1 < i2 index pairs read better as ranges
     fn pigeonhole_5_into_4_is_unsat() {
         let mut s = Solver::new();
         let n = 5;
@@ -855,11 +914,5 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.vars, 6);
         assert!(st.propagations > 0);
-    }
-}
-
-impl Default for Solver {
-    fn default() -> Solver {
-        Solver::new()
     }
 }

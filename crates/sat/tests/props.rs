@@ -13,11 +13,8 @@ fn cnf_strategy(nvars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> 
 
 fn brute_force_sat(nvars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
     (0u32..1 << nvars).any(|assign| {
-        cnf.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|&(v, pos)| (assign >> v & 1 == 1) == pos)
-        })
+        cnf.iter()
+            .all(|clause| clause.iter().any(|&(v, pos)| (assign >> v & 1 == 1) == pos))
     })
 }
 

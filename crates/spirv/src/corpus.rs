@@ -43,7 +43,10 @@ pub struct KernelCase {
 }
 
 fn grid() -> Grid {
-    Grid { local: 2, groups: 2 }
+    Grid {
+        local: 2,
+        groups: 2,
+    }
 }
 
 /// The eleven verifiable kernel families; `variant` selects parameters.
@@ -86,7 +89,11 @@ fn verifiable_kernel(family: usize, variant: u32) -> (Kernel, bool) {
             let b = k.buffer("buf", 16);
             let l = k.local();
             k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
-            k.push(Stmt::load(l, b, KExpr::add(KExpr::Gid, KExpr::Const(v % 3 + 1))));
+            k.push(Stmt::load(
+                l,
+                b,
+                KExpr::add(KExpr::Gid, KExpr::Const(v % 3 + 1)),
+            ));
             (k, true)
         }
         // Atomic counter: race-free.

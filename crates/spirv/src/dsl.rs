@@ -49,6 +49,9 @@ pub enum KExpr {
 
 impl KExpr {
     /// `a + b`
+    ///
+    /// A constructor taking two operands, not `std::ops::Add` on `self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: KExpr, b: KExpr) -> KExpr {
         KExpr::Add(Box::new(a), Box::new(b))
     }
@@ -268,6 +271,13 @@ mod tests {
 
     #[test]
     fn grid_threads() {
-        assert_eq!(Grid { local: 4, groups: 3 }.threads(), 12);
+        assert_eq!(
+            Grid {
+                local: 4,
+                groups: 3
+            }
+            .threads(),
+            12
+        );
     }
 }

@@ -7,10 +7,10 @@ use crate::dsl::{CmpKind, KExpr, Kernel, LocalId, Stmt};
 /// SPIR-V scope constant values.
 fn scope_value(s: Scope) -> u32 {
     match s {
-        Scope::Dv => 1,         // Device
-        Scope::Wg => 2,         // Workgroup
-        Scope::Sg => 3,         // Subgroup
-        Scope::Qf => 5,         // QueueFamily
+        Scope::Dv => 1, // Device
+        Scope::Wg => 2, // Workgroup
+        Scope::Sg => 3, // Subgroup
+        Scope::Qf => 5, // QueueFamily
         // PTX scopes do not occur in kernels; map conservatively.
         Scope::Cta => 2,
         Scope::Gpu | Scope::Sys => 1,

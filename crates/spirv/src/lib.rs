@@ -38,8 +38,8 @@ mod emit;
 mod lower;
 mod parse;
 
+pub use corpus::{gpuverify_corpus, Bucket, KernelCase};
 pub use dsl::{CmpKind, Grid, KExpr, Kernel, Stmt};
 pub use emit::emit_spirv;
 pub use lower::{lower, LowerError};
-pub use corpus::{gpuverify_corpus, Bucket, KernelCase};
 pub use parse::{parse_spirv, Module, SpirvError};

@@ -124,26 +124,22 @@ fn lower_thread(
     let mut cmps: HashMap<String, (CmpOp, Operand, Operand)> = HashMap::new();
 
     let id = |tok: &String| tok.trim_start_matches('%').to_string();
-    let value = |tok: &String,
-                 regs: &HashMap<String, V>,
-                 module: &Module|
-     -> Result<V, LowerError> {
-        let name = tok.trim_start_matches('%');
-        if let Some(v) = module.constants.get(name) {
-            return Ok(V::Const(*v));
-        }
-        match name {
-            "gid" => return Ok(V::Const(u64::from(gid))),
-            "lid" => return Ok(V::Const(u64::from(lid))),
-            "wgid" => return Ok(V::Const(u64::from(wgid))),
-            _ => {}
-        }
-        regs.get(name)
-            .copied()
-            .ok_or_else(|| LowerError {
+    let value =
+        |tok: &String, regs: &HashMap<String, V>, module: &Module| -> Result<V, LowerError> {
+            let name = tok.trim_start_matches('%');
+            if let Some(v) = module.constants.get(name) {
+                return Ok(V::Const(*v));
+            }
+            match name {
+                "gid" => return Ok(V::Const(u64::from(gid))),
+                "lid" => return Ok(V::Const(u64::from(lid))),
+                "wgid" => return Ok(V::Const(u64::from(wgid))),
+                _ => {}
+            }
+            regs.get(name).copied().ok_or_else(|| LowerError {
                 message: format!("unknown SSA id %{name}"),
             })
-    };
+        };
     let const_value = |tok: &String, module: &Module| -> Result<u64, LowerError> {
         module
             .constants
@@ -223,12 +219,9 @@ fn lower_instr(
         }
         "OpBranchConditional" => {
             let c = id(&instr.operands[0]);
-            let (cmp, a, b) = cmps
-                .get(&c)
-                .copied()
-                .ok_or_else(|| LowerError {
-                    message: format!("condition %{c} not defined by OpIEqual/OpINotEqual"),
-                })?;
+            let (cmp, a, b) = cmps.get(&c).copied().ok_or_else(|| LowerError {
+                message: format!("condition %{c} not defined by OpIEqual/OpINotEqual"),
+            })?;
             let then = label_of(&id(&instr.operands[1]), labels);
             let els = label_of(&id(&instr.operands[2]), labels);
             th.push(Instruction::Branch {
@@ -319,10 +312,22 @@ fn lower_instr(
                 return err(format!("OpStore to unknown pointer %{dst}"));
             }
         }
-        "OpAtomicLoad" | "OpAtomicStore" | "OpAtomicIAdd" | "OpAtomicExchange"
+        "OpAtomicLoad"
+        | "OpAtomicStore"
+        | "OpAtomicIAdd"
+        | "OpAtomicExchange"
         | "OpAtomicCompareExchange" => {
             lower_atomic(
-                instr, th, regs, next_reg, chains, module, id, value, const_value, attrs,
+                instr,
+                th,
+                regs,
+                next_reg,
+                chains,
+                module,
+                id,
+                value,
+                const_value,
+                attrs,
             )?;
         }
         "OpControlBarrier" => {
@@ -456,7 +461,13 @@ mod tests {
         let mut k = Kernel::new("disjoint");
         let b = k.buffer("out", 8);
         k.push(Stmt::store(b, KExpr::Gid, KExpr::Const(1)));
-        let p = pipeline(&k, Grid { local: 2, groups: 2 });
+        let p = pipeline(
+            &k,
+            Grid {
+                local: 2,
+                groups: 2,
+            },
+        );
         assert_eq!(p.threads.len(), 4);
         // Each thread stores to its own constant index.
         for (t, th) in p.threads.iter().enumerate() {
@@ -486,9 +497,18 @@ mod tests {
                 scope: Scope::Dv,
             }],
         });
-        let p = pipeline(&k, Grid { local: 1, groups: 1 });
+        let p = pipeline(
+            &k,
+            Grid {
+                local: 1,
+                groups: 1,
+            },
+        );
         let th = &p.threads[0];
-        assert!(th.instructions.iter().any(|i| matches!(i, Instruction::Branch { .. })));
+        assert!(th
+            .instructions
+            .iter()
+            .any(|i| matches!(i, Instruction::Branch { .. })));
         assert!(th.instructions.iter().any(|i| matches!(
             i,
             Instruction::Load { attrs, .. } if attrs.order == MemOrder::Acquire
@@ -508,9 +528,18 @@ mod tests {
             order: MemOrder::Release,
             scope: Scope::Dv,
         });
-        let p = pipeline(&k, Grid { local: 2, groups: 1 });
+        let p = pipeline(
+            &k,
+            Grid {
+                local: 2,
+                groups: 1,
+            },
+        );
         let th = &p.threads[0];
-        assert!(th.instructions.iter().any(|i| matches!(i, Instruction::Barrier { .. })));
+        assert!(th
+            .instructions
+            .iter()
+            .any(|i| matches!(i, Instruction::Barrier { .. })));
         assert!(th.instructions.iter().any(|i| matches!(
             i,
             Instruction::Fence { attrs } if attrs.order == MemOrder::Release
@@ -540,7 +569,13 @@ mod tests {
             order: MemOrder::Acquire,
             scope: Scope::Dv,
         });
-        let p = pipeline(&k, Grid { local: 1, groups: 1 });
+        let p = pipeline(
+            &k,
+            Grid {
+                local: 1,
+                groups: 1,
+            },
+        );
         let rmws: Vec<_> = p.threads[0]
             .instructions
             .iter()
@@ -555,12 +590,14 @@ mod tests {
         let b = k.buffer("x", 1);
         let l = k.local();
         k.push(Stmt::load(l, b, KExpr::Const(0)));
-        let p = pipeline(&k, Grid { local: 2, groups: 3 });
-        let wgs: Vec<u32> = p
-            .threads
-            .iter()
-            .map(|t| t.pos.coords()[1])
-            .collect();
+        let p = pipeline(
+            &k,
+            Grid {
+                local: 2,
+                groups: 3,
+            },
+        );
+        let wgs: Vec<u32> = p.threads.iter().map(|t| t.pos.coords()[1]).collect();
         assert_eq!(wgs, vec![0, 0, 1, 1, 2, 2]);
     }
 }

@@ -42,7 +42,10 @@ exists (P2:r0 == 1 /\ P2:r1 == 2)
             .replace("st.weak x, 2", "st.relaxed.sys x, 2"),
     )?;
     let o = Verifier::new(gpumc_models::ptx75()).check_assertion(&ptx_atomic)?;
-    println!("contradictory orders still observable under PTX: {}", o.reachable);
+    println!(
+        "contradictory orders still observable under PTX: {}",
+        o.reachable
+    );
     assert!(!o.reachable);
     println!();
     println!("porting GPU code between APIs requires re-checking it against");

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run -p gpumc-examples --example spirv_pipeline`
 
-use gpumc::{Verifier, gpumc_ir::Arch};
 use gpumc::gpumc_spirv::{emit_spirv, lower, parse_spirv, Grid, KExpr, Kernel, Stmt};
+use gpumc::{gpumc_ir::Arch, Verifier};
 
 fn check(kernel: &Kernel, grid: Grid) -> Result<(), gpumc::VerifyError> {
     println!("-- kernel `{}` --", kernel.name);
@@ -19,12 +19,18 @@ fn check(kernel: &Kernel, grid: Grid) -> Result<(), gpumc::VerifyError> {
     assert_eq!(program.arch, Arch::Vulkan);
     let verifier = Verifier::new(gpumc_models::vulkan()).with_bound(2);
     let races = verifier.check_data_races(&program)?;
-    println!("gpumc: data race {}", if races.violated { "FOUND" } else { "none" });
+    println!(
+        "gpumc: data race {}",
+        if races.violated { "FOUND" } else { "none" }
+    );
     Ok(())
 }
 
 fn main() -> Result<(), gpumc::VerifyError> {
-    let grid = Grid { local: 2, groups: 2 };
+    let grid = Grid {
+        local: 2,
+        groups: 2,
+    };
 
     // Race-free: disjoint per-thread writes.
     let mut ok = Kernel::new("disjoint_writes");

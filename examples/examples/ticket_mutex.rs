@@ -25,11 +25,15 @@ fn main() -> Result<(), gpumc::VerifyError> {
     let relaxed = gpumc::parse_litmus(FIG13_TICKET_MUTEX_RELAXED)?;
     let o = verifier.check_assertion(&relaxed)?;
     println!("mutual exclusion violated: {}", o.reachable);
-    assert!(!o.reachable, "the relaxation is sound — a free optimization");
+    assert!(
+        !o.reachable,
+        "the relaxation is sound — a free optimization"
+    );
 
     println!();
     println!("== sanity: relaxing the *release* of `out` instead breaks it ==");
-    let broken_src = FIG13_TICKET_MUTEX.replace("atom.release.gpu.add r4", "atom.relaxed.gpu.add r4");
+    let broken_src =
+        FIG13_TICKET_MUTEX.replace("atom.release.gpu.add r4", "atom.relaxed.gpu.add r4");
     let broken = gpumc::parse_litmus(&broken_src)?;
     let o = verifier.check_assertion(&broken)?;
     println!("mutual exclusion violated: {}", o.reachable);

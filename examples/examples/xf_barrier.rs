@@ -27,7 +27,10 @@ fn main() -> Result<(), gpumc::VerifyError> {
     let program = gpumc::parse_litmus(&src)?;
     let o = verifier.check_assertion(&program)?;
     println!("stale observation: {}", o.reachable);
-    assert!(o.reachable, "relaxing any barrier introduces a bug (Table 7)");
+    assert!(
+        o.reachable,
+        "relaxing any barrier introduces a bug (Table 7)"
+    );
 
     println!();
     println!("== the original (plain-access) barrier races (Fig. 3) ==");
@@ -51,7 +54,10 @@ exists (P0:r0 == 1 /\ P1:r1 == 1)
 "#,
     )?;
     let live = verifier.check_liveness(&deadlock)?;
-    println!("liveness violation (threads spin forever): {}", live.violated);
+    println!(
+        "liveness violation (threads spin forever): {}",
+        live.violated
+    );
     assert!(live.violated);
     Ok(())
 }

@@ -25,18 +25,21 @@ fn check_expected(test: &Test) {
     let model = model_for(test);
     let v = Verifier::new(gpumc_models::load(model)).with_bound(test.bound);
     let got = match test.property {
-        Property::Safety => v
-            .check_assertion(&program)
-            .unwrap_or_else(|e| panic!("{}: {e}", test.name))
-            .reachable,
-        Property::Liveness => v
-            .check_liveness(&program)
-            .unwrap_or_else(|e| panic!("{}: {e}", test.name))
-            .violated,
-        Property::DataRaceFreedom => v
-            .check_data_races(&program)
-            .unwrap_or_else(|e| panic!("{}: {e}", test.name))
-            .violated,
+        Property::Safety => {
+            v.check_assertion(&program)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name))
+                .reachable
+        }
+        Property::Liveness => {
+            v.check_liveness(&program)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name))
+                .violated
+        }
+        Property::DataRaceFreedom => {
+            v.check_data_races(&program)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name))
+                .violated
+        }
     };
     if let Some(expected) = test.expected {
         assert_eq!(
@@ -108,7 +111,10 @@ fn ptx_proxy_expected_verdicts_hold() {
 
 #[test]
 fn vulkan_expected_verdicts_hold() {
-    for t in vulkan_safety_suite().iter().filter(|t| t.expected.is_some()) {
+    for t in vulkan_safety_suite()
+        .iter()
+        .filter(|t| t.expected.is_some())
+    {
         check_expected(t);
     }
 }

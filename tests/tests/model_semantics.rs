@@ -421,6 +421,9 @@ bne r0, 1, LC00 | ;
 exists (P0:r0 == 1)
 "#;
     let s = run(src, ModelKind::Ptx60, 2);
-    assert!(!s.liveness_violation, "the write is co-maximal, the spin must exit");
+    assert!(
+        !s.liveness_violation,
+        "the write is co-maximal, the spin must exit"
+    );
     assert!(s.cond_reachable);
 }

@@ -24,11 +24,21 @@ fn ptx_caslock_correct_and_relaxations_buggy() {
             "{model}: caslock is correct under PTX"
         );
         assert!(
-            !correct(Primitive::CasLock, Variant::Acq2Rx(0), Grid::new(2, 2), model),
+            !correct(
+                Primitive::CasLock,
+                Variant::Acq2Rx(0),
+                Grid::new(2, 2),
+                model
+            ),
             "{model}: relaxing the acquire breaks it"
         );
         assert!(
-            !correct(Primitive::CasLock, Variant::Rel2Rx(0), Grid::new(2, 2), model),
+            !correct(
+                Primitive::CasLock,
+                Variant::Rel2Rx(0),
+                Grid::new(2, 2),
+                model
+            ),
             "{model}: relaxing the release breaks it"
         );
     }

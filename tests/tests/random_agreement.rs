@@ -41,10 +41,7 @@ fn instr_strategy() -> impl Strategy<Value = I> {
 }
 
 fn program_strategy() -> impl Strategy<Value = Vec<Vec<I>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(instr_strategy(), 1..=3),
-        2..=2,
-    )
+    proptest::collection::vec(proptest::collection::vec(instr_strategy(), 1..=3), 2..=2)
 }
 
 fn build(arch: Arch, threads: &[Vec<I>]) -> (Program, Vec<(usize, Reg)>) {
@@ -77,7 +74,11 @@ fn build(arch: Arch, threads: &[Vec<I>]) -> (Program, Vec<(usize, Reg)>) {
                             ..AccessAttrs::weak()
                         }
                     };
-                    th.push(Instruction::load(r, MemRef::scalar(locs[*loc as usize]), attrs));
+                    th.push(Instruction::load(
+                        r,
+                        MemRef::scalar(locs[*loc as usize]),
+                        attrs,
+                    ));
                     reads.push((ti, r));
                 }
                 I::Store { order, loc, val } => {
