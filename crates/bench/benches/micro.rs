@@ -119,6 +119,44 @@ fn bench_ablation_bounds(c: &mut Criterion) {
     });
 }
 
+/// The incremental query layer: all three properties (assertion,
+/// liveness, data races) of a Vulkan test answered from one solver
+/// session versus three fresh encodings. Prints the per-query solver
+/// deltas once so the learnt-clause reuse is visible, and asserts the
+/// two paths agree on every verdict.
+fn bench_incremental_session(c: &mut Criterion) {
+    let src = r#"
+VULKAN vk-mp-spin
+{ x = 0; flag = 0; }
+P0@sg 0,wg 0,qf 0 | P1@sg 0,wg 1,qf 0 ;
+st.sc0 x, 1 | LC00: ;
+st.atom.rel.dv.sc0 flag, 1 | ld.atom.acq.dv.sc0 r0, flag ;
+ | bne r0, 1, LC00 ;
+ | ld.sc0 r1, x ;
+exists (P1:r0 == 1 /\ P1:r1 == 0)
+"#;
+    let p = gpumc::parse_litmus(src).unwrap();
+    let model = gpumc_models::vulkan();
+    let inc = gpumc::Verifier::new(model.clone()).with_bound(2);
+    let fresh = inc.clone().with_incremental(false);
+    let i = inc.check_all(&p).unwrap();
+    eprintln!("[incremental] three-property Vulkan session, per-query solver deltas:");
+    eprint!("{}", i.render_query_stats());
+    let f = fresh.check_all(&p).unwrap();
+    assert_eq!(i.assertion.reachable, f.assertion.reachable);
+    assert_eq!(i.liveness.violated, f.liveness.violated);
+    assert_eq!(
+        i.data_races.as_ref().map(|d| d.violated),
+        f.data_races.as_ref().map(|d| d.violated)
+    );
+    c.bench_function("incremental/vk-three-property-session", |b| {
+        b.iter(|| inc.check_all(&p).unwrap())
+    });
+    c.bench_function("incremental/vk-three-property-fresh", |b| {
+        b.iter(|| fresh.check_all(&p).unwrap())
+    });
+}
+
 fn bench_cat_parse(c: &mut Criterion) {
     c.bench_function("cat/parse-vulkan-model", |b| {
         b.iter(|| gpumc::gpumc_cat::parse(gpumc_models::VULKAN_CAT).unwrap())
@@ -171,6 +209,7 @@ criterion_group! {
         bench_encode,
         bench_end_to_end,
         bench_ablation_bounds,
+        bench_incremental_session,
         bench_cat_parse,
         bench_model_cache,
         bench_suite_jobs

@@ -125,6 +125,68 @@ fn main() {
             }
         );
     }
+
+    // --- the incremental-session win: all three properties (assertion,
+    //     liveness, data races) of every verifiable kernel, answered once
+    //     from one incremental encoding and once from three fresh
+    //     encodings. Verdicts must agree; per-query solver deltas go to
+    //     stderr.
+    let mut inc_us = 0u128;
+    let mut fresh_us = 0u128;
+    for case in &verifiable {
+        let kernel = case.kernel.as_ref().expect("verifiable kernels exist");
+        let text = emit_spirv(kernel);
+        let module = parse_spirv(&text).expect("parses");
+        let program = lower(&module, case.grid).expect("lowers");
+        let v = Verifier::new(gpumc_models::load_shared(ModelKind::Vulkan)).with_bound(2);
+        let t0 = Instant::now();
+        let inc = v.check_all(&program);
+        let inc_elapsed = t0.elapsed().as_micros();
+        let t0 = Instant::now();
+        let fresh = v.clone().with_incremental(false).check_all(&program);
+        let fresh_elapsed = t0.elapsed().as_micros();
+        match (inc, fresh) {
+            (Ok(i), Ok(f)) => {
+                inc_us += inc_elapsed;
+                fresh_us += fresh_elapsed;
+                eprintln!(
+                    "  {} incremental {:.1} ms vs fresh {:.1} ms",
+                    case.name,
+                    inc_elapsed as f64 / 1000.0,
+                    fresh_elapsed as f64 / 1000.0
+                );
+                eprint!("{}", i.render_query_stats());
+                if i.assertion.reachable != f.assertion.reachable
+                    || i.liveness.violated != f.liveness.violated
+                    || i.data_races.as_ref().map(|d| d.violated)
+                        != f.data_races.as_ref().map(|d| d.violated)
+                {
+                    eprintln!("!! incremental/fresh verdict mismatch on {}", case.name);
+                }
+            }
+            (i, f) => {
+                if let Err(e) = i {
+                    eprintln!("incremental check_all failed on {}: {e}", case.name);
+                }
+                if let Err(e) = f {
+                    eprintln!("fresh check_all failed on {}: {e}", case.name);
+                }
+            }
+        }
+    }
+    println!();
+    println!("three-property verification (assertion + liveness + drf) per kernel:");
+    println!(
+        "  incremental session: {:>8.1} ms   three fresh encodings: {:>8.1} ms   speedup {:.2}x",
+        inc_us as f64 / 1000.0,
+        fresh_us as f64 / 1000.0,
+        if inc_us > 0 {
+            fresh_us as f64 / inc_us as f64
+        } else {
+            1.0
+        }
+    );
+
     eprintln!(
         "{}",
         gpumc_bench::timing_footer(

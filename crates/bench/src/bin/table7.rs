@@ -2,6 +2,11 @@
 //! (caslock / ticketlock / ttaslock / xf-barrier and their weakenings).
 //!
 //! Run with: `cargo run --release -p gpumc-bench --bin table7 [-- --jobs N]`
+//!
+//! With `--all`, each primitive's mutual-exclusion assertion *and* its
+//! liveness (can a spinloop get stuck?) are answered from one
+//! incremental solver session; the extra `Live` column reports the
+//! latter and the per-query solver deltas go to stderr.
 
 use std::time::Instant;
 
@@ -10,6 +15,7 @@ use gpumc_models::ModelKind;
 
 fn main() {
     let jobs = gpumc_bench::jobs_from_args();
+    let all = gpumc_bench::flag_from_args("--all");
     // `FAST=1` skips the slowest correct-case row (ttaslock base, ~15
     // minutes on the reference machine) for quick harness runs.
     let fast = std::env::var("FAST").is_ok();
@@ -35,29 +41,54 @@ fn main() {
         let v =
             Verifier::new(gpumc_models::load_shared(ModelKind::Vulkan)).with_bound(b.test.bound);
         let t0 = Instant::now();
-        v.check_assertion(&program)
-            .map(|o| (o, t0.elapsed().as_millis()))
-            .map_err(|e| e.to_string())
+        if all {
+            // One incremental session answers mutual exclusion + liveness.
+            v.check_all(&program)
+                .map(|o| {
+                    (
+                        o.assertion.clone(),
+                        Some(o.liveness.violated),
+                        o.render_query_stats(),
+                        t0.elapsed().as_millis(),
+                    )
+                })
+                .map_err(|e| e.to_string())
+        } else {
+            v.check_assertion(&program)
+                .map(|o| (o, None, String::new(), t0.elapsed().as_millis()))
+                .map_err(|e| e.to_string())
+        }
     });
 
     println!(
-        "{:26} {:>5} {:>4} {:>5} {:>8} {:>10}",
-        "Benchmark", "Grid", "|T|", "|E|", "Correct", "Time (ms)"
+        "{:26} {:>5} {:>4} {:>5} {:>8}{} {:>10}",
+        "Benchmark",
+        "Grid",
+        "|T|",
+        "|E|",
+        "Correct",
+        if all { "     Live" } else { "" },
+        "Time (ms)"
     );
     let mut csv = String::from("benchmark,grid,threads,events,correct,expected,time_ms\n");
     let mut aggregate_ms = 0u128;
     for (b, result) in benches.iter().zip(results) {
         match result {
-            Ok((o, ms)) => {
+            Ok((o, live, query_stats, ms)) => {
                 aggregate_ms += ms;
                 let correct = !o.reachable;
+                let live_col = match live {
+                    Some(violated) => format!("{:>9}", if violated { "stuck" } else { "yes" }),
+                    None => String::new(),
+                };
                 println!(
-                    "{:26} {:>5} {:>4} {:>5} {:>8} {:>10}{}",
+                    "{:26} {:>5} {:>4} {:>5} {:>8}{} {:>10}{}",
                     b.name,
                     b.grid.to_string(),
                     b.grid.threads(),
                     o.stats.events,
                     if correct { "yes" } else { "no" },
+                    live_col,
                     ms,
                     if correct == b.expect_correct {
                         ""
@@ -65,6 +96,10 @@ fn main() {
                         "   !! expectation mismatch"
                     }
                 );
+                if !query_stats.is_empty() {
+                    eprintln!("{}:", b.name);
+                    eprint!("{query_stats}");
+                }
                 csv.push_str(&format!(
                     "{},{},{},{},{},{},{}\n",
                     b.name,

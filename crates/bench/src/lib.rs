@@ -30,6 +30,12 @@ pub fn jobs_from_args() -> usize {
         .unwrap_or(0)
 }
 
+/// Whether boolean flag `name` (e.g. `--all`) is present in the process
+/// arguments. Unknown arguments are ignored, as in [`jobs_from_args`].
+pub fn flag_from_args(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// The standard batch timing footer: end-to-end wall clock versus the
 /// sum of per-item worker times, and the achieved overlap.
 pub fn timing_footer(label: &str, jobs: usize, wall: Duration, aggregate: Duration) -> String {

@@ -20,6 +20,11 @@ OPTIONS (verify):
     --model <name>       consistency model: ptx-v6.0, ptx-v7.5, vulkan
                          (default: inferred from the test dialect)
     --property <p>       assertion | liveness | datarace  (default: assertion)
+    --all                check all three properties from one incremental
+                         encoding (assertion + liveness + datarace);
+                         per-query solver statistics go to stderr
+    --fresh              with --all: use three fresh encodings instead of
+                         the incremental session (differential baseline)
     --engine <e>         sat | enumerate | alloy  (default: sat;
                          `alloy` is the straight-line enumeration baseline)
     --bound <n>          loop unrolling bound (default: 2)
@@ -30,7 +35,7 @@ OPTIONS (suite):
     --engine <e>         sat | enumerate | alloy  (default: sat)
     --model <name>       model override (default: per-test, from dialect)
     --thorough           also cross-check a secondary property per test,
-                         reusing the per-test relation-analysis bounds
+                         answered from one incremental solver session
 
 The suite result table on stdout is deterministic (identical for any
 --jobs value); timings go to stderr.
@@ -150,6 +155,8 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut engine = "sat".to_string();
     let mut bound = 2u32;
     let mut show_witness = false;
+    let mut all = false;
+    let mut fresh = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -164,6 +171,8 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| "bad --bound")?
             }
             "--witness" => show_witness = true,
+            "--all" => all = true,
+            "--fresh" => fresh = true,
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -184,8 +193,12 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let engine = parse_engine(&engine)?;
     let verifier = Verifier::new(gpumc_models::load(kind))
         .with_engine(engine)
-        .with_bound(bound);
+        .with_bound(bound)
+        .with_incremental(!fresh);
 
+    if all {
+        return verify_all(&verifier, &program, show_witness);
+    }
     let (headline, witness, ok) = match property.as_str() {
         "assertion" | "program_spec" => {
             let o = verifier
@@ -250,6 +263,73 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `gpumc verify --all`: all three properties from one encoding (or from
+/// three fresh ones with `--fresh`). The exit code reflects the
+/// assertion expectation, like the default property; the liveness and
+/// data-race lines are informational.
+fn verify_all(
+    verifier: &Verifier,
+    program: &gpumc::gpumc_ir::Program,
+    show_witness: bool,
+) -> Result<ExitCode, String> {
+    let o = verifier.check_all(program).map_err(|e| e.to_string())?;
+    let verdict = match o.assertion.satisfied_expectation {
+        Some(true) => "condition expectation HOLDS",
+        Some(false) => "condition expectation FAILS",
+        None => "no condition",
+    };
+    println!(
+        "{}: witness {} | {} | {} events, {} vars, {} clauses",
+        program.name,
+        if o.assertion.reachable {
+            "FOUND"
+        } else {
+            "none"
+        },
+        verdict,
+        o.assertion.stats.events,
+        o.assertion.stats.sat_vars,
+        o.assertion.stats.sat_clauses,
+    );
+    println!(
+        "{}: liveness {}",
+        program.name,
+        if o.liveness.violated {
+            "VIOLATION"
+        } else {
+            "ok"
+        }
+    );
+    match &o.data_races {
+        Some(d) => println!(
+            "{}: data race {}",
+            program.name,
+            if d.violated { "FOUND" } else { "none" }
+        ),
+        None => println!(
+            "{}: data race n/a (model defines no `dr` flag)",
+            program.name
+        ),
+    }
+    // Per-query solver deltas (incremental path only) are diagnostics:
+    // keep stdout clean for the verdict lines.
+    let stats = o.render_query_stats();
+    if !stats.is_empty() {
+        eprint!("{stats}");
+    }
+    eprintln!("total {:.1} ms", o.total_time_us as f64 / 1000.0);
+    if show_witness {
+        if let Some(w) = &o.assertion.witness {
+            print!("{}", w.rendering);
+        }
+    }
+    Ok(if o.assertion.satisfied_expectation.unwrap_or(true) {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)

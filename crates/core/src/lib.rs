@@ -196,6 +196,49 @@ pub struct Stats {
     pub time_us: u128,
 }
 
+/// All three property verdicts of one program, as returned by
+/// [`Verifier::check_all`].
+#[derive(Debug, Clone)]
+pub struct FullOutcome {
+    /// The safety (assertion) verdict.
+    pub assertion: AssertionOutcome,
+    /// The liveness verdict.
+    pub liveness: PropertyOutcome,
+    /// The data-race verdict, or `None` when the model defines no
+    /// flagged `dr` relation (the PTX models, §3.5).
+    pub data_races: Option<PropertyOutcome>,
+    /// Per-query solver-counter deltas, in query order. Empty on the
+    /// fresh (non-incremental) path and for the enumeration engine.
+    pub queries: Vec<gpumc_encode::QueryRecord>,
+    /// Wall-clock time of the whole `check_all`, including compilation
+    /// and encoding, in microseconds.
+    pub total_time_us: u128,
+}
+
+impl FullOutcome {
+    /// Renders the per-query solver statistics (one line per query) for
+    /// diagnostics output; empty string when no deltas were recorded.
+    pub fn render_query_stats(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for q in &self.queries {
+            let _ = writeln!(
+                out,
+                "  query {:<12} {:>8} conflicts {:>9} decisions {:>10} propagations \
+                 {:>6} learnt-in {:>6} learnt-out {:>8} us",
+                q.label,
+                q.stats.conflicts,
+                q.stats.decisions,
+                q.stats.propagations,
+                q.stats.learnt_before,
+                q.stats.learnt_after,
+                q.stats.time_us,
+            );
+        }
+        out
+    }
+}
+
 /// The verification façade: a consistency model, an engine, and a bound.
 ///
 /// The model is held behind an [`Arc`] so a compiled (parsed + resolved)
@@ -214,6 +257,7 @@ pub struct Verifier {
     use_bounds: bool,
     enum_cap: Option<u64>,
     bounds_memo: Option<Arc<gpumc_encode::BoundsMemo>>,
+    incremental: bool,
 }
 
 impl Verifier {
@@ -230,6 +274,7 @@ impl Verifier {
             use_bounds: true,
             enum_cap: None,
             bounds_memo: None,
+            incremental: true,
         }
     }
 
@@ -275,6 +320,16 @@ impl Verifier {
     /// liveness of one test — compute the Table 3 bounds once.
     pub fn with_bounds_memo(mut self, memo: Arc<gpumc_encode::BoundsMemo>) -> Verifier {
         self.bounds_memo = Some(memo);
+        self
+    }
+
+    /// Selects whether [`Verifier::check_all`] answers all properties
+    /// from one incremental [`gpumc_encode::SolverSession`] (the
+    /// default) or from three independent fresh encodings (builder
+    /// style). The fresh path exists as the differential baseline; the
+    /// two must be verdict-identical.
+    pub fn with_incremental(mut self, incremental: bool) -> Verifier {
+        self.incremental = incremental;
         self
     }
 
@@ -462,6 +517,136 @@ impl Verifier {
             witness,
             stats,
         })
+    }
+
+    /// Checks all three properties — assertion, liveness, data races —
+    /// of one program.
+    ///
+    /// With the SAT engine on the (default) incremental path, the
+    /// program semantics and the `.cat` model are encoded **once** into
+    /// a [`gpumc_encode::SolverSession`] and the three properties are
+    /// posed as assumption-guarded queries against the single shared
+    /// solver, so learnt clauses carry over between queries; the
+    /// returned [`FullOutcome::queries`] records the per-query solver
+    /// deltas. With [`Verifier::with_incremental`]`(false)` or the
+    /// enumeration engine, each property gets its own fresh check.
+    ///
+    /// Both paths are verdict-identical by construction and by the
+    /// differential conformance suite (`incremental_agreement.rs`). The
+    /// data-race verdict is `None` when the model defines no flagged
+    /// `dr` relation — where [`Verifier::check_data_races`] would
+    /// return [`VerifyError::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn check_all(&self, program: &Program) -> Result<FullOutcome, VerifyError> {
+        if !self.incremental || self.engine != EngineKind::Sat {
+            return self.check_all_fresh(program);
+        }
+        let total = Instant::now();
+        let graph = self.compile(program)?;
+        let mut session = self.session(&graph)?;
+
+        let r = session.find_assertion_witness()?;
+        let reachable = r.found;
+        let assertion_witness = r.witness.as_ref().map(Witness::from_execution);
+        let assertion_stats = self.session_stats(&graph, &session);
+        let satisfied_expectation = program.assertion.as_ref().map(|a| match a {
+            Assertion::Exists(_) => reachable,
+            Assertion::NotExists(_) => !reachable,
+            Assertion::Forall(_) => !reachable,
+        });
+
+        let r = session.find_liveness_violation()?;
+        let liveness = PropertyOutcome {
+            violated: r.found,
+            witness: r.witness.as_ref().map(Witness::from_execution),
+            stats: self.session_stats(&graph, &session),
+        };
+
+        let data_races = if session.has_flag("dr") {
+            let r = session.find_flag("dr")?;
+            Some(PropertyOutcome {
+                violated: r.found,
+                witness: r.witness.as_ref().map(Witness::from_execution),
+                stats: self.session_stats(&graph, &session),
+            })
+        } else {
+            None
+        };
+
+        Ok(FullOutcome {
+            assertion: AssertionOutcome {
+                reachable,
+                satisfied_expectation,
+                witness: assertion_witness,
+                stats: assertion_stats,
+            },
+            liveness,
+            data_races,
+            queries: session.queries().to_vec(),
+            total_time_us: total.elapsed().as_micros(),
+        })
+    }
+
+    /// The non-incremental [`Verifier::check_all`] baseline: three
+    /// independent checks, each with its own encoding (or enumeration).
+    fn check_all_fresh(&self, program: &Program) -> Result<FullOutcome, VerifyError> {
+        let total = Instant::now();
+        let assertion = self.check_assertion(program)?;
+        let liveness = self.check_liveness(program)?;
+        let data_races = match self.check_data_races(program) {
+            Ok(o) => Some(o),
+            Err(VerifyError::Unsupported(_)) => None,
+            Err(e) => return Err(e),
+        };
+        Ok(FullOutcome {
+            assertion,
+            liveness,
+            data_races,
+            queries: Vec::new(),
+            total_time_us: total.elapsed().as_micros(),
+        })
+    }
+
+    fn session<'g>(
+        &self,
+        graph: &'g EventGraph,
+    ) -> Result<gpumc_encode::SolverSession<'g>, VerifyError> {
+        let opts = EncodeOptions {
+            bv_width: self.bv_width,
+            use_bounds: self.use_bounds,
+            ..EncodeOptions::default()
+        };
+        match &self.bounds_memo {
+            Some(memo) => Ok(gpumc_encode::SolverSession::build_memoized(
+                graph,
+                &self.model,
+                &opts,
+                memo,
+            )?),
+            None => Ok(gpumc_encode::SolverSession::build(
+                graph,
+                &self.model,
+                &opts,
+            )?),
+        }
+    }
+
+    fn session_stats(
+        &self,
+        graph: &EventGraph,
+        session: &gpumc_encode::SolverSession<'_>,
+    ) -> Stats {
+        Stats {
+            events: graph.n_events(),
+            threads: graph.threads().len(),
+            sat_vars: session.num_vars(),
+            sat_clauses: session.num_clauses(),
+            time_us: session.last_query().map_or(0, |q| q.stats.time_us),
+            ..Stats::default()
+        }
     }
 
     fn encode<'g>(&self, graph: &'g EventGraph) -> Result<gpumc_encode::Encoding<'g>, VerifyError> {

@@ -5,8 +5,11 @@
 //! collects per-test outcomes **in input order**, so a suite's report is
 //! byte-identical no matter how many workers ran it. Workers share the
 //! process-wide compiled models ([`gpumc_models::load_shared`]) and each
-//! test gets a [`gpumc_encode::BoundsMemo`] so its safety/liveness checks
-//! reuse one relation analysis.
+//! test gets a [`gpumc_encode::BoundsMemo`] so any repeated encodings of
+//! its graph reuse one relation analysis; in thorough SAT mode the
+//! primary and secondary properties are answered from a single
+//! incremental solver session ([`crate::Verifier::check_all`]) instead
+//! of separate encodings.
 //!
 //! Timing is reported as *wall-clock* (the batch, end to end) versus
 //! *aggregate CPU* (the sum of per-test times) — the ratio is the
@@ -83,8 +86,9 @@ pub struct SuiteConfig {
     /// Candidate cap for the enumeration engine.
     pub enum_cap: Option<u64>,
     /// Also check a secondary property per test (safety tests get a
-    /// liveness check and vice versa), sharing the per-test bounds memo.
-    /// SAT engine only; secondary verdicts never affect pass/fail.
+    /// liveness check and vice versa), answered from the same
+    /// incremental solver session as the primary. SAT engine only;
+    /// secondary verdicts never affect pass/fail.
     pub thorough: bool,
 }
 
@@ -113,7 +117,8 @@ pub struct TestResult {
     /// was the property violated. `Err` when the engine rejected the
     /// test.
     pub verdict: Result<bool, VerifyError>,
-    /// Thorough mode: a secondary property verdict sharing the memo.
+    /// Thorough mode: a secondary property verdict answered from the
+    /// same incremental solver session as the primary.
     pub secondary: Option<(Property, bool)>,
     /// Statistics of the primary check.
     pub stats: Stats,
@@ -121,6 +126,10 @@ pub struct TestResult {
     pub time: Duration,
     /// Bounds-memo hits while verifying this test.
     pub memo_hits: usize,
+    /// Per-query solver-counter deltas when the test was answered
+    /// through one incremental session (thorough SAT mode); empty
+    /// otherwise.
+    pub queries: Vec<gpumc_encode::QueryRecord>,
 }
 
 impl TestResult {
@@ -319,6 +328,7 @@ impl SuiteRunner {
             stats: Stats::default(),
             time: Duration::ZERO,
             memo_hits: 0,
+            queries: Vec::new(),
         };
         let program = match crate::parse_litmus(&t.source) {
             Ok(p) => p,
@@ -339,37 +349,61 @@ impl SuiteRunner {
         if let Some(cap) = self.config.enum_cap {
             v = v.with_enumeration_cap(cap);
         }
-        result.verdict = match t.property {
-            Property::Safety => v.check_assertion(&program).map(|o| {
-                result.stats = o.stats;
-                o.reachable
-            }),
-            Property::Liveness => v.check_liveness(&program).map(|o| {
-                result.stats = o.stats;
-                o.violated
-            }),
-            Property::DataRaceFreedom => v.check_data_races(&program).map(|o| {
-                result.stats = o.stats;
-                o.violated
-            }),
-        };
-        // Thorough mode: a second property of the same compiled graph —
-        // this is where the per-test bounds memo earns its keep.
+        // Thorough SAT mode: all properties from one incremental solver
+        // session ([`Verifier::check_all`]) — the test's own property is
+        // the primary verdict, another one becomes the secondary, and the
+        // per-query solver deltas are kept for diagnostics. Otherwise,
+        // only the catalogued property is checked.
         if self.config.thorough && self.config.engine == EngineKind::Sat {
-            result.secondary = match t.property {
-                Property::Safety => v
-                    .check_liveness(&program)
-                    .ok()
-                    .map(|o| (Property::Liveness, o.violated)),
-                Property::Liveness | Property::DataRaceFreedom => {
-                    if program.assertion.is_some() {
-                        v.check_assertion(&program)
-                            .ok()
-                            .map(|o| (Property::Safety, o.reachable))
-                    } else {
-                        None
-                    }
+            match v.check_all(&program) {
+                Ok(o) => {
+                    result.verdict = match t.property {
+                        Property::Safety => {
+                            result.stats = o.assertion.stats;
+                            Ok(o.assertion.reachable)
+                        }
+                        Property::Liveness => {
+                            result.stats = o.liveness.stats;
+                            Ok(o.liveness.violated)
+                        }
+                        Property::DataRaceFreedom => match &o.data_races {
+                            Some(d) => {
+                                result.stats = d.stats;
+                                Ok(d.violated)
+                            }
+                            None => Err(VerifyError::Unsupported(
+                                "model defines no flag `dr`".into(),
+                            )),
+                        },
+                    };
+                    result.secondary = match t.property {
+                        Property::Safety => Some((Property::Liveness, o.liveness.violated)),
+                        Property::Liveness | Property::DataRaceFreedom => {
+                            if program.assertion.is_some() {
+                                Some((Property::Safety, o.assertion.reachable))
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    result.queries = o.queries;
                 }
+                Err(e) => result.verdict = Err(e),
+            }
+        } else {
+            result.verdict = match t.property {
+                Property::Safety => v.check_assertion(&program).map(|o| {
+                    result.stats = o.stats;
+                    o.reachable
+                }),
+                Property::Liveness => v.check_liveness(&program).map(|o| {
+                    result.stats = o.stats;
+                    o.violated
+                }),
+                Property::DataRaceFreedom => v.check_data_races(&program).map(|o| {
+                    result.stats = o.stats;
+                    o.violated
+                }),
             };
         }
         result.memo_hits = memo.hits();
@@ -440,7 +474,7 @@ mod tests {
     }
 
     #[test]
-    fn thorough_mode_reuses_bounds_through_the_memo() {
+    fn thorough_mode_answers_secondary_from_one_session() {
         let tests: Vec<Test> = tiny_suite()
             .into_iter()
             .filter(|t| t.property == Property::Safety)
@@ -454,9 +488,42 @@ mod tests {
         .run(&tests);
         for r in &report.results {
             assert!(r.secondary.is_some(), "{} has a secondary verdict", r.name);
-            assert!(r.memo_hits > 0, "{} reused its bounds", r.name);
+            // One incremental session answered both properties: no
+            // re-encoding happened, and the per-query deltas were kept.
+            assert!(
+                r.queries.len() >= 2,
+                "{} recorded its assertion + liveness queries",
+                r.name
+            );
+            assert_eq!(r.queries[0].label, "assertion");
+            assert_eq!(r.queries[1].label, "liveness");
         }
-        assert!(report.memo_hits() >= tests.len());
+    }
+
+    #[test]
+    fn thorough_and_plain_runs_agree_on_verdicts() {
+        // The differential contract at suite level: the incremental
+        // session path (thorough) and the fresh single-property path must
+        // produce identical primary verdicts.
+        let tests = tiny_suite();
+        let run = |thorough| {
+            SuiteRunner::new(SuiteConfig {
+                jobs: 2,
+                thorough,
+                ..SuiteConfig::default()
+            })
+            .run(&tests)
+        };
+        let plain = run(false);
+        let thorough = run(true);
+        for (p, t) in plain.results.iter().zip(&thorough.results) {
+            assert_eq!(
+                p.verdict.as_ref().ok(),
+                t.verdict.as_ref().ok(),
+                "{} verdict differs between fresh and incremental paths",
+                p.name
+            );
+        }
     }
 
     #[test]

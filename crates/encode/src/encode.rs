@@ -1245,6 +1245,12 @@ impl<'g> Encoding<'g> {
         self.solve_and_decode(act)
     }
 
+    /// Whether the model defines the flagged relation `name`
+    /// ([`Encoding::find_flag`] on it can succeed).
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flag_rels.contains_key(name)
+    }
+
     /// Searches for a consistent, complete behaviour raising the given
     /// flag (e.g. `dr`, the Vulkan data-race detector).
     ///

@@ -19,6 +19,11 @@
 //!   negations (see DESIGN.md §"closure encoding").
 //! * Queries — safety (`exists`/`forall` conditions), liveness (§6.4
 //!   co-maximal stuck spinloops), and flagged detectors (data races).
+//!   Every query is assumption-guarded (gated behind a fresh activation
+//!   literal), so several properties can be posed against one encoding.
+//! * [`SolverSession`] — the incremental query layer: owns one encoding,
+//!   answers all of a test's property queries from the single shared
+//!   solver, and records per-query [`QueryStats`] counter deltas.
 //! * [`BoundsMemo`] — an opt-in cache of the (expensive, graph-sized)
 //!   bounds so the several encodings of one test share a single
 //!   relation analysis; see [`encode_memoized`].
@@ -31,9 +36,11 @@
 mod bounds;
 mod encode;
 mod memo;
+mod session;
 
 pub use bounds::{RelationAnalysis, StaticBounds};
 pub use encode::{
     encode, encode_memoized, encode_traced, EncodeError, EncodeOptions, Encoding, QueryResult,
 };
 pub use memo::BoundsMemo;
+pub use session::{QueryRecord, QueryStats, SolverSession};

@@ -548,6 +548,12 @@ impl Solver {
     /// Solves under temporary assumptions (literals forced true for this
     /// call only). The clause database is unchanged afterwards.
     ///
+    /// Safe to call repeatedly without `clear_model`: a `Sat` answer
+    /// leaves its satisfying assignment on the trail so `value` works,
+    /// and the next call discards it here before establishing its own
+    /// assumptions. (Previously a stale assignment made follow-up
+    /// queries silently ignore their assumptions in release builds.)
+    ///
     /// # Panics
     ///
     /// Panics if a conflict budget was set and exhausted.
@@ -555,7 +561,7 @@ impl Solver {
         if self.unsat {
             return SolveResult::Unsat;
         }
-        debug_assert_eq!(self.decision_level(), 0);
+        self.backtrack_to(0);
         let mut luby_index = 0u64;
         let mut conflicts_at_start = self.stats.conflicts;
         let mut restart_limit = 32 * luby(luby_index);
@@ -845,6 +851,37 @@ mod tests {
         s.add_clause([a]);
         assert!(s.solve_with_assumptions(&[!a]).is_unsat());
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn repeated_queries_without_clear_model_are_well_defined() {
+        // Regression: a Sat answer leaves its satisfying assignment on the
+        // trail (so `value` works). A follow-up `solve_with_assumptions`
+        // used to assume it started at decision level 0; with the stale
+        // trail still deep enough, the assumption-establishment loop never
+        // ran and the new assumptions were silently ignored in release
+        // builds. Repeated queries must be well-defined without an
+        // intervening `clear_model`.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        assert!(s.solve_with_assumptions(&[v[0], v[1], v[2]]).is_sat());
+        assert_eq!(s.value(v[0]), Some(true));
+        // No clear_model: the next query must still honour its assumptions.
+        assert!(s.solve_with_assumptions(&[!v[0], !v[1]]).is_sat());
+        assert_eq!(s.value(v[0]), Some(false), "assumption !v0 was ignored");
+        assert_eq!(s.value(v[1]), Some(false), "assumption !v1 was ignored");
+        assert_eq!(s.value(v[2]), Some(true));
+        // Assumption-level Unsat, again without clearing first.
+        assert!(s.solve_with_assumptions(&[!v[0], !v[1], !v[2]]).is_unsat());
+        // ... and the base formula is still Sat afterwards.
+        assert!(s.solve().is_sat());
+        // A query straight after the assumption-Unsat (conflict state) is
+        // also well-defined.
+        assert!(s.solve_with_assumptions(&[!v[0], !v[1], !v[2]]).is_unsat());
+        assert!(s.solve_with_assumptions(&[!v[1], v[2]]).is_sat());
+        assert_eq!(s.value(v[1]), Some(false));
+        assert_eq!(s.value(v[2]), Some(true));
     }
 
     #[test]

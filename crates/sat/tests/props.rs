@@ -67,6 +67,79 @@ proptest! {
         prop_assert_eq!(s.solve().is_sat(), base, "assumptions leaked");
     }
 
+    /// An assumption-level Unsat answer must not poison the solver: with
+    /// the assumption dropped, the very next query answers Sat iff the
+    /// base formula is satisfiable — checked against the brute-force
+    /// oracle, and *without* an intervening `clear_model`.
+    #[test]
+    fn assumption_unsat_recovers_base_verdict(
+        cnf in cnf_strategy(6),
+        assume in 0usize..6,
+        pol in any::<bool>(),
+    ) {
+        let mut s = Solver::new();
+        let vars: Vec<Lit> = (0..6).map(|_| s.new_lit()).collect();
+        for clause in &cnf {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| if pos { vars[v] } else { !vars[v] })
+                .collect();
+            s.add_clause(lits);
+        }
+        let base = brute_force_sat(6, &cnf);
+        let a = if pol { vars[assume] } else { !vars[assume] };
+        if s.solve_with_assumptions(&[a]).is_unsat() {
+            prop_assert_eq!(
+                s.solve().is_sat(),
+                base,
+                "base verdict changed after an assumption-level Unsat"
+            );
+        } else {
+            // Sat under the assumption implies the base formula is Sat,
+            // and the model must actually honour the assumption.
+            prop_assert!(base);
+            prop_assert!(s.value_or_false(a), "model violates the assumption");
+        }
+    }
+
+    /// Learnt clauses and the cumulative counters survive query
+    /// boundaries: across a sequence of assumption-guarded queries on one
+    /// solver, `conflicts`/`decisions`/`propagations` are monotone and the
+    /// live learnt-clause count never decreases (small formulas never
+    /// trigger database reduction). This guards the activation-literal
+    /// plumbing in the incremental encode layer.
+    #[test]
+    fn learnt_clauses_accumulate_across_queries(cnf in cnf_strategy(8)) {
+        let mut s = Solver::new();
+        let vars: Vec<Lit> = (0..8).map(|_| s.new_lit()).collect();
+        // Gate every clause behind one of two activation literals so the
+        // queries below exercise the same shape the encoder uses.
+        let acts = [s.new_lit(), s.new_lit()];
+        for (i, clause) in cnf.iter().enumerate() {
+            let mut lits: Vec<Lit> = vec![!acts[i % 2]];
+            lits.extend(
+                clause
+                    .iter()
+                    .map(|&(v, pos)| if pos { vars[v] } else { !vars[v] }),
+            );
+            s.add_clause(lits);
+        }
+        let mut prev = s.stats();
+        for round in 0..3 {
+            let act = acts[round % 2];
+            let _ = s.solve_with_assumptions(&[act]);
+            let now = s.stats();
+            prop_assert!(now.learnt >= prev.learnt, "learnt clauses dropped");
+            prop_assert!(now.conflicts >= prev.conflicts);
+            prop_assert!(now.decisions >= prev.decisions);
+            prop_assert!(now.propagations >= prev.propagations);
+            prev = now;
+        }
+        // Both gates at once must agree with the ungated brute force.
+        let both = s.solve_with_assumptions(&[acts[0], acts[1]]);
+        prop_assert_eq!(both.is_sat(), brute_force_sat(8, &cnf));
+    }
+
     /// Bit-vector addition/subtraction/comparison match u64 semantics.
     #[test]
     fn bitvec_matches_u64(x in 0u64..256, y in 0u64..256) {

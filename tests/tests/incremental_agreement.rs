@@ -1,0 +1,127 @@
+//! Differential conformance suite for the incremental query layer
+//! (`Verifier::check_all`): for every catalog test, under every
+//! applicable model and under bounds 1 and 2, the three verdicts
+//! answered from one incremental [`SolverSession`] must be identical to
+//! the verdicts of three independent fresh encodings
+//! (`Verifier::with_incremental(false)`), including which error class a
+//! failing configuration produces.
+//!
+//! This is the CI gate behind the incremental layer: learnt-clause
+//! carry-over across the assertion/liveness/data-race queries of a test
+//! is only admissible because it can never change an answer, and this
+//! suite checks that claim on the whole catalog rather than trusting
+//! the soundness argument in DESIGN.md.
+
+use gpumc::{Verifier, VerifyError};
+use gpumc_catalog::Test;
+use gpumc_models::ModelKind;
+
+/// Coarse error class: two runs "agree" on failure when they fail the
+/// same way, not necessarily with byte-identical messages.
+fn err_class(e: &VerifyError) -> std::mem::Discriminant<VerifyError> {
+    std::mem::discriminant(e)
+}
+
+/// Asserts that `check_all` and three fresh single-property checks give
+/// identical verdicts for one (test, model, bound) configuration.
+fn assert_agreement(t: &Test, model: ModelKind, bound: u32) {
+    let program = match gpumc::parse_litmus(&t.source) {
+        Ok(p) => p,
+        Err(e) => panic!("{} does not parse: {e}", t.name),
+    };
+    let v = Verifier::new(gpumc_models::load_shared(model)).with_bound(bound);
+    let incremental = v.check_all(&program);
+    let fresh = v.clone().with_incremental(false).check_all(&program);
+    let ctx = format!("{} under {model:?} at bound {bound}", t.name);
+    match (incremental, fresh) {
+        (Ok(i), Ok(f)) => {
+            assert_eq!(
+                i.assertion.reachable, f.assertion.reachable,
+                "assertion reachability differs on {ctx}"
+            );
+            assert_eq!(
+                i.assertion.satisfied_expectation, f.assertion.satisfied_expectation,
+                "assertion expectation verdict differs on {ctx}"
+            );
+            assert_eq!(
+                i.liveness.violated, f.liveness.violated,
+                "liveness verdict differs on {ctx}"
+            );
+            assert_eq!(
+                i.data_races.as_ref().map(|d| d.violated),
+                f.data_races.as_ref().map(|d| d.violated),
+                "data-race verdict differs on {ctx}"
+            );
+            // The incremental path answers everything from one session;
+            // its per-query ledger must cover every answered property.
+            assert!(
+                i.queries.len() >= 2,
+                "incremental run recorded too few queries on {ctx}"
+            );
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                err_class(&a),
+                err_class(&b),
+                "error classes differ on {ctx}: incremental={a} fresh={b}"
+            );
+        }
+        (Ok(_), Err(e)) => panic!("only the fresh path fails on {ctx}: {e}"),
+        (Err(e), Ok(_)) => panic!("only the incremental path fails on {ctx}: {e}"),
+    }
+}
+
+/// Runs the agreement check over a suite for the given models × bounds.
+fn sweep(tests: &[Test], models: &[ModelKind]) {
+    for t in tests {
+        for &model in models {
+            for bound in [1, 2] {
+                assert_agreement(t, model, bound);
+            }
+        }
+    }
+}
+
+const PTX_MODELS: &[ModelKind] = &[ModelKind::Ptx60, ModelKind::Ptx75];
+const VULKAN_MODELS: &[ModelKind] = &[ModelKind::Vulkan];
+
+/// Splits an arch-mixed suite by litmus dialect.
+fn by_arch(tests: Vec<Test>) -> (Vec<Test>, Vec<Test>) {
+    tests
+        .into_iter()
+        .partition(|t| t.source.trim_start().starts_with("PTX"))
+}
+
+#[test]
+fn ptx_safety_suite_agrees() {
+    sweep(&gpumc_catalog::ptx_safety_suite(), PTX_MODELS);
+}
+
+#[test]
+fn ptx_proxy_suite_agrees() {
+    sweep(&gpumc_catalog::ptx_proxy_suite(), PTX_MODELS);
+}
+
+#[test]
+fn vulkan_safety_suite_agrees() {
+    sweep(&gpumc_catalog::vulkan_safety_suite(), VULKAN_MODELS);
+}
+
+#[test]
+fn vulkan_drf_suite_agrees() {
+    sweep(&gpumc_catalog::vulkan_drf_suite(), VULKAN_MODELS);
+}
+
+#[test]
+fn liveness_suite_agrees() {
+    let (ptx, vulkan) = by_arch(gpumc_catalog::liveness_suite());
+    sweep(&ptx, PTX_MODELS);
+    sweep(&vulkan, VULKAN_MODELS);
+}
+
+#[test]
+fn figure_tests_agree() {
+    let (ptx, vulkan) = by_arch(gpumc_catalog::figure_tests());
+    sweep(&ptx, PTX_MODELS);
+    sweep(&vulkan, VULKAN_MODELS);
+}

@@ -1,11 +1,17 @@
-//! Differential fuzzing of the two engines: on random small programs,
-//! the SAT engine and the explicit-state engine must agree on the
-//! reachability of every final register value, under every model.
+//! Differential fuzzing of the engines: on random small programs —
+//! including control barriers (`bar`/`cbar`) and conditional branches —
+//! three independent implementations must agree on the reachability of
+//! every final register value, under every model:
+//!
+//! 1. the SAT engine answering from one incremental [`SolverSession`]
+//!    (`Verifier::check_all`, learnt clauses shared across queries),
+//! 2. the SAT engine with a fresh encoding per property, and
+//! 3. the explicit-state enumeration oracle.
 
 use gpumc::{EngineKind, Verifier};
 use gpumc_ir::{
-    AccessAttrs, Arch, Assertion, Condition, Instruction, MemOrder, MemRef, MemoryDecl, Operand,
-    Program, Reg, RmwOp, Scope, Thread, ThreadPos,
+    AccessAttrs, Arch, Assertion, CmpOp, Condition, Instruction, LabelId, MemOrder, MemRef,
+    MemoryDecl, Operand, Program, Reg, RmwOp, Scope, Thread, ThreadPos,
 };
 use gpumc_models::ModelKind;
 use proptest::prelude::*;
@@ -13,11 +19,36 @@ use proptest::prelude::*;
 /// A compact instruction descriptor the strategy generates.
 #[derive(Debug, Clone)]
 enum I {
-    Load { order: u8, loc: u8 },
-    Store { order: u8, loc: u8, val: u8 },
-    Add { loc: u8 },
-    Cas { loc: u8, expected: u8, new: u8 },
-    Fence { order: u8 },
+    Load {
+        order: u8,
+        loc: u8,
+    },
+    Store {
+        order: u8,
+        loc: u8,
+        val: u8,
+    },
+    Add {
+        loc: u8,
+    },
+    Cas {
+        loc: u8,
+        expected: u8,
+        new: u8,
+    },
+    Fence {
+        order: u8,
+    },
+    /// A control barrier (`bar.sync` / `cbar`), optionally carrying
+    /// acquire-release memory semantics.
+    Bar {
+        with_fence: bool,
+    },
+    /// A forward conditional branch over the next instruction: compares
+    /// the thread's most recent read register against 1.
+    SkipNext {
+        eq: bool,
+    },
 }
 
 fn order_of(o: u8, write: bool) -> MemOrder {
@@ -37,6 +68,8 @@ fn instr_strategy() -> impl Strategy<Value = I> {
         (0u8..2).prop_map(|loc| I::Add { loc }),
         (0u8..2, 0u8..2, 1u8..3).prop_map(|(loc, expected, new)| I::Cas { loc, expected, new }),
         (1u8..4).prop_map(|order| I::Fence { order }),
+        any::<bool>().prop_map(|with_fence| I::Bar { with_fence }),
+        any::<bool>().prop_map(|eq| I::SkipNext { eq }),
     ]
 }
 
@@ -59,7 +92,31 @@ fn build(arch: Arch, threads: &[Vec<I>]) -> (Program, Vec<(usize, Reg)>) {
         let scope = Scope::widest(arch);
         let mut th = Thread::new(format!("P{ti}"), pos);
         let mut next_reg = 0u32;
+        let mut next_label: LabelId = 0;
+        // Labels opened by `SkipNext` branches. Each closes immediately
+        // after the following instruction, so every generated branch is
+        // strictly forward — no back-edges, and the unrolling bound
+        // never truncates these programs.
+        let mut open_labels: Vec<LabelId> = Vec::new();
         for i in instrs {
+            if let I::SkipNext { eq } = i {
+                let l = next_label;
+                next_label += 1;
+                let a = reads
+                    .iter()
+                    .rev()
+                    .find(|&&(t, _)| t == ti)
+                    .map(|&(_, r)| Operand::Reg(r))
+                    .unwrap_or(Operand::Const(0));
+                th.push(Instruction::Branch {
+                    cmp: if *eq { CmpOp::Eq } else { CmpOp::Ne },
+                    a,
+                    b: Operand::Const(1),
+                    target: l,
+                });
+                open_labels.push(l);
+                continue;
+            }
             match i {
                 I::Load { order, loc } => {
                     let r = Reg(next_reg);
@@ -130,7 +187,38 @@ fn build(arch: Arch, threads: &[Vec<I>]) -> (Program, Vec<(usize, Reg)>) {
                         ..gpumc_ir::FenceAttrs::new(order_of(*order, true), scope)
                     }));
                 }
+                I::Bar { with_fence } => {
+                    // `bar.sync 0` (PTX) / `cbar[.acqrel.semsc0] 0` (Vulkan).
+                    let bscope = match arch {
+                        Arch::Ptx => Scope::Cta,
+                        Arch::Vulkan => Scope::Wg,
+                    };
+                    let fence = with_fence.then(|| {
+                        let f = gpumc_ir::FenceAttrs::new(MemOrder::AcqRel, bscope);
+                        if arch == Arch::Vulkan {
+                            f.with_sem_sc(0b01)
+                        } else {
+                            f
+                        }
+                    });
+                    th.push(Instruction::Barrier {
+                        attrs: gpumc_ir::BarrierAttrs {
+                            id: Operand::Const(0),
+                            scope: bscope,
+                            fence,
+                        },
+                    });
+                }
+                I::SkipNext { .. } => unreachable!("handled before the match"),
             }
+            for l in open_labels.drain(..) {
+                th.push(Instruction::Label(l));
+            }
+        }
+        // A trailing `SkipNext` has nothing left to skip; close its label
+        // at the end of the thread so the branch is a no-op.
+        for l in open_labels.drain(..) {
+            th.push(Instruction::Label(l));
         }
         p.add_thread(th);
     }
@@ -139,15 +227,22 @@ fn build(arch: Arch, threads: &[Vec<I>]) -> (Program, Vec<(usize, Reg)>) {
 
 fn check_agreement(arch: Arch, model: ModelKind, threads: &[Vec<I>]) -> Result<(), TestCaseError> {
     let (template, reads) = build(arch, threads);
-    // Probe reachability of a few (register, value) outcomes.
+    // Probe reachability of a few (register, value) outcomes with three
+    // independent implementations: the incremental solver session, a
+    // fresh SAT encoding, and the explicit-state oracle.
     for &(ti, reg) in reads.iter().take(2) {
         for value in [0u64, 1] {
             let mut p = template.clone();
             p.assertion = Some(Assertion::Exists(Condition::reg_eq(ti, reg, value)));
             let sat = Verifier::new(gpumc_models::load(model))
                 .with_bound(1)
+                .with_incremental(false)
                 .check_assertion(&p)
                 .expect("sat engine");
+            let incr = Verifier::new(gpumc_models::load(model))
+                .with_bound(1)
+                .check_all(&p)
+                .expect("incremental sat engine");
             let enumr = match Verifier::new(gpumc_models::load(model))
                 .with_bound(1)
                 .with_engine(EngineKind::Enumerate {
@@ -164,7 +259,17 @@ fn check_agreement(arch: Arch, model: ModelKind, threads: &[Vec<I>]) -> Result<(
             prop_assert_eq!(
                 sat.reachable,
                 enumr.reachable,
-                "engines disagree on P{}:r{} == {} under {:?}\nprogram: {:?}",
+                "fresh SAT and enumeration disagree on P{}:r{} == {} under {:?}\nprogram: {:?}",
+                ti,
+                reg.0,
+                value,
+                model,
+                threads
+            );
+            prop_assert_eq!(
+                incr.assertion.reachable,
+                sat.reachable,
+                "incremental and fresh SAT disagree on P{}:r{} == {} under {:?}\nprogram: {:?}",
                 ti,
                 reg.0,
                 value,
