@@ -2,15 +2,22 @@
 //! baseline on the synthesized kernel corpus (DESIGN.md substitution #3).
 //!
 //! Run with: `cargo run --release -p gpumc-bench --bin table6 [-- --jobs N]`
+//!
+//! `--json` additionally writes the whole comparison — per-kernel
+//! verdicts and solver sizes, per-tool aggregates, the agreement matrix,
+//! and the incremental-vs-fresh timings — to `BENCH_table6.json` in the
+//! current directory, for machine consumption.
 
 use std::time::Instant;
 
 use gpumc::Verifier;
 use gpumc_models::ModelKind;
+use gpumc_serve::json::Json;
 use gpumc_spirv::{emit_spirv, gpuverify_corpus, lower, parse_spirv, Bucket};
 
 fn main() {
     let jobs = gpumc_bench::jobs_from_args();
+    let json_out = gpumc_bench::flag_from_args("--json");
     let batch = Instant::now();
     let corpus = gpuverify_corpus();
     let compile_fail = corpus
@@ -41,12 +48,24 @@ fn main() {
     let mut gpumc_time = 0u128;
     let mut gpumc_count = 0usize;
     let mut gpumc_racy: Vec<(String, bool)> = Vec::new();
+    let mut kernel_rows: Vec<Json> = Vec::new();
     for (case, (outcome, us)) in verifiable.iter().zip(verdicts) {
         match outcome {
             Ok(o) => {
                 gpumc_time += us;
                 gpumc_count += 1;
                 gpumc_racy.push((case.name.clone(), o.violated));
+                kernel_rows.push(Json::Obj(vec![
+                    ("name".into(), Json::str(case.name.as_str())),
+                    ("racy".into(), Json::Bool(o.violated)),
+                    ("time_us".into(), Json::count(us as u64)),
+                    ("events".into(), Json::count(o.stats.events as u64)),
+                    ("sat_vars".into(), Json::count(o.stats.sat_vars as u64)),
+                    (
+                        "sat_clauses".into(),
+                        Json::count(o.stats.sat_clauses as u64),
+                    ),
+                ]));
                 if let Some(expected) = case.expected_racy {
                     if o.violated != expected {
                         eprintln!(
@@ -187,13 +206,91 @@ fn main() {
         }
     );
 
+    let wall = batch.elapsed();
     eprintln!(
         "{}",
         gpumc_bench::timing_footer(
             "table6",
             jobs,
-            batch.elapsed(),
+            wall,
             std::time::Duration::from_micros((gpumc_time + gv_time) as u64),
         )
     );
+
+    if json_out {
+        let disagreement_rows: Vec<Json> = disagreements
+            .iter()
+            .map(|(name, ours, theirs)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(name.as_str())),
+                    ("gpumc_racy".into(), Json::Bool(*ours)),
+                    ("gpuverify_racy".into(), Json::Bool(*theirs)),
+                ])
+            })
+            .collect();
+        let tool_row = |tool: &str, tests: usize, total_us: u128| {
+            Json::Obj(vec![
+                ("tool".into(), Json::str(tool)),
+                ("tests".into(), Json::count(tests as u64)),
+                ("total_us".into(), Json::count(total_us as u64)),
+                (
+                    "per_test_ms".into(),
+                    Json::num(total_us as f64 / 1000.0 / tests.max(1) as f64),
+                ),
+            ])
+        };
+        let report = Json::Obj(vec![
+            ("bench".into(), Json::str("table6")),
+            (
+                "jobs".into(),
+                Json::count(gpumc::effective_jobs(jobs) as u64),
+            ),
+            (
+                "corpus".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::count(corpus.len() as u64)),
+                    ("compile_fails".into(), Json::count(compile_fail as u64)),
+                    ("trivially_race_free".into(), Json::count(trivial as u64)),
+                    ("verifiable".into(), Json::count(verifiable.len() as u64)),
+                ]),
+            ),
+            (
+                "tools".into(),
+                Json::Arr(vec![
+                    tool_row("gpumc", gpumc_count, gpumc_time),
+                    tool_row("gpuverify", gv_count, gv_time),
+                ]),
+            ),
+            (
+                "agreement".into(),
+                Json::Obj(vec![
+                    ("agree".into(), Json::count(agree as u64)),
+                    ("common".into(), Json::count(gpumc_racy.len() as u64)),
+                    ("disagreements".into(), Json::Arr(disagreement_rows)),
+                ]),
+            ),
+            (
+                "three_property".into(),
+                Json::Obj(vec![
+                    ("incremental_us".into(), Json::count(inc_us as u64)),
+                    ("fresh_us".into(), Json::count(fresh_us as u64)),
+                    (
+                        "speedup".into(),
+                        Json::num(if inc_us > 0 {
+                            fresh_us as f64 / inc_us as f64
+                        } else {
+                            1.0
+                        }),
+                    ),
+                ]),
+            ),
+            ("kernels".into(), Json::Arr(kernel_rows)),
+            ("wall_us".into(), Json::count(wall.as_micros() as u64)),
+        ]);
+        let path = "BENCH_table6.json";
+        match std::fs::write(path, format!("{report}\n")) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 }

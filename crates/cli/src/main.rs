@@ -5,6 +5,7 @@ use std::process::ExitCode;
 
 use gpumc::{EngineKind, Verifier};
 use gpumc_models::ModelKind;
+use gpumc_serve::{Client, Json, Server, ServerConfig};
 
 const USAGE: &str = "\
 gpumc — unified analysis of GPU consistency (PTX / Vulkan)
@@ -12,6 +13,8 @@ gpumc — unified analysis of GPU consistency (PTX / Vulkan)
 USAGE:
     gpumc verify <test.litmus> [OPTIONS]
     gpumc suite <ptx|proxy|vulkan|drf|liveness|figures> [OPTIONS]
+    gpumc serve [OPTIONS]
+    gpumc client <ping|metrics|shutdown|verify <test.litmus>> [OPTIONS]
     gpumc models
     gpumc dump-model <ptx-v6.0|ptx-v7.5|vulkan>
     gpumc catalog [ptx|proxy|vulkan|drf|liveness|figures]
@@ -28,17 +31,46 @@ OPTIONS (verify):
     --engine <e>         sat | enumerate | alloy  (default: sat;
                          `alloy` is the straight-line enumeration baseline)
     --bound <n>          loop unrolling bound (default: 2)
+    --timeout-ms <ms>    deadline; an expired solve answers `unknown`
+                         and exits 3 instead of blocking
+    --budget <n>         solver conflict budget; exhaustion answers
+                         `unknown` and exits 3
     --witness            print the witness execution graph
 
 OPTIONS (suite):
-    --jobs <n>           worker threads (default: all cores; 1 = serial)
+    --jobs <n>           worker threads (default and 0: all cores; 1 = serial)
     --engine <e>         sat | enumerate | alloy  (default: sat)
     --model <name>       model override (default: per-test, from dialect)
     --thorough           also cross-check a secondary property per test,
                          answered from one incremental solver session
 
+OPTIONS (serve):
+    --addr <host:port>   listen address (default: 127.0.0.1:7878;
+                         port 0 picks an ephemeral one, logged to stderr)
+    --stdio              serve a single session on stdin/stdout instead
+                         of TCP (same JSON-lines protocol)
+    --jobs <n>           worker threads (default and 0: all cores)
+    --max-queue <n>      accepted-but-unstarted job limit; a full queue
+                         answers `status: rejected` (default: 64)
+    --default-timeout-ms <ms>
+                         deadline for requests that carry no timeout_ms
+    --metrics-every <secs>
+                         dump a one-line metrics summary to stderr
+
+OPTIONS (client):
+    --addr <host:port>   server address (default: 127.0.0.1:7878)
+    --model <name>       forwarded with verify
+    --bound <n>          forwarded with verify
+    --timeout-ms <ms>    forwarded with verify
+
 The suite result table on stdout is deterministic (identical for any
 --jobs value); timings go to stderr.
+
+EXIT CODES:
+    0   verified: expectation holds / property not violated / suite clean
+    1   property violated: expectation fails or suite has mismatches
+    2   usage, parse, or I/O error
+    3   verdict unknown: deadline, cancellation, or conflict budget
 ";
 
 fn main() -> ExitCode {
@@ -47,7 +79,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -56,6 +88,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("verify") => verify(&args[1..]),
         Some("suite") => suite(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some("models") => {
             for m in ModelKind::ALL {
                 println!("{m}\t({})", m.file_name());
@@ -72,7 +106,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("catalog") => catalog(args.get(1).map(String::as_str)),
         _ => {
             print!("{USAGE}");
-            Ok(ExitCode::FAILURE)
+            Ok(ExitCode::from(2))
         }
     }
 }
@@ -102,6 +136,19 @@ fn parse_engine(name: &str) -> Result<EngineKind, String> {
     })
 }
 
+/// Folds a verification error into the exit-code scheme: `Unknown`
+/// (deadline, cancellation, conflict budget) is a verdict — exit 3 —
+/// while anything else propagates as a hard error (exit 2).
+fn unknown_or_err(e: gpumc::VerifyError) -> Result<ExitCode, String> {
+    match e {
+        gpumc::VerifyError::Unknown(reason) => {
+            eprintln!("verdict unknown: {reason}");
+            Ok(ExitCode::from(3))
+        }
+        other => Err(other.to_string()),
+    }
+}
+
 fn catalog(which: Option<&str>) -> Result<ExitCode, String> {
     let tests = suite_tests(which.unwrap_or("figures"))?;
     for t in &tests {
@@ -109,6 +156,128 @@ fn catalog(which: Option<&str>) -> Result<ExitCode, String> {
     }
     eprintln!("{} tests", tests.len());
     Ok(ExitCode::SUCCESS)
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = ServerConfig::default();
+    let mut stdio = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--stdio" => stdio = true,
+            "--jobs" | "-j" => {
+                config.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --jobs")?
+            }
+            "--max-queue" => {
+                config.max_queue = it
+                    .next()
+                    .ok_or("--max-queue needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-queue")?
+            }
+            "--default-timeout-ms" => {
+                config.default_timeout_ms = Some(
+                    it.next()
+                        .ok_or("--default-timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --default-timeout-ms")?,
+                )
+            }
+            "--metrics-every" => {
+                config.metrics_every_secs = Some(
+                    it.next()
+                        .ok_or("--metrics-every needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --metrics-every")?,
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if stdio {
+        Server::run_stdio(&config).map_err(|e| e.to_string())?;
+    } else {
+        let server = Server::bind(&config).map_err(|e| e.to_string())?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        eprintln!("gpumc-serve listening on {addr}");
+        server.run().map_err(|e| e.to_string())?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn client(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut model = None;
+    let mut bound = None;
+    let mut timeout_ms = None;
+    let mut verb = None;
+    let mut file = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--model" => model = Some(it.next().ok_or("--model needs a value")?.clone()),
+            "--bound" => {
+                bound = Some(
+                    it.next()
+                        .ok_or("--bound needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --bound")?,
+                )
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --timeout-ms")?,
+                )
+            }
+            other if !other.starts_with('-') && verb.is_none() => verb = Some(other.to_string()),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let verb = verb.ok_or("missing client verb (ping|metrics|shutdown|verify)")?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let response = match verb.as_str() {
+        "ping" => client.ping(),
+        "metrics" => client.metrics(),
+        "shutdown" => client.shutdown(),
+        "verify" => {
+            let file = file.ok_or("client verify needs a test file")?;
+            let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            client.verify(&source, model.as_deref(), bound, timeout_ms)
+        }
+        other => return Err(format!("unknown client verb `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{response}");
+    let status = response.get("status").and_then(Json::as_str).unwrap_or("");
+    Ok(match status {
+        "ok" => ExitCode::SUCCESS,
+        "done" => {
+            // Same scheme as local `gpumc verify`: the assertion
+            // expectation decides; liveness/datarace lines inform.
+            let expectation = response
+                .get("verdict")
+                .and_then(|v| v.get("expectation"))
+                .and_then(Json::as_str);
+            if expectation == Some("fails") {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        // `rejected` carries no verdict either way — like a timeout.
+        "unknown" | "rejected" => ExitCode::from(3),
+        _ => ExitCode::from(2),
+    })
 }
 
 fn suite(args: &[String]) -> Result<ExitCode, String> {
@@ -144,7 +313,7 @@ fn suite(args: &[String]) -> Result<ExitCode, String> {
     Ok(if report.passed() == report.results.len() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(2)
+        ExitCode::from(1)
     })
 }
 
@@ -154,6 +323,8 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut property = "assertion".to_string();
     let mut engine = "sat".to_string();
     let mut bound = 2u32;
+    let mut timeout_ms: Option<u64> = None;
+    let mut budget: Option<u64> = None;
     let mut show_witness = false;
     let mut all = false;
     let mut fresh = false;
@@ -169,6 +340,22 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                     .ok_or("--bound needs a value")?
                     .parse()
                     .map_err(|_| "bad --bound")?
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --timeout-ms")?,
+                )
+            }
+            "--budget" => {
+                budget = Some(
+                    it.next()
+                        .ok_or("--budget needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --budget")?,
+                )
             }
             "--witness" => show_witness = true,
             "--all" => all = true,
@@ -191,19 +378,28 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         },
     };
     let engine = parse_engine(&engine)?;
-    let verifier = Verifier::new(gpumc_models::load(kind))
+    let mut verifier = Verifier::new(gpumc_models::load(kind))
         .with_engine(engine)
         .with_bound(bound)
         .with_incremental(!fresh);
+    if let Some(ms) = timeout_ms {
+        verifier = verifier.with_cancel_token(gpumc::gpumc_sat::CancelToken::with_timeout(
+            std::time::Duration::from_millis(ms),
+        ));
+    }
+    if let Some(b) = budget {
+        verifier = verifier.with_conflict_budget(b);
+    }
 
     if all {
         return verify_all(&verifier, &program, show_witness);
     }
     let (headline, witness, ok) = match property.as_str() {
         "assertion" | "program_spec" => {
-            let o = verifier
-                .check_assertion(&program)
-                .map_err(|e| e.to_string())?;
+            let o = match verifier.check_assertion(&program) {
+                Ok(o) => o,
+                Err(e) => return unknown_or_err(e),
+            };
             let verdict = match o.satisfied_expectation {
                 Some(true) => "condition expectation HOLDS",
                 Some(false) => "condition expectation FAILS",
@@ -225,9 +421,10 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             )
         }
         "liveness" => {
-            let o = verifier
-                .check_liveness(&program)
-                .map_err(|e| e.to_string())?;
+            let o = match verifier.check_liveness(&program) {
+                Ok(o) => o,
+                Err(e) => return unknown_or_err(e),
+            };
             (
                 format!(
                     "{}: liveness {} ({:.1} ms)",
@@ -240,9 +437,10 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             )
         }
         "datarace" | "cat_spec" | "drf" => {
-            let o = verifier
-                .check_data_races(&program)
-                .map_err(|e| e.to_string())?;
+            let o = match verifier.check_data_races(&program) {
+                Ok(o) => o,
+                Err(e) => return unknown_or_err(e),
+            };
             (
                 format!(
                     "{}: data race {} ({:.1} ms)",
@@ -265,7 +463,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     Ok(if ok {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(2)
+        ExitCode::from(1)
     })
 }
 
@@ -278,7 +476,10 @@ fn verify_all(
     program: &gpumc::gpumc_ir::Program,
     show_witness: bool,
 ) -> Result<ExitCode, String> {
-    let o = verifier.check_all(program).map_err(|e| e.to_string())?;
+    let o = match verifier.check_all(program) {
+        Ok(o) => o,
+        Err(e) => return unknown_or_err(e),
+    };
     let verdict = match o.assertion.satisfied_expectation {
         Some(true) => "condition expectation HOLDS",
         Some(false) => "condition expectation FAILS",
@@ -332,6 +533,6 @@ fn verify_all(
     Ok(if o.assertion.satisfied_expectation.unwrap_or(true) {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(2)
+        ExitCode::from(1)
     })
 }

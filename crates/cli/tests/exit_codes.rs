@@ -1,0 +1,125 @@
+//! The exit-code contract, asserted against the real binary:
+//! 0 = verified, 1 = property violated, 2 = usage/parse error,
+//! 3 = verdict unknown (deadline / cancellation / conflict budget).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A load of an untouched zero location: the `exists` witness is always
+/// reachable, so the expectation holds.
+const PASS: &str = "PTX EXITPASS\n\
+{ x = 0; }\n\
+P0@cta 0,gpu 0 ;\n\
+ld.relaxed.gpu r0, x ;\n\
+exists (P0:r0 == 0)";
+
+/// The same program asserting the witness is *unreachable*: violated.
+const FAIL: &str = "PTX EXITFAIL\n\
+{ x = 0; }\n\
+P0@cta 0,gpu 0 ;\n\
+ld.relaxed.gpu r0, x ;\n\
+~exists (P0:r0 == 0)";
+
+/// Spin-heavy three-thread test; slow enough at bound 16 that a 1 ms
+/// deadline always expires mid-verification.
+const SLOW: &str = "PTX EXITSLOW\n\
+{ x = 0; y = 0; f = 0; g = 0; }\n\
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 | P2@cta 2,gpu 0 ;\n\
+st.relaxed.gpu x, 1 | LC00: | LC01: ;\n\
+st.release.gpu f, 1 | ld.relaxed.gpu r0, f | ld.relaxed.gpu r0, g ;\n\
+st.relaxed.gpu y, 1 | bne r0, 1, LC00 | bne r0, 1, LC01 ;\n\
+st.release.gpu g, 1 | ld.acquire.gpu r1, x | ld.acquire.gpu r1, y ;\n\
+exists (P1:r1 == 0 /\\ P2:r1 == 0)";
+
+fn write_litmus(name: &str, source: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("gpumc-exit-{}-{name}.litmus", std::process::id()));
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+fn gpumc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gpumc"))
+        .args(args)
+        .output()
+        .expect("run gpumc")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("terminated by signal")
+}
+
+#[test]
+fn exit_zero_when_expectation_holds() {
+    let path = write_litmus("pass", PASS);
+    let out = gpumc(&["verify", path.to_str().unwrap()]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("HOLDS"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn exit_one_when_property_violated() {
+    let path = write_litmus("fail", FAIL);
+    let out = gpumc(&["verify", path.to_str().unwrap()]);
+    assert_eq!(
+        code(&out),
+        1,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FAILS"));
+    // `--all` keeps the same contract.
+    let path = write_litmus("fail-all", FAIL);
+    let out = gpumc(&["verify", path.to_str().unwrap(), "--all"]);
+    assert_eq!(code(&out), 1);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn exit_two_on_usage_and_parse_errors() {
+    // Unknown subcommand: usage text, exit 2.
+    let out = gpumc(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EXIT CODES"));
+    // Missing file.
+    let out = gpumc(&["verify", "/nonexistent/path.litmus"]);
+    assert_eq!(code(&out), 2);
+    // Unparsable litmus source.
+    let path = write_litmus("garbage", "this is not a litmus test");
+    let out = gpumc(&["verify", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    let _ = std::fs::remove_file(path);
+    // Bad flag value.
+    let out = gpumc(&["verify", "x.litmus", "--bound", "banana"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn exit_three_when_the_deadline_leaves_the_verdict_unknown() {
+    let path = write_litmus("slow", SLOW);
+    let out = gpumc(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--model",
+        "ptx-v6.0",
+        "--bound",
+        "16",
+        "--timeout-ms",
+        "1",
+    ]);
+    assert_eq!(
+        code(&out),
+        3,
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verdict unknown"));
+    let _ = std::fs::remove_file(path);
+}

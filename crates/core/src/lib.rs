@@ -100,6 +100,10 @@ pub enum VerifyError {
     Unsupported(String),
     /// Resource exhaustion in the enumeration engine.
     TooComplex(String),
+    /// The check was interrupted — conflict budget, cancellation, or a
+    /// deadline — before reaching a verdict. Never a wrong answer, only
+    /// a withheld one; retrying with more budget is sound.
+    Unknown(String),
     /// Internal cross-validation failure (should never happen).
     Internal(String),
 }
@@ -111,6 +115,7 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Ir(m) => write!(f, "ir error: {m}"),
             VerifyError::Unsupported(m) => write!(f, "unsupported: {m}"),
             VerifyError::TooComplex(m) => write!(f, "too complex: {m}"),
+            VerifyError::Unknown(m) => write!(f, "unknown: {m}"),
             VerifyError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -132,6 +137,7 @@ impl From<gpumc_encode::EncodeError> for VerifyError {
         match e {
             gpumc_encode::EncodeError::Unsupported(m) => VerifyError::Unsupported(m),
             gpumc_encode::EncodeError::WitnessMismatch(m) => VerifyError::Internal(m),
+            gpumc_encode::EncodeError::Unknown(m) => VerifyError::Unknown(m),
         }
     }
 }
@@ -196,6 +202,22 @@ pub struct Stats {
     pub time_us: u128,
 }
 
+/// Where the time of one [`Verifier::check_all`] went, microseconds per
+/// pipeline phase. Populated on the incremental SAT path; all-zero on
+/// the fresh baseline and the enumeration engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Unrolling + compiling the program to its event graph.
+    pub compile_us: u64,
+    /// Relation-analysis bounds (zero on a [`gpumc_encode::BoundsMemo`]
+    /// hit).
+    pub bounds_us: u64,
+    /// Building the SAT encoding.
+    pub encode_us: u64,
+    /// Total solver time across all queries.
+    pub solve_us: u64,
+}
+
 /// All three property verdicts of one program, as returned by
 /// [`Verifier::check_all`].
 #[derive(Debug, Clone)]
@@ -210,6 +232,8 @@ pub struct FullOutcome {
     /// Per-query solver-counter deltas, in query order. Empty on the
     /// fresh (non-incremental) path and for the enumeration engine.
     pub queries: Vec<gpumc_encode::QueryRecord>,
+    /// Per-phase wall-clock breakdown.
+    pub phases: PhaseTimings,
     /// Wall-clock time of the whole `check_all`, including compilation
     /// and encoding, in microseconds.
     pub total_time_us: u128,
@@ -258,6 +282,8 @@ pub struct Verifier {
     enum_cap: Option<u64>,
     bounds_memo: Option<Arc<gpumc_encode::BoundsMemo>>,
     incremental: bool,
+    cancel: Option<gpumc_sat::CancelToken>,
+    conflict_budget: Option<u64>,
 }
 
 impl Verifier {
@@ -275,6 +301,8 @@ impl Verifier {
             enum_cap: None,
             bounds_memo: None,
             incremental: true,
+            cancel: None,
+            conflict_budget: None,
         }
     }
 
@@ -323,6 +351,23 @@ impl Verifier {
         self
     }
 
+    /// Installs a cooperative cancellation token (builder style): every
+    /// SAT query polls it, and cancellation or deadline expiry surfaces
+    /// as [`VerifyError::Unknown`] — the check is abandoned cleanly, not
+    /// panicked. Soundness: an interrupted check can only *withhold* a
+    /// verdict, never report a wrong one.
+    pub fn with_cancel_token(mut self, token: gpumc_sat::CancelToken) -> Verifier {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps SAT conflicts per query (builder style); exhaustion surfaces
+    /// as [`VerifyError::Unknown`].
+    pub fn with_conflict_budget(mut self, budget: u64) -> Verifier {
+        self.conflict_budget = Some(budget);
+        self
+    }
+
     /// Selects whether [`Verifier::check_all`] answers all properties
     /// from one incremental [`gpumc_encode::SolverSession`] (the
     /// default) or from three independent fresh encodings (builder
@@ -359,6 +404,7 @@ impl Verifier {
     ///
     /// See [`VerifyError`].
     pub fn check_assertion(&self, program: &Program) -> Result<AssertionOutcome, VerifyError> {
+        self.check_interrupt()?;
         let graph = self.compile(program)?;
         let start = Instant::now();
         let (reachable, witness, mut stats) = match &self.engine {
@@ -423,6 +469,7 @@ impl Verifier {
     ///
     /// See [`VerifyError`].
     pub fn check_liveness(&self, program: &Program) -> Result<PropertyOutcome, VerifyError> {
+        self.check_interrupt()?;
         let graph = self.compile(program)?;
         let start = Instant::now();
         let (violated, witness, mut stats) = match &self.engine {
@@ -473,6 +520,7 @@ impl Verifier {
     /// `dr` flag (the PTX models define races differently and do not
     /// treat them as undefined behaviour, §3.5).
     pub fn check_data_races(&self, program: &Program) -> Result<PropertyOutcome, VerifyError> {
+        self.check_interrupt()?;
         let graph = self.compile(program)?;
         let start = Instant::now();
         let (violated, witness, mut stats) = match &self.engine {
@@ -544,8 +592,10 @@ impl Verifier {
         if !self.incremental || self.engine != EngineKind::Sat {
             return self.check_all_fresh(program);
         }
+        self.check_interrupt()?;
         let total = Instant::now();
         let graph = self.compile(program)?;
+        let compile_us = total.elapsed().as_micros() as u64;
         let mut session = self.session(&graph)?;
 
         let r = session.find_assertion_witness()?;
@@ -576,6 +626,16 @@ impl Verifier {
             None
         };
 
+        let phases = PhaseTimings {
+            compile_us,
+            bounds_us: session.bounds_time_us(),
+            encode_us: session.encode_time_us(),
+            solve_us: session
+                .queries()
+                .iter()
+                .map(|q| q.stats.time_us as u64)
+                .sum(),
+        };
         Ok(FullOutcome {
             assertion: AssertionOutcome {
                 reachable,
@@ -586,6 +646,7 @@ impl Verifier {
             liveness,
             data_races,
             queries: session.queries().to_vec(),
+            phases,
             total_time_us: total.elapsed().as_micros(),
         })
     }
@@ -593,6 +654,7 @@ impl Verifier {
     /// The non-incremental [`Verifier::check_all`] baseline: three
     /// independent checks, each with its own encoding (or enumeration).
     fn check_all_fresh(&self, program: &Program) -> Result<FullOutcome, VerifyError> {
+        self.check_interrupt()?;
         let total = Instant::now();
         let assertion = self.check_assertion(program)?;
         let liveness = self.check_liveness(program)?;
@@ -606,8 +668,18 @@ impl Verifier {
             liveness,
             data_races,
             queries: Vec::new(),
+            phases: PhaseTimings::default(),
             total_time_us: total.elapsed().as_micros(),
         })
+    }
+
+    /// Early cancellation check, so a request whose deadline expired on
+    /// the queue fails before paying for compilation or encoding.
+    fn check_interrupt(&self) -> Result<(), VerifyError> {
+        if let Some(i) = self.cancel.as_ref().and_then(|c| c.check()) {
+            return Err(VerifyError::Unknown(i.to_string()));
+        }
+        Ok(())
     }
 
     fn session<'g>(
@@ -619,19 +691,15 @@ impl Verifier {
             use_bounds: self.use_bounds,
             ..EncodeOptions::default()
         };
-        match &self.bounds_memo {
-            Some(memo) => Ok(gpumc_encode::SolverSession::build_memoized(
-                graph,
-                &self.model,
-                &opts,
-                memo,
-            )?),
-            None => Ok(gpumc_encode::SolverSession::build(
-                graph,
-                &self.model,
-                &opts,
-            )?),
-        }
+        let mut session = match &self.bounds_memo {
+            Some(memo) => {
+                gpumc_encode::SolverSession::build_memoized(graph, &self.model, &opts, memo)?
+            }
+            None => gpumc_encode::SolverSession::build(graph, &self.model, &opts)?,
+        };
+        session.set_cancel_token(self.cancel.clone());
+        session.set_conflict_budget(self.conflict_budget);
+        Ok(session)
     }
 
     fn session_stats(
@@ -655,15 +723,13 @@ impl Verifier {
             use_bounds: self.use_bounds,
             ..EncodeOptions::default()
         };
-        match &self.bounds_memo {
-            Some(memo) => Ok(gpumc_encode::encode_memoized(
-                graph,
-                &self.model,
-                &opts,
-                memo,
-            )?),
-            None => Ok(encode(graph, &self.model, &opts)?),
-        }
+        let mut enc = match &self.bounds_memo {
+            Some(memo) => gpumc_encode::encode_memoized(graph, &self.model, &opts, memo)?,
+            None => encode(graph, &self.model, &opts)?,
+        };
+        enc.set_cancel_token(self.cancel.clone());
+        enc.set_conflict_budget(self.conflict_budget);
+        Ok(enc)
     }
 
     fn sat_stats(&self, graph: &EventGraph, enc: &gpumc_encode::Encoding<'_>) -> Stats {
@@ -780,6 +846,57 @@ exists (P1:r0 == 1)
     #[should_panic(expected = "bound must be at least 1")]
     fn zero_bound_panics() {
         let _ = Verifier::new(gpumc_models::ptx60()).with_bound(0);
+    }
+
+    #[test]
+    fn cancelled_verifier_reports_unknown() {
+        let p = parse_litmus(MP_WEAK).unwrap();
+        let token = gpumc_sat::CancelToken::new();
+        token.cancel();
+        let v = Verifier::new(gpumc_models::ptx60()).with_cancel_token(token);
+        assert!(matches!(v.check_all(&p), Err(VerifyError::Unknown(_))));
+        assert!(matches!(
+            v.check_assertion(&p),
+            Err(VerifyError::Unknown(_))
+        ));
+        // A fresh verifier over the same (shared) model still answers.
+        let v = Verifier::new(gpumc_models::ptx60());
+        assert!(v.check_all(&p).unwrap().assertion.reachable);
+    }
+
+    #[test]
+    fn tiny_conflict_budget_is_unknown_not_panic() {
+        // IRIW under scoped PTX is hard enough to need more than one
+        // conflict; the budget must surface as Unknown, never a panic.
+        let src = r#"
+PTX IRIW
+{ x = 0; y = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 | P2@cta 2,gpu 0 | P3@cta 3,gpu 0 ;
+st.weak x, 1 | ld.weak r0, x | ld.weak r0, y | st.weak y, 1 ;
+ | ld.weak r1, y | ld.weak r1, x | ;
+exists (P1:r0 == 1 /\ P1:r1 == 0 /\ P2:r0 == 1 /\ P2:r1 == 0)
+"#;
+        let p = parse_litmus(src).unwrap();
+        let v = Verifier::new(gpumc_models::ptx60()).with_conflict_budget(1);
+        match v.check_all(&p) {
+            Err(VerifyError::Unknown(reason)) => {
+                assert!(reason.contains("budget"), "reason: {reason}")
+            }
+            Ok(_) => {} // solved within one conflict: also fine
+            Err(e) => panic!("expected Unknown, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_check_all_reports_phase_timings() {
+        let p = parse_litmus(MP_WEAK).unwrap();
+        let v = Verifier::new(gpumc_models::ptx60());
+        let o = v.check_all(&p).unwrap();
+        assert!(o.phases.encode_us > 0, "encoding must take measurable time");
+        assert!(
+            u128::from(o.phases.encode_us) <= o.total_time_us,
+            "phase time cannot exceed the total"
+        );
     }
 
     #[test]

@@ -278,6 +278,7 @@ fn error_class(e: &VerifyError) -> &'static str {
         VerifyError::Ir(_) => "ir",
         VerifyError::Unsupported(_) => "unsupported",
         VerifyError::TooComplex(_) => "too-complex",
+        VerifyError::Unknown(_) => "unknown",
         VerifyError::Internal(_) => "internal",
     }
 }
@@ -434,6 +435,18 @@ mod tests {
             x * 2
         });
         assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_jobs_normalizes_zero_to_all_cores() {
+        assert_eq!(effective_jobs(1), 1);
+        assert_eq!(effective_jobs(7), 7);
+        let all = effective_jobs(0);
+        assert!(all >= 1, "zero means every available core");
+        assert_eq!(
+            all,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The CNF encoding of program semantics modulo a `.cat` model.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use gpumc_cat::{AxiomKind, CatModel, DefBody, RelExpr, SetExpr};
 use gpumc_exec::{Execution, Interpreter, Relation, ThreadOutcome};
@@ -42,6 +43,10 @@ pub enum EncodeError {
     /// A SAT witness failed re-validation by the interpreter — an
     /// internal consistency bug, never expected.
     WitnessMismatch(String),
+    /// The query was interrupted (budget, cancellation, or deadline)
+    /// before the solver reached a verdict. Carries the reason; the
+    /// encoding remains usable for further queries.
+    Unknown(String),
 }
 
 impl std::fmt::Display for EncodeError {
@@ -49,6 +54,7 @@ impl std::fmt::Display for EncodeError {
         match self {
             EncodeError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EncodeError::WitnessMismatch(m) => write!(f, "witness mismatch: {m}"),
+            EncodeError::Unknown(m) => write!(f, "unknown: {m}"),
         }
     }
 }
@@ -105,8 +111,12 @@ pub fn encode<'g>(
     model: &CatModel,
     opts: &EncodeOptions,
 ) -> Result<Encoding<'g>, EncodeError> {
+    let t0 = Instant::now();
     let analysis = RelationAnalysis::new_with(graph, model, opts.use_bounds);
-    build(graph, model, opts, analysis)
+    let bounds_us = t0.elapsed().as_micros() as u64;
+    let mut enc = build(graph, model, opts, analysis)?;
+    enc.bounds_us = bounds_us;
+    Ok(enc)
 }
 
 /// Like [`encode`], but sources the relation-analysis bounds from `memo`
@@ -122,13 +132,17 @@ pub fn encode_memoized<'g>(
     opts: &EncodeOptions,
     memo: &crate::BoundsMemo,
 ) -> Result<Encoding<'g>, EncodeError> {
+    let t0 = Instant::now();
     let bounds = memo.get_or_compute(graph, model, opts.use_bounds);
-    build(
+    let bounds_us = t0.elapsed().as_micros() as u64;
+    let mut enc = build(
         graph,
         model,
         opts,
         RelationAnalysis::from_shared(graph, bounds),
-    )
+    )?;
+    enc.bounds_us = bounds_us;
+    Ok(enc)
 }
 
 fn build<'g>(
@@ -159,8 +173,12 @@ fn build<'g>(
         completed: Vec::new(),
         flag_rels: HashMap::new(),
         positions: Vec::new(),
+        bounds_us: 0,
+        encode_us: 0,
     };
+    let t0 = Instant::now();
     enc.build()?;
+    enc.encode_us = t0.elapsed().as_micros() as u64;
     Ok(enc)
 }
 
@@ -206,6 +224,10 @@ pub struct Encoding<'g> {
     flag_rels: HashMap<String, EncRel>,
     /// Lazily created acyclicity position vectors.
     positions: Vec<Option<BitVec>>,
+    /// Time spent on relation-analysis bounds, microseconds.
+    bounds_us: u64,
+    /// Time spent building the SAT encoding, microseconds.
+    encode_us: u64,
 }
 
 impl<'g> Encoding<'g> {
@@ -1276,7 +1298,11 @@ impl<'g> Encoding<'g> {
     }
 
     fn solve_and_decode(&mut self, act: Lit) -> Result<QueryResult<'g>, EncodeError> {
-        if self.f.solve_with_assumptions(&[act]).is_unsat() {
+        let result = self.f.solve_with_assumptions(&[act]);
+        if let Some(interrupt) = result.interrupt() {
+            return Err(EncodeError::Unknown(interrupt.to_string()));
+        }
+        if result.is_unsat() {
             return Ok(QueryResult {
                 found: false,
                 witness: None,
@@ -1375,14 +1401,34 @@ impl<'g> Encoding<'g> {
 }
 
 impl<'g> Encoding<'g> {
-    /// Limits SAT conflicts per query (diagnostics; panics when hit).
+    /// Limits SAT conflicts per query; an exhausted budget surfaces as
+    /// [`EncodeError::Unknown`] and leaves the encoding usable.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.f.solver_mut().set_conflict_budget(budget);
+    }
+
+    /// Installs (or clears) a cooperative cancellation token polled by
+    /// the solver during every query on this encoding. Cancellation or
+    /// deadline expiry surfaces as [`EncodeError::Unknown`].
+    pub fn set_cancel_token(&mut self, token: Option<gpumc_sat::CancelToken>) {
+        self.f.solver_mut().set_cancel_token(token);
     }
 
     /// Solver statistics.
     pub fn solver_stats(&self) -> gpumc_sat::Stats {
         self.f.solver().stats()
+    }
+
+    /// Microseconds spent computing relation-analysis bounds for this
+    /// encoding (zero when served from a [`crate::BoundsMemo`] hit).
+    pub fn bounds_time_us(&self) -> u64 {
+        self.bounds_us
+    }
+
+    /// Microseconds spent building the SAT encoding (circuit
+    /// construction, excluding bounds analysis and solving).
+    pub fn encode_time_us(&self) -> u64 {
+        self.encode_us
     }
 }
 

@@ -199,6 +199,28 @@ impl<'g> SolverSession<'g> {
         &self.enc
     }
 
+    /// Installs (or clears) a cancellation token polled during every
+    /// query of this session (see [`Encoding::set_cancel_token`]).
+    pub fn set_cancel_token(&mut self, token: Option<gpumc_sat::CancelToken>) {
+        self.enc.set_cancel_token(token);
+    }
+
+    /// Limits SAT conflicts per query (see
+    /// [`Encoding::set_conflict_budget`]).
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.enc.set_conflict_budget(budget);
+    }
+
+    /// Microseconds spent on relation-analysis bounds during build.
+    pub fn bounds_time_us(&self) -> u64 {
+        self.enc.bounds_time_us()
+    }
+
+    /// Microseconds spent building the SAT encoding during build.
+    pub fn encode_time_us(&self) -> u64 {
+        self.enc.encode_time_us()
+    }
+
     fn run<F>(&mut self, label: &str, query: F) -> Result<QueryResult<'g>, EncodeError>
     where
         F: FnOnce(&mut Encoding<'g>) -> Result<QueryResult<'g>, EncodeError>,
@@ -290,6 +312,25 @@ exists (P1:r0 == 1)";
             q[1].stats.learnt_before, q[0].stats.learnt_after,
             "liveness query must inherit the assertion query's learnt clauses"
         );
+    }
+
+    #[test]
+    fn interrupted_query_reports_unknown_and_session_survives() {
+        let g = graph(MP, 1);
+        let model = gpumc_models::ptx60();
+        let mut s = SolverSession::build(&g, &model, &Default::default()).unwrap();
+        let token = gpumc_sat::CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token));
+        match s.find_assertion_witness() {
+            Err(EncodeError::Unknown(reason)) => assert_eq!(reason, "cancelled"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert_eq!(s.queries().len(), 0, "interrupted query records nothing");
+        // The session answers correctly once the token is cleared.
+        s.set_cancel_token(None);
+        assert!(s.find_assertion_witness().unwrap().found);
+        assert!(!s.find_liveness_violation().unwrap().found);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Cooperative cancellation for long-running solver calls.
+//!
+//! Bounded model-checking queries have order-of-magnitude runtime
+//! variance, so a long-lived service cannot rely on process boundaries to
+//! bound a solve. A [`CancelToken`] is a cheap, cloneable handle shared
+//! between the party that owns a deadline (a server worker, a signal
+//! handler, a test harness) and the [`Solver`](crate::Solver), which
+//! polls it between conflicts. Interruption is *cooperative*: the solver
+//! unwinds to the root decision level and reports
+//! [`SolveResult::Unknown`](crate::SolveResult::Unknown), leaving the
+//! clause database (including everything learnt so far) intact, so the
+//! same solver instance can serve the next query.
+//!
+//! Cancellation is sound by construction: an interrupted solve never
+//! reports `Sat` or `Unsat`, so a cancelled query can only *lose* an
+//! answer, never flip one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a solve call stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The per-call conflict budget was exhausted.
+    ConflictBudget,
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Interrupt::ConflictBudget => "conflict budget exhausted",
+            Interrupt::Cancelled => "cancelled",
+            Interrupt::DeadlineExpired => "deadline expired",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle with an optional deadline.
+///
+/// All clones share one flag: cancelling any clone cancels them all.
+/// The flag check is a relaxed atomic load — cheap enough to poll every
+/// conflict — while the deadline comparison reads the clock and is
+/// polled more coarsely (see [`CancelToken::should_stop`]).
+///
+/// # Example
+///
+/// ```
+/// use gpumc_sat::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let worker = token.clone();
+/// assert!(worker.check().is_none());
+/// token.cancel();
+/// assert_eq!(worker.check(), Some(gpumc_sat::Interrupt::Cancelled));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; stops only on [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that also expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation (idempotent, visible to all clones).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] was called (does not consult the
+    /// deadline — use [`CancelToken::check`] for the full verdict).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Full stop verdict: the flag, then the deadline (reads the clock).
+    pub fn check(&self) -> Option<Interrupt> {
+        if self.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(Interrupt::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// The solver's poll: always checks the (cheap) flag; consults the
+    /// (clock-reading) deadline only when `poll_clock` is set, so callers
+    /// can amortize `Instant::now` over many conflicts.
+    #[inline]
+    pub(crate) fn should_stop(&self, poll_clock: bool) -> Option<Interrupt> {
+        if self.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        if poll_clock {
+            if let Some(d) = self.inner.deadline {
+                if Instant::now() >= d {
+                    return Some(Interrupt::DeadlineExpired);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(b.check(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Some(Interrupt::DeadlineExpired));
+        // The flag outranks the deadline in the report.
+        t.cancel();
+        assert_eq!(t.check(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn far_deadline_does_not_stop() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(t.check(), None);
+        assert_eq!(t.should_stop(true), None);
+    }
+
+    #[test]
+    fn token_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CancelToken>();
+    }
+}

@@ -29,10 +29,12 @@
 //! ```
 
 pub mod bv;
+mod cancel;
 mod heap;
 mod solver;
 mod tseitin;
 
+pub use cancel::{CancelToken, Interrupt};
 pub use solver::{SolveResult, Solver, Stats};
 pub use tseitin::Formula;
 

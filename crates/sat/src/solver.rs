@@ -1,5 +1,6 @@
 //! The CDCL solver core.
 
+use crate::cancel::{CancelToken, Interrupt};
 use crate::heap::VarHeap;
 use crate::{LBool, Lit, Var};
 
@@ -10,6 +11,11 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The search was interrupted — conflict budget, cancellation, or
+    /// deadline — before an answer was found. The solver backtracked to
+    /// the root level and remains fully usable: learnt clauses are kept
+    /// and the next `solve` call starts fresh.
+    Unknown(Interrupt),
 }
 
 impl SolveResult {
@@ -21,6 +27,19 @@ impl SolveResult {
     /// Whether the result is [`SolveResult::Unsat`].
     pub fn is_unsat(self) -> bool {
         matches!(self, SolveResult::Unsat)
+    }
+
+    /// Whether the result is [`SolveResult::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        matches!(self, SolveResult::Unknown(_))
+    }
+
+    /// The interruption cause, for [`SolveResult::Unknown`] results.
+    pub fn interrupt(self) -> Option<Interrupt> {
+        match self {
+            SolveResult::Unknown(i) => Some(i),
+            _ => None,
+        }
     }
 }
 
@@ -88,6 +107,8 @@ pub struct Solver {
     stats: Stats,
     /// Conflict budget per solve call; `None` means unlimited.
     conflict_budget: Option<u64>,
+    /// Cooperative cancellation handle, polled between conflicts.
+    cancel: Option<CancelToken>,
     /// Clause-activity increment (for learnt-clause deletion).
     cla_inc: f32,
     /// Number of live learnt clauses.
@@ -116,6 +137,7 @@ impl Solver {
             seen: Vec::new(),
             stats: Stats::default(),
             conflict_budget: None,
+            cancel: None,
             cla_inc: 1.0,
             n_learnt: 0,
             max_learnt: 8_192,
@@ -141,10 +163,25 @@ impl Solver {
 
     /// Limits the number of conflicts a single `solve` call may spend.
     ///
-    /// Exhausting the budget panics — the budget is a diagnostic guard,
-    /// not a soft timeout. Use `None` (the default) to remove the limit.
+    /// Exhausting the budget makes the call return
+    /// [`SolveResult::Unknown`] with [`Interrupt::ConflictBudget`]; the
+    /// solver stays usable for further calls. The budget applies to each
+    /// `solve` call individually. Use `None` (the default) to remove the
+    /// limit.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs a [`CancelToken`] polled between conflicts and decisions;
+    /// when it fires, the current and all future `solve` calls return
+    /// [`SolveResult::Unknown`] until the token is replaced or removed.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Creates a fresh variable.
@@ -554,25 +591,40 @@ impl Solver {
     /// assumptions. (Previously a stale assignment made follow-up
     /// queries silently ignore their assumptions in release builds.)
     ///
-    /// # Panics
-    ///
-    /// Panics if a conflict budget was set and exhausted.
+    /// Returns [`SolveResult::Unknown`] — never panics — when the
+    /// per-call conflict budget runs out or the installed
+    /// [`CancelToken`] fires; the solver backtracks to the root level
+    /// and the next call behaves as if the interrupted one never ran
+    /// (modulo kept learnt clauses, which are implied by the database).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         if self.unsat {
             return SolveResult::Unsat;
         }
+        // A pre-cancelled token stops the call before any search.
+        if let Some(i) = self.cancel.as_ref().and_then(|c| c.should_stop(true)) {
+            return SolveResult::Unknown(i);
+        }
         self.backtrack_to(0);
         let mut luby_index = 0u64;
+        let entry_conflicts = self.stats.conflicts;
         let mut conflicts_at_start = self.stats.conflicts;
         let mut restart_limit = 32 * luby(luby_index);
+        let mut decisions = 0u64;
         let result = 'outer: loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
-                if let Some(budget) = self.conflict_budget {
-                    assert!(
-                        self.stats.conflicts <= budget,
-                        "SAT conflict budget exhausted ({budget} conflicts)"
-                    );
+                let spent = self.stats.conflicts - entry_conflicts;
+                if self.conflict_budget.is_some_and(|budget| spent > budget) {
+                    break SolveResult::Unknown(Interrupt::ConflictBudget);
+                }
+                // The flag is polled every conflict (a relaxed load); the
+                // deadline clock read is amortized over 128 conflicts.
+                if let Some(i) = self
+                    .cancel
+                    .as_ref()
+                    .and_then(|c| c.should_stop(spent.is_multiple_of(128)))
+                {
+                    break SolveResult::Unknown(i);
                 }
                 if self.decision_level() == 0 {
                     self.unsat = true;
@@ -645,6 +697,14 @@ impl Solver {
                         }
                     }
                 }
+                // Long conflict-free stretches (huge easy instances) must
+                // also observe cancellation: poll every 1024 decisions.
+                decisions += 1;
+                if decisions.is_multiple_of(1024) {
+                    if let Some(i) = self.cancel.as_ref().and_then(|c| c.should_stop(true)) {
+                        break SolveResult::Unknown(i);
+                    }
+                }
                 match self.pick_branch() {
                     None => break SolveResult::Sat,
                     Some(l) => {
@@ -655,14 +715,15 @@ impl Solver {
                 }
             }
         };
-        if result == SolveResult::Unsat {
+        // Unknown unwinds like Unsat: back to the root, partial
+        // assignment discarded, learnt clauses kept — the solver is
+        // reusable and the interrupted query left no trace beyond
+        // database-implied learning.
+        if matches!(result, SolveResult::Unsat | SolveResult::Unknown(_)) {
             self.backtrack_to(0);
         }
         // On SAT we leave the assignment in place so `value` works; the next
         // solve call must start from level 0 though.
-        if result == SolveResult::Sat {
-            // Keep model readable; backtracking is deferred to next call.
-        }
         result
     }
 
@@ -937,6 +998,91 @@ mod tests {
         s.add_clause([a, a, b]);
         s.add_clause([a, !a]); // tautology, dropped
         assert!(s.solve().is_sat());
+    }
+
+    /// A hard pigeonhole-style instance the solver needs many conflicts
+    /// for — the workbench for budget/cancellation tests.
+    fn hard_unsat_instance() -> Solver {
+        let mut s = Solver::new();
+        let n = 7;
+        let m = 6;
+        let p: Vec<Vec<Lit>> = (0..n).map(|_| lits(&mut s, m)).collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown_not_panic() {
+        let mut s = hard_unsat_instance();
+        s.set_conflict_budget(Some(3));
+        let r = s.solve();
+        assert_eq!(r, SolveResult::Unknown(Interrupt::ConflictBudget));
+        assert!(r.is_unknown());
+        assert!(!r.is_sat() && !r.is_unsat());
+    }
+
+    #[test]
+    fn solver_is_reusable_after_budget_unknown() {
+        // Regression for the serve stack: a mid-solve interruption must
+        // leave the solver able to answer the next query correctly.
+        let mut s = hard_unsat_instance();
+        s.set_conflict_budget(Some(2));
+        assert!(s.solve().is_unknown());
+        // Budget is per-call: a second tiny-budget call is also Unknown,
+        // not instantly dead from cumulative accounting.
+        assert!(s.solve().is_unknown());
+        s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat(), "the instance is really unsat");
+    }
+
+    #[test]
+    fn cancellation_preserves_verdicts() {
+        // Cancellation can only withhold an answer, never flip one: the
+        // same database answers Sat correctly after an interrupted call.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token));
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::Cancelled));
+        s.set_cancel_token(None);
+        assert!(s.solve().is_sat());
+        assert!(s.value_or_false(v[0]) || s.value_or_false(v[1]));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_search() {
+        let mut s = hard_unsat_instance();
+        s.set_cancel_token(Some(CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        )));
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::DeadlineExpired));
+        s.set_cancel_token(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_work_after_interrupt() {
+        let mut s = hard_unsat_instance();
+        let extra = s.new_lit();
+        s.add_clause([extra]);
+        s.set_conflict_budget(Some(1));
+        assert!(s.solve().is_unknown());
+        s.set_conflict_budget(None);
+        // Assumption-level queries are still well-defined afterwards.
+        assert!(s.solve_with_assumptions(&[!extra]).is_unsat());
+        assert!(s.solve_with_assumptions(&[extra]).is_unsat());
     }
 
     #[test]

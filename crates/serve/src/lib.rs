@@ -1,0 +1,35 @@
+//! `gpumc-serve` — the persistent verification service.
+//!
+//! gpumc started as a batch CLI: one process per request, cold caches
+//! every time, and the only resource limit anywhere was a conflict
+//! budget that *panicked* on exhaustion. This crate turns the pipeline
+//! into a long-running daemon:
+//!
+//! * a JSON-lines request/response protocol over TCP (or stdio), see
+//!   [`protocol`];
+//! * a bounded job queue with non-blocking backpressure ([`queue`]);
+//! * a worker pool sharing the warm caches — parsed models
+//!   (`gpumc_models::load_shared`) and relation-analysis bounds
+//!   (`gpumc_encode::BoundsMemo`) — across requests;
+//! * per-request deadlines riding the cooperative cancellation layer in
+//!   `gpumc-sat` (`CancelToken`), so a timed-out request yields
+//!   `status: unknown` and the worker lives on;
+//! * a metrics registry ([`metrics`]) exposed through the `metrics`
+//!   verb.
+//!
+//! The JSON plumbing ([`json`]) is hand-rolled: the offline dependency
+//! set has no serde, and the protocol needs very little.
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use json::Json;
+pub use metrics::Metrics;
+pub use protocol::{parse_request, verdict_json, Envelope, Request, VerifyRequest};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,287 @@
+//! The JSON-lines request/response protocol.
+//!
+//! One request per line, one response per line, in either direction of
+//! a TCP connection (or stdin/stdout with `--stdio`). Requests carry an
+//! optional client-chosen `id` that is echoed verbatim in the response,
+//! so a client may pipeline requests and match answers out of order —
+//! workers answer in completion order, not submission order.
+//!
+//! ## Verbs
+//!
+//! ```json
+//! {"id":1,"verb":"verify","source":"<litmus>","model":"ptx-v7.5","bound":2,"timeout_ms":5000}
+//! {"id":2,"verb":"ping"}
+//! {"id":3,"verb":"metrics"}
+//! {"id":4,"verb":"shutdown"}
+//! ```
+//!
+//! `verify` fields other than `source` are optional: `model` defaults
+//! to the test dialect's default model, `bound` to 2, `timeout_ms` to
+//! the server's `--default-timeout-ms`, `budget` (SAT conflicts) to
+//! unlimited.
+//!
+//! ## Responses
+//!
+//! Every response carries `id` (null if the request had none) and a
+//! `status`: `done` (verdict reached), `unknown` (budget/deadline/
+//! cancellation — retrying with more budget is sound), `error` (the
+//! request itself was bad), `rejected` (queue full — resubmit later),
+//! plus `ok` for ping/metrics/shutdown.
+
+use gpumc::FullOutcome;
+
+use crate::json::Json;
+
+/// A parsed request envelope: the echoed id plus the verb payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The verb payload.
+    pub request: Request,
+}
+
+/// One protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Verify a litmus test (all three properties, incremental).
+    Verify(VerifyRequest),
+    /// Liveness probe.
+    Ping,
+    /// Snapshot the metrics registry.
+    Metrics,
+    /// Stop accepting work, drain, and exit.
+    Shutdown,
+}
+
+/// The payload of a `verify` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyRequest {
+    /// The litmus test source, either dialect.
+    pub source: String,
+    /// Model name (`ptx-v6.0`, `ptx-v7.5`, `vulkan`); `None` infers
+    /// from the test dialect.
+    pub model: Option<String>,
+    /// Loop unrolling bound.
+    pub bound: u32,
+    /// Per-request deadline in milliseconds, measured from acceptance
+    /// (queue wait counts). `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+    /// SAT conflict budget per query.
+    pub budget: Option<u64>,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message for malformed JSON, a missing/unknown verb,
+/// or missing `verify` fields.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let v = Json::parse(line)?;
+    let id = v.get("id").and_then(Json::as_u64);
+    let verb = v
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or("missing `verb`")?;
+    let request = match verb {
+        "ping" => Request::Ping,
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        "verify" => {
+            let source = v
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or("verify needs a `source` string")?
+                .to_string();
+            let bound = match v.get("bound") {
+                None | Some(Json::Null) => 2,
+                Some(b) => {
+                    let b = b.as_u64().ok_or("`bound` must be a positive integer")?;
+                    u32::try_from(b).map_err(|_| "`bound` out of range")?
+                }
+            };
+            if bound == 0 {
+                return Err("`bound` must be at least 1".into());
+            }
+            Request::Verify(VerifyRequest {
+                source,
+                model: v.get("model").and_then(Json::as_str).map(str::to_string),
+                bound,
+                timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
+                budget: v.get("budget").and_then(Json::as_u64),
+            })
+        }
+        other => return Err(format!("unknown verb `{other}`")),
+    };
+    Ok(Envelope { id, request })
+}
+
+fn id_json(id: Option<u64>) -> Json {
+    id.map_or(Json::Null, Json::count)
+}
+
+/// The verdict object of a completed verification — the same facts the
+/// batch CLI (`gpumc verify --all`) prints, as structured fields, so
+/// server and CLI answers can be compared for byte-identity.
+pub fn verdict_json(test_name: &str, o: &FullOutcome) -> Json {
+    let expectation = match o.assertion.satisfied_expectation {
+        Some(true) => "holds",
+        Some(false) => "fails",
+        None => "none",
+    };
+    Json::Obj(vec![
+        ("test".into(), Json::str(test_name)),
+        ("reachable".into(), Json::Bool(o.assertion.reachable)),
+        ("expectation".into(), Json::str(expectation)),
+        (
+            "liveness".into(),
+            Json::str(if o.liveness.violated {
+                "violation"
+            } else {
+                "ok"
+            }),
+        ),
+        (
+            "datarace".into(),
+            Json::str(match &o.data_races {
+                Some(d) if d.violated => "found",
+                Some(_) => "none",
+                None => "n/a",
+            }),
+        ),
+    ])
+}
+
+/// A successful (`status: done`) verify response.
+pub fn verify_response(id: Option<u64>, test_name: &str, o: &FullOutcome, wall_us: u64) -> Json {
+    let (conflicts, propagations) = o.queries.iter().fold((0u64, 0u64), |(c, p), q| {
+        (c + q.stats.conflicts, p + q.stats.propagations)
+    });
+    Json::Obj(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::str("done")),
+        ("verdict".into(), verdict_json(test_name, o)),
+        (
+            "phases".into(),
+            Json::Obj(vec![
+                ("compile_us".into(), Json::count(o.phases.compile_us)),
+                ("bounds_us".into(), Json::count(o.phases.bounds_us)),
+                ("encode_us".into(), Json::count(o.phases.encode_us)),
+                ("solve_us".into(), Json::count(o.phases.solve_us)),
+            ]),
+        ),
+        (
+            "solver".into(),
+            Json::Obj(vec![
+                (
+                    "vars".into(),
+                    Json::count(o.assertion.stats.sat_vars as u64),
+                ),
+                (
+                    "clauses".into(),
+                    Json::count(o.assertion.stats.sat_clauses as u64),
+                ),
+                ("conflicts".into(), Json::count(conflicts)),
+                ("propagations".into(), Json::count(propagations)),
+            ]),
+        ),
+        ("time_us".into(), Json::count(wall_us)),
+    ])
+}
+
+/// A `status: unknown` response (deadline, cancellation, budget).
+pub fn unknown_response(id: Option<u64>, reason: &str, wall_us: u64) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::str("unknown")),
+        ("reason".into(), Json::str(reason)),
+        ("time_us".into(), Json::count(wall_us)),
+    ])
+}
+
+/// A `status: error` response (the request was unprocessable).
+pub fn error_response(id: Option<u64>, message: &str) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::str("error")),
+        ("error".into(), Json::str(message)),
+    ])
+}
+
+/// A `status: rejected` response (backpressure: the queue is full).
+pub fn rejected_response(id: Option<u64>) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::str("rejected")),
+        ("error".into(), Json::str("queue full")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_four_verbs() {
+        let e = parse_request(r#"{"id":7,"verb":"ping"}"#).unwrap();
+        assert_eq!(e.id, Some(7));
+        assert_eq!(e.request, Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"verb":"metrics"}"#).unwrap().request,
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"shutdown"}"#).unwrap().request,
+            Request::Shutdown
+        );
+        let e = parse_request(
+            r#"{"id":1,"verb":"verify","source":"PTX T\n...","model":"ptx-v6.0","bound":3,"timeout_ms":250,"budget":1000}"#,
+        )
+        .unwrap();
+        match e.request {
+            Request::Verify(v) => {
+                assert_eq!(v.model.as_deref(), Some("ptx-v6.0"));
+                assert_eq!(v.bound, 3);
+                assert_eq!(v.timeout_ms, Some(250));
+                assert_eq!(v.budget, Some(1000));
+                assert!(v.source.starts_with("PTX T\n"));
+            }
+            other => panic!("expected verify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_defaults_apply() {
+        let e = parse_request(r#"{"verb":"verify","source":"x"}"#).unwrap();
+        match e.request {
+            Request::Verify(v) => {
+                assert_eq!(v.bound, 2);
+                assert_eq!(v.model, None);
+                assert_eq!(v.timeout_ms, None);
+                assert_eq!(v.budget, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.id, None);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"id":1}"#).is_err());
+        assert!(parse_request(r#"{"verb":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"verify"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"verify","source":"x","bound":0}"#).is_err());
+    }
+
+    #[test]
+    fn responses_echo_the_id() {
+        let r = error_response(Some(42), "nope");
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(42));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        let r = rejected_response(None);
+        assert_eq!(r.get("id"), Some(&Json::Null));
+        assert_eq!(r.get("error").unwrap().as_str(), Some("queue full"));
+    }
+}

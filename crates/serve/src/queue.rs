@@ -1,0 +1,205 @@
+//! A bounded MPMC job queue with non-blocking backpressure.
+//!
+//! Connection threads call [`JobQueue::try_push`], which never blocks:
+//! a full queue hands the job straight back so the caller can answer
+//! the client with an immediate rejection instead of stalling the whole
+//! connection behind slow verifications. Workers block in
+//! [`JobQueue::pop`]. Closing the queue ([`JobQueue::close`]) wakes all
+//! workers; pops then drain whatever was already accepted — the
+//! graceful-shutdown contract is "every accepted job gets an answer" —
+//! and return `None` only once the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. See the module docs.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue holds `capacity` jobs; the job is handed back.
+    Full(T),
+    /// [`JobQueue::close`] was called; the job is handed back.
+    Closed(T),
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue that accepts at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue refuses.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(PushError::Closed(job));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        s.items.push_back(job);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. `None` means the queue is closed *and*
+    /// fully drained — the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = s.items.pop_front() {
+                return Some(job);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap();
+        }
+    }
+
+    /// Stops accepting new jobs and wakes every blocked worker. Already
+    /// accepted jobs remain poppable (drain semantics).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently waiting (diagnostics / the `queue_depth` gauge).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses_and_returns_the_job() {
+        let q = JobQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full(job)) => assert_eq!(job, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        assert_eq!(q.pop(), Some(1), "accepted jobs drain after close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q = Arc::new(JobQueue::new(8));
+        let total = 400u32;
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        // Consumers run unscoped so they can outlive the producer scope;
+        // they exit when pop() observes close + empty.
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    while let Some(v) = q.pop() {
+                        consumed.lock().unwrap().push(v);
+                    }
+                })
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..total / 4 {
+                        // Spin on backpressure: producers in this test
+                        // must deliver everything.
+                        let mut job = p * 1000 + i;
+                        loop {
+                            match q.try_push(job) {
+                                Ok(()) => break,
+                                Err(PushError::Full(j)) => {
+                                    job = j;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let mut got = consumed.lock().unwrap().clone();
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..4)
+            .flat_map(|p| (0..total / 4).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,435 @@
+//! The verification daemon: accept loop, worker pool, graceful drain.
+//!
+//! Architecture (all std, one thread per blocking concern):
+//!
+//! ```text
+//!  TCP accept loop ──► per-connection reader threads
+//!                         │  ping/metrics/shutdown answered inline
+//!                         ▼  verify → CancelToken(deadline) + job
+//!                  bounded JobQueue (try_push; full ⇒ `rejected`)
+//!                         │
+//!                  worker pool (effective_jobs), shared warm state:
+//!                    · gpumc_models::load_shared (one parse per model)
+//!                    · Arc<BoundsMemo> (relation bounds across requests)
+//!                         │
+//!                  responses written through the connection's shared
+//!                  writer (one line per response, ids match requests)
+//! ```
+//!
+//! The deadline clock starts when the request is *accepted*, so time
+//! spent queued counts against it; an expired job fails fast inside
+//! `Verifier::check_all` before paying for compilation. Workers never
+//! die from a timeout: interruption surfaces as `VerifyError::Unknown`
+//! (see the cancellation layer in `gpumc-sat`), the worker answers
+//! `status: unknown` and takes the next job.
+//!
+//! Shutdown (`shutdown` verb or [`Server::request_shutdown`]) stops the
+//! accept loop, closes the queue, and drains: every accepted job still
+//! gets its response before [`Server::run`] returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gpumc::{effective_jobs, Verifier, VerifyError};
+use gpumc_encode::BoundsMemo;
+use gpumc_models::ModelKind;
+use gpumc_sat::CancelToken;
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    error_response, parse_request, rejected_response, unknown_response, verify_response, Envelope,
+    Request, VerifyRequest,
+};
+use crate::queue::{JobQueue, PushError};
+
+/// Server configuration; see `gpumc serve --help` for the CLI mapping.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`; port 0 picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means all available cores.
+    pub jobs: usize,
+    /// Maximum queued (accepted, unstarted) verify jobs.
+    pub max_queue: usize,
+    /// Deadline applied to requests that carry no `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Dump a one-line metrics summary to stderr every this many
+    /// seconds.
+    pub metrics_every_secs: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            jobs: 0,
+            max_queue: 64,
+            default_timeout_ms: None,
+            metrics_every_secs: None,
+        }
+    }
+}
+
+/// A write end shared between the connection reader and the workers
+/// answering its jobs; each response line is written under the lock.
+type Out = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    id: Option<u64>,
+    req: VerifyRequest,
+    token: CancelToken,
+    out: Out,
+    accepted: Instant,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    metrics: Metrics,
+    memo: Arc<BoundsMemo>,
+    queue: JobQueue<Job>,
+    shutdown: AtomicBool,
+    default_timeout_ms: Option<u64>,
+}
+
+/// A bound, not-yet-running server. [`Server::bind`] then
+/// [`Server::run`]; binding separately lets callers learn the ephemeral
+/// port before the accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs: usize,
+    metrics_every: Option<Duration>,
+}
+
+impl Server {
+    /// Binds the listen socket and prepares shared state.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the address.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let jobs = effective_jobs(config.jobs);
+        let shared = Arc::new(Shared {
+            metrics: Metrics::new(),
+            memo: Arc::new(BoundsMemo::new()),
+            queue: JobQueue::new(config.max_queue),
+            shutdown: AtomicBool::new(false),
+            default_timeout_ms: config.default_timeout_ms,
+        });
+        shared.metrics.set_gauge("workers", jobs as i64);
+        Ok(Server {
+            listener,
+            shared,
+            jobs,
+            metrics_every: config.metrics_every_secs.map(Duration::from_secs),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes the running server shut down gracefully, as
+    /// if a client had sent the `shutdown` verb.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Runs accept loop + workers until shutdown, then drains.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the accept loop (per-connection errors are
+    /// contained, not fatal).
+    pub fn run(self) -> std::io::Result<()> {
+        let workers: Vec<_> = (0..self.jobs)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        if let Some(every) = self.metrics_every {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || loop {
+                std::thread::sleep(every);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                eprintln!("[gpumc-serve] {}", shared.metrics.render_line());
+            });
+        }
+        let local = self.listener.local_addr()?;
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(stream, &shared, local));
+        }
+        // Drain: no new jobs, workers finish everything accepted.
+        self.shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Serves a single session over stdin/stdout (testing transport:
+    /// same protocol, same worker pool, no sockets).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading stdin.
+    pub fn run_stdio(config: &ServerConfig) -> std::io::Result<()> {
+        let jobs = effective_jobs(config.jobs);
+        let shared = Arc::new(Shared {
+            metrics: Metrics::new(),
+            memo: Arc::new(BoundsMemo::new()),
+            queue: JobQueue::new(config.max_queue),
+            shutdown: AtomicBool::new(false),
+            default_timeout_ms: config.default_timeout_ms,
+        });
+        shared.metrics.set_gauge("workers", jobs as i64);
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let out: Out = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line?;
+            if dispatch_line(&line, &out, &shared).is_break() {
+                break;
+            }
+        }
+        shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// See [`Server::shutdown_handle`].
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+    addr: Option<SocketAddr>,
+}
+
+impl ShutdownHandle {
+    /// Initiates graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, local: SocketAddr) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out: Out = Arc::new(Mutex::new(Box::new(stream)));
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if dispatch_line(&line, &out, shared).is_break() {
+            // Shutdown verb: wake the accept loop, stop reading.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+}
+
+/// Handles one request line: answers control verbs inline, enqueues
+/// verify jobs. `Break` means shutdown was requested.
+fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::ControlFlow<()> {
+    use std::ops::ControlFlow;
+    let envelope = match parse_request(line) {
+        Ok(e) => e,
+        Err(msg) => {
+            shared.metrics.inc("requests_invalid");
+            write_line(out, &error_response(None, &msg));
+            return ControlFlow::Continue(());
+        }
+    };
+    let Envelope { id, request } = envelope;
+    match request {
+        Request::Ping => {
+            shared.metrics.inc("requests_ping");
+            write_line(
+                out,
+                &Json::Obj(vec![
+                    ("id".into(), id.map_or(Json::Null, Json::count)),
+                    ("status".into(), Json::str("ok")),
+                ]),
+            );
+            ControlFlow::Continue(())
+        }
+        Request::Metrics => {
+            shared.metrics.inc("requests_metrics");
+            // Cache-effectiveness gauges are sampled at snapshot time.
+            shared
+                .metrics
+                .set_gauge("model_parse_count", gpumc_models::parse_count() as i64);
+            shared
+                .metrics
+                .set_gauge("bounds_memo_hits", shared.memo.hits() as i64);
+            shared
+                .metrics
+                .set_gauge("bounds_memo_misses", shared.memo.misses() as i64);
+            shared
+                .metrics
+                .set_gauge("queue_depth", shared.queue.len() as i64);
+            let snapshot = shared.metrics.snapshot();
+            write_line(
+                out,
+                &Json::Obj(vec![
+                    ("id".into(), id.map_or(Json::Null, Json::count)),
+                    ("status".into(), Json::str("ok")),
+                    ("metrics".into(), snapshot),
+                ]),
+            );
+            ControlFlow::Continue(())
+        }
+        Request::Shutdown => {
+            shared.metrics.inc("requests_shutdown");
+            shared.shutdown.store(true, Ordering::SeqCst);
+            write_line(
+                out,
+                &Json::Obj(vec![
+                    ("id".into(), id.map_or(Json::Null, Json::count)),
+                    ("status".into(), Json::str("ok")),
+                ]),
+            );
+            ControlFlow::Break(())
+        }
+        Request::Verify(req) => {
+            shared.metrics.inc("requests_verify");
+            let timeout_ms = req.timeout_ms.or(shared.default_timeout_ms);
+            let token = match timeout_ms {
+                Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+                None => CancelToken::new(),
+            };
+            let job = Job {
+                id,
+                req,
+                token,
+                out: Arc::clone(out),
+                accepted: Instant::now(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => {
+                    shared.metrics.move_gauge("queue_depth", 1);
+                }
+                Err(PushError::Full(job) | PushError::Closed(job)) => {
+                    shared.metrics.inc("queue_rejected_total");
+                    write_line(&job.out, &rejected_response(job.id));
+                }
+            }
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.move_gauge("queue_depth", -1);
+        shared.metrics.move_gauge("in_flight", 1);
+        let response = run_verify_job(&job, shared);
+        write_line(&job.out, &response);
+        shared.metrics.move_gauge("in_flight", -1);
+    }
+}
+
+/// Runs one verify job to a response. Never panics on budget/deadline/
+/// cancellation: those surface as `status: unknown`.
+fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
+    let req = &job.req;
+    let program = match gpumc::parse_litmus(&req.source) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.metrics.inc("verdict_error");
+            return error_response(job.id, &e.to_string());
+        }
+    };
+    let kind = match &req.model {
+        Some(name) => match ModelKind::from_name(name) {
+            Some(k) => k,
+            None => {
+                shared.metrics.inc("verdict_error");
+                return error_response(job.id, &format!("unknown model `{name}`"));
+            }
+        },
+        None => match program.arch {
+            gpumc_ir::Arch::Ptx => ModelKind::Ptx75,
+            gpumc_ir::Arch::Vulkan => ModelKind::Vulkan,
+        },
+    };
+    let mut verifier = Verifier::new(gpumc_models::load_shared(kind))
+        .with_bound(req.bound)
+        .with_bounds_memo(Arc::clone(&shared.memo))
+        .with_cancel_token(job.token.clone());
+    if let Some(budget) = req.budget {
+        verifier = verifier.with_conflict_budget(budget);
+    }
+    let outcome = verifier.check_all(&program);
+    let wall_us = job.accepted.elapsed().as_micros() as u64;
+    shared.metrics.observe_us("verify_latency_us", wall_us);
+    match outcome {
+        Ok(o) => {
+            let pass = o.assertion.satisfied_expectation.unwrap_or(true);
+            shared
+                .metrics
+                .inc(if pass { "verdict_pass" } else { "verdict_fail" });
+            let (conflicts, propagations) = o.queries.iter().fold((0u64, 0u64), |(c, p), q| {
+                (c + q.stats.conflicts, p + q.stats.propagations)
+            });
+            shared.metrics.add("solver_conflicts_total", conflicts);
+            shared
+                .metrics
+                .add("solver_propagations_total", propagations);
+            shared.metrics.observe_us("solve_us", o.phases.solve_us);
+            shared.metrics.observe_us("encode_us", o.phases.encode_us);
+            verify_response(job.id, &program.name, &o, wall_us)
+        }
+        Err(VerifyError::Unknown(reason)) => {
+            shared.metrics.inc("verdict_unknown");
+            unknown_response(job.id, &reason, wall_us)
+        }
+        Err(e) => {
+            shared.metrics.inc("verdict_error");
+            error_response(job.id, &e.to_string())
+        }
+    }
+}
+
+fn write_line(out: &Out, response: &Json) {
+    let mut w = out.lock().unwrap();
+    // A dead client (write error) is the client's problem, not the
+    // server's: the worker moves on either way.
+    let _ = writeln!(w, "{response}");
+    let _ = w.flush();
+}
