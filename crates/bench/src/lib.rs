@@ -36,6 +36,20 @@ pub fn flag_from_args(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parses a valued argument `name N` (e.g. `--bound 1`) from the process
+/// arguments; `None` when absent or unparsable. Unknown arguments are
+/// ignored, as in [`jobs_from_args`].
+pub fn value_from_args<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
 /// The standard batch timing footer: end-to-end wall clock versus the
 /// sum of per-item worker times, and the achieved overlap.
 pub fn timing_footer(label: &str, jobs: usize, wall: Duration, aggregate: Duration) -> String {

@@ -35,6 +35,8 @@ OPTIONS (verify):
                          and exits 3 instead of blocking
     --budget <n>         solver conflict budget; exhaustion answers
                          `unknown` and exits 3
+    --no-simplify        disable SatELite-style CNF simplification of
+                         the SAT encoding (on by default)
     --witness            print the witness execution graph
 
 OPTIONS (suite):
@@ -328,6 +330,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut show_witness = false;
     let mut all = false;
     let mut fresh = false;
+    let mut simplify = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -360,6 +363,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             "--witness" => show_witness = true,
             "--all" => all = true,
             "--fresh" => fresh = true,
+            "--no-simplify" => simplify = false,
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -381,7 +385,8 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut verifier = Verifier::new(gpumc_models::load(kind))
         .with_engine(engine)
         .with_bound(bound)
-        .with_incremental(!fresh);
+        .with_incremental(!fresh)
+        .with_simplify(simplify);
     if let Some(ms) = timeout_ms {
         verifier = verifier.with_cancel_token(gpumc::gpumc_sat::CancelToken::with_timeout(
             std::time::Duration::from_millis(ms),
@@ -523,6 +528,21 @@ fn verify_all(
     let stats = o.render_query_stats();
     if !stats.is_empty() {
         eprint!("{stats}");
+    }
+    if let Some(sp) = &o.simplify {
+        eprintln!(
+            "  simplify: {} -> {} clauses, {} -> {} vars ({} eliminated, {} equivalent), \
+             {} subsumed, {} strengthened, {:.1} ms",
+            sp.clauses_before,
+            sp.clauses_after,
+            sp.vars_before,
+            sp.vars_after,
+            sp.vars_eliminated,
+            sp.equivs_substituted,
+            sp.clauses_subsumed,
+            sp.clauses_strengthened,
+            sp.time_us as f64 / 1000.0
+        );
     }
     eprintln!("total {:.1} ms", o.total_time_us as f64 / 1000.0);
     if show_witness {

@@ -232,6 +232,10 @@ pub struct FullOutcome {
     /// Per-query solver-counter deltas, in query order. Empty on the
     /// fresh (non-incremental) path and for the enumeration engine.
     pub queries: Vec<gpumc_encode::QueryRecord>,
+    /// CNF simplification statistics from the shared encoding, or
+    /// `None` when simplification is disabled, on the fresh
+    /// (non-incremental) path, or for the enumeration engine.
+    pub simplify: Option<gpumc_sat::SimplifyStats>,
     /// Per-phase wall-clock breakdown.
     pub phases: PhaseTimings,
     /// Wall-clock time of the whole `check_all`, including compilation
@@ -282,6 +286,7 @@ pub struct Verifier {
     enum_cap: Option<u64>,
     bounds_memo: Option<Arc<gpumc_encode::BoundsMemo>>,
     incremental: bool,
+    simplify: bool,
     cancel: Option<gpumc_sat::CancelToken>,
     conflict_budget: Option<u64>,
 }
@@ -301,6 +306,7 @@ impl Verifier {
             enum_cap: None,
             bounds_memo: None,
             incremental: true,
+            simplify: true,
             cancel: None,
             conflict_budget: None,
         }
@@ -375,6 +381,14 @@ impl Verifier {
     /// two must be verdict-identical.
     pub fn with_incremental(mut self, incremental: bool) -> Verifier {
         self.incremental = incremental;
+        self
+    }
+
+    /// Enables or disables SatELite-style CNF simplification of the
+    /// SAT encoding (builder style; on by default). The `--no-simplify`
+    /// escape hatch of the CLI and server map here.
+    pub fn with_simplify(mut self, simplify: bool) -> Verifier {
+        self.simplify = simplify;
         self
     }
 
@@ -646,6 +660,7 @@ impl Verifier {
             liveness,
             data_races,
             queries: session.queries().to_vec(),
+            simplify: session.simplify_stats(),
             phases,
             total_time_us: total.elapsed().as_micros(),
         })
@@ -668,6 +683,7 @@ impl Verifier {
             liveness,
             data_races,
             queries: Vec::new(),
+            simplify: None,
             phases: PhaseTimings::default(),
             total_time_us: total.elapsed().as_micros(),
         })
@@ -689,6 +705,7 @@ impl Verifier {
         let opts = EncodeOptions {
             bv_width: self.bv_width,
             use_bounds: self.use_bounds,
+            simplify: self.simplify,
             ..EncodeOptions::default()
         };
         let mut session = match &self.bounds_memo {
@@ -721,6 +738,7 @@ impl Verifier {
         let opts = EncodeOptions {
             bv_width: self.bv_width,
             use_bounds: self.use_bounds,
+            simplify: self.simplify,
             ..EncodeOptions::default()
         };
         let mut enc = match &self.bounds_memo {

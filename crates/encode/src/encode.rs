@@ -21,6 +21,11 @@ pub struct EncodeOptions {
     /// Whether to prune the encoding with relation-analysis bounds
     /// (disable for the ablation benchmark).
     pub use_bounds: bool,
+    /// Run SatELite-style CNF simplification (variable elimination,
+    /// subsumption, equivalent-literal substitution) after building the
+    /// encoding. Witness and query variables are frozen first, so
+    /// verdicts and decoded witnesses are unaffected.
+    pub simplify: bool,
     /// Print per-stage size diagnostics to stderr.
     pub trace: bool,
 }
@@ -30,6 +35,7 @@ impl Default for EncodeOptions {
         EncodeOptions {
             bv_width: 8,
             use_bounds: true,
+            simplify: true,
             trace: false,
         }
     }
@@ -173,6 +179,7 @@ fn build<'g>(
         completed: Vec::new(),
         flag_rels: HashMap::new(),
         positions: Vec::new(),
+        simplify_stats: None,
         bounds_us: 0,
         encode_us: 0,
     };
@@ -224,6 +231,8 @@ pub struct Encoding<'g> {
     flag_rels: HashMap<String, EncRel>,
     /// Lazily created acyclicity position vectors.
     positions: Vec<Option<BitVec>>,
+    /// Statistics from CNF simplification, when it ran.
+    simplify_stats: Option<gpumc_sat::SimplifyStats>,
     /// Time spent on relation-analysis bounds, microseconds.
     bounds_us: u64,
     /// Time spent building the SAT encoding, microseconds.
@@ -274,7 +283,55 @@ impl<'g> Encoding<'g> {
             let lit = self.cond_lit(filter);
             self.f.assert_lit(lit);
         }
+        if self.opts.simplify {
+            self.simplify();
+            self.trace("simplify");
+        }
         Ok(())
+    }
+
+    /// Runs CNF simplification over the built encoding.
+    ///
+    /// The frozen-variable contract: every literal a witness decode reads
+    /// back, or that a later query (`find_condition`, liveness, flags)
+    /// can place into a fresh clause or gate, is frozen first so the
+    /// simplifier never eliminates or substitutes it. The gate caches
+    /// hold output literals that *can* be eliminated, so they are
+    /// cleared — queries rebuild those gates from frozen inputs.
+    fn simplify(&mut self) {
+        for &l in &self.exec_block {
+            self.f.freeze_lit(l);
+        }
+        for &l in &self.exec_event {
+            self.f.freeze_lit(l);
+        }
+        for &l in &self.completed {
+            self.f.freeze_lit(l);
+        }
+        for bv in self.values.iter().chain(&self.addr_bv).flatten() {
+            for &l in bv.bits() {
+                self.f.freeze_lit(l);
+            }
+        }
+        for rel in [&self.rf, &self.co, &self.sync_fence] {
+            for &l in rel.pairs.values() {
+                self.f.freeze_lit(l);
+            }
+        }
+        for rel in self.flag_rels.values() {
+            for &l in rel.pairs.values() {
+                self.f.freeze_lit(l);
+            }
+        }
+        self.base_cache.clear();
+        self.pair_exec_cache.clear();
+        self.addr_eq_cache.clear();
+        self.final_reg_cache.clear();
+        let stats = self.f.simplify();
+        self.simplify_stats = Some(match self.simplify_stats.take() {
+            None => stats,
+            Some(prev) => prev.merged(&stats),
+        });
     }
 
     fn encode_control_flow(&mut self) {
@@ -1194,7 +1251,7 @@ impl<'g> Encoding<'g> {
         cond: &Condition,
         negate: bool,
     ) -> Result<QueryResult<'g>, EncodeError> {
-        let act = self.f.new_lit();
+        let act = self.new_activation_lit();
         let completed = self.completed.clone();
         for c in completed {
             self.f.add_clause([!act, c]);
@@ -1214,7 +1271,7 @@ impl<'g> Encoding<'g> {
     ///
     /// See [`Encoding::find_assertion_witness`].
     pub fn find_liveness_violation(&mut self) -> Result<QueryResult<'g>, EncodeError> {
-        let act = self.f.new_lit();
+        let act = self.new_activation_lit();
         let mut any_stuck = Vec::new();
         for t in 0..self.graph.threads().len() {
             let mut stuck_lits = Vec::new();
@@ -1286,7 +1343,7 @@ impl<'g> Encoding<'g> {
                 "model defines no flag `{name}`"
             )));
         };
-        let act = self.f.new_lit();
+        let act = self.new_activation_lit();
         let completed = self.completed.clone();
         for c in completed {
             self.f.add_clause([!act, c]);
@@ -1295,6 +1352,15 @@ impl<'g> Encoding<'g> {
         clause.extend(rel.pairs.values().copied());
         self.f.add_clause(clause);
         self.solve_and_decode(act)
+    }
+
+    /// A fresh activation literal for a query, frozen so a later
+    /// simplification pass can never eliminate it out from under the
+    /// clauses it guards (the frozen-variable contract).
+    fn new_activation_lit(&mut self) -> Lit {
+        let act = self.f.new_lit();
+        self.f.freeze_lit(act);
+        act
     }
 
     fn solve_and_decode(&mut self, act: Lit) -> Result<QueryResult<'g>, EncodeError> {
@@ -1417,6 +1483,12 @@ impl<'g> Encoding<'g> {
     /// Solver statistics.
     pub fn solver_stats(&self) -> gpumc_sat::Stats {
         self.f.solver().stats()
+    }
+
+    /// Statistics from CNF simplification, or `None` when it was
+    /// disabled via [`EncodeOptions::simplify`].
+    pub fn simplify_stats(&self) -> Option<gpumc_sat::SimplifyStats> {
+        self.simplify_stats
     }
 
     /// Microseconds spent computing relation-analysis bounds for this

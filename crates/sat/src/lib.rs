@@ -31,10 +31,12 @@
 pub mod bv;
 mod cancel;
 mod heap;
+mod simplify;
 mod solver;
 mod tseitin;
 
 pub use cancel::{CancelToken, Interrupt};
+pub use simplify::SimplifyStats;
 pub use solver::{SolveResult, Solver, Stats};
 pub use tseitin::Formula;
 

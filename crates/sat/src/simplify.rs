@@ -1,0 +1,1098 @@
+//! SatELite-style CNF simplification (Eén & Biere, SAT 2005).
+//!
+//! [`Solver::simplify`] runs three classic preprocessing techniques at
+//! the root level, in this order:
+//!
+//! 1. **Equivalent-literal substitution** — strongly connected
+//!    components of the binary implication graph collapse to one
+//!    representative literal; every other literal in the component is
+//!    rewritten away.
+//! 2. **Subsumption and self-subsuming resolution** — occurrence lists
+//!    plus 64-bit clause signatures find clauses that contain (or
+//!    almost contain) another clause; supersets are deleted, near-
+//!    supersets are strengthened by dropping the clashing literal.
+//! 3. **Bounded variable elimination** — a variable whose resolvent
+//!    count does not exceed its occurrence count is resolved away by
+//!    clause distribution (this subsumes pure-literal elimination).
+//!
+//! Because gpumc reads witness values back out of the model and poses
+//! later queries over activation literals, elimination is only sound
+//! for variables the caller will never touch again. That is the
+//! **frozen-variable contract**: [`Solver::freeze`] exempts a variable
+//! from elimination and substitution; mentioning an *eliminated*
+//! variable in a later clause or assumption panics. Model values of
+//! eliminated variables stay observable through [`Solver::value`] — an
+//! elimination stack records enough of each variable's clauses to
+//! reconstruct a full model after every `Sat` answer
+//! ([`Solver::extend_model`]).
+//!
+//! The pass is a proper *inprocessing* step: it can run again between
+//! solve calls (learnt clauses are rewritten, deleted, or promoted as
+//! soundness requires), though gpumc currently runs it once per
+//! encoding, after the last build-time clause and before the first
+//! query.
+
+use std::time::Instant;
+
+use crate::solver::{Clause, ClauseRef, Solver, Watcher};
+use crate::{LBool, Lit, Var};
+
+/// Occurrence lists longer than this are not scanned for subsumption.
+const SUB_OCC_CAP: usize = 1_000;
+/// Variables with more occurrences than this are never eliminated.
+const BVE_OCC_CAP: usize = 80;
+/// Skip elimination when the positive × negative clause product (the
+/// number of resolvent checks) exceeds this.
+const BVE_PRODUCT_CAP: usize = 4_096;
+
+/// What one [`Solver::simplify`] call did, for `--stats` style output
+/// and the perf-trajectory benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Unassigned, uneliminated variables before the pass.
+    pub vars_before: usize,
+    /// Unassigned, uneliminated variables after the pass.
+    pub vars_after: usize,
+    /// Live clauses before the pass.
+    pub clauses_before: usize,
+    /// Live clauses after the pass.
+    pub clauses_after: usize,
+    /// Total literals over live clauses before the pass.
+    pub literals_before: usize,
+    /// Total literals over live clauses after the pass.
+    pub literals_after: usize,
+    /// Variables removed by bounded variable elimination.
+    pub vars_eliminated: usize,
+    /// Variables removed by equivalent-literal substitution.
+    pub equivs_substituted: usize,
+    /// Clauses deleted because another clause subsumes them.
+    pub clauses_subsumed: usize,
+    /// Literal deletions by self-subsuming resolution.
+    pub clauses_strengthened: usize,
+    /// Net literal reduction (`literals_before - literals_after`).
+    pub literals_removed: usize,
+    /// Wall time of the pass, in microseconds.
+    pub time_us: u64,
+}
+
+impl SimplifyStats {
+    /// Combines statistics of two consecutive passes over the same
+    /// solver: "before" figures come from the earlier run, "after"
+    /// figures from the later one, and the work counters add up.
+    pub fn merged(&self, later: &SimplifyStats) -> SimplifyStats {
+        SimplifyStats {
+            vars_before: self.vars_before,
+            vars_after: later.vars_after,
+            clauses_before: self.clauses_before,
+            clauses_after: later.clauses_after,
+            literals_before: self.literals_before,
+            literals_after: later.literals_after,
+            vars_eliminated: self.vars_eliminated + later.vars_eliminated,
+            equivs_substituted: self.equivs_substituted + later.equivs_substituted,
+            clauses_subsumed: self.clauses_subsumed + later.clauses_subsumed,
+            clauses_strengthened: self.clauses_strengthened + later.clauses_strengthened,
+            literals_removed: self.literals_removed + later.literals_removed,
+            time_us: self.time_us + later.time_us,
+        }
+    }
+}
+
+/// One model-reconstruction record on the elimination stack.
+///
+/// Replayed in reverse order by [`Solver::extend_model`], so a record
+/// may reference variables that were eliminated *later* — their values
+/// are already reconstructed when the record is reached.
+#[derive(Debug, Clone)]
+pub(crate) enum ElimRecord {
+    /// `lit`'s variable was eliminated by clause distribution; `clauses`
+    /// are the saved occurrences of `lit`'s polarity (each contains
+    /// `lit`). The default value makes `lit` false; it flips when a
+    /// saved clause is not otherwise satisfied, which by the resolvent
+    /// argument keeps the opposite polarity's clauses satisfied too.
+    Eliminated { lit: Lit, clauses: Vec<Vec<Lit>> },
+    /// `var` was substituted by an equivalent literal: `var` is true
+    /// exactly when `rep` is.
+    Substituted { var: Var, rep: Lit },
+}
+
+#[inline]
+fn sig_of(lits: &[Lit]) -> u64 {
+    lits.iter().fold(0u64, |s, l| s | 1u64 << (l.index() & 63))
+}
+
+/// `small ⊆ big`, both sorted.
+fn is_subset(small: &[Lit], big: &[Lit]) -> bool {
+    let mut i = 0;
+    for &l in big {
+        if i < small.len() && small[i] == l {
+            i += 1;
+        }
+    }
+    i == small.len()
+}
+
+/// `small \ {skip} ⊆ big`, both sorted.
+fn is_subset_except(small: &[Lit], skip: Lit, big: &[Lit]) -> bool {
+    let mut i = 0;
+    for &l in big {
+        while i < small.len() && small[i] == skip {
+            i += 1;
+        }
+        if i < small.len() && small[i] == l {
+            i += 1;
+        }
+    }
+    while i < small.len() && small[i] == skip {
+        i += 1;
+    }
+    i == small.len()
+}
+
+/// The resolvent of `c` and `d` on `pivot`, or `None` if tautological.
+fn resolvent(c: &[Lit], d: &[Lit], pivot: Var) -> Option<Vec<Lit>> {
+    let mut out: Vec<Lit> = c
+        .iter()
+        .chain(d.iter())
+        .copied()
+        .filter(|l| l.var() != pivot)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    // Complementary literals are adjacent after the sort.
+    if out.windows(2).any(|w| w[0] == !w[1]) {
+        return None;
+    }
+    Some(out)
+}
+
+/// Strongly connected components of `adj` (iterative Tarjan). Nodes are
+/// literal indices; components come out in reverse topological order.
+fn sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSEEN || adj[start as usize].is_empty() {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(&mut (v, pi)) = frames.last_mut() {
+            let vi = v as usize;
+            if pi == 0 {
+                index[vi] = next_index;
+                low[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            if pi < adj[vi].len() {
+                frames.last_mut().expect("frame exists").1 += 1;
+                let w = adj[vi][pi];
+                let wi = w as usize;
+                if index[wi] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p as usize] = low[p as usize].min(low[vi]);
+                }
+                if low[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Solver {
+    /// Runs SatELite-style simplification at the root level and returns
+    /// what it did. See the module docs for the technique inventory and
+    /// the frozen-variable contract.
+    ///
+    /// Idempotent and repeatable: safe to call again after more clauses
+    /// or solve calls (it is an inprocessing step). On an unsatisfiable
+    /// database it returns quickly with the `unsat` flag set for the
+    /// next `solve`.
+    pub fn simplify(&mut self) -> SimplifyStats {
+        let t0 = Instant::now();
+        let mut st = SimplifyStats::default();
+        self.clear_model();
+        let live_counts = |s: &Solver| {
+            let mut clauses = 0;
+            let mut lits = 0;
+            for c in s.clauses.iter().filter(|c| !c.deleted) {
+                clauses += 1;
+                lits += c.lits.len();
+            }
+            (clauses, lits)
+        };
+        let active_vars = |s: &Solver| {
+            (0..s.assigns.len())
+                .filter(|&v| s.assigns[v] == LBool::Undef && !s.eliminated[v])
+                .count()
+        };
+        st.vars_before = active_vars(self);
+        (st.clauses_before, st.literals_before) = live_counts(self);
+        if !self.unsat && self.propagate().is_some() {
+            self.unsat = true;
+        }
+        if !self.unsat {
+            // Root-level reasons are never expanded by conflict analysis
+            // (it only visits variables above level 0), so clearing them
+            // unlocks every clause for deletion and rewriting.
+            for r in &mut self.reason {
+                *r = None;
+            }
+            for ws in &mut self.watches {
+                ws.clear();
+            }
+            Simp::new(self).run(&mut st);
+            // Compact the arena (watches are empty, reasons are None, so
+            // only the clause vector itself needs rewriting) and rebuild
+            // the watcher lists over the surviving clauses.
+            self.collect_garbage();
+            for i in 0..self.clauses.len() {
+                let (l0, l1) = {
+                    let c = &self.clauses[i];
+                    debug_assert!(c.lits.len() >= 2, "live clause shorter than binary");
+                    (c.lits[0], c.lits[1])
+                };
+                self.watches[l0.index()].push(Watcher {
+                    cref: i as ClauseRef,
+                    blocker: l1,
+                });
+                self.watches[l1.index()].push(Watcher {
+                    cref: i as ClauseRef,
+                    blocker: l0,
+                });
+            }
+            self.qhead = self.trail.len();
+        }
+        st.vars_after = active_vars(self);
+        (st.clauses_after, st.literals_after) = live_counts(self);
+        st.literals_removed = st.literals_before.saturating_sub(st.literals_after);
+        st.time_us = t0.elapsed().as_micros() as u64;
+        st
+    }
+
+    /// Extends the search model over eliminated variables by replaying
+    /// the elimination stack in reverse. Called after every `Sat`.
+    pub(crate) fn extend_model(&mut self) {
+        if self.elim_stack.is_empty() {
+            return;
+        }
+        let stack = std::mem::take(&mut self.elim_stack);
+        for rec in stack.iter().rev() {
+            match rec {
+                ElimRecord::Substituted { var, rep } => {
+                    self.ext_model[var.index()] = self.model_lit(*rep);
+                }
+                ElimRecord::Eliminated { lit, clauses } => {
+                    let v = lit.var().index();
+                    // Default: `lit` false. Flip when a saved clause is
+                    // not satisfied without it; the resolvents (kept in
+                    // the database) guarantee the opposite polarity's
+                    // clauses survive the flip.
+                    self.ext_model[v] = LBool::from_bool(!lit.is_positive());
+                    for c in clauses {
+                        let other_sat = c
+                            .iter()
+                            .any(|&q| q.var() != lit.var() && self.model_lit(q) == LBool::True);
+                        if !other_sat {
+                            self.ext_model[v] = LBool::from_bool(lit.is_positive());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.elim_stack = stack;
+    }
+}
+
+/// The working state of one simplification run: occurrence lists and
+/// clause signatures over the solver's arena, plus a pending-unit queue
+/// (the watcher lists are torn down for the duration, so root units are
+/// propagated through the occurrence lists instead).
+struct Simp<'a> {
+    s: &'a mut Solver,
+    /// `occ[l.index()]` ⊇ crefs of live clauses containing `l`; may hold
+    /// stale entries (deleted clauses, removed literals) that
+    /// [`Simp::occs`] filters out on read.
+    occ: Vec<Vec<ClauseRef>>,
+    /// 64-bit membership signature per arena slot (subset prefilter).
+    sig: Vec<u64>,
+    /// Root assignments not yet pushed through the occurrence lists.
+    pending: Vec<Lit>,
+}
+
+impl<'a> Simp<'a> {
+    fn new(s: &'a mut Solver) -> Simp<'a> {
+        let occ = vec![Vec::new(); s.assigns.len() * 2];
+        let sig = vec![0u64; s.clauses.len()];
+        Simp {
+            s,
+            occ,
+            sig,
+            pending: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, st: &mut SimplifyStats) {
+        if !self.cleanup() {
+            return;
+        }
+        if !self.substitution_pass(st) {
+            return;
+        }
+        if !self.subsumption_pass(st) {
+            return;
+        }
+        let _ = self.elimination_pass(st);
+    }
+
+    /// Root-level cleanup and index construction: drop satisfied
+    /// clauses, strip false literals, sort/dedup the rest, and build the
+    /// occurrence lists and signatures.
+    fn cleanup(&mut self) -> bool {
+        for i in 0..self.s.clauses.len() {
+            if self.s.clauses[i].deleted {
+                continue;
+            }
+            let mut lits = std::mem::take(&mut self.s.clauses[i].lits);
+            let satisfied = lits.iter().any(|&l| self.s.lit_value(l) == LBool::True);
+            if satisfied {
+                self.s.clauses[i].lits = lits;
+                self.delete(i as ClauseRef);
+                continue;
+            }
+            lits.retain(|&l| self.s.lit_value(l) == LBool::Undef);
+            lits.sort_unstable();
+            lits.dedup();
+            if lits.windows(2).any(|w| w[0] == !w[1]) {
+                self.s.clauses[i].lits = lits;
+                self.delete(i as ClauseRef);
+                continue;
+            }
+            match lits.len() {
+                0 => {
+                    self.s.clauses[i].lits = lits;
+                    self.delete(i as ClauseRef);
+                    self.s.unsat = true;
+                    return false;
+                }
+                1 => {
+                    let u = lits[0];
+                    self.s.clauses[i].lits = lits;
+                    self.delete(i as ClauseRef);
+                    if !self.assign(u) {
+                        self.s.unsat = true;
+                        return false;
+                    }
+                }
+                _ => {
+                    self.sig[i] = sig_of(&lits);
+                    for &l in &lits {
+                        self.occ[l.index()].push(i as ClauseRef);
+                    }
+                    self.s.clauses[i].lits = lits;
+                }
+            }
+        }
+        self.propagate_units()
+    }
+
+    /// Records a root-level assignment. Returns `false` on conflict.
+    fn assign(&mut self, l: Lit) -> bool {
+        match self.s.lit_value(l) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = l.var().index();
+                self.s.assigns[v] = LBool::from_bool(l.is_positive());
+                self.s.level[v] = 0;
+                self.s.reason[v] = None;
+                self.s.trail.push(l);
+                self.pending.push(l);
+                true
+            }
+        }
+    }
+
+    fn delete(&mut self, cref: ClauseRef) {
+        let c = &mut self.s.clauses[cref as usize];
+        if c.deleted {
+            return;
+        }
+        c.deleted = true;
+        if c.learnt {
+            self.s.n_learnt -= 1;
+        }
+        self.s.n_deleted += 1;
+    }
+
+    /// The validated occurrence list of `l`: live clauses containing it.
+    fn occs(&mut self, l: Lit) -> Vec<ClauseRef> {
+        let list = std::mem::take(&mut self.occ[l.index()]);
+        let valid: Vec<ClauseRef> = list
+            .into_iter()
+            .filter(|&c| {
+                let cl = &self.s.clauses[c as usize];
+                !cl.deleted && cl.lits.contains(&l)
+            })
+            .collect();
+        self.occ[l.index()] = valid.clone();
+        valid
+    }
+
+    /// Drains the pending-unit queue through the occurrence lists:
+    /// satisfied clauses die, falsified literals are stripped, new units
+    /// cascade. Returns `false` on conflict.
+    fn propagate_units(&mut self) -> bool {
+        while let Some(l) = self.pending.pop() {
+            for cref in self.occs(l) {
+                self.delete(cref);
+            }
+            for cref in self.occs(!l) {
+                let c = &mut self.s.clauses[cref as usize];
+                c.lits.retain(|&q| q != !l);
+                self.sig[cref as usize] = sig_of(&c.lits);
+                match c.lits.len() {
+                    0 => {
+                        self.delete(cref);
+                        self.s.unsat = true;
+                        return false;
+                    }
+                    1 => {
+                        let u = self.s.clauses[cref as usize].lits[0];
+                        self.delete(cref);
+                        if !self.assign(u) {
+                            self.s.unsat = true;
+                            return false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// Adds a clause produced by the simplifier (resolvents), respecting
+    /// the current root assignment. Returns `false` on conflict.
+    fn add_simplified(&mut self, mut lits: Vec<Lit>) -> bool {
+        if lits.iter().any(|&l| self.s.lit_value(l) == LBool::True) {
+            return true;
+        }
+        lits.retain(|&l| self.s.lit_value(l) == LBool::Undef);
+        lits.sort_unstable();
+        lits.dedup();
+        match lits.len() {
+            0 => {
+                self.s.unsat = true;
+                false
+            }
+            1 => {
+                if self.assign(lits[0]) {
+                    true
+                } else {
+                    self.s.unsat = true;
+                    false
+                }
+            }
+            _ => {
+                let cref = self.s.clauses.len() as ClauseRef;
+                self.sig.push(sig_of(&lits));
+                for &l in &lits {
+                    self.occ[l.index()].push(cref);
+                }
+                self.s.clauses.push(Clause {
+                    lits,
+                    learnt: false,
+                    activity: 0.0,
+                    deleted: false,
+                    glue: 0,
+                });
+                true
+            }
+        }
+    }
+
+    /// Equivalent-literal substitution from the SCCs of the binary
+    /// implication graph. Returns `false` on (dis)proof of unsat.
+    fn substitution_pass(&mut self, st: &mut SimplifyStats) -> bool {
+        let nlits = self.s.assigns.len() * 2;
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nlits];
+        let mut has_edges = false;
+        for c in self.s.clauses.iter().filter(|c| !c.deleted) {
+            if c.lits.len() != 2 {
+                continue;
+            }
+            let (a, b) = (c.lits[0], c.lits[1]);
+            adj[(!a).index()].push(b.index() as u32);
+            adj[(!b).index()].push(a.index() as u32);
+            has_edges = true;
+        }
+        if !has_edges {
+            return true;
+        }
+        for comp in sccs(&adj) {
+            if comp.len() < 2 {
+                continue;
+            }
+            let lits: Vec<Lit> = comp.iter().map(|&i| Lit::from_index(i as usize)).collect();
+            // A literal and its negation in one component: x ≡ ¬x.
+            let mut vars: Vec<Var> = lits.iter().map(|l| l.var()).collect();
+            vars.sort_unstable();
+            if vars.windows(2).any(|w| w[0] == w[1]) {
+                self.s.unsat = true;
+                return false;
+            }
+            // Canonical representative: a frozen variable when the
+            // component has one (frozen variables cannot be rewritten),
+            // else the lowest-numbered variable. Choosing by *variable*
+            // makes the complement component (same variable set, negated
+            // literals) pick the complementary representative, so both
+            // passes agree on the mapping.
+            let rep_var = vars
+                .iter()
+                .copied()
+                .filter(|&v| self.s.frozen[v.index()])
+                .min()
+                .unwrap_or_else(|| vars.iter().copied().min().expect("non-empty component"));
+            let rep_lit = *lits
+                .iter()
+                .find(|l| l.var() == rep_var)
+                .expect("representative is in its component");
+            for &l in &lits {
+                let x = l.var();
+                if x == rep_var
+                    || self.s.frozen[x.index()]
+                    || self.s.eliminated[x.index()]
+                    || self.s.assigns[x.index()] != LBool::Undef
+                {
+                    continue;
+                }
+                // l ≡ rep_lit, so x ≡ rep_lit with l's polarity folded in.
+                let mapped = if l.is_positive() { rep_lit } else { !rep_lit };
+                if !self.substitute(x, mapped, st) {
+                    return false;
+                }
+            }
+        }
+        self.propagate_units()
+    }
+
+    /// Rewrites every occurrence of `x` to the equivalent literal `rep`
+    /// and records the mapping. Returns `false` on conflict.
+    fn substitute(&mut self, x: Var, rep: Lit, st: &mut SimplifyStats) -> bool {
+        self.s.eliminated[x.index()] = true;
+        self.s
+            .elim_stack
+            .push(ElimRecord::Substituted { var: x, rep });
+        st.equivs_substituted += 1;
+        for old in [x.pos(), x.neg()] {
+            let new = if old.is_positive() { rep } else { !rep };
+            for cref in self.occs(old) {
+                let had_new = self.s.clauses[cref as usize].lits.contains(&new);
+                let c = &mut self.s.clauses[cref as usize];
+                for l in &mut c.lits {
+                    if *l == old {
+                        *l = new;
+                    }
+                }
+                c.lits.sort_unstable();
+                c.lits.dedup();
+                if c.lits.windows(2).any(|w| w[0] == !w[1]) {
+                    self.delete(cref);
+                    continue;
+                }
+                if c.lits.len() == 1 {
+                    let u = self.s.clauses[cref as usize].lits[0];
+                    self.delete(cref);
+                    if !self.assign(u) {
+                        self.s.unsat = true;
+                        return false;
+                    }
+                    continue;
+                }
+                self.sig[cref as usize] = sig_of(&self.s.clauses[cref as usize].lits);
+                if !had_new {
+                    self.occ[new.index()].push(cref);
+                }
+            }
+        }
+        true
+    }
+
+    /// Backward subsumption and self-subsuming resolution over a work
+    /// queue seeded with every live clause. Returns `false` on conflict.
+    fn subsumption_pass(&mut self, st: &mut SimplifyStats) -> bool {
+        let mut queue: std::collections::VecDeque<ClauseRef> = (0..self.s.clauses.len())
+            .filter(|&i| !self.s.clauses[i].deleted)
+            .map(|i| i as ClauseRef)
+            .collect();
+        while let Some(cref) = queue.pop_front() {
+            if !self.pending.is_empty() && !self.propagate_units() {
+                return false;
+            }
+            if self.s.clauses[cref as usize].deleted {
+                continue;
+            }
+            let lits = self.s.clauses[cref as usize].lits.clone();
+            let sig = self.sig[cref as usize];
+            // Backward subsumption: any superset of this clause dies.
+            // Every superset contains this clause's rarest literal.
+            let best = lits
+                .iter()
+                .copied()
+                .min_by_key(|l| self.occ[l.index()].len())
+                .expect("live clauses are non-empty");
+            if self.occ[best.index()].len() <= SUB_OCC_CAP {
+                for d in self.occs(best) {
+                    if d == cref || self.s.clauses[d as usize].deleted {
+                        continue;
+                    }
+                    let dc = &self.s.clauses[d as usize];
+                    if dc.lits.len() < lits.len()
+                        || sig & !self.sig[d as usize] != 0
+                        || !is_subset(&lits, &dc.lits)
+                    {
+                        continue;
+                    }
+                    // A learnt clause subsuming a problem clause must be
+                    // promoted, or a later database reduction could drop
+                    // the only remaining form of the constraint.
+                    if self.s.clauses[cref as usize].learnt && !self.s.clauses[d as usize].learnt {
+                        self.s.clauses[cref as usize].learnt = false;
+                        self.s.n_learnt -= 1;
+                    }
+                    self.delete(d);
+                    st.clauses_subsumed += 1;
+                }
+            }
+            // Self-subsuming resolution: if this clause minus `l` sits
+            // inside a clause containing `¬l`, that clause sheds `¬l`.
+            for &l in &lits {
+                if self.s.clauses[cref as usize].deleted {
+                    break;
+                }
+                if self.occ[(!l).index()].len() > SUB_OCC_CAP {
+                    continue;
+                }
+                let base = sig & !(1u64 << (l.index() & 63));
+                for d in self.occs(!l) {
+                    if self.s.clauses[d as usize].deleted {
+                        continue;
+                    }
+                    let dc = &self.s.clauses[d as usize];
+                    if dc.lits.len() + 1 < lits.len()
+                        || base & !self.sig[d as usize] != 0
+                        || !is_subset_except(&lits, l, &dc.lits)
+                    {
+                        continue;
+                    }
+                    let c = &mut self.s.clauses[d as usize];
+                    c.lits.retain(|&q| q != !l);
+                    self.sig[d as usize] = sig_of(&c.lits);
+                    st.clauses_strengthened += 1;
+                    if c.lits.len() == 1 {
+                        let u = self.s.clauses[d as usize].lits[0];
+                        self.delete(d);
+                        if !self.assign(u) {
+                            self.s.unsat = true;
+                            return false;
+                        }
+                    } else {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        self.propagate_units()
+    }
+
+    /// Bounded variable elimination by clause distribution, cheapest
+    /// variables first. Returns `false` on conflict.
+    fn elimination_pass(&mut self, st: &mut SimplifyStats) -> bool {
+        let nv = self.s.assigns.len();
+        let mut order: Vec<(usize, u32)> = (0..nv as u32)
+            .filter(|&v| {
+                let vi = v as usize;
+                !self.s.frozen[vi] && !self.s.eliminated[vi] && self.s.assigns[vi] == LBool::Undef
+            })
+            .map(|v| {
+                let vi = v as usize;
+                (self.occ[vi * 2].len() + self.occ[vi * 2 + 1].len(), v)
+            })
+            .collect();
+        order.sort_unstable();
+        for (_, v) in order {
+            let var = Var(v);
+            let vi = v as usize;
+            if self.s.assigns[vi] != LBool::Undef || self.s.eliminated[vi] {
+                continue;
+            }
+            let pos_all = self.occs(var.pos());
+            let neg_all = self.occs(var.neg());
+            let split = |s: &Solver, list: &[ClauseRef]| -> (Vec<ClauseRef>, Vec<ClauseRef>) {
+                list.iter()
+                    .copied()
+                    .partition(|&c| !s.clauses[c as usize].learnt)
+            };
+            let (pos, pos_learnt) = split(self.s, &pos_all);
+            let (neg, neg_learnt) = split(self.s, &neg_all);
+            if pos.len() + neg.len() > BVE_OCC_CAP || pos.len() * neg.len() > BVE_PRODUCT_CAP {
+                continue;
+            }
+            let budget = pos.len() + neg.len();
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut too_many = false;
+            'count: for &pc in &pos {
+                for &nc in &neg {
+                    if let Some(r) = resolvent(
+                        &self.s.clauses[pc as usize].lits,
+                        &self.s.clauses[nc as usize].lits,
+                        var,
+                    ) {
+                        resolvents.push(r);
+                        if resolvents.len() > budget {
+                            too_many = true;
+                            break 'count;
+                        }
+                    }
+                }
+            }
+            if too_many {
+                continue;
+            }
+            // Commit: save the smaller polarity side for model
+            // reconstruction, delete every clause of the variable
+            // (learnt ones are implied — plain deletion is sound), add
+            // the resolvents.
+            let (save_lit, save_side) = if pos.len() <= neg.len() {
+                (var.pos(), &pos)
+            } else {
+                (var.neg(), &neg)
+            };
+            let saved: Vec<Vec<Lit>> = save_side
+                .iter()
+                .map(|&c| self.s.clauses[c as usize].lits.clone())
+                .collect();
+            self.s.elim_stack.push(ElimRecord::Eliminated {
+                lit: save_lit,
+                clauses: saved,
+            });
+            self.s.eliminated[vi] = true;
+            st.vars_eliminated += 1;
+            for &c in pos.iter().chain(&neg).chain(&pos_learnt).chain(&neg_learnt) {
+                self.delete(c);
+            }
+            for r in resolvents {
+                if !self.add_simplified(r) {
+                    return false;
+                }
+            }
+            if !self.propagate_units() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_lit()).collect()
+    }
+
+    #[test]
+    fn subsumed_clauses_are_removed() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        for &l in &v {
+            s.freeze(l.var());
+        }
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[1], v[2]]);
+        let st = s.simplify();
+        assert_eq!(st.clauses_subsumed, 1);
+        assert_eq!(s.num_clauses(), 1);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (¬a ∨ b ∨ c): resolving on a gives (b ∨ c)… but the
+        // first clause self-subsumes the second into (b ∨ c)? No — it
+        // strengthens (¬a ∨ b ∨ c) by dropping ¬a only if (a∨b)∖{a} ⊆
+        // {¬a,b,c}∖{¬a}, i.e. {b} ⊆ {b,c}: yes.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        for &l in &v {
+            s.freeze(l.var());
+        }
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[1], v[2]]);
+        let st = s.simplify();
+        assert!(st.clauses_strengthened >= 1, "{st:?}");
+        // The strengthened clause (b ∨ c)… is then subsumed? (a∨b) is not
+        // a subset of (b∨c); both remain.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn equivalent_literals_are_substituted() {
+        // a ≡ b (frozen a), plus (b ∨ c): b is rewritten to a.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.freeze(v[0].var());
+        s.freeze(v[2].var());
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([v[1], v[2]]);
+        let st = s.simplify();
+        assert_eq!(st.equivs_substituted, 1);
+        assert!(s.is_eliminated(v[1].var()));
+        assert!(s.solve().is_sat());
+        // The reconstructed model keeps the equivalence observable.
+        assert_eq!(s.value(v[1]), s.value(v[0]));
+    }
+
+    #[test]
+    fn contradictory_equivalence_cycle_is_unsat() {
+        // All four binaries over (a, b): a ≡ b and a ≡ ¬b at once.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([!v[0], !v[1]]);
+        s.simplify();
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn gate_output_is_eliminated_and_reconstructed() {
+        // g ≡ x ∧ y (three clauses) plus a use (g ∨ z); freeze x, y, z.
+        // g is resolved away, yet value(g) must equal x ∧ y afterwards —
+        // the original clauses force exactly that.
+        for force in [false, true] {
+            let mut s = Solver::new();
+            let v = lits(&mut s, 4);
+            let (g, x, y, z) = (v[0], v[1], v[2], v[3]);
+            for l in [x, y, z] {
+                s.freeze(l.var());
+            }
+            s.add_clause([!g, x]);
+            s.add_clause([!g, y]);
+            s.add_clause([g, !x, !y]);
+            s.add_clause([g, z]);
+            if force {
+                s.add_clause([x]);
+                s.add_clause([y]);
+            }
+            let st = s.simplify();
+            // With the forcing units, propagation decides g before the
+            // simplifier sees it; otherwise BVE must resolve it away.
+            if force {
+                assert_eq!(st.clauses_after, 0, "all clauses satisfied: {st:?}");
+            } else {
+                assert!(
+                    st.vars_eliminated + st.equivs_substituted >= 1,
+                    "g should be gone: {st:?}"
+                );
+                assert!(s.is_eliminated(g.var()));
+            }
+            assert!(s.solve().is_sat());
+            let gx = s.value_or_false(x) && s.value_or_false(y);
+            assert_eq!(s.value_or_false(g), gx, "g must track x ∧ y");
+            if !s.value_or_false(g) {
+                assert!(s.value_or_false(z), "(g ∨ z) must hold");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_literal_elimination_falls_out_of_bve() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.freeze(v[1].var());
+        s.freeze(v[2].var());
+        // v0 occurs only positively: zero resolvents, eliminated.
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[2]]);
+        let st = s.simplify();
+        assert_eq!(st.vars_eliminated, 1);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve().is_sat());
+        // Extension satisfies the original clauses.
+        assert!(s.value_or_false(v[0]) || s.value_or_false(v[1]));
+        assert!(s.value_or_false(v[0]) || s.value_or_false(v[2]));
+    }
+
+    #[test]
+    fn frozen_variables_are_never_touched() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        for &l in &v {
+            s.freeze(l.var());
+        }
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([v[2], v[3]]);
+        let st = s.simplify();
+        assert_eq!(st.vars_eliminated, 0);
+        assert_eq!(st.equivs_substituted, 0);
+        for &l in &v {
+            assert!(!s.is_eliminated(l.var()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eliminated")]
+    fn mentioning_an_eliminated_variable_panics() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.freeze(v[1].var());
+        s.freeze(v[2].var());
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[2]]);
+        let st = s.simplify();
+        assert_eq!(st.vars_eliminated, 1, "precondition");
+        s.add_clause([v[0]]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // hole/pigeon index pairs read better as ranges
+    fn unsat_instances_stay_unsat() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3).map(|_| lits(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        s.simplify();
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_over_frozen_vars_work_after_simplify() {
+        // The SolverSession pattern: activation literal guards a clause
+        // group; the activation literal is frozen, the guarded internals
+        // are not.
+        let mut s = Solver::new();
+        let act = s.new_lit();
+        let v = lits(&mut s, 3);
+        s.freeze(act.var());
+        s.freeze(v[2].var());
+        s.add_clause([!act, v[0]]);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        s.simplify();
+        assert!(s.solve_with_assumptions(&[act]).is_sat());
+        assert_eq!(s.value(v[2]), Some(true));
+        assert!(s.solve_with_assumptions(&[!act]).is_sat());
+    }
+
+    #[test]
+    fn simplify_is_repeatable() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.freeze(v[0].var());
+        s.freeze(v[3].var());
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        s.add_clause([!v[2], v[3]]);
+        s.simplify();
+        let st2 = s.simplify();
+        assert_eq!(st2.vars_eliminated, 0, "second pass finds nothing new");
+        assert!(s.solve_with_assumptions(&[v[0]]).is_sat());
+        assert_eq!(s.value(v[3]), Some(true));
+    }
+
+    #[test]
+    fn differential_against_plain_solver_on_random_cnf() {
+        // Deterministic xorshift instances: simplify + solve must agree
+        // with plain solve, and the extended model must satisfy every
+        // original clause.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..60 {
+            let nvars = 8 + (round % 7);
+            let nclauses = 3 * nvars + (round % 11);
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nclauses {
+                let len = 1 + (next() as usize) % 3;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let v = Var((next() % nvars as u64) as u32);
+                    c.push(if next() % 2 == 0 { v.pos() } else { v.neg() });
+                }
+                clauses.push(c);
+            }
+            let mut plain = Solver::new();
+            let mut simp = Solver::new();
+            for s in [&mut plain, &mut simp] {
+                for _ in 0..nvars {
+                    s.new_lit();
+                }
+            }
+            // Freeze a pseudo-random subset in the simplifying solver.
+            for v in 0..nvars {
+                if next() % 3 == 0 {
+                    simp.freeze(Var(v as u32));
+                }
+            }
+            for c in &clauses {
+                plain.add_clause(c.clone());
+                simp.add_clause(c.clone());
+            }
+            simp.simplify();
+            let (a, b) = (plain.solve(), simp.solve());
+            assert_eq!(a.is_sat(), b.is_sat(), "round {round}: verdict flip");
+            assert_eq!(a.is_unsat(), b.is_unsat(), "round {round}: verdict flip");
+            if b.is_sat() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| simp.value_or_false(l)),
+                        "round {round}: extended model misses clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -60,24 +60,47 @@ pub struct Stats {
     pub propagations: u64,
     /// Total restarts performed.
     pub restarts: u64,
+    /// Largest LBD (glue) of any clause learnt so far.
+    pub max_glue: u32,
+    /// Sum of the LBDs of all learnt clauses (for [`Stats::avg_glue`]).
+    pub glue_sum: u64,
+    /// Number of clauses that contributed to [`Stats::glue_sum`].
+    pub glued: u64,
+}
+
+impl Stats {
+    /// Mean LBD (glue) over every clause learnt so far; zero before the
+    /// first conflict.
+    pub fn avg_glue(&self) -> f64 {
+        if self.glued == 0 {
+            0.0
+        } else {
+            self.glue_sum as f64 / self.glued as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f32,
-    deleted: bool,
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) activity: f32,
+    pub(crate) deleted: bool,
+    /// Literal-block distance at learn time (0 for problem clauses):
+    /// the number of distinct decision levels in the clause. Low-glue
+    /// clauses connect few search levels and are empirically the ones
+    /// worth keeping forever (Audemard & Simon, IJCAI 2009).
+    pub(crate) glue: u32,
 }
 
-type ClauseRef = u32;
+pub(crate) type ClauseRef = u32;
 
 #[derive(Debug, Clone, Copy)]
-struct Watcher {
-    cref: ClauseRef,
+pub(crate) struct Watcher {
+    pub(crate) cref: ClauseRef,
     /// Cached "other" watched literal: if it is already true the clause is
     /// satisfied and we can skip touching the clause memory.
-    blocker: Lit,
+    pub(crate) blocker: Lit,
 }
 
 /// A MiniSat-style CDCL SAT solver.
@@ -89,20 +112,20 @@ struct Watcher {
 /// this to check safety and liveness over one program encoding).
 #[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>,
-    assigns: Vec<LBool>,
+    pub(crate) clauses: Vec<Clause>,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assigns: Vec<LBool>,
     polarity: Vec<bool>,
     activity: Vec<f64>,
-    reason: Vec<Option<ClauseRef>>,
-    level: Vec<u32>,
-    trail: Vec<Lit>,
+    pub(crate) reason: Vec<Option<ClauseRef>>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) trail: Vec<Lit>,
     trail_lim: Vec<usize>,
-    qhead: usize,
+    pub(crate) qhead: usize,
     order: VarHeap,
     var_inc: f64,
     /// Set once the clause database is known to be unsatisfiable.
-    unsat: bool,
+    pub(crate) unsat: bool,
     seen: Vec<bool>,
     stats: Stats,
     /// Conflict budget per solve call; `None` means unlimited.
@@ -112,9 +135,25 @@ pub struct Solver {
     /// Clause-activity increment (for learnt-clause deletion).
     cla_inc: f32,
     /// Number of live learnt clauses.
-    n_learnt: usize,
+    pub(crate) n_learnt: usize,
     /// Learnt-clause cap before a database reduction.
     max_learnt: usize,
+    /// Number of tombstoned (deleted, not yet compacted) arena slots;
+    /// the garbage-collection trigger.
+    pub(crate) n_deleted: usize,
+    /// Variables exempt from elimination/substitution by
+    /// [`Solver::simplify`] — the frozen-variable contract. Anything a
+    /// caller will read back from a model, assume, or mention in a
+    /// later clause must be frozen before simplifying.
+    pub(crate) frozen: Vec<bool>,
+    /// Variables removed from the search by the simplifier. Their model
+    /// values come from [`Solver::value`] via the elimination stack.
+    pub(crate) eliminated: Vec<bool>,
+    /// Reconstruction records, in elimination order; replayed in reverse
+    /// after every `Sat` answer to extend the model over eliminated vars.
+    pub(crate) elim_stack: Vec<crate::simplify::ElimRecord>,
+    /// Extended model values for eliminated variables.
+    pub(crate) ext_model: Vec<LBool>,
 }
 
 impl Solver {
@@ -141,6 +180,11 @@ impl Solver {
             cla_inc: 1.0,
             n_learnt: 0,
             max_learnt: 8_192,
+            n_deleted: 0,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            ext_model: Vec::new(),
         }
     }
 
@@ -193,11 +237,38 @@ impl Solver {
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.ext_model.push(LBool::Undef);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow_to(self.assigns.len());
         self.order.push(v, &self.activity);
         v
+    }
+
+    /// Exempts a variable from elimination and substitution by
+    /// [`Solver::simplify`].
+    ///
+    /// This is the frozen-variable contract: any variable whose model
+    /// value will be read back, that will appear in a future clause or
+    /// assumption, or that a later query can otherwise touch, must be
+    /// frozen *before* the simplifier runs. Unfrozen variables may be
+    /// resolved away; mentioning one afterwards is a caller bug and
+    /// panics in [`Solver::add_clause`] / assumption handling.
+    pub fn freeze(&mut self, v: Var) {
+        self.frozen[v.index()] = true;
+    }
+
+    /// Whether [`Solver::freeze`] was called for this variable.
+    pub fn is_frozen(&self, v: Var) -> bool {
+        self.frozen[v.index()]
+    }
+
+    /// Whether the simplifier removed this variable from the search.
+    /// Its model value is still available through [`Solver::value`].
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index()]
     }
 
     /// Creates a fresh variable and returns its positive literal.
@@ -231,6 +302,10 @@ impl Solver {
             return false;
         }
         let mut ls: Vec<Lit> = lits.into_iter().collect();
+        assert!(
+            ls.iter().all(|l| !self.eliminated[l.var().index()]),
+            "clause mentions an eliminated variable — freeze() it before simplify()"
+        );
         ls.sort_unstable();
         ls.dedup();
         // Remove false literals, drop satisfied/tautological clauses.
@@ -260,13 +335,13 @@ impl Solver {
                 !self.unsat
             }
             _ => {
-                self.attach_clause(ls, false);
+                self.attach_clause(ls, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, glue: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as ClauseRef;
         let w0 = Watcher {
@@ -287,6 +362,7 @@ impl Solver {
             learnt,
             activity: if learnt { self.cla_inc } else { 0.0 },
             deleted: false,
+            glue,
         });
         cref
     }
@@ -306,12 +382,13 @@ impl Solver {
     }
 
     /// Deletes the less-active half of the learnt clauses (keeping
-    /// binary clauses and clauses currently used as reasons).
+    /// binary clauses, glue ≤ 2 clauses, and clauses currently used as
+    /// reasons), then compacts the arena once half of it is tombstones.
     fn reduce_db(&mut self) {
         let mut acts: Vec<f32> = self
             .clauses
             .iter()
-            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
+            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2 && c.glue > 2)
             .map(|c| c.activity)
             .collect();
         if acts.len() < 2 {
@@ -325,27 +402,93 @@ impl Solver {
             if c.learnt
                 && !c.deleted
                 && c.lits.len() > 2
+                && c.glue > 2
                 && c.activity < median
                 && !locked.contains(&(i as ClauseRef))
             {
                 c.deleted = true;
                 self.n_learnt -= 1;
+                self.n_deleted += 1;
             }
         }
         self.max_learnt += self.max_learnt / 10;
+        if self.n_deleted * 2 >= self.clauses.len() {
+            self.collect_garbage();
+        }
+    }
+
+    /// Compacts the clause arena: drops tombstoned clauses and remaps
+    /// every [`ClauseRef`] held by watcher lists and `reason[]`.
+    ///
+    /// Sound mid-search because reason clauses are never tombstoned
+    /// (`reduce_db` skips locked clauses; the simplifier clears root
+    /// reasons before deleting anything).
+    pub(crate) fn collect_garbage(&mut self) {
+        let mut map: Vec<ClauseRef> = vec![ClauseRef::MAX; self.clauses.len()];
+        let mut next: ClauseRef = 0;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        self.clauses.retain(|c| !c.deleted);
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                let m = map[w.cref as usize];
+                w.cref = m;
+                m != ClauseRef::MAX
+            });
+        }
+        for cr in self.reason.iter_mut().flatten() {
+            debug_assert_ne!(map[*cr as usize], ClauseRef::MAX, "reason clause deleted");
+            *cr = map[*cr as usize];
+        }
+        self.n_deleted = 0;
+    }
+
+    /// Arena occupancy: `(total slots, tombstoned slots)`. Test hook for
+    /// the garbage-collection bound; not part of the public API.
+    #[doc(hidden)]
+    pub fn arena_stats(&self) -> (usize, usize) {
+        (
+            self.clauses.len(),
+            self.clauses.iter().filter(|c| c.deleted).count(),
+        )
+    }
+
+    /// Overrides the learnt-clause cap that triggers database
+    /// reduction. Test hook; not part of the public API.
+    #[doc(hidden)]
+    pub fn set_max_learnt(&mut self, cap: usize) {
+        self.max_learnt = cap;
     }
 
     #[inline]
-    fn lit_value(&self, l: Lit) -> LBool {
+    pub(crate) fn lit_value(&self, l: Lit) -> LBool {
         self.assigns[l.var().index()].under(l.is_positive())
+    }
+
+    /// Model value of a literal, consulting the extended model for
+    /// variables the simplifier eliminated.
+    #[inline]
+    pub(crate) fn model_lit(&self, l: Lit) -> LBool {
+        let v = l.var().index();
+        if self.eliminated[v] {
+            self.ext_model[v].under(l.is_positive())
+        } else {
+            self.assigns[v].under(l.is_positive())
+        }
     }
 
     /// Value of a literal in the last satisfying model (after a `Sat` result).
     ///
     /// Returns `None` for variables the search never assigned (they are
-    /// unconstrained and may take either value).
+    /// unconstrained and may take either value). Variables eliminated by
+    /// [`Solver::simplify`] answer from the reconstructed model, so
+    /// callers cannot tell whether a variable was eliminated.
     pub fn value(&self, l: Lit) -> Option<bool> {
-        match self.lit_value(l) {
+        match self.model_lit(l) {
             LBool::True => Some(true),
             LBool::False => Some(false),
             LBool::Undef => None,
@@ -373,7 +516,7 @@ impl Solver {
     }
 
     /// Unit propagation. Returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
@@ -548,6 +691,15 @@ impl Solver {
         (learnt, bt_level)
     }
 
+    /// Literal-block distance of a learnt clause: the number of distinct
+    /// decision levels among its literals (computed before backtracking).
+    fn compute_glue(&self, learnt: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
     fn backtrack_to(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
@@ -570,7 +722,7 @@ impl Solver {
 
     fn pick_branch(&mut self) -> Option<Lit> {
         while let Some(v) = self.order.pop(&self.activity) {
-            if self.assigns[v.index()] == LBool::Undef {
+            if self.assigns[v.index()] == LBool::Undef && !self.eliminated[v.index()] {
                 return Some(Lit::new(v, self.polarity[v.index()]));
             }
         }
@@ -597,6 +749,12 @@ impl Solver {
     /// and the next call behaves as if the interrupted one never ran
     /// (modulo kept learnt clauses, which are implied by the database).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        assert!(
+            assumptions
+                .iter()
+                .all(|l| !self.eliminated[l.var().index()]),
+            "assumption mentions an eliminated variable — freeze() it before simplify()"
+        );
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -633,6 +791,10 @@ impl Solver {
                 // If the conflict is at or below the assumption levels we
                 // must check whether it depends only on assumptions.
                 let (learnt, bt) = self.analyze(confl);
+                let glue = self.compute_glue(&learnt);
+                self.stats.max_glue = self.stats.max_glue.max(glue);
+                self.stats.glue_sum += u64::from(glue);
+                self.stats.glued += 1;
                 // Do not backtrack past the assumptions; if the learnt clause
                 // asserts below assumption depth, re-propagation decides.
                 self.backtrack_to(bt);
@@ -651,7 +813,7 @@ impl Solver {
                     }
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_clause(learnt, true);
+                    let cref = self.attach_clause(learnt, true, glue);
                     if self.lit_value(asserting) == LBool::Undef {
                         self.unchecked_enqueue(asserting, Some(cref));
                     } else if self.lit_value(asserting) == LBool::False {
@@ -723,7 +885,11 @@ impl Solver {
             self.backtrack_to(0);
         }
         // On SAT we leave the assignment in place so `value` works; the next
-        // solve call must start from level 0 though.
+        // solve call must start from level 0 though. Eliminated variables
+        // get their values reconstructed from the elimination stack.
+        if result.is_sat() {
+            self.extend_model();
+        }
         result
     }
 
@@ -797,6 +963,7 @@ mod tests {
             learnt: true,
             activity: 0.0,
             deleted: false,
+            glue: 0,
         });
         assert_eq!(s.stats().learnt, 1);
         s.clauses.last_mut().unwrap().deleted = true;
@@ -1083,6 +1250,46 @@ mod tests {
         // Assumption-level queries are still well-defined afterwards.
         assert!(s.solve_with_assumptions(&[!extra]).is_unsat());
         assert!(s.solve_with_assumptions(&[extra]).is_unsat());
+    }
+
+    #[test]
+    fn long_run_keeps_clause_arena_bounded() {
+        // Regression: reduce_db used to only tombstone clauses, so an
+        // adversarial run grew `self.clauses` without bound. With arena
+        // garbage collection the tombstone share must stay below the 50%
+        // trigger, and the arena must stay within a small factor of the
+        // live clause count.
+        let mut s = hard_unsat_instance();
+        // A tiny learnt cap forces many reduce_db cycles within the run.
+        s.set_max_learnt(64);
+        assert!(s.solve().is_unsat());
+        let (len, dead) = s.arena_stats();
+        assert!(
+            dead * 2 < len.max(1),
+            "arena is majority-tombstones after a long run: {dead}/{len}"
+        );
+        let st = s.stats();
+        let live = st.clauses + st.learnt;
+        assert!(
+            len <= 2 * live + 2,
+            "arena length {len} not bounded by live clauses {live}"
+        );
+        assert!(
+            st.conflicts > 200,
+            "instance too easy to exercise reduce_db ({} conflicts)",
+            st.conflicts
+        );
+    }
+
+    #[test]
+    fn glue_statistics_are_recorded() {
+        let mut s = hard_unsat_instance();
+        assert!(s.solve().is_unsat());
+        let st = s.stats();
+        assert!(st.glued > 0, "conflicts must record glue");
+        assert!(st.max_glue >= 1);
+        assert!(st.avg_glue() >= 1.0);
+        assert!(st.avg_glue() <= f64::from(st.max_glue));
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub struct VerifyRequest {
     pub timeout_ms: Option<u64>,
     /// SAT conflict budget per query.
     pub budget: Option<u64>,
+    /// Whether to run CNF simplification on the encoding (default
+    /// `true`; a `"simplify": false` field disables it).
+    pub simplify: bool,
 }
 
 /// Parses one request line.
@@ -110,6 +113,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 bound,
                 timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
                 budget: v.get("budget").and_then(Json::as_u64),
+                simplify: v.get("simplify").and_then(Json::as_bool).unwrap_or(true),
             })
         }
         other => return Err(format!("unknown verb `{other}`")),
@@ -185,6 +189,46 @@ pub fn verify_response(id: Option<u64>, test_name: &str, o: &FullOutcome, wall_u
                 ("conflicts".into(), Json::count(conflicts)),
                 ("propagations".into(), Json::count(propagations)),
             ]),
+        ),
+        (
+            "simplify".into(),
+            match &o.simplify {
+                None => Json::Null,
+                Some(sp) => Json::Obj(vec![
+                    ("vars_before".into(), Json::count(sp.vars_before as u64)),
+                    ("vars_after".into(), Json::count(sp.vars_after as u64)),
+                    (
+                        "clauses_before".into(),
+                        Json::count(sp.clauses_before as u64),
+                    ),
+                    ("clauses_after".into(), Json::count(sp.clauses_after as u64)),
+                    (
+                        "literals_before".into(),
+                        Json::count(sp.literals_before as u64),
+                    ),
+                    (
+                        "literals_after".into(),
+                        Json::count(sp.literals_after as u64),
+                    ),
+                    (
+                        "vars_eliminated".into(),
+                        Json::count(sp.vars_eliminated as u64),
+                    ),
+                    (
+                        "equivs_substituted".into(),
+                        Json::count(sp.equivs_substituted as u64),
+                    ),
+                    (
+                        "clauses_subsumed".into(),
+                        Json::count(sp.clauses_subsumed as u64),
+                    ),
+                    (
+                        "clauses_strengthened".into(),
+                        Json::count(sp.clauses_strengthened as u64),
+                    ),
+                    ("time_us".into(), Json::count(sp.time_us)),
+                ]),
+            },
         ),
         ("time_us".into(), Json::count(wall_us)),
     ])

@@ -1,0 +1,147 @@
+//! Differential conformance suite for CNF simplification
+//! (`Verifier::with_simplify`): for every catalog test, under every
+//! applicable model and under bounds 1 and 2, the three verdicts with
+//! SatELite-style simplification ON (the default) must be identical to
+//! the verdicts with simplification OFF, including which error class a
+//! failing configuration produces.
+//!
+//! This is the CI gate behind the simplifier: eliminating variables,
+//! subsuming clauses and substituting equivalent literals is only
+//! admissible because the frozen-variable contract keeps every
+//! witness-decoded and query-touched variable intact, and this suite
+//! checks that claim on the whole catalog rather than trusting the
+//! soundness argument in DESIGN.md §12.
+//!
+//! Witness comparison is by presence and validity, not exact assignment:
+//! both pipelines interpreter-revalidate every witness they return
+//! (`EncodeError::WitnessMismatch` otherwise), and two correct solvers
+//! may legitimately pick different satisfying executions — just as two
+//! `--fresh` runs may. What must never differ is whether one exists.
+
+use gpumc::{Verifier, VerifyError};
+use gpumc_catalog::Test;
+use gpumc_models::ModelKind;
+
+/// Coarse error class: two runs "agree" on failure when they fail the
+/// same way, not necessarily with byte-identical messages.
+fn err_class(e: &VerifyError) -> std::mem::Discriminant<VerifyError> {
+    std::mem::discriminant(e)
+}
+
+/// Asserts that `check_all` with simplification on and off gives
+/// identical verdicts for one (test, model, bound) configuration.
+fn assert_agreement(t: &Test, model: ModelKind, bound: u32) {
+    let program = match gpumc::parse_litmus(&t.source) {
+        Ok(p) => p,
+        Err(e) => panic!("{} does not parse: {e}", t.name),
+    };
+    let v = Verifier::new(gpumc_models::load_shared(model)).with_bound(bound);
+    let on = v.clone().with_simplify(true).check_all(&program);
+    let off = v.with_simplify(false).check_all(&program);
+    let ctx = format!("{} under {model:?} at bound {bound}", t.name);
+    match (on, off) {
+        (Ok(s), Ok(p)) => {
+            assert_eq!(
+                s.assertion.reachable, p.assertion.reachable,
+                "assertion reachability differs on {ctx}"
+            );
+            assert_eq!(
+                s.assertion.satisfied_expectation, p.assertion.satisfied_expectation,
+                "assertion expectation verdict differs on {ctx}"
+            );
+            assert_eq!(
+                s.assertion.witness.is_some(),
+                p.assertion.witness.is_some(),
+                "assertion witness presence differs on {ctx}"
+            );
+            assert_eq!(
+                s.liveness.violated, p.liveness.violated,
+                "liveness verdict differs on {ctx}"
+            );
+            assert_eq!(
+                s.liveness.witness.is_some(),
+                p.liveness.witness.is_some(),
+                "liveness witness presence differs on {ctx}"
+            );
+            assert_eq!(
+                s.data_races.as_ref().map(|d| d.violated),
+                p.data_races.as_ref().map(|d| d.violated),
+                "data-race verdict differs on {ctx}"
+            );
+            // The simplified run must actually have simplified, and may
+            // only ever shrink the clause database.
+            let st = s
+                .simplify
+                .unwrap_or_else(|| panic!("no simplify stats on {ctx}"));
+            assert!(
+                st.clauses_after <= st.clauses_before,
+                "simplification grew the clause count on {ctx}: {st:?}"
+            );
+            assert!(p.simplify.is_none(), "stats recorded with simplify off");
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                err_class(&a),
+                err_class(&b),
+                "error classes differ on {ctx}: simplified={a} plain={b}"
+            );
+        }
+        (Ok(_), Err(e)) => panic!("only the unsimplified path fails on {ctx}: {e}"),
+        (Err(e), Ok(_)) => panic!("only the simplified path fails on {ctx}: {e}"),
+    }
+}
+
+/// Runs the agreement check over a suite for the given models × bounds.
+fn sweep(tests: &[Test], models: &[ModelKind]) {
+    for t in tests {
+        for &model in models {
+            for bound in [1, 2] {
+                assert_agreement(t, model, bound);
+            }
+        }
+    }
+}
+
+const PTX_MODELS: &[ModelKind] = &[ModelKind::Ptx60, ModelKind::Ptx75];
+const VULKAN_MODELS: &[ModelKind] = &[ModelKind::Vulkan];
+
+/// Splits an arch-mixed suite by litmus dialect.
+fn by_arch(tests: Vec<Test>) -> (Vec<Test>, Vec<Test>) {
+    tests
+        .into_iter()
+        .partition(|t| t.source.trim_start().starts_with("PTX"))
+}
+
+#[test]
+fn ptx_safety_suite_agrees() {
+    sweep(&gpumc_catalog::ptx_safety_suite(), PTX_MODELS);
+}
+
+#[test]
+fn ptx_proxy_suite_agrees() {
+    sweep(&gpumc_catalog::ptx_proxy_suite(), PTX_MODELS);
+}
+
+#[test]
+fn vulkan_safety_suite_agrees() {
+    sweep(&gpumc_catalog::vulkan_safety_suite(), VULKAN_MODELS);
+}
+
+#[test]
+fn vulkan_drf_suite_agrees() {
+    sweep(&gpumc_catalog::vulkan_drf_suite(), VULKAN_MODELS);
+}
+
+#[test]
+fn liveness_suite_agrees() {
+    let (ptx, vulkan) = by_arch(gpumc_catalog::liveness_suite());
+    sweep(&ptx, PTX_MODELS);
+    sweep(&vulkan, VULKAN_MODELS);
+}
+
+#[test]
+fn figure_tests_agree() {
+    let (ptx, vulkan) = by_arch(gpumc_catalog::figure_tests());
+    sweep(&ptx, PTX_MODELS);
+    sweep(&vulkan, VULKAN_MODELS);
+}
