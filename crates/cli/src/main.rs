@@ -35,6 +35,8 @@ OPTIONS (verify):
                          and exits 3 instead of blocking
     --budget <n>         solver conflict budget; exhaustion answers
                          `unknown` and exits 3
+    --mem-budget-mb <n>  approximate memory budget for encode + solve;
+                         exceeding it answers `unknown` and exits 3
     --no-simplify        disable SatELite-style CNF simplification of
                          the SAT encoding (on by default)
     --witness            print the witness execution graph
@@ -58,6 +60,8 @@ OPTIONS (serve):
                          deadline for requests that carry no timeout_ms
     --metrics-every <secs>
                          dump a one-line metrics summary to stderr
+    --enable-faults      honor the per-request `faults` field (testing
+                         only; off by default)
 
 OPTIONS (client):
     --addr <host:port>   server address (default: 127.0.0.1:7878)
@@ -72,10 +76,19 @@ EXIT CODES:
     0   verified: expectation holds / property not violated / suite clean
     1   property violated: expectation fails or suite has mismatches
     2   usage, parse, or I/O error
-    3   verdict unknown: deadline, cancellation, or conflict budget
+    3   verdict unknown: deadline, cancellation, conflict budget, or
+        memory budget
+
+Set GPUMC_FAULTS=\"point:kind[:arg][:p=..][:seed=..][:once],...\" to arm
+deterministic fault injection process-wide (testing only; see DESIGN.md
+section 13 for the grammar and the list of injection points).
 ";
 
 fn main() -> ExitCode {
+    if let Err(msg) = gpumc::fault::install_global_from_env() {
+        eprintln!("error: bad GPUMC_FAULTS: {msg}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
@@ -198,6 +211,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                         .map_err(|_| "bad --metrics-every")?,
                 )
             }
+            "--enable-faults" => config.allow_faults = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -327,6 +341,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut bound = 2u32;
     let mut timeout_ms: Option<u64> = None;
     let mut budget: Option<u64> = None;
+    let mut mem_budget_mb: Option<u64> = None;
     let mut show_witness = false;
     let mut all = false;
     let mut fresh = false;
@@ -358,6 +373,14 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                         .ok_or("--budget needs a value")?
                         .parse()
                         .map_err(|_| "bad --budget")?,
+                )
+            }
+            "--mem-budget-mb" => {
+                mem_budget_mb = Some(
+                    it.next()
+                        .ok_or("--mem-budget-mb needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --mem-budget-mb")?,
                 )
             }
             "--witness" => show_witness = true,
@@ -394,6 +417,9 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(b) = budget {
         verifier = verifier.with_conflict_budget(b);
+    }
+    if let Some(mb) = mem_budget_mb {
+        verifier = verifier.with_mem_budget_mb(mb);
     }
 
     if all {

@@ -60,6 +60,10 @@ pub use gpumc_cat;
 pub use gpumc_catalog;
 pub use gpumc_encode;
 pub use gpumc_exec;
+/// The fault-injection registry (`gpumc-fault`), re-exported as
+/// `gpumc::fault`. Inert unless a plan is installed — see
+/// [`fault::install_global_from_env`] and the `GPUMC_FAULTS` variable.
+pub use gpumc_fault as fault;
 pub use gpumc_ir;
 pub use gpumc_litmus;
 pub use gpumc_models;
@@ -289,6 +293,7 @@ pub struct Verifier {
     simplify: bool,
     cancel: Option<gpumc_sat::CancelToken>,
     conflict_budget: Option<u64>,
+    mem_budget_mb: Option<u64>,
 }
 
 impl Verifier {
@@ -309,6 +314,7 @@ impl Verifier {
             simplify: true,
             cancel: None,
             conflict_budget: None,
+            mem_budget_mb: None,
         }
     }
 
@@ -371,6 +377,16 @@ impl Verifier {
     /// as [`VerifyError::Unknown`].
     pub fn with_conflict_budget(mut self, budget: u64) -> Verifier {
         self.conflict_budget = Some(budget);
+        self
+    }
+
+    /// Caps the SAT solver's estimated memory footprint, in MiB
+    /// (builder style). Exceeding it surfaces as
+    /// [`VerifyError::Unknown`] — a per-query `unknown` instead of an
+    /// OOM-killed process. Both the encode phase and the solve loop
+    /// observe the budget.
+    pub fn with_mem_budget_mb(mut self, mb: u64) -> Verifier {
+        self.mem_budget_mb = Some(mb);
         self
     }
 
@@ -698,16 +714,29 @@ impl Verifier {
         Ok(())
     }
 
+    /// The encode options this verifier implies. The cancel token rides
+    /// inside so the *encode* phase observes deadlines too, not only the
+    /// solve loop; likewise the memory budget.
+    fn encode_options(&self) -> EncodeOptions {
+        EncodeOptions {
+            bv_width: self.bv_width,
+            use_bounds: self.use_bounds,
+            simplify: self.simplify,
+            cancel: self.cancel.clone(),
+            mem_budget_bytes: self.mem_budget_mb.map(|mb| {
+                usize::try_from(mb)
+                    .unwrap_or(usize::MAX)
+                    .saturating_mul(1 << 20)
+            }),
+            ..EncodeOptions::default()
+        }
+    }
+
     fn session<'g>(
         &self,
         graph: &'g EventGraph,
     ) -> Result<gpumc_encode::SolverSession<'g>, VerifyError> {
-        let opts = EncodeOptions {
-            bv_width: self.bv_width,
-            use_bounds: self.use_bounds,
-            simplify: self.simplify,
-            ..EncodeOptions::default()
-        };
+        let opts = self.encode_options();
         let mut session = match &self.bounds_memo {
             Some(memo) => {
                 gpumc_encode::SolverSession::build_memoized(graph, &self.model, &opts, memo)?
@@ -735,12 +764,7 @@ impl Verifier {
     }
 
     fn encode<'g>(&self, graph: &'g EventGraph) -> Result<gpumc_encode::Encoding<'g>, VerifyError> {
-        let opts = EncodeOptions {
-            bv_width: self.bv_width,
-            use_bounds: self.use_bounds,
-            simplify: self.simplify,
-            ..EncodeOptions::default()
-        };
+        let opts = self.encode_options();
         let mut enc = match &self.bounds_memo {
             Some(memo) => gpumc_encode::encode_memoized(graph, &self.model, &opts, memo)?,
             None => encode(graph, &self.model, &opts)?,

@@ -28,6 +28,15 @@ pub struct EncodeOptions {
     pub simplify: bool,
     /// Print per-stage size diagnostics to stderr.
     pub trace: bool,
+    /// Watchdog for the *encode* phase: polled between build stages and
+    /// inside the axiom loop, so a deadline or cancellation fires during
+    /// a pathological encoding too, not only once solving starts.
+    pub cancel: Option<gpumc_sat::CancelToken>,
+    /// Memory budget handed to the solver (see
+    /// [`gpumc_sat::Solver::set_mem_budget_bytes`]); also checked between
+    /// build stages so an encoding blow-up aborts with a classified
+    /// [`EncodeError::Unknown`] instead of exhausting the host.
+    pub mem_budget_bytes: Option<usize>,
 }
 
 impl Default for EncodeOptions {
@@ -37,6 +46,8 @@ impl Default for EncodeOptions {
             use_bounds: true,
             simplify: true,
             trace: false,
+            cancel: None,
+            mem_budget_bytes: None,
         }
     }
 }
@@ -266,18 +277,29 @@ impl<'g> Encoding<'g> {
     // ------------------------------------------------------------------
 
     fn build(&mut self) -> Result<(), EncodeError> {
+        if let Some(budget) = self.opts.mem_budget_bytes {
+            self.f.solver_mut().set_mem_budget_bytes(Some(budget));
+        }
+        if let Some(token) = self.opts.cancel.clone() {
+            self.f.solver_mut().set_cancel_token(Some(token));
+        }
         self.trace("start");
         self.encode_control_flow();
+        self.watchdog("control")?;
         self.trace("control");
         self.encode_data_flow();
+        self.watchdog("data")?;
         self.trace("data");
         self.encode_exec_events();
         self.encode_rf();
+        self.watchdog("rf")?;
         self.trace("rf");
         self.encode_co();
+        self.watchdog("co")?;
         self.trace("co");
         self.encode_sync_fence();
         self.encode_model()?;
+        self.watchdog("model")?;
         self.encode_completion();
         if let Some(filter) = &self.graph.filter.clone() {
             let lit = self.cond_lit(filter);
@@ -286,6 +308,39 @@ impl<'g> Encoding<'g> {
         if self.opts.simplify {
             self.simplify();
             self.trace("simplify");
+        }
+        Ok(())
+    }
+
+    /// Encode-phase watchdog, polled between build stages (and inside
+    /// the axiom loop): surfaces cancellation/deadline expiry, a blown
+    /// memory budget, and any armed `encode.build` fault as a classified
+    /// [`EncodeError::Unknown`] — the encode phase can no longer hang
+    /// past its deadline or grow without bound.
+    pub(crate) fn watchdog(&mut self, stage: &str) -> Result<(), EncodeError> {
+        match gpumc_fault::hit(gpumc_fault::points::ENCODE_BUILD) {
+            Some(gpumc_fault::FaultSignal::SpuriousUnknown) => {
+                return Err(EncodeError::Unknown(format!(
+                    "injected fault (encode stage `{stage}`)"
+                )));
+            }
+            Some(gpumc_fault::FaultSignal::AllocSpike(b)) => {
+                let charged = gpumc_fault::materialize_spike(b);
+                self.f.solver_mut().add_mem_ballast(charged);
+            }
+            None => {}
+        }
+        if let Some(i) = self.opts.cancel.as_ref().and_then(|c| c.check()) {
+            return Err(EncodeError::Unknown(format!(
+                "{i} (encode stage `{stage}`)"
+            )));
+        }
+        if let Some(budget) = self.opts.mem_budget_bytes {
+            if self.f.solver().bytes_in_use() > budget {
+                return Err(EncodeError::Unknown(format!(
+                    "memory budget exceeded (encode stage `{stage}`)"
+                )));
+            }
         }
         Ok(())
     }
@@ -695,6 +750,7 @@ impl<'g> Encoding<'g> {
         let mut i = 0;
         let defs = model.defs();
         while i < defs.len() {
+            self.watchdog(&format!("def {}", defs[i].name))?;
             match defs[i].rec_group {
                 None => {
                     match &defs[i].body {
@@ -753,8 +809,10 @@ impl<'g> Encoding<'g> {
                 }
             }
         }
-        // Axioms.
+        // Axioms. Each one can expand into a large relational encoding,
+        // so the watchdog is polled per axiom, not only per stage.
         for (idx, axiom) in model.axioms().iter().enumerate() {
+            self.watchdog(&format!("axiom {}", axiom.label(idx)))?;
             let rel = self.enc_rel(&axiom.expr);
             self.trace(&format!("axiom {}", axiom.label(idx)));
             if axiom.flagged {

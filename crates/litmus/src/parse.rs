@@ -107,7 +107,12 @@ impl<'a> Parser<'a> {
     }
 
     fn here(&self) -> usize {
-        self.lines.get(self.pos).map_or(0, |(n, _)| *n)
+        // Past the end (truncated input), point at the last line so the
+        // reported position is always 1-based and real.
+        self.lines
+            .get(self.pos)
+            .or_else(|| self.lines.last())
+            .map_or(1, |(n, _)| *n)
     }
 
     fn run(mut self) -> Result<Program, LitmusError> {
@@ -122,7 +127,14 @@ impl<'a> Parser<'a> {
     }
 
     fn header(&mut self) -> Result<(), LitmusError> {
-        let (n, line) = self.lines[self.pos];
+        let Some(&(n, line)) = self.lines.get(self.pos) else {
+            // Empty or comment-only input: a parse error, not an index
+            // panic — this path is reachable from untrusted serve input.
+            return Err(LitmusError::new(
+                1,
+                "empty litmus source: expected a dialect header",
+            ));
+        };
         let mut parts = line.split_whitespace();
         let arch = parts.next().unwrap_or("");
         let expect = match self.program.arch {

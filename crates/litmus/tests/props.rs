@@ -1,0 +1,75 @@
+//! Robustness properties for the litmus parser: arbitrarily mangled
+//! input — truncated, byte-flipped, spliced, or outright random — must
+//! always come back as `Ok` or a positioned `LitmusError`, never a
+//! panic. The parser sits on the untrusted edge (files from the CLI,
+//! `source` strings from serve clients), so an index-out-of-bounds here
+//! is a remote daemon crash.
+
+use gpumc_litmus::parse;
+use proptest::prelude::*;
+
+/// A seed corpus of well-formed sources to mangle: mutations of valid
+/// input explore much deeper parser states than uniform noise.
+const SEEDS: &[&str] = &[
+    "",
+    "PTX MP\n{ x = 0; y = 0; }\nP0@cta 0,gpu 0 | P1@cta 0,gpu 0 ;\n\
+     st.relaxed.sys x, 1 | ld.acquire.sys r0, y ;\n\
+     st.release.sys y, 1 | ld.relaxed.sys r1, x ;\n\
+     exists (P1:r0 == 1 /\\ P1:r1 == 0)",
+    "VULKAN CORR\n{ x = 0; }\nP0@sg 0,wg 0,qf 0 | P1@sg 1,wg 1,qf 0 ;\n\
+     st.atom.scopedev x, 1 | ld.atom.scopedev r0, x ;\n\
+     | ld.atom.scopedev r1, x ;\n\
+     exists (P1:r0 == 1 /\\ P1:r1 == 0)",
+];
+
+/// Splices, flips, and truncates a seed according to `edits`, then
+/// repairs UTF-8 (the parser API takes `&str`; byte-level damage lands
+/// as replacement characters, which are hostile input in their own
+/// right).
+fn mangle(seed: &str, edits: &[(usize, u8)], truncate_at: usize) -> String {
+    let mut bytes = seed.as_bytes().to_vec();
+    for &(pos, byte) in edits {
+        if bytes.is_empty() {
+            bytes.push(byte);
+        } else {
+            let pos = pos % (bytes.len() + 1);
+            if pos < bytes.len() && byte % 3 == 0 {
+                bytes[pos] ^= byte; // flip in place
+            } else if byte % 3 == 1 {
+                bytes.insert(pos, byte); // splice in
+            } else if pos < bytes.len() {
+                bytes.remove(pos); // delete
+            }
+        }
+    }
+    if !bytes.is_empty() {
+        bytes.truncate(truncate_at % (bytes.len() + 1) + 1);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// Mangled near-valid sources never panic the parser.
+    #[test]
+    fn mangled_sources_never_panic(
+        seed in 0usize..3,
+        edits in proptest::collection::vec((0usize..4096, any::<u8>()), 0..12),
+        truncate_at in 0usize..4096,
+    ) {
+        let source = mangle(SEEDS[seed], &edits, truncate_at);
+        // Ok or Err are both fine; reaching this line is the property.
+        let outcome = parse(&source);
+        if let Err(e) = outcome {
+            prop_assert!(e.line >= 1, "error must carry a 1-based line: {e}");
+        }
+    }
+
+    /// Pure noise never panics either.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&source);
+    }
+}

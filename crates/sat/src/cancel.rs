@@ -28,6 +28,14 @@ pub enum Interrupt {
     Cancelled,
     /// The token's deadline passed.
     DeadlineExpired,
+    /// The solver's memory budget was exceeded (see
+    /// [`Solver::set_mem_budget_bytes`](crate::Solver::set_mem_budget_bytes)):
+    /// an allocation blow-up becomes a clean per-query `unknown` instead
+    /// of an OOM kill.
+    MemBudget,
+    /// A fault-injection plan (`gpumc-fault`) forced an inconclusive
+    /// answer; only reachable with a plan armed, never in production.
+    Injected,
 }
 
 impl std::fmt::Display for Interrupt {
@@ -36,6 +44,8 @@ impl std::fmt::Display for Interrupt {
             Interrupt::ConflictBudget => "conflict budget exhausted",
             Interrupt::Cancelled => "cancelled",
             Interrupt::DeadlineExpired => "deadline expired",
+            Interrupt::MemBudget => "memory budget exceeded",
+            Interrupt::Injected => "injected fault",
         })
     }
 }

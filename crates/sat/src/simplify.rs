@@ -358,16 +358,50 @@ impl<'a> Simp<'a> {
     }
 
     fn run(&mut self, st: &mut SimplifyStats) {
-        if !self.cleanup() {
+        if self.should_abort() || !self.cleanup() {
             return;
         }
-        if !self.substitution_pass(st) {
+        if self.should_abort() || !self.substitution_pass(st) {
             return;
         }
-        if !self.subsumption_pass(st) {
+        if self.should_abort() || !self.subsumption_pass(st) {
+            return;
+        }
+        if self.should_abort() {
             return;
         }
         let _ = self.elimination_pass(st);
+    }
+
+    /// Between-pass guard: executes any armed `sat.simplify` fault and
+    /// answers whether the run should stop early — because a fault asked
+    /// for it or because the solver is over its memory budget. Aborting
+    /// here is always sound: simplification is an optional rewriting
+    /// step, and every pass leaves the database equisatisfiable on its
+    /// own.
+    fn should_abort(&mut self) -> bool {
+        match gpumc_fault::hit(gpumc_fault::points::SAT_SIMPLIFY) {
+            Some(gpumc_fault::FaultSignal::SpuriousUnknown) => return true,
+            Some(gpumc_fault::FaultSignal::AllocSpike(b)) => {
+                let charged = gpumc_fault::materialize_spike(b);
+                self.s.add_mem_ballast(charged);
+            }
+            None => {}
+        }
+        let Some(budget) = self.s.mem_budget_bytes() else {
+            return false;
+        };
+        // The incremental arena estimate goes stale while the watcher
+        // lists are torn down, so recompute it, and charge the transient
+        // occurrence index on top: it is real memory this run holds.
+        self.s.recompute_lits_bytes();
+        let occ_bytes: usize = self
+            .occ
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<ClauseRef>())
+            .sum::<usize>()
+            + self.sig.capacity() * std::mem::size_of::<u64>();
+        self.s.bytes_in_use() + occ_bytes > budget
     }
 
     /// Root-level cleanup and index construction: drop satisfied

@@ -130,6 +130,16 @@ pub struct Solver {
     stats: Stats,
     /// Conflict budget per solve call; `None` means unlimited.
     conflict_budget: Option<u64>,
+    /// Memory budget in bytes; exceeding it stops the solve with
+    /// [`Interrupt::MemBudget`]. `None` means unlimited.
+    mem_budget: Option<usize>,
+    /// Clause-arena byte estimate, maintained incrementally by
+    /// [`Solver::attach_clause`] and recomputed by
+    /// [`Solver::collect_garbage`].
+    lits_bytes: usize,
+    /// Extra bytes charged against the budget from outside the arena
+    /// (injected allocation spikes, simplifier occurrence lists).
+    mem_ballast: usize,
     /// Cooperative cancellation handle, polled between conflicts.
     cancel: Option<CancelToken>,
     /// Clause-activity increment (for learnt-clause deletion).
@@ -176,6 +186,9 @@ impl Solver {
             seen: Vec::new(),
             stats: Stats::default(),
             conflict_budget: None,
+            mem_budget: None,
+            lits_bytes: 0,
+            mem_ballast: 0,
             cancel: None,
             cla_inc: 1.0,
             n_learnt: 0,
@@ -214,6 +227,60 @@ impl Solver {
     /// limit.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Caps the solver's estimated memory footprint. When
+    /// [`Solver::bytes_in_use`] exceeds the cap, the current `solve`
+    /// call stops with [`SolveResult::Unknown`]([`Interrupt::MemBudget`])
+    /// instead of growing without bound — an allocation blow-up becomes
+    /// a clean per-query `unknown` rather than an OOM kill. The solver
+    /// stays usable; deleting learnt clauses (database reduction,
+    /// garbage collection) can bring it back under budget.
+    pub fn set_mem_budget_bytes(&mut self, bytes: Option<usize>) {
+        self.mem_budget = bytes;
+    }
+
+    /// Estimated bytes held by the solver: the clause arena (literal
+    /// storage plus per-clause bookkeeping, maintained incrementally),
+    /// per-variable state (assignments, activities, watch lists, …), and
+    /// any ballast charged via [`Solver::add_mem_ballast`]. An estimate,
+    /// not an allocator measurement — good enough to bound growth, cheap
+    /// enough to poll every conflict.
+    pub fn bytes_in_use(&self) -> usize {
+        self.lits_bytes + self.assigns.len() * Self::PER_VAR_BYTES + self.mem_ballast
+    }
+
+    /// Charges `bytes` of external memory against the budget (injected
+    /// allocation spikes; the simplifier's transient occurrence lists).
+    pub fn add_mem_ballast(&mut self, bytes: usize) {
+        self.mem_ballast = self.mem_ballast.saturating_add(bytes);
+    }
+
+    /// Estimated per-clause bookkeeping outside the literal array:
+    /// `Clause` header plus the two watcher entries.
+    pub(crate) const CLAUSE_OVERHEAD: usize = 56;
+    /// Estimated bytes of per-variable state across all solver arrays.
+    const PER_VAR_BYTES: usize = 96;
+
+    /// Recomputes the incremental arena estimate from the live clauses.
+    pub(crate) fn recompute_lits_bytes(&mut self) {
+        self.lits_bytes = self
+            .clauses
+            .iter()
+            .filter(|c| !c.deleted)
+            .map(|c| c.lits.len() * std::mem::size_of::<Lit>() + Self::CLAUSE_OVERHEAD)
+            .sum();
+    }
+
+    #[inline]
+    fn over_mem_budget(&self) -> bool {
+        self.mem_budget.is_some_and(|b| self.bytes_in_use() > b)
+    }
+
+    /// The configured memory budget (the simplifier's between-pass
+    /// checks read it to abort early).
+    pub(crate) fn mem_budget_bytes(&self) -> Option<usize> {
+        self.mem_budget
     }
 
     /// Installs a [`CancelToken`] polled between conflicts and decisions;
@@ -357,6 +424,7 @@ impl Solver {
         if learnt {
             self.n_learnt += 1;
         }
+        self.lits_bytes += lits.len() * std::mem::size_of::<Lit>() + Self::CLAUSE_OVERHEAD;
         self.clauses.push(Clause {
             lits,
             learnt,
@@ -445,6 +513,7 @@ impl Solver {
             *cr = map[*cr as usize];
         }
         self.n_deleted = 0;
+        self.recompute_lits_bytes();
     }
 
     /// Arena occupancy: `(total slots, tombstoned slots)`. Test hook for
@@ -758,9 +827,13 @@ impl Solver {
         if self.unsat {
             return SolveResult::Unsat;
         }
-        // A pre-cancelled token stops the call before any search.
+        // A pre-cancelled token stops the call before any search; an
+        // encoding already over the memory budget never starts one.
         if let Some(i) = self.cancel.as_ref().and_then(|c| c.should_stop(true)) {
             return SolveResult::Unknown(i);
+        }
+        if self.over_mem_budget() {
+            return SolveResult::Unknown(Interrupt::MemBudget);
         }
         self.backtrack_to(0);
         let mut luby_index = 0u64;
@@ -783,6 +856,21 @@ impl Solver {
                     .and_then(|c| c.should_stop(spent.is_multiple_of(128)))
                 {
                     break SolveResult::Unknown(i);
+                }
+                // The byte estimate is maintained incrementally, so the
+                // budget check is O(1) and safe to run every conflict.
+                if self.over_mem_budget() {
+                    break SolveResult::Unknown(Interrupt::MemBudget);
+                }
+                match gpumc_fault::hit(gpumc_fault::points::SAT_CONFLICT) {
+                    Some(gpumc_fault::FaultSignal::SpuriousUnknown) => {
+                        break SolveResult::Unknown(Interrupt::Injected);
+                    }
+                    Some(gpumc_fault::FaultSignal::AllocSpike(b)) => {
+                        let charged = gpumc_fault::materialize_spike(b);
+                        self.mem_ballast = self.mem_ballast.saturating_add(charged);
+                    }
+                    None => {}
                 }
                 if self.decision_level() == 0 {
                     self.unsat = true;
@@ -1209,6 +1297,74 @@ mod tests {
         assert!(s.solve().is_unknown());
         s.set_conflict_budget(None);
         assert!(s.solve().is_unsat(), "the instance is really unsat");
+    }
+
+    #[test]
+    fn mem_budget_exhaustion_returns_unknown_and_solver_survives() {
+        let mut s = hard_unsat_instance();
+        assert!(s.bytes_in_use() > 0, "the arena estimate must be live");
+        // A budget below what the instance already uses stops the solve
+        // before any search; the solver stays usable afterwards.
+        s.set_mem_budget_bytes(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::MemBudget));
+        s.set_mem_budget_bytes(None);
+        assert!(s.solve().is_unsat(), "the instance is really unsat");
+    }
+
+    #[test]
+    fn mem_budget_triggers_mid_search_from_learnt_growth() {
+        // A budget a little above the initial footprint lets the search
+        // start, then trips as learnt clauses accumulate.
+        let mut s = hard_unsat_instance();
+        let base = s.bytes_in_use();
+        s.set_mem_budget_bytes(Some(base + 512));
+        let r = s.solve();
+        assert_eq!(r, SolveResult::Unknown(Interrupt::MemBudget));
+        assert!(s.bytes_in_use() > base, "learnt clauses were accounted");
+        s.set_mem_budget_bytes(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn ballast_counts_against_the_budget() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let base = s.bytes_in_use();
+        s.set_mem_budget_bytes(Some(base + (1 << 20)));
+        assert!(s.solve().is_sat());
+        s.add_mem_ballast(2 << 20);
+        assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::MemBudget));
+    }
+
+    #[test]
+    fn bytes_estimate_shrinks_after_garbage_collection() {
+        let mut s = hard_unsat_instance();
+        s.set_max_learnt(64);
+        assert!(s.solve().is_unsat());
+        // Recomputing from live clauses must agree with the incremental
+        // estimate after a GC pass.
+        let before = s.bytes_in_use();
+        s.collect_garbage();
+        assert!(s.bytes_in_use() <= before);
+        let incremental = s.bytes_in_use();
+        s.recompute_lits_bytes();
+        assert_eq!(s.bytes_in_use(), incremental);
+    }
+
+    #[test]
+    fn injected_conflict_fault_reports_unknown_without_lying() {
+        let plan = std::sync::Arc::new(gpumc_fault::FaultPlan::single(
+            gpumc_fault::points::SAT_CONFLICT,
+            gpumc_fault::FaultKind::SpuriousUnknown,
+        ));
+        let mut s = hard_unsat_instance();
+        {
+            let _g = gpumc_fault::scoped(plan);
+            assert_eq!(s.solve(), SolveResult::Unknown(Interrupt::Injected));
+        }
+        // With the plan disarmed the same solver answers correctly.
+        assert!(s.solve().is_unsat());
     }
 
     #[test]

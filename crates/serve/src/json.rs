@@ -88,6 +88,7 @@ impl Json {
     pub fn parse(input: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: input.as_bytes(),
+            text: input,
             pos: 0,
         };
         p.skip_ws();
@@ -157,6 +158,8 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 
 struct Parser<'a> {
     bytes: &'a [u8],
+    /// The same input as a `&str`, for safe char-boundary slicing.
+    text: &'a str,
     pos: usize,
 }
 
@@ -295,11 +298,15 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. The cursor only ever
+                    // advances by ASCII tokens or whole chars, so it sits
+                    // on a char boundary; `get` makes that a structured
+                    // error instead of a panic if the invariant breaks.
+                    let c = self
+                        .text
+                        .get(self.pos..)
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| format!("malformed UTF-8 at byte {}", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -318,7 +325,10 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = self
+            .text
+            .get(start..self.pos)
+            .ok_or_else(|| format!("malformed number at byte {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number `{text}` at byte {start}"))

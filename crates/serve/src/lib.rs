@@ -15,7 +15,11 @@
 //!   `gpumc-sat` (`CancelToken`), so a timed-out request yields
 //!   `status: unknown` and the worker lives on;
 //! * a metrics registry ([`metrics`]) exposed through the `metrics`
-//!   verb.
+//!   verb;
+//! * panic isolation with supervised retry: a job that panics is caught
+//!   in the worker, retried with backoff, and ultimately answered
+//!   `status: "failed"` with an error class — see the supervision notes
+//!   in [`server`] and the failure taxonomy in DESIGN.md §13.
 //!
 //! The JSON plumbing ([`json`]) is hand-rolled: the offline dependency
 //! set has no serde, and the protocol needs very little.
@@ -32,4 +36,4 @@ pub use json::Json;
 pub use metrics::Metrics;
 pub use protocol::{parse_request, verdict_json, Envelope, Request, VerifyRequest};
 pub use queue::{JobQueue, PushError};
-pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use server::{RetryPolicy, Server, ServerConfig, ShutdownHandle, WORKER_HARD_KILL_POINT};

@@ -17,16 +17,20 @@
 //!
 //! `verify` fields other than `source` are optional: `model` defaults
 //! to the test dialect's default model, `bound` to 2, `timeout_ms` to
-//! the server's `--default-timeout-ms`, `budget` (SAT conflicts) to
-//! unlimited.
+//! the server's `--default-timeout-ms`, `budget` (SAT conflicts) and
+//! `mem_budget_mb` (solver memory) to unlimited. `faults` arms a
+//! per-job fault-injection plan and requires `--enable-faults`.
 //!
 //! ## Responses
 //!
 //! Every response carries `id` (null if the request had none) and a
 //! `status`: `done` (verdict reached), `unknown` (budget/deadline/
-//! cancellation — retrying with more budget is sound), `error` (the
-//! request itself was bad), `rejected` (queue full — resubmit later),
-//! plus `ok` for ping/metrics/shutdown.
+//! cancellation/memory — retrying with more budget is sound), `error`
+//! (the request itself was bad), `rejected` (backpressure or shutdown —
+//! resubmit later; the `reason` field distinguishes the two), `failed`
+//! (the job crashed and exhausted its retries; the `class` field is one
+//! of `panic`/`oom`/`timeout`), plus `ok` for ping/metrics/shutdown.
+//! See DESIGN.md §13 for the complete failure taxonomy.
 
 use gpumc::FullOutcome;
 
@@ -72,6 +76,12 @@ pub struct VerifyRequest {
     /// Whether to run CNF simplification on the encoding (default
     /// `true`; a `"simplify": false` field disables it).
     pub simplify: bool,
+    /// SAT memory budget in MiB; exceeding it answers `unknown` instead
+    /// of letting one query OOM the process.
+    pub mem_budget_mb: Option<u64>,
+    /// A `gpumc-fault` plan spec armed for this job only. Refused with
+    /// `status:"error"` unless the server runs with `--enable-faults`.
+    pub faults: Option<String>,
 }
 
 /// Parses one request line.
@@ -114,6 +124,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 timeout_ms: v.get("timeout_ms").and_then(Json::as_u64),
                 budget: v.get("budget").and_then(Json::as_u64),
                 simplify: v.get("simplify").and_then(Json::as_bool).unwrap_or(true),
+                mem_budget_mb: v.get("mem_budget_mb").and_then(Json::as_u64),
+                faults: v.get("faults").and_then(Json::as_str).map(str::to_string),
             })
         }
         other => return Err(format!("unknown verb `{other}`")),
@@ -253,12 +265,28 @@ pub fn error_response(id: Option<u64>, message: &str) -> Json {
     ])
 }
 
-/// A `status: rejected` response (backpressure: the queue is full).
-pub fn rejected_response(id: Option<u64>) -> Json {
+/// A `status: rejected` response: the job was not (or will not be)
+/// started — `reason` is `"queue full"` for backpressure or
+/// `"shutting down"` when the server is draining. Resubmitting later is
+/// always safe.
+pub fn rejected_response(id: Option<u64>, reason: &str) -> Json {
     Json::Obj(vec![
         ("id".into(), id_json(id)),
         ("status".into(), Json::str("rejected")),
-        ("error".into(), Json::str("queue full")),
+        ("error".into(), Json::str(reason)),
+    ])
+}
+
+/// A `status: failed` response: the job was accepted but crashed and
+/// exhausted its retry policy. `class` categorizes the crash (`panic`,
+/// `oom`, `timeout`); `attempts` is how many times the job ran.
+pub fn failed_response(id: Option<u64>, class: &str, message: &str, attempts: u32) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::str("failed")),
+        ("class".into(), Json::str(class)),
+        ("error".into(), Json::str(message)),
+        ("attempts".into(), Json::count(u64::from(attempts))),
     ])
 }
 
@@ -324,8 +352,27 @@ mod tests {
         let r = error_response(Some(42), "nope");
         assert_eq!(r.get("id").unwrap().as_u64(), Some(42));
         assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
-        let r = rejected_response(None);
+        let r = rejected_response(None, "queue full");
         assert_eq!(r.get("id"), Some(&Json::Null));
         assert_eq!(r.get("error").unwrap().as_str(), Some("queue full"));
+        let r = failed_response(Some(9), "panic", "injected fault", 3);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("failed"));
+        assert_eq!(r.get("class").unwrap().as_str(), Some("panic"));
+        assert_eq!(r.get("attempts").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn verify_accepts_resilience_fields() {
+        let e = parse_request(
+            r#"{"verb":"verify","source":"x","mem_budget_mb":256,"faults":"serve.worker:panic:once"}"#,
+        )
+        .unwrap();
+        match e.request {
+            Request::Verify(v) => {
+                assert_eq!(v.mem_budget_mb, Some(256));
+                assert_eq!(v.faults.as_deref(), Some("serve.worker:panic:once"));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

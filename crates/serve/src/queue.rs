@@ -85,6 +85,20 @@ impl<T> JobQueue<T> {
         self.available.notify_all();
     }
 
+    /// Whether [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Takes every job still queued, without blocking. The supervisor's
+    /// last resort: if the workers are gone (all panicked at shutdown),
+    /// the leftover jobs are handed back here so each can be answered
+    /// `rejected` instead of silently dropped.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut s = self.state.lock().unwrap();
+        s.items.drain(..).collect()
+    }
+
     /// Jobs currently waiting (diagnostics / the `queue_depth` gauge).
     pub fn len(&self) -> usize {
         self.state.lock().unwrap().items.len()
@@ -147,6 +161,57 @@ mod tests {
         q.close();
         for h in handles {
             assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn shutdown_race_loses_no_job() {
+        // Regression: a close racing concurrent pushes must leave every
+        // job accounted for — either accepted (and drainable) or handed
+        // back to its producer for a `rejected` reply. A job that is
+        // neither is a silently dropped request.
+        for round in 0..50 {
+            let q = Arc::new(JobQueue::new(4));
+            let accepted = Arc::new(Mutex::new(Vec::new()));
+            let bounced = Arc::new(Mutex::new(Vec::new()));
+            std::thread::scope(|s| {
+                for p in 0..3u32 {
+                    let q = Arc::clone(&q);
+                    let accepted = Arc::clone(&accepted);
+                    let bounced = Arc::clone(&bounced);
+                    s.spawn(move || {
+                        for i in 0..20u32 {
+                            let job = p * 100 + i;
+                            match q.try_push(job) {
+                                Ok(()) => accepted.lock().unwrap().push(job),
+                                Err(PushError::Full(j) | PushError::Closed(j)) => {
+                                    bounced.lock().unwrap().push(j);
+                                }
+                            }
+                        }
+                    });
+                }
+                // Close at a pseudo-random moment mid-burst.
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for _ in 0..round % 7 {
+                        std::thread::yield_now();
+                    }
+                    q.close();
+                });
+            });
+            let mut drained = q.drain_now();
+            assert!(q.is_closed());
+            assert_eq!(q.pop(), None, "drain_now leaves nothing poppable");
+            let mut acc = accepted.lock().unwrap().clone();
+            drained.sort_unstable();
+            acc.sort_unstable();
+            assert_eq!(drained, acc, "every accepted job is drainable");
+            assert_eq!(
+                drained.len() + bounced.lock().unwrap().len(),
+                60,
+                "every job is either accepted or handed back"
+            );
         }
     }
 

@@ -23,16 +23,36 @@
 //! (see the cancellation layer in `gpumc-sat`), the worker answers
 //! `status: unknown` and takes the next job.
 //!
-//! Shutdown (`shutdown` verb or [`Server::request_shutdown`]) stops the
+//! ## Panic isolation and supervision
+//!
+//! Each job runs under `catch_unwind`: a panic anywhere in the
+//! verification stack is logged, counted (`worker_panics`), and turned
+//! into a retry (`jobs_retried`, exponential backoff with deterministic
+//! jitter per [`RetryPolicy`]) or, once attempts are exhausted, a
+//! `status:"failed"` response (`jobs_failed`) with an error class —
+//! the connection never just goes silent. As defense in depth a
+//! supervisor thread owns the worker pool: each worker parks a copy of
+//! its in-flight job in a shared slot, so if a worker thread dies
+//! *outside* the catch (however unlikely), the supervisor recovers the
+//! parked job — retrying or failing it like any other panic — and
+//! respawns the worker (`workers_respawned`). The daemon survives; only
+//! the job's attempt is lost.
+//!
+//! Shutdown (`shutdown` verb or [`Server::shutdown_handle`]) stops the
 //! accept loop, closes the queue, and drains: every accepted job still
-//! gets its response before [`Server::run`] returns.
+//! gets its response before [`Server::run`] returns. If the entire pool
+//! died at shutdown, leftover jobs are answered `rejected` rather than
+//! dropped.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gpumc::fault::FaultPlan;
 use gpumc::{effective_jobs, Verifier, VerifyError};
 use gpumc_encode::BoundsMemo;
 use gpumc_models::ModelKind;
@@ -41,10 +61,16 @@ use gpumc_sat::CancelToken;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_response, parse_request, rejected_response, unknown_response, verify_response, Envelope,
-    Request, VerifyRequest,
+    error_response, failed_response, parse_request, rejected_response, unknown_response,
+    verify_response, Envelope, Request, VerifyRequest,
 };
 use crate::queue::{JobQueue, PushError};
+
+/// The injection point a worker probes when it picks up a job but
+/// before the `catch_unwind` guard is in place — arming `panic` here
+/// kills the worker *thread* itself, exercising supervisor recovery
+/// (respawn + parked-job handover) rather than in-place retry.
+pub const WORKER_HARD_KILL_POINT: &str = "serve.worker.hard";
 
 /// Server configuration; see `gpumc serve --help` for the CLI mapping.
 #[derive(Debug, Clone)]
@@ -61,6 +87,11 @@ pub struct ServerConfig {
     /// Dump a one-line metrics summary to stderr every this many
     /// seconds.
     pub metrics_every_secs: Option<u64>,
+    /// How crashed jobs are retried before a `status:"failed"` answer.
+    pub retry: RetryPolicy,
+    /// Honor the per-request `"faults"` field (`--enable-faults`). Off
+    /// by default: production servers must not let clients arm faults.
+    pub allow_faults: bool,
 }
 
 impl Default for ServerConfig {
@@ -71,20 +102,74 @@ impl Default for ServerConfig {
             max_queue: 64,
             default_timeout_ms: None,
             metrics_every_secs: None,
+            retry: RetryPolicy::default(),
+            allow_faults: false,
         }
     }
+}
+
+/// Retry schedule for jobs whose attempt panicked.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts a job may consume, the first included. `1`
+    /// disables retries.
+    pub max_attempts: u32,
+    /// Base backoff; attempt `n`'s retry waits `base * 2^(n-2)` plus a
+    /// deterministic jitter in `[0, base)` derived from the job.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before re-queuing attempt `attempt` (2-based: the first
+    /// retry is attempt 2). Deterministic in `(seq, attempt)`, so a
+    /// replayed workload schedules identically.
+    fn backoff(&self, seq: u64, attempt: u32) -> Duration {
+        let exp = self.base_backoff_ms << attempt.saturating_sub(2).min(10);
+        let jitter = if self.base_backoff_ms == 0 {
+            0
+        } else {
+            splitmix64(seq ^ u64::from(attempt)) % self.base_backoff_ms
+        };
+        Duration::from_millis(exp + jitter)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A write end shared between the connection reader and the workers
 /// answering its jobs; each response line is written under the lock.
 type Out = Arc<Mutex<Box<dyn Write + Send>>>;
 
+#[derive(Clone)]
 struct Job {
     id: Option<u64>,
     req: VerifyRequest,
     token: CancelToken,
     out: Out,
     accepted: Instant,
+    /// 1-based attempt counter; bumped on each panic-triggered retry.
+    attempt: u32,
+    /// Server-assigned sequence number — the deterministic jitter seed.
+    seq: u64,
+    /// Per-job fault plan (`--enable-faults` only). The *same* plan
+    /// object rides through retries, so its hit counters persist and a
+    /// `panic:once` rule panics attempt 1 and lets the retry through.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
@@ -94,6 +179,25 @@ struct Shared {
     queue: JobQueue<Job>,
     shutdown: AtomicBool,
     default_timeout_ms: Option<u64>,
+    retry: RetryPolicy,
+    allow_faults: bool,
+    /// Monotone job sequence for retry jitter.
+    seq: AtomicU64,
+}
+
+impl Shared {
+    fn new(config: &ServerConfig) -> Arc<Shared> {
+        Arc::new(Shared {
+            metrics: Metrics::new(),
+            memo: Arc::new(BoundsMemo::new()),
+            queue: JobQueue::new(config.max_queue),
+            shutdown: AtomicBool::new(false),
+            default_timeout_ms: config.default_timeout_ms,
+            retry: config.retry,
+            allow_faults: config.allow_faults,
+            seq: AtomicU64::new(0),
+        })
+    }
 }
 
 /// A bound, not-yet-running server. [`Server::bind`] then
@@ -115,13 +219,7 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let jobs = effective_jobs(config.jobs);
-        let shared = Arc::new(Shared {
-            metrics: Metrics::new(),
-            memo: Arc::new(BoundsMemo::new()),
-            queue: JobQueue::new(config.max_queue),
-            shutdown: AtomicBool::new(false),
-            default_timeout_ms: config.default_timeout_ms,
-        });
+        let shared = Shared::new(config);
         shared.metrics.set_gauge("workers", jobs as i64);
         Ok(Server {
             listener,
@@ -156,12 +254,7 @@ impl Server {
     /// I/O errors from the accept loop (per-connection errors are
     /// contained, not fatal).
     pub fn run(self) -> std::io::Result<()> {
-        let workers: Vec<_> = (0..self.jobs)
-            .map(|_| {
-                let shared = Arc::clone(&self.shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        let supervisor = spawn_supervised_pool(Arc::clone(&self.shared), self.jobs);
         if let Some(every) = self.metrics_every {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || loop {
@@ -181,11 +274,10 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || handle_connection(stream, &shared, local));
         }
-        // Drain: no new jobs, workers finish everything accepted.
+        // Drain: no new jobs; the supervisor joins the workers (which
+        // finish everything accepted) and answers any leftovers.
         self.shared.queue.close();
-        for w in workers {
-            let _ = w.join();
-        }
+        let _ = supervisor.join();
         Ok(())
     }
 
@@ -197,20 +289,9 @@ impl Server {
     /// I/O errors reading stdin.
     pub fn run_stdio(config: &ServerConfig) -> std::io::Result<()> {
         let jobs = effective_jobs(config.jobs);
-        let shared = Arc::new(Shared {
-            metrics: Metrics::new(),
-            memo: Arc::new(BoundsMemo::new()),
-            queue: JobQueue::new(config.max_queue),
-            shutdown: AtomicBool::new(false),
-            default_timeout_ms: config.default_timeout_ms,
-        });
+        let shared = Shared::new(config);
         shared.metrics.set_gauge("workers", jobs as i64);
-        let workers: Vec<_> = (0..jobs)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        let supervisor = spawn_supervised_pool(Arc::clone(&shared), jobs);
         let out: Out = Arc::new(Mutex::new(Box::new(std::io::stdout())));
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
@@ -220,9 +301,7 @@ impl Server {
             }
         }
         shared.queue.close();
-        for w in workers {
-            let _ = w.join();
-        }
+        let _ = supervisor.join();
         Ok(())
     }
 }
@@ -328,6 +407,28 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
         }
         Request::Verify(req) => {
             shared.metrics.inc("requests_verify");
+            let faults = match &req.faults {
+                None => None,
+                Some(_) if !shared.allow_faults => {
+                    shared.metrics.inc("requests_invalid");
+                    write_line(
+                        out,
+                        &error_response(
+                            id,
+                            "fault injection is disabled (start the server with --enable-faults)",
+                        ),
+                    );
+                    return ControlFlow::Continue(());
+                }
+                Some(spec) => match FaultPlan::parse(spec) {
+                    Ok(plan) => Some(Arc::new(plan)),
+                    Err(msg) => {
+                        shared.metrics.inc("requests_invalid");
+                        write_line(out, &error_response(id, &format!("bad fault spec: {msg}")));
+                        return ControlFlow::Continue(());
+                    }
+                },
+            };
             let timeout_ms = req.timeout_ms.or(shared.default_timeout_ms);
             let token = match timeout_ms {
                 Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
@@ -339,14 +440,21 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                 token,
                 out: Arc::clone(out),
                 accepted: Instant::now(),
+                attempt: 1,
+                seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+                faults,
             };
             match shared.queue.try_push(job) {
                 Ok(()) => {
                     shared.metrics.move_gauge("queue_depth", 1);
                 }
-                Err(PushError::Full(job) | PushError::Closed(job)) => {
+                Err(PushError::Full(job)) => {
                     shared.metrics.inc("queue_rejected_total");
-                    write_line(&job.out, &rejected_response(job.id));
+                    write_line(&job.out, &rejected_response(job.id, "queue full"));
+                }
+                Err(PushError::Closed(job)) => {
+                    shared.metrics.inc("queue_rejected_total");
+                    write_line(&job.out, &rejected_response(job.id, "shutting down"));
                 }
             }
             ControlFlow::Continue(())
@@ -354,20 +462,165 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// Where a worker parks a copy of its in-flight job so the supervisor
+/// can recover it if the worker thread dies.
+type WorkerSlot = Arc<Mutex<Option<Job>>>;
+
+fn worker_loop(shared: &Arc<Shared>, slot: &WorkerSlot) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.move_gauge("queue_depth", -1);
+        *lock_unpoisoned(slot) = Some(job.clone());
         shared.metrics.move_gauge("in_flight", 1);
-        let response = run_verify_job(&job, shared);
-        write_line(&job.out, &response);
+        // The job's fault plan is armed *outside* the catch so that the
+        // hard-kill hook below escapes the per-job catch and kills the
+        // worker thread itself — exactly what the supervisor-recovery
+        // path is for. (The guard still unwinds cleanly with the
+        // thread.)
+        let guard = job.faults.clone().map(gpumc::fault::scoped);
+        let _ = gpumc::fault::hit(WORKER_HARD_KILL_POINT);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_verify_job(&job, shared)));
+        drop(guard);
         shared.metrics.move_gauge("in_flight", -1);
+        *lock_unpoisoned(slot) = None;
+        match outcome {
+            Ok(response) => write_line(&job.out, &response),
+            Err(payload) => handle_job_panic(job, &panic_message(&*payload), shared),
+        }
     }
+}
+
+fn lock_unpoisoned(slot: &WorkerSlot) -> std::sync::MutexGuard<'_, Option<Job>> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Maps a panic message to the protocol's failure classes.
+fn classify_panic(message: &str) -> &'static str {
+    let m = message.to_ascii_lowercase();
+    if m.contains("alloc") || m.contains("memory") || m.contains("oom") {
+        "oom"
+    } else {
+        "panic"
+    }
+}
+
+/// A job's attempt panicked (caught in the worker, or recovered from a
+/// dead worker by the supervisor): log, count, and either retry with
+/// backoff or answer `status:"failed"`.
+fn handle_job_panic(mut job: Job, message: &str, shared: &Arc<Shared>) {
+    shared.metrics.inc("worker_panics");
+    eprintln!(
+        "[gpumc-serve] job {:?} attempt {} panicked: {message}",
+        job.id, job.attempt
+    );
+    let retryable = job.attempt < shared.retry.max_attempts && job.token.check().is_none();
+    if retryable {
+        job.attempt += 1;
+        std::thread::sleep(shared.retry.backoff(job.seq, job.attempt));
+        shared.metrics.inc("jobs_retried");
+        match shared.queue.try_push(job) {
+            Ok(()) => {
+                shared.metrics.move_gauge("queue_depth", 1);
+                return;
+            }
+            Err(PushError::Full(j) | PushError::Closed(j)) => job = j,
+        }
+    }
+    shared.metrics.inc("jobs_failed");
+    let class = if job.token.check().is_some() {
+        "timeout"
+    } else {
+        classify_panic(message)
+    };
+    write_line(
+        &job.out,
+        &failed_response(job.id, class, message, job.attempt),
+    );
+}
+
+/// Spawns `jobs` workers under a supervisor thread. The supervisor
+/// recovers parked jobs from workers that died outside the per-job
+/// catch, respawns replacements while the queue is open, and — once the
+/// queue is closed and every worker has exited — answers any leftover
+/// queued jobs with `rejected` so nothing is silently dropped.
+fn spawn_supervised_pool(shared: Arc<Shared>, jobs: usize) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let spawn_worker = |shared: &Arc<Shared>| -> (WorkerSlot, JoinHandle<()>) {
+            let slot: WorkerSlot = Arc::new(Mutex::new(None));
+            let shared = Arc::clone(shared);
+            let slot2 = Arc::clone(&slot);
+            let handle = std::thread::spawn(move || worker_loop(&shared, &slot2));
+            (slot, handle)
+        };
+        let mut pool: Vec<(WorkerSlot, Option<JoinHandle<()>>)> = (0..jobs.max(1))
+            .map(|_| {
+                let (slot, h) = spawn_worker(&shared);
+                (slot, Some(h))
+            })
+            .collect();
+        loop {
+            let mut alive = 0;
+            for entry in &mut pool {
+                match &entry.1 {
+                    None => {}
+                    Some(h) if h.is_finished() => {
+                        let died = entry.1.take().expect("checked Some").join().is_err();
+                        if let Some(job) = lock_unpoisoned(&entry.0).take() {
+                            // The worker died with a job in flight; the
+                            // gauge decrement it never reached happens
+                            // here.
+                            shared.metrics.move_gauge("in_flight", -1);
+                            handle_job_panic(job, "worker thread died mid-job", &shared);
+                        }
+                        if died && !shared.queue.is_closed() {
+                            shared.metrics.inc("workers_respawned");
+                            let (slot, h) = spawn_worker(&shared);
+                            *entry = (slot, Some(h));
+                            alive += 1;
+                        }
+                    }
+                    Some(_) => alive += 1,
+                }
+            }
+            if shared.queue.is_closed() && alive == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // All workers have exited and the queue is closed. Anything
+        // still queued (possible only if the pool died during drain)
+        // gets a `rejected` answer instead of silence.
+        for job in shared.queue.drain_now() {
+            shared.metrics.inc("queue_rejected_total");
+            write_line(&job.out, &rejected_response(job.id, "shutting down"));
+        }
+    })
 }
 
 /// Runs one verify job to a response. Never panics on budget/deadline/
 /// cancellation: those surface as `status: unknown`.
 fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
     let req = &job.req;
+    match gpumc::fault::hit(gpumc::fault::points::SERVE_WORKER) {
+        Some(gpumc::fault::FaultSignal::SpuriousUnknown) => {
+            shared.metrics.inc("verdict_unknown");
+            let wall_us = job.accepted.elapsed().as_micros() as u64;
+            return unknown_response(job.id, "injected fault", wall_us);
+        }
+        Some(gpumc::fault::FaultSignal::AllocSpike(bytes)) => {
+            let _ = gpumc::fault::materialize_spike(bytes);
+        }
+        None => {}
+    }
     let program = match gpumc::parse_litmus(&req.source) {
         Ok(p) => p,
         Err(e) => {
@@ -395,6 +648,9 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
         .with_simplify(req.simplify);
     if let Some(budget) = req.budget {
         verifier = verifier.with_conflict_budget(budget);
+    }
+    if let Some(mb) = req.mem_budget_mb {
+        verifier = verifier.with_mem_budget_mb(mb);
     }
     let outcome = verifier.check_all(&program);
     let wall_us = job.accepted.elapsed().as_micros() as u64;

@@ -1,0 +1,61 @@
+//! Robustness properties for the request edge: byte-mangled protocol
+//! lines must never panic the JSON parser or the request decoder. A
+//! panic here would kill a connection thread on attacker-controlled
+//! input; the contract is `Ok(envelope)` or `Err(message)`, nothing
+//! else.
+
+use gpumc_serve::json::Json;
+use gpumc_serve::parse_request;
+use proptest::prelude::*;
+
+/// Near-valid request lines to mutate: these reach much deeper decoder
+/// states (escape handling, nested objects, field typing) than noise.
+const SEEDS: &[&str] = &[
+    r#"{"id":1,"verb":"ping"}"#,
+    r#"{"id":2,"verb":"verify","source":"PTX T\n{ x = 0; }\nP0@cta 0,gpu 0 ;\nld.relaxed.gpu r0, x ;\nexists (P0:r0 == 0)","bound":2}"#,
+    r#"{"id":3,"verb":"verify","source":"PTX \"q\" \\ \t","model":"ptx-v7.5","timeout_ms":100,"budget":50,"mem_budget_mb":64,"faults":"serve.worker:panic:p=0.5:seed=1","simplify":false}"#,
+    r#"{"verb":"metrics"}"#,
+];
+
+fn mangle(seed: &str, edits: &[(usize, u8)]) -> String {
+    let mut bytes = seed.as_bytes().to_vec();
+    for &(pos, byte) in edits {
+        if bytes.is_empty() {
+            bytes.push(byte);
+            continue;
+        }
+        let pos = pos % (bytes.len() + 1);
+        match byte % 3 {
+            0 if pos < bytes.len() => bytes[pos] ^= byte,
+            1 => bytes.insert(pos, byte),
+            _ if pos < bytes.len() => {
+                bytes.remove(pos);
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// Mangled near-valid request lines never panic the decoder.
+    #[test]
+    fn mangled_requests_never_panic(
+        seed in 0usize..4,
+        edits in proptest::collection::vec((0usize..512, any::<u8>()), 1..10),
+    ) {
+        let line = mangle(SEEDS[seed], &edits);
+        let _ = parse_request(&line);
+        let _ = Json::parse(&line);
+    }
+
+    /// Pure noise never panics the JSON layer.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Json::parse(&line);
+        let _ = parse_request(&line);
+    }
+}

@@ -46,6 +46,7 @@ fn concurrent_requests_match_batch_verdicts_and_metrics_add_up() {
         max_queue: 256,
         default_timeout_ms: None,
         metrics_every_secs: None,
+        ..ServerConfig::default()
     });
 
     // The workload: every figure test, cycled up to 50 requests.
@@ -150,6 +151,7 @@ fn one_ms_deadline_returns_unknown_and_the_worker_survives() {
         max_queue: 16,
         default_timeout_ms: None,
         metrics_every_secs: None,
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(&addr).unwrap();
 
@@ -201,6 +203,7 @@ fn full_queue_rejects_with_backpressure() {
         max_queue: 1,
         default_timeout_ms: Some(10_000),
         metrics_every_secs: None,
+        ..ServerConfig::default()
     });
 
     // Pipeline a burst on a raw socket (the Client type is strictly
@@ -260,6 +263,7 @@ fn bad_requests_get_error_responses_not_disconnects() {
         max_queue: 4,
         default_timeout_ms: None,
         metrics_every_secs: None,
+        ..ServerConfig::default()
     });
     let stream = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
