@@ -39,12 +39,17 @@ OPTIONS (verify):
                          exceeding it answers `unknown` and exits 3
     --no-simplify        disable SatELite-style CNF simplification of
                          the SAT encoding (on by default)
+    --portfolio <n|auto> race N diversified solvers per query with
+                         lock-free learnt-clause sharing and a
+                         cube-and-conquer fallback (default: off;
+                         `auto` engages on expensive encodings)
     --witness            print the witness execution graph
 
 OPTIONS (suite):
     --jobs <n>           worker threads (default and 0: all cores; 1 = serial)
     --engine <e>         sat | enumerate | alloy  (default: sat)
     --model <name>       model override (default: per-test, from dialect)
+    --portfolio <n|auto> portfolio solve mode per test (default: off)
     --thorough           also cross-check a secondary property per test,
                          answered from one incremental solver session
 
@@ -315,6 +320,11 @@ fn suite(args: &[String]) -> Result<ExitCode, String> {
                 config.model =
                     Some(ModelKind::from_name(m).ok_or_else(|| format!("unknown model `{m}`"))?);
             }
+            "--portfolio" => {
+                config.portfolio = gpumc::gpumc_sat::ParallelPolicy::parse(
+                    it.next().ok_or("--portfolio needs a value")?,
+                )?
+            }
             "--thorough" => config.thorough = true,
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -346,6 +356,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut all = false;
     let mut fresh = false;
     let mut simplify = true;
+    let mut portfolio = gpumc::gpumc_sat::ParallelPolicy::Off;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -383,6 +394,11 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                         .map_err(|_| "bad --mem-budget-mb")?,
                 )
             }
+            "--portfolio" => {
+                portfolio = gpumc::gpumc_sat::ParallelPolicy::parse(
+                    it.next().ok_or("--portfolio needs a value")?,
+                )?
+            }
             "--witness" => show_witness = true,
             "--all" => all = true,
             "--fresh" => fresh = true,
@@ -409,7 +425,8 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         .with_engine(engine)
         .with_bound(bound)
         .with_incremental(!fresh)
-        .with_simplify(simplify);
+        .with_simplify(simplify)
+        .with_parallel(portfolio);
     if let Some(ms) = timeout_ms {
         verifier = verifier.with_cancel_token(gpumc::gpumc_sat::CancelToken::with_timeout(
             std::time::Duration::from_millis(ms),
@@ -568,6 +585,24 @@ fn verify_all(
             sp.clauses_subsumed,
             sp.clauses_strengthened,
             sp.time_us as f64 / 1000.0
+        );
+    }
+    if let Some(p) = &o.portfolio {
+        eprintln!(
+            "  portfolio: {} workers, winner {}, {} clauses exported, {} imported{}",
+            p.workers,
+            p.winner.map_or("none".to_string(), |w| w.to_string()),
+            p.exported,
+            p.imported,
+            if p.cube_fallback {
+                format!(
+                    ", cube fallback ({} cubes, winner {})",
+                    p.cubes,
+                    p.cube_winner.map_or("none".to_string(), |w| w.to_string())
+                )
+            } else {
+                String::new()
+            }
         );
     }
     eprintln!("total {:.1} ms", o.total_time_us as f64 / 1000.0);

@@ -245,6 +245,10 @@ pub struct FullOutcome {
     /// Wall-clock time of the whole `check_all`, including compilation
     /// and encoding, in microseconds.
     pub total_time_us: u128,
+    /// Aggregate portfolio-solve statistics across the queries, or
+    /// `None` when every query solved sequentially (policy off, `Auto`
+    /// below its size threshold, or the fresh/enumeration path).
+    pub portfolio: Option<gpumc_sat::PortfolioStats>,
 }
 
 impl FullOutcome {
@@ -294,6 +298,7 @@ pub struct Verifier {
     cancel: Option<gpumc_sat::CancelToken>,
     conflict_budget: Option<u64>,
     mem_budget_mb: Option<u64>,
+    parallel: gpumc_sat::ParallelPolicy,
 }
 
 impl Verifier {
@@ -315,6 +320,7 @@ impl Verifier {
             cancel: None,
             conflict_budget: None,
             mem_budget_mb: None,
+            parallel: gpumc_sat::ParallelPolicy::Off,
         }
     }
 
@@ -405,6 +411,16 @@ impl Verifier {
     /// escape hatch of the CLI and server map here.
     pub fn with_simplify(mut self, simplify: bool) -> Verifier {
         self.simplify = simplify;
+        self
+    }
+
+    /// Selects the parallel solve strategy (builder style; off by
+    /// default). [`gpumc_sat::ParallelPolicy::Portfolio`] races N
+    /// diversified solvers with lock-free clause sharing and a
+    /// cube-and-conquer fallback; `Auto` engages the portfolio only
+    /// when the encoded CNF looks expensive enough to pay for it.
+    pub fn with_parallel(mut self, policy: gpumc_sat::ParallelPolicy) -> Verifier {
+        self.parallel = policy;
         self
     }
 
@@ -679,6 +695,7 @@ impl Verifier {
             simplify: session.simplify_stats(),
             phases,
             total_time_us: total.elapsed().as_micros(),
+            portfolio: session.portfolio_stats(),
         })
     }
 
@@ -702,6 +719,7 @@ impl Verifier {
             simplify: None,
             phases: PhaseTimings::default(),
             total_time_us: total.elapsed().as_micros(),
+            portfolio: None,
         })
     }
 
@@ -728,6 +746,7 @@ impl Verifier {
                     .unwrap_or(usize::MAX)
                     .saturating_mul(1 << 20)
             }),
+            parallel: self.parallel,
             ..EncodeOptions::default()
         }
     }

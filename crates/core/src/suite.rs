@@ -90,6 +90,9 @@ pub struct SuiteConfig {
     /// incremental solver session as the primary. SAT engine only;
     /// secondary verdicts never affect pass/fail.
     pub thorough: bool,
+    /// Parallel solve strategy applied to every test's verifier
+    /// (off / portfolio(N) / auto). SAT engine only.
+    pub portfolio: gpumc_sat::ParallelPolicy,
 }
 
 impl Default for SuiteConfig {
@@ -100,6 +103,7 @@ impl Default for SuiteConfig {
             model: None,
             enum_cap: None,
             thorough: false,
+            portfolio: gpumc_sat::ParallelPolicy::Off,
         }
     }
 }
@@ -346,7 +350,8 @@ impl SuiteRunner {
         let mut v = Verifier::new(gpumc_models::load_shared(kind))
             .with_bound(t.bound)
             .with_engine(self.config.engine.clone())
-            .with_bounds_memo(Arc::clone(&memo));
+            .with_bounds_memo(Arc::clone(&memo))
+            .with_parallel(self.config.portfolio);
         if let Some(cap) = self.config.enum_cap {
             v = v.with_enumeration_cap(cap);
         }

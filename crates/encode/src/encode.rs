@@ -37,6 +37,10 @@ pub struct EncodeOptions {
     /// build stages so an encoding blow-up aborts with a classified
     /// [`EncodeError::Unknown`] instead of exhausting the host.
     pub mem_budget_bytes: Option<usize>,
+    /// How queries on the encoding are solved: sequentially, with a
+    /// diversified portfolio, or decided per query from the encoding's
+    /// size (`Auto`). See [`gpumc_sat::ParallelPolicy`].
+    pub parallel: gpumc_sat::ParallelPolicy,
 }
 
 impl Default for EncodeOptions {
@@ -48,6 +52,7 @@ impl Default for EncodeOptions {
             trace: false,
             cancel: None,
             mem_budget_bytes: None,
+            parallel: gpumc_sat::ParallelPolicy::Off,
         }
     }
 }
@@ -193,6 +198,7 @@ fn build<'g>(
         simplify_stats: None,
         bounds_us: 0,
         encode_us: 0,
+        portfolio: None,
     };
     let t0 = Instant::now();
     enc.build()?;
@@ -248,6 +254,9 @@ pub struct Encoding<'g> {
     bounds_us: u64,
     /// Time spent building the SAT encoding, microseconds.
     encode_us: u64,
+    /// Aggregate portfolio statistics across every parallel query run on
+    /// this encoding (`None` until a portfolio solve happens).
+    portfolio: Option<gpumc_sat::PortfolioStats>,
 }
 
 impl<'g> Encoding<'g> {
@@ -1421,8 +1430,43 @@ impl<'g> Encoding<'g> {
         act
     }
 
+    /// Portfolio workers used when [`gpumc_sat::ParallelPolicy::Auto`]
+    /// decides a query is worth parallelizing.
+    const AUTO_WORKERS: u32 = 4;
+    /// `Auto` races a portfolio only above this many problem clauses.
+    /// The clause count is the bounds-pruned cost predictor: it is a
+    /// direct function of the relation-analysis upper bounds (served
+    /// from the `BoundsMemo`), which determine how many rf/co pairs the
+    /// encoding materializes. Below the threshold thread setup dominates
+    /// any conceivable solve-time win.
+    const AUTO_CLAUSE_THRESHOLD: usize = 3_000;
+
+    /// Resolves the configured [`gpumc_sat::ParallelPolicy`] for the next
+    /// query: `None` means solve sequentially.
+    fn portfolio_config(&self) -> Option<gpumc_sat::PortfolioConfig> {
+        use gpumc_sat::ParallelPolicy;
+        match self.opts.parallel {
+            ParallelPolicy::Off => None,
+            ParallelPolicy::Portfolio(n) if n >= 2 => {
+                Some(gpumc_sat::PortfolioConfig::with_workers(n))
+            }
+            ParallelPolicy::Portfolio(_) => None,
+            ParallelPolicy::Auto => (self.num_clauses() >= Self::AUTO_CLAUSE_THRESHOLD)
+                .then(|| gpumc_sat::PortfolioConfig::with_workers(Self::AUTO_WORKERS)),
+        }
+    }
+
     fn solve_and_decode(&mut self, act: Lit) -> Result<QueryResult<'g>, EncodeError> {
-        let result = self.f.solve_with_assumptions(&[act]);
+        let result = match self.portfolio_config() {
+            None => self.f.solve_with_assumptions(&[act]),
+            Some(cfg) => {
+                let (result, stats) = self.f.solve_parallel(&[act], &cfg);
+                self.portfolio
+                    .get_or_insert_with(Default::default)
+                    .absorb(&stats);
+                result
+            }
+        };
         if let Some(interrupt) = result.interrupt() {
             return Err(EncodeError::Unknown(interrupt.to_string()));
         }
@@ -1547,6 +1591,17 @@ impl<'g> Encoding<'g> {
     /// disabled via [`EncodeOptions::simplify`].
     pub fn simplify_stats(&self) -> Option<gpumc_sat::SimplifyStats> {
         self.simplify_stats
+    }
+
+    /// Overrides the parallel-solve policy for subsequent queries.
+    pub fn set_parallel(&mut self, policy: gpumc_sat::ParallelPolicy) {
+        self.opts.parallel = policy;
+    }
+
+    /// Aggregate portfolio statistics over every parallel query run on
+    /// this encoding so far; `None` when no query used the portfolio.
+    pub fn portfolio_stats(&self) -> Option<gpumc_sat::PortfolioStats> {
+        self.portfolio
     }
 
     /// Microseconds spent computing relation-analysis bounds for this

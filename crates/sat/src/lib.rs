@@ -31,13 +31,15 @@
 pub mod bv;
 mod cancel;
 mod heap;
+pub mod portfolio;
 mod simplify;
 mod solver;
 mod tseitin;
 
 pub use cancel::{CancelToken, Interrupt};
+pub use portfolio::{ParallelPolicy, PortfolioConfig, PortfolioStats};
 pub use simplify::SimplifyStats;
-pub use solver::{SolveResult, Solver, Stats};
+pub use solver::{SearchParams, SolveResult, Solver, Stats};
 pub use tseitin::Formula;
 
 /// A propositional variable, numbered from zero.

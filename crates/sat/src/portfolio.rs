@@ -1,0 +1,862 @@
+//! Portfolio parallel solving with lock-free clause sharing and a
+//! cube-and-conquer fallback.
+//!
+//! [`solve_portfolio`] races N diversified clones of one [`Solver`] on the
+//! same clause database. Each racer gets its own [`SearchParams`] (restart
+//! interval, VSIDS decay, default phase, decision seed); the first racer to
+//! reach a definitive answer cancels the rest through a shared race
+//! [`CancelToken`] and its entire solver state is adopted back into the
+//! caller, so follow-up queries keep the winner's learnt clauses.
+//!
+//! Racers exchange learnt clauses through a [`ClauseRing`]: a fixed-capacity
+//! array of write-once slots. A producer claims a slot index with one
+//! `fetch_add` and publishes through `OnceLock::set`; consumers keep private
+//! cursors and read with `OnceLock::get`. No locks, no retries, and a full
+//! ring degrades to "stop sharing", never to blocking. Clauses with glue ≤ 2
+//! are shared first; a racer that learns nothing shareable for a while
+//! widens its own export threshold adaptively.
+//!
+//! When every racer exhausts the conflict budget, the caller can fall back
+//! to cube-and-conquer: split on the top-VSIDS variables of the most
+//! informed racer, solve the 2^k cubes on a bounded worker pool (each cube
+//! under the same per-call budgets and the caller's cancel token), and merge
+//! deterministically — any SAT cube wins, all-UNSAT proves UNSAT, anything
+//! else stays Unknown.
+//!
+//! Verdict soundness: every learnt clause is derived by resolution from the
+//! shared database, so imports can never change satisfiability, and
+//! Sat/Unsat is a property of the formula — whichever racer answers first
+//! agrees with a sequential solve.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::cancel::{CancelToken, Interrupt};
+use crate::solver::{splitmix64, SearchParams, SolveResult, Solver};
+use crate::{Lit, Var};
+
+/// How (and whether) a query is solved in parallel. Plumbed from the CLI /
+/// serve request down to [`solve_portfolio`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelPolicy {
+    /// Plain sequential solving (the default).
+    #[default]
+    Off,
+    /// Race this many diversified solvers on every query.
+    Portfolio(u32),
+    /// Decide per query from the predicted cost of the encoding (the
+    /// bounds-pruned clause count): portfolio for large formulas,
+    /// sequential for the long tail of tiny ones where thread setup
+    /// dominates.
+    Auto,
+}
+
+impl ParallelPolicy {
+    /// Parses a CLI/request value: `off`, `auto`, or a worker count.
+    pub fn parse(s: &str) -> Result<ParallelPolicy, String> {
+        match s {
+            "off" | "0" | "1" => Ok(ParallelPolicy::Off),
+            "auto" => Ok(ParallelPolicy::Auto),
+            _ => s
+                .parse::<u32>()
+                .map(ParallelPolicy::Portfolio)
+                .map_err(|_| format!("invalid portfolio value `{s}` (want off, auto, or N)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelPolicy::Off => write!(f, "off"),
+            ParallelPolicy::Portfolio(n) => write!(f, "portfolio({n})"),
+            ParallelPolicy::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Tuning for one portfolio solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Number of racers. `<= 1` degrades to a plain sequential solve.
+    pub workers: u32,
+    /// Cube-and-conquer split depth (2^depth cubes) used when the whole
+    /// race blows the conflict budget; 0 disables the fallback.
+    pub cube_depth: u32,
+    /// Initial export glue threshold ("share glue ≤ 2 first").
+    pub share_glue_init: u32,
+    /// Ceiling for adaptive widening of the export threshold.
+    pub share_glue_max: u32,
+    /// Capacity of the shared clause ring, in clauses.
+    pub ring_capacity: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> PortfolioConfig {
+        PortfolioConfig {
+            workers: 4,
+            cube_depth: 3,
+            share_glue_init: 2,
+            share_glue_max: 6,
+            ring_capacity: 1 << 14,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// A config with `n` racers and the default exchange tuning.
+    pub fn with_workers(n: u32) -> PortfolioConfig {
+        PortfolioConfig {
+            workers: n,
+            ..PortfolioConfig::default()
+        }
+    }
+}
+
+/// What a portfolio solve did, for benches, `table6 --json`, and the serve
+/// metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Racers launched (1 means the call degraded to sequential).
+    pub workers: u32,
+    /// Index of the racer whose definitive answer was adopted.
+    pub winner: Option<u32>,
+    /// Learnt clauses published to the exchange ring(s).
+    pub exported: u64,
+    /// Foreign clauses imported by racers across the ring(s).
+    pub imported: u64,
+    /// Whether the cube-and-conquer fallback ran.
+    pub cube_fallback: bool,
+    /// Number of cubes solved by the fallback.
+    pub cubes: u32,
+    /// Index of the SAT cube, when the fallback found a model.
+    pub cube_winner: Option<u32>,
+}
+
+impl PortfolioStats {
+    /// Folds another solve's stats into an aggregate (counters add,
+    /// winner fields keep the most recent answer).
+    pub fn absorb(&mut self, o: &PortfolioStats) {
+        self.workers = self.workers.max(o.workers);
+        self.exported += o.exported;
+        self.imported += o.imported;
+        self.cube_fallback |= o.cube_fallback;
+        self.cubes += o.cubes;
+        if o.winner.is_some() {
+            self.winner = o.winner;
+        }
+        if o.cube_winner.is_some() {
+            self.cube_winner = o.cube_winner;
+        }
+    }
+}
+
+/// The lock-free learnt-clause exchange: a fixed array of write-once
+/// slots. `head` hands out unique slot indices; a slot is readable once
+/// its `OnceLock` is set. Producers never block (a full ring just stops
+/// the exchange) and consumers never observe a torn clause.
+pub(crate) struct ClauseRing {
+    slots: Vec<OnceLock<(u32, u32, Vec<Lit>)>>,
+    head: AtomicUsize,
+    exported: AtomicU64,
+    imported: AtomicU64,
+}
+
+impl ClauseRing {
+    fn new(capacity: usize) -> ClauseRing {
+        ClauseRing {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            head: AtomicUsize::new(0),
+            exported: AtomicU64::new(0),
+            imported: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes one clause; `false` once the ring is full (the producer
+    /// should stop exporting).
+    fn publish(&self, worker: u32, glue: u32, lits: Vec<Lit>) -> bool {
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        if i >= self.slots.len() {
+            return false;
+        }
+        // The index is uniquely ours, so the set cannot race.
+        let _ = self.slots[i].set((worker, glue, lits));
+        self.exported.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Every clause currently published (test/trace hook).
+    fn snapshot(&self) -> Vec<Vec<Lit>> {
+        let limit = self.head.load(Ordering::Acquire).min(self.slots.len());
+        self.slots[..limit]
+            .iter()
+            .filter_map(|s| s.get().map(|(_, _, lits)| lits.clone()))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ClauseRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClauseRing")
+            .field("capacity", &self.slots.len())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Export widening: after this many conflicts without anything shareable,
+/// raise the glue threshold by one (up to the config ceiling).
+const WIDEN_AFTER: u64 = 512;
+
+/// One racer's endpoint of the exchange, stored inside its [`Solver`].
+/// Also carries the caller's cancel token so racers observe external
+/// cancellation as well as the race's first-winner cancel.
+#[derive(Debug, Clone)]
+pub(crate) struct ExchangeLink {
+    ring: Arc<ClauseRing>,
+    worker: u32,
+    cursor: usize,
+    glue_limit: u32,
+    glue_max: u32,
+    stalled: u64,
+    full: bool,
+    external: Option<CancelToken>,
+}
+
+impl ExchangeLink {
+    fn new(
+        ring: Arc<ClauseRing>,
+        worker: u32,
+        glue_init: u32,
+        glue_max: u32,
+        external: Option<CancelToken>,
+    ) -> ExchangeLink {
+        ExchangeLink {
+            ring,
+            worker,
+            cursor: 0,
+            glue_limit: glue_init,
+            glue_max,
+            stalled: 0,
+            full: false,
+            external,
+        }
+    }
+
+    /// Called once per learnt clause: publishes it when the glue is under
+    /// the current threshold, and widens the threshold when nothing has
+    /// been shareable for a while.
+    pub(crate) fn maybe_export(&mut self, lits: &[Lit], glue: u32) {
+        if self.full || lits.is_empty() {
+            return;
+        }
+        if glue > self.glue_limit {
+            self.stalled += 1;
+            if self.stalled >= WIDEN_AFTER && self.glue_limit < self.glue_max {
+                self.glue_limit += 1;
+                self.stalled = 0;
+            }
+            return;
+        }
+        self.stalled = 0;
+        if !self.ring.publish(self.worker, glue, lits.to_vec()) {
+            self.full = true;
+        }
+    }
+
+    /// Next foreign clause after this racer's private cursor, if any.
+    /// Stops at a claimed-but-unwritten slot to preserve publication
+    /// order; that slot is retried on the next import round.
+    pub(crate) fn next_import(&mut self) -> Option<(Vec<Lit>, u32)> {
+        let limit = self
+            .ring
+            .head
+            .load(Ordering::Acquire)
+            .min(self.ring.slots.len());
+        while self.cursor < limit {
+            let (from, glue, lits) = self.ring.slots[self.cursor].get()?;
+            self.cursor += 1;
+            if *from == self.worker {
+                continue;
+            }
+            self.ring.imported.fetch_add(1, Ordering::Relaxed);
+            return Some((lits.clone(), *glue));
+        }
+        None
+    }
+
+    /// Polls the caller's token (the racer's own `cancel` is the race
+    /// token, which does not mirror external cancellation flags).
+    pub(crate) fn external_stop(&self, poll_clock: bool) -> Option<Interrupt> {
+        self.external
+            .as_ref()
+            .and_then(|t| t.should_stop(poll_clock))
+    }
+}
+
+/// Search heuristics for racer `i`: racer 0 keeps the caller's own
+/// parameters (so the portfolio is never heuristically worse than a
+/// sequential solve), the rest sweep the diversification axes.
+fn diversified(base: SearchParams, i: u32) -> SearchParams {
+    if i == 0 {
+        return base;
+    }
+    const RESTARTS: [u64; 6] = [64, 128, 16, 256, 32, 512];
+    const DECAYS: [f64; 6] = [0.90, 0.99, 0.85, 0.95, 0.93, 0.97];
+    let j = (i as usize - 1) % RESTARTS.len();
+    SearchParams {
+        restart_base: RESTARTS[j],
+        var_decay: DECAYS[j],
+        default_polarity: i % 2 == 1,
+        seed: splitmix64(0xc0ffee ^ u64::from(i)) | 1,
+    }
+}
+
+enum Outcome {
+    Done(SolveResult, Box<Solver>),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+fn definitive(r: SolveResult) -> bool {
+    matches!(r, SolveResult::Sat | SolveResult::Unsat)
+}
+
+/// Merges the interrupts of answerless racers: budget exhaustion
+/// dominates (it enables the cube fallback), then external causes, and
+/// race-cancellation artifacts come last.
+fn merge_interrupts(interrupts: &[Interrupt]) -> Interrupt {
+    for want in [
+        Interrupt::ConflictBudget,
+        Interrupt::DeadlineExpired,
+        Interrupt::MemBudget,
+        Interrupt::Injected,
+    ] {
+        if interrupts.contains(&want) {
+            return want;
+        }
+    }
+    Interrupt::Cancelled
+}
+
+/// Solves `solver`'s database under `assumptions` with a diversified
+/// portfolio (and cube-and-conquer fallback, if configured). On a
+/// definitive answer the winning racer's state replaces `solver`'s, so
+/// models and follow-up incremental queries behave exactly as after a
+/// sequential solve.
+pub fn solve_portfolio(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+) -> (SolveResult, PortfolioStats) {
+    let (result, stats, _rings) = portfolio_impl(solver, assumptions, config);
+    (result, stats)
+}
+
+/// Like [`solve_portfolio`], additionally returning every clause that was
+/// published to the exchange ring(s) — the hook for the clause-sharing
+/// soundness proptest (each returned clause must be implied by the
+/// original CNF).
+#[doc(hidden)]
+pub fn solve_portfolio_traced(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+) -> (SolveResult, PortfolioStats, Vec<Vec<Lit>>) {
+    let (result, stats, rings) = portfolio_impl(solver, assumptions, config);
+    let shared = rings.iter().flat_map(|r| r.snapshot()).collect();
+    (result, stats, shared)
+}
+
+fn portfolio_impl(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+) -> (SolveResult, PortfolioStats, Vec<Arc<ClauseRing>>) {
+    let n = config.workers;
+    if n <= 1 {
+        let r = solver.solve_with_assumptions(assumptions);
+        let stats = PortfolioStats {
+            workers: 1,
+            winner: definitive(r).then_some(0),
+            ..PortfolioStats::default()
+        };
+        return (r, stats, Vec::new());
+    }
+    let mut stats = PortfolioStats {
+        workers: n,
+        ..PortfolioStats::default()
+    };
+    solver.clear_model();
+
+    let external = solver.cancel_token().cloned();
+    // The race token is what racers poll as their own `cancel`: the first
+    // definitive answer fires it. An external deadline is copied in so
+    // racers honour it on the cheap per-conflict path too.
+    let race = match external.as_ref().and_then(|t| t.deadline()) {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    let ring = Arc::new(ClauseRing::new(config.ring_capacity));
+    // Scoped fault plans are thread-local; capture the current one and
+    // re-arm it inside every racer so injected faults reach them.
+    let plan = gpumc_fault::current_plan();
+
+    let mut racers = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let mut w = solver.clone();
+        w.set_search_params(diversified(solver.search_params(), i));
+        w.set_cancel_token(Some(race.clone()));
+        w.set_exchange(Some(ExchangeLink::new(
+            Arc::clone(&ring),
+            i,
+            config.share_glue_init,
+            config.share_glue_max,
+            external.clone(),
+        )));
+        racers.push(w);
+    }
+
+    let outcomes: Vec<Outcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = racers
+            .into_iter()
+            .map(|mut w| {
+                let race = &race;
+                let plan = plan.clone();
+                s.spawn(move || {
+                    let _guard = plan.map(gpumc_fault::scoped);
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        w.solve_with_assumptions(assumptions)
+                    }));
+                    match caught {
+                        Ok(r) => {
+                            if definitive(r) {
+                                race.cancel();
+                            }
+                            Outcome::Done(r, Box::new(w))
+                        }
+                        Err(p) => Outcome::Panicked(p),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("racer catches its own panics"))
+            .collect()
+    });
+
+    stats.exported = ring.exported.load(Ordering::Relaxed);
+    stats.imported = ring.imported.load(Ordering::Relaxed);
+
+    let mut winner: Option<(u32, SolveResult, Box<Solver>)> = None;
+    let mut interrupts: Vec<Interrupt> = Vec::new();
+    let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+    // The answerless racer whose solver seeds the cube split (warm VSIDS
+    // activity and learnt clauses), lowest index first.
+    let mut cube_base: Option<Box<Solver>> = None;
+    for (i, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Outcome::Done(r, w) if definitive(r) => match &winner {
+                None => winner = Some((i as u32, r, w)),
+                Some((_, r0, _)) => {
+                    assert_eq!(*r0, r, "portfolio racers disagree on a definitive verdict")
+                }
+            },
+            Outcome::Done(SolveResult::Unknown(int), w) => {
+                interrupts.push(int);
+                if cube_base.is_none() {
+                    cube_base = Some(w);
+                }
+            }
+            Outcome::Done(..) => unreachable!("non-definitive results are Unknown"),
+            Outcome::Panicked(p) => panics.push(p),
+        }
+    }
+
+    if let Some((i, r, w)) = winner {
+        stats.winner = Some(i);
+        solver.adopt_from_portfolio(*w);
+        return (r, stats, vec![ring]);
+    }
+    if interrupts.is_empty() {
+        // Every racer died: nothing proved anything, so the failure must
+        // not be swallowed into an Unknown.
+        let p = panics
+            .pop()
+            .expect("no answers and no panics is impossible");
+        std::panic::resume_unwind(p);
+    }
+    let merged = merge_interrupts(&interrupts);
+    if merged == Interrupt::ConflictBudget && config.cube_depth > 0 {
+        let base = cube_base.expect("ConflictBudget implies an answerless racer");
+        let (r, cube_ring) = solve_cubes(solver, &base, assumptions, config, external, &mut stats);
+        let mut rings = vec![ring];
+        if let Some(cr) = cube_ring {
+            stats.exported = stats
+                .exported
+                .saturating_add(cr.exported.load(Ordering::Relaxed));
+            stats.imported = stats
+                .imported
+                .saturating_add(cr.imported.load(Ordering::Relaxed));
+            rings.push(cr);
+        }
+        return (r, stats, rings);
+    }
+    (SolveResult::Unknown(merged), stats, vec![ring])
+}
+
+enum CubeOutcome {
+    Done(SolveResult, Option<Box<Solver>>),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Cube-and-conquer fallback: split on the top-VSIDS variables of `base`
+/// (the most informed budget-blown racer), solve each cube on a bounded
+/// pool with per-cube budget/cancel guards, and merge deterministically.
+fn solve_cubes(
+    caller: &mut Solver,
+    base: &Solver,
+    assumptions: &[Lit],
+    config: &PortfolioConfig,
+    external: Option<CancelToken>,
+    stats: &mut PortfolioStats,
+) -> (SolveResult, Option<Arc<ClauseRing>>) {
+    let assumed: Vec<Var> = assumptions.iter().map(|l| l.var()).collect();
+    let split = base.top_vsids_vars(config.cube_depth as usize, &assumed);
+    if split.is_empty() {
+        return (SolveResult::Unknown(Interrupt::ConflictBudget), None);
+    }
+    let n_cubes = 1u32 << split.len();
+    stats.cube_fallback = true;
+    stats.cubes = n_cubes;
+
+    // Cube i forces split[j] to the value of bit j — a fixed, exhaustive
+    // cover, so all-UNSAT is a proof of UNSAT under the assumptions.
+    let cubes: Vec<Vec<Lit>> = (0..n_cubes)
+        .map(|mask| {
+            let mut lits = assumptions.to_vec();
+            lits.extend(
+                split
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| Lit::new(v, mask >> j & 1 == 1)),
+            );
+            lits
+        })
+        .collect();
+
+    let race = match external.as_ref().and_then(|t| t.deadline()) {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    let ring = Arc::new(ClauseRing::new(config.ring_capacity));
+    let plan = gpumc_fault::current_plan();
+    let jobs = (config.workers as usize).min(cubes.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CubeOutcome>>> =
+        (0..cubes.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let race = &race;
+            let ring = &ring;
+            let cubes = &cubes;
+            let slots = &slots;
+            let cursor = &cursor;
+            let external = &external;
+            let plan = plan.clone();
+            s.spawn(move || {
+                let _guard = plan.map(gpumc_fault::scoped);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= cubes.len() {
+                        break;
+                    }
+                    let mut w = base.clone();
+                    w.set_cancel_token(Some(race.clone()));
+                    w.set_exchange(Some(ExchangeLink::new(
+                        Arc::clone(ring),
+                        i as u32,
+                        config.share_glue_init,
+                        config.share_glue_max,
+                        external.clone(),
+                    )));
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        w.solve_with_assumptions(&cubes[i])
+                    }));
+                    let out = match caught {
+                        Ok(r) => {
+                            if r.is_sat() {
+                                // A model ends the whole fallback; UNSAT
+                                // cubes must all finish, so only SAT
+                                // cancels.
+                                race.cancel();
+                            }
+                            CubeOutcome::Done(r, r.is_sat().then(|| Box::new(w)))
+                        }
+                        Err(p) => CubeOutcome::Panicked(p),
+                    };
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                }
+            });
+        }
+    });
+
+    // Deterministic merge, in cube order: first SAT wins; a panic voids
+    // any UNSAT proof; all-UNSAT is UNSAT; otherwise the merged Unknown.
+    let mut interrupts: Vec<Interrupt> = Vec::new();
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut all_unsat = true;
+    for (i, slot) in slots.into_iter().enumerate() {
+        let out = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("every cube slot is filled");
+        match out {
+            CubeOutcome::Done(SolveResult::Sat, w) => {
+                stats.cube_winner = Some(i as u32);
+                caller.adopt_from_portfolio(*w.expect("SAT cube keeps its solver"));
+                return (SolveResult::Sat, Some(ring));
+            }
+            CubeOutcome::Done(SolveResult::Unsat, _) => {}
+            CubeOutcome::Done(SolveResult::Unknown(int), _) => {
+                all_unsat = false;
+                interrupts.push(int);
+            }
+            CubeOutcome::Panicked(p) => {
+                all_unsat = false;
+                first_panic.get_or_insert(p);
+            }
+        }
+    }
+    if all_unsat {
+        return (SolveResult::Unsat, Some(ring));
+    }
+    if interrupts.is_empty() {
+        // No model, and the UNSAT cover has a hole torn by a panic: the
+        // failure is the only honest outcome.
+        std::panic::resume_unwind(first_panic.expect("non-UNSAT without interrupts has a panic"));
+    }
+    (
+        SolveResult::Unknown(merge_interrupts(&interrupts)),
+        Some(ring),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_lit()).collect()
+    }
+
+    /// 7 pigeons into 6 holes: hard enough to exercise sharing/restarts.
+    fn hard_unsat_instance() -> Solver {
+        let mut s = Solver::new();
+        let n = 7;
+        let m = 6;
+        let p: Vec<Vec<Lit>> = (0..n).map(|_| lits(&mut s, m)).collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        s
+    }
+
+    fn random_cnf(seed: u64, nvars: usize, nclauses: usize) -> (Solver, Vec<Vec<Lit>>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut s = Solver::new();
+        let vs = lits(&mut s, nvars);
+        let mut clauses = Vec::new();
+        for _ in 0..nclauses {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                let v = vs[(next() as usize) % nvars];
+                c.push(if next() % 2 == 0 { v } else { !v });
+            }
+            clauses.push(c.clone());
+            s.add_clause(c);
+        }
+        (s, clauses)
+    }
+
+    #[test]
+    fn parallel_policy_parses() {
+        assert_eq!(ParallelPolicy::parse("off"), Ok(ParallelPolicy::Off));
+        assert_eq!(ParallelPolicy::parse("1"), Ok(ParallelPolicy::Off));
+        assert_eq!(ParallelPolicy::parse("auto"), Ok(ParallelPolicy::Auto));
+        assert_eq!(ParallelPolicy::parse("4"), Ok(ParallelPolicy::Portfolio(4)));
+        assert!(ParallelPolicy::parse("lots").is_err());
+        assert_eq!(ParallelPolicy::Portfolio(2).to_string(), "portfolio(2)");
+    }
+
+    #[test]
+    fn portfolio_agrees_on_unsat() {
+        let mut seq = hard_unsat_instance();
+        assert!(seq.solve().is_unsat());
+        let mut par = hard_unsat_instance();
+        let (r, stats) = solve_portfolio(&mut par, &[], &PortfolioConfig::with_workers(4));
+        assert!(r.is_unsat());
+        assert_eq!(stats.workers, 4);
+        assert!(stats.winner.is_some());
+    }
+
+    #[test]
+    fn portfolio_model_satisfies_clauses() {
+        for seed in [3, 5, 9] {
+            let (mut s, clauses) = random_cnf(seed, 40, 120);
+            let (r, _) = solve_portfolio(&mut s, &[], &PortfolioConfig::with_workers(3));
+            if r.is_sat() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.value_or_false(l)),
+                        "portfolio model does not satisfy clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_respects_assumptions_and_stays_incremental() {
+        let mut s = Solver::new();
+        let a = s.new_lit();
+        let b = s.new_lit();
+        s.add_clause([!a, b]);
+        let cfg = PortfolioConfig::with_workers(2);
+        let (r, _) = solve_portfolio(&mut s, &[a], &cfg);
+        assert!(r.is_sat());
+        assert_eq!(s.value(b), Some(true));
+        // Assumptions do not persist, and the adopted winner is a fully
+        // functional incremental solver.
+        let (r, _) = solve_portfolio(&mut s, &[!b], &cfg);
+        assert!(r.is_sat());
+        assert_eq!(s.value(a), Some(false));
+        s.add_clause([a]);
+        let (r, _) = solve_portfolio(&mut s, &[!a], &cfg);
+        assert!(r.is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn cube_fallback_rescues_a_blown_budget() {
+        let mut s = hard_unsat_instance();
+        // Small enough that the race blows it, large enough that each
+        // cube (a strictly easier instance) completes.
+        s.set_conflict_budget(Some(80));
+        let cfg = PortfolioConfig {
+            workers: 2,
+            cube_depth: 3,
+            ..PortfolioConfig::default()
+        };
+        let (r, stats) = solve_portfolio(&mut s, &[], &cfg);
+        // The race alone must not answer (budget 80 is far below what
+        // this instance needs); the fallback may.
+        if r.is_unsat() {
+            assert!(stats.cube_fallback, "UNSAT must have come from cubes");
+            assert_eq!(stats.cubes, 8);
+        } else {
+            assert!(r.is_unknown());
+        }
+        s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat(), "solver survives the fallback");
+    }
+
+    #[test]
+    fn cube_fallback_disabled_returns_budget_unknown() {
+        let mut s = hard_unsat_instance();
+        s.set_conflict_budget(Some(5));
+        let cfg = PortfolioConfig {
+            workers: 2,
+            cube_depth: 0,
+            ..PortfolioConfig::default()
+        };
+        let (r, stats) = solve_portfolio(&mut s, &[], &cfg);
+        assert_eq!(r, SolveResult::Unknown(Interrupt::ConflictBudget));
+        assert!(!stats.cube_fallback);
+    }
+
+    #[test]
+    fn precancelled_token_stops_the_race() {
+        let mut s = hard_unsat_instance();
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token));
+        let (r, _) = solve_portfolio(&mut s, &[], &PortfolioConfig::with_workers(2));
+        assert!(r.is_unknown());
+        s.set_cancel_token(None);
+        let (r, _) = solve_portfolio(&mut s, &[], &PortfolioConfig::with_workers(2));
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn traced_clauses_are_implied_by_the_cnf() {
+        let mut s = hard_unsat_instance();
+        let (r, stats, shared) =
+            solve_portfolio_traced(&mut s, &[], &PortfolioConfig::with_workers(3));
+        assert!(r.is_unsat());
+        assert_eq!(stats.exported, shared.len() as u64);
+        // Spot-check implication for a sample: CNF ∧ ¬C must be UNSAT.
+        for clause in shared.iter().step_by(7) {
+            let mut probe = hard_unsat_instance();
+            let negated: Vec<Lit> = clause.iter().map(|&l| !l).collect();
+            assert!(
+                probe.solve_with_assumptions(&negated).is_unsat(),
+                "shared clause {clause:?} is not implied by the CNF"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_full_degrades_to_no_sharing() {
+        let mut s = hard_unsat_instance();
+        let cfg = PortfolioConfig {
+            workers: 3,
+            ring_capacity: 4,
+            ..PortfolioConfig::default()
+        };
+        let (r, stats) = solve_portfolio(&mut s, &[], &cfg);
+        assert!(r.is_unsat());
+        assert!(stats.exported <= 4, "exports stop at ring capacity");
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = PortfolioStats {
+            workers: 2,
+            winner: Some(1),
+            exported: 10,
+            imported: 4,
+            ..PortfolioStats::default()
+        };
+        let b = PortfolioStats {
+            workers: 4,
+            winner: Some(0),
+            exported: 5,
+            imported: 6,
+            cube_fallback: true,
+            cubes: 8,
+            cube_winner: Some(3),
+        };
+        a.absorb(&b);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.winner, Some(0));
+        assert_eq!(a.exported, 15);
+        assert_eq!(a.imported, 10);
+        assert!(a.cube_fallback);
+        assert_eq!(a.cube_winner, Some(3));
+    }
+}

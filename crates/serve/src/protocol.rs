@@ -82,6 +82,9 @@ pub struct VerifyRequest {
     /// A `gpumc-fault` plan spec armed for this job only. Refused with
     /// `status:"error"` unless the server runs with `--enable-faults`.
     pub faults: Option<String>,
+    /// Parallel solve strategy: a `"portfolio"` field carrying a worker
+    /// count (`4`), `"auto"`, or `"off"` (the default when absent).
+    pub portfolio: gpumc::gpumc_sat::ParallelPolicy,
 }
 
 /// Parses one request line.
@@ -117,6 +120,21 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             if bound == 0 {
                 return Err("`bound` must be at least 1".into());
             }
+            let portfolio = match v.get("portfolio") {
+                None | Some(Json::Null) => gpumc::gpumc_sat::ParallelPolicy::Off,
+                Some(Json::Num(_)) => {
+                    let n = v
+                        .get("portfolio")
+                        .and_then(Json::as_u64)
+                        .ok_or("`portfolio` must be a worker count, \"auto\", or \"off\"")?;
+                    let n = u32::try_from(n).map_err(|_| "`portfolio` out of range")?;
+                    gpumc::gpumc_sat::ParallelPolicy::parse(&n.to_string())?
+                }
+                Some(Json::Str(s)) => gpumc::gpumc_sat::ParallelPolicy::parse(s)?,
+                Some(_) => {
+                    return Err("`portfolio` must be a worker count, \"auto\", or \"off\"".into())
+                }
+            };
             Request::Verify(VerifyRequest {
                 source,
                 model: v.get("model").and_then(Json::as_str).map(str::to_string),
@@ -126,6 +144,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 simplify: v.get("simplify").and_then(Json::as_bool).unwrap_or(true),
                 mem_budget_mb: v.get("mem_budget_mb").and_then(Json::as_u64),
                 faults: v.get("faults").and_then(Json::as_str).map(str::to_string),
+                portfolio,
             })
         }
         other => return Err(format!("unknown verb `{other}`")),
@@ -239,6 +258,23 @@ pub fn verify_response(id: Option<u64>, test_name: &str, o: &FullOutcome, wall_u
                         Json::count(sp.clauses_strengthened as u64),
                     ),
                     ("time_us".into(), Json::count(sp.time_us)),
+                ]),
+            },
+        ),
+        (
+            "portfolio".into(),
+            match &o.portfolio {
+                None => Json::Null,
+                Some(p) => Json::Obj(vec![
+                    ("workers".into(), Json::count(u64::from(p.workers))),
+                    (
+                        "winner".into(),
+                        p.winner.map_or(Json::Null, |w| Json::count(u64::from(w))),
+                    ),
+                    ("exported".into(), Json::count(p.exported)),
+                    ("imported".into(), Json::count(p.imported)),
+                    ("cube_fallback".into(), Json::Bool(p.cube_fallback)),
+                    ("cubes".into(), Json::count(u64::from(p.cubes))),
                 ]),
             },
         ),
@@ -359,6 +395,37 @@ mod tests {
         assert_eq!(r.get("status").unwrap().as_str(), Some("failed"));
         assert_eq!(r.get("class").unwrap().as_str(), Some("panic"));
         assert_eq!(r.get("attempts").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn verify_accepts_portfolio_field() {
+        use gpumc::gpumc_sat::ParallelPolicy;
+        let policy = |line: &str| match parse_request(line).unwrap().request {
+            Request::Verify(v) => v.portfolio,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            policy(r#"{"verb":"verify","source":"x"}"#),
+            ParallelPolicy::Off
+        );
+        assert_eq!(
+            policy(r#"{"verb":"verify","source":"x","portfolio":4}"#),
+            ParallelPolicy::Portfolio(4)
+        );
+        assert_eq!(
+            policy(r#"{"verb":"verify","source":"x","portfolio":1}"#),
+            ParallelPolicy::Off
+        );
+        assert_eq!(
+            policy(r#"{"verb":"verify","source":"x","portfolio":"auto"}"#),
+            ParallelPolicy::Auto
+        );
+        assert_eq!(
+            policy(r#"{"verb":"verify","source":"x","portfolio":"off"}"#),
+            ParallelPolicy::Off
+        );
+        assert!(parse_request(r#"{"verb":"verify","source":"x","portfolio":"many"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"verify","source":"x","portfolio":true}"#).is_err());
     }
 
     #[test]

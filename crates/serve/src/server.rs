@@ -645,7 +645,8 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
         .with_bound(req.bound)
         .with_bounds_memo(Arc::clone(&shared.memo))
         .with_cancel_token(job.token.clone())
-        .with_simplify(req.simplify);
+        .with_simplify(req.simplify)
+        .with_parallel(req.portfolio);
     if let Some(budget) = req.budget {
         verifier = verifier.with_conflict_budget(budget);
     }
@@ -687,6 +688,21 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
                     sp.clauses_subsumed as u64,
                 );
                 shared.metrics.observe_us("simplify_us", sp.time_us);
+            }
+            if let Some(p) = &o.portfolio {
+                shared.metrics.inc("portfolio_requests_total");
+                shared
+                    .metrics
+                    .add("portfolio_clauses_exported_total", p.exported);
+                shared
+                    .metrics
+                    .add("portfolio_clauses_imported_total", p.imported);
+                if let Some(w) = p.winner {
+                    shared.metrics.inc(&format!("portfolio_winner_{w}_total"));
+                }
+                if p.cube_fallback {
+                    shared.metrics.inc("portfolio_cube_fallbacks_total");
+                }
             }
             verify_response(job.id, &program.name, &o, wall_us)
         }

@@ -1,0 +1,154 @@
+//! Fault-matrix extension for portfolio solving: `sat.conflict` panics
+//! injected into portfolio workers must never flip a verdict.
+//!
+//! The portfolio runs every racer under `catch_unwind`, so a dying
+//! racer is survivable: as long as *some* racer reaches a definitive
+//! answer, the race returns it, and the answer is exact because every
+//! shared clause is implied by the common clause database. Only when
+//! every racer dies does the panic propagate (the harness plays
+//! supervisor here, as `gpumc-serve` does in production). The one
+//! outcome that must never occur is a run that completes with a
+//! *different* verdict than the sequential baseline — that would mean a
+//! worker death tore a soundness hole into the race or the cube cover.
+//!
+//! The fault plan is re-armed inside each worker thread from
+//! `gpumc::fault::current_plan()` (scoped plans are thread-local), so
+//! these tests also pin down that propagation path.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use gpumc::fault::{points, FaultKind, FaultPlan};
+use gpumc::gpumc_sat::ParallelPolicy;
+use gpumc::{Verifier, VerifyError};
+use gpumc_catalog::Test;
+use gpumc_models::ModelKind;
+
+/// The verdict triple that must survive any non-failing fault run.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Verdict {
+    reachable: bool,
+    expectation: Option<bool>,
+    liveness_violated: bool,
+    data_race: Option<bool>,
+}
+
+fn default_kind(program: &gpumc::gpumc_ir::Program) -> ModelKind {
+    match program.arch {
+        gpumc::gpumc_ir::Arch::Ptx => ModelKind::Ptx75,
+        gpumc::gpumc_ir::Arch::Vulkan => ModelKind::Vulkan,
+    }
+}
+
+fn check(
+    t: &Test,
+    bound: u32,
+    configure: impl FnOnce(Verifier) -> Verifier,
+) -> Result<Verdict, VerifyError> {
+    let program = gpumc::parse_litmus(&t.source).expect("catalog test parses");
+    let v = configure(
+        Verifier::new(gpumc_models::load_shared(default_kind(&program))).with_bound(bound),
+    );
+    v.check_all(&program).map(|o| Verdict {
+        reachable: o.assertion.reachable,
+        expectation: o.assertion.satisfied_expectation,
+        liveness_violated: o.liveness.violated,
+        data_race: o.data_races.map(|d| d.violated),
+    })
+}
+
+/// Classifies one faulted portfolio run against the sequential baseline:
+/// identical verdict, classified unknown, or a (survivable-by-design)
+/// injected panic. Anything else fails the matrix.
+fn classify(
+    t: &Test,
+    bound: u32,
+    workers: u32,
+    budget: Option<u64>,
+    plan: FaultPlan,
+    baseline: &Verdict,
+) {
+    let ctx = format!("{} portfolio({workers}) budget {budget:?}", t.name);
+    let outcome = {
+        let _g = gpumc::fault::scoped(Arc::new(plan));
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check(t, bound, |v| {
+                let v = v.with_parallel(ParallelPolicy::Portfolio(workers));
+                match budget {
+                    Some(b) => v.with_conflict_budget(b),
+                    None => v,
+                }
+            })
+        }))
+    };
+    match outcome {
+        Ok(Ok(v)) => assert_eq!(
+            &v, baseline,
+            "faulted portfolio run completed but flipped the verdict on {ctx}"
+        ),
+        Ok(Err(VerifyError::Unknown(reason))) => assert!(
+            reason.contains("injected") || reason.contains("budget") || reason.contains("cancel"),
+            "unclassified unknown on {ctx}: {reason}"
+        ),
+        Ok(Err(e)) => panic!("hard error (not a classified unknown) on {ctx}: {e}"),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("injected fault"),
+                "foreign panic on {ctx}: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_dying_racer_never_flips_a_verdict() {
+    // One seeded panic somewhere in one racer's conflict loop: the
+    // surviving racers (or the caller, if the fault never fires) must
+    // still produce the baseline verdict.
+    for t in &gpumc_catalog::figure_tests() {
+        let bound = t.bound.min(2);
+        let baseline = check(t, bound, |v| v).expect("baseline must verify cleanly");
+        for workers in [2, 4] {
+            let plan = FaultPlan::single(points::SAT_CONFLICT, FaultKind::Panic)
+                .with_seed(7)
+                .once();
+            classify(t, bound, workers, None, plan, &baseline);
+        }
+    }
+}
+
+#[test]
+fn sustained_racer_panics_kill_the_run_or_preserve_the_verdict() {
+    // Probability 1, not once: every racer that reaches a conflict dies
+    // on its first one. Conflict-free queries still complete — with the
+    // baseline verdict — and everything else must end in a classified
+    // unknown or the injected panic, never a different verdict.
+    for t in &gpumc_catalog::figure_tests() {
+        let bound = t.bound.min(2);
+        let baseline = check(t, bound, |v| v).expect("baseline");
+        let plan = FaultPlan::single(points::SAT_CONFLICT, FaultKind::Panic);
+        classify(t, bound, 2, None, plan, &baseline);
+    }
+}
+
+#[test]
+fn a_dying_cube_worker_never_flips_a_verdict() {
+    // A conflict budget small enough to trigger the cube-and-conquer
+    // fallback, plus an injected panic: a dead cube worker voids the
+    // all-UNSAT cover (the run may only answer unknown or re-panic),
+    // and a SAT cube's model is checkable regardless — so a completed
+    // run must still match the unbudgeted baseline.
+    for t in &gpumc_catalog::figure_tests() {
+        let bound = t.bound.min(2);
+        let baseline = check(t, bound, |v| v).expect("baseline");
+        let plan = FaultPlan::single(points::SAT_CONFLICT, FaultKind::Panic)
+            .with_seed(11)
+            .once();
+        classify(t, bound, 2, Some(40), plan, &baseline);
+    }
+}

@@ -61,6 +61,41 @@ fn baseline_error_classes_are_reproduced() {
 }
 
 #[test]
+fn disagreement_set_matches_the_annotation_table_exactly() {
+    // The gpumc-vs-baseline disagreements on the verifiable corpus are
+    // exactly the rows of `gpumc_gpuverify::expected_divergences()`,
+    // with the catalogued directions. An extra disagreement is a
+    // regression in one of the tools; a vanished one means a documented
+    // baseline weakness no longer reproduces and the table is stale.
+    // Either way this fails by name instead of nudging a loose count.
+    let corpus = gpuverify_corpus();
+    let mut found: Vec<(String, bool, bool)> = Vec::new();
+    for case in corpus.iter().filter(|c| c.bucket == Bucket::Verifiable) {
+        let ours = verify_case(case);
+        let theirs =
+            gpumc_gpuverify::analyze(case.kernel.as_ref().unwrap(), case.grid).is_failure();
+        if ours != theirs {
+            found.push((case.name.clone(), ours, theirs));
+        }
+    }
+    found.sort();
+    let expected = gpumc_gpuverify::expected_divergences();
+    let expected_names: Vec<&str> = expected.iter().map(|d| d.name).collect();
+    let found_names: Vec<&str> = found.iter().map(|(n, _, _)| n.as_str()).collect();
+    assert_eq!(
+        found_names, expected_names,
+        "disagreement set drifted from the annotation table"
+    );
+    for ((name, ours, theirs), d) in found.iter().zip(expected) {
+        assert_eq!(*ours, d.gpumc_racy, "{name}: gpumc verdict direction");
+        assert_eq!(
+            *theirs, d.gpuverify_racy,
+            "{name}: baseline verdict direction"
+        );
+    }
+}
+
+#[test]
 fn spirv_text_is_reparsable_for_whole_corpus() {
     for case in gpuverify_corpus() {
         let Some(kernel) = &case.kernel else { continue };
