@@ -6,14 +6,15 @@
 //! `--bound N` sets the unrolling bound (default 2). `--json`
 //! additionally writes the whole comparison — per-kernel verdicts and
 //! solver sizes, per-tool aggregates, the agreement matrix, the
-//! incremental-vs-fresh timings, and the CNF-simplification
-//! pre/post sizes with simplify-on/off solve times — to
-//! `BENCH_table6.json` in the current directory, for machine
-//! consumption.
+//! incremental-vs-fresh timings, the CNF-simplification
+//! pre/post sizes with simplify-on/off solve times, and the
+//! DPOR-engine explored/pruned counters with wall-clock vs the SAT
+//! engine — to `BENCH_table6.json` in the current directory, for
+//! machine consumption.
 
 use std::time::Instant;
 
-use gpumc::Verifier;
+use gpumc::{EngineKind, Verifier};
 use gpumc_models::ModelKind;
 use gpumc_serve::json::Json;
 use gpumc_spirv::{emit_spirv, gpuverify_corpus, lower, parse_spirv, Bucket};
@@ -454,6 +455,70 @@ fn main() {
         pstats.imported,
     );
 
+    // --- the DPOR-engine comparison: the same DRF check of every
+    //     verifiable kernel under the pruned stateless exploration
+    //     engine, step-capped so a high-interference kernel answers
+    //     Unknown instead of stalling the batch. Records the
+    //     explored/pruned counters and the wall-clock against the
+    //     sequential SAT total measured above.
+    const DPOR_CAP: u64 = 2_000_000;
+    let dpor_runs = gpumc::parallel_map_ordered(&verifiable, jobs, |_, case| {
+        let kernel = case.kernel.as_ref().expect("verifiable kernels exist");
+        let text = emit_spirv(kernel);
+        let module = parse_spirv(&text).expect("parses");
+        let program = lower(&module, case.grid).expect("lowers");
+        let v = Verifier::new(gpumc_models::load_shared(ModelKind::Vulkan))
+            .with_bound(bound)
+            .with_engine(EngineKind::Dpor)
+            .with_enumeration_cap(DPOR_CAP);
+        let t0 = Instant::now();
+        let outcome = v.check_data_races(&program);
+        (outcome, t0.elapsed().as_micros())
+    });
+    let mut dpor_time = 0u128;
+    let mut dpor_answered = 0usize;
+    let mut dpor_capped = 0usize;
+    let mut dpor_explored = 0u64;
+    let mut dpor_consistent = 0u64;
+    let mut dpor_pruned = 0u64;
+    let mut dpor_mismatches: Vec<String> = Vec::new();
+    for (case, (outcome, us)) in verifiable.iter().zip(dpor_runs) {
+        match outcome {
+            Ok(o) => {
+                dpor_time += us;
+                dpor_answered += 1;
+                if let Some(st) = o.stats.dpor {
+                    dpor_explored += st.explored;
+                    dpor_consistent += st.consistent;
+                    dpor_pruned += st.pruned_total();
+                }
+                if let Some((_, sat_racy)) = gpumc_racy.iter().find(|(n, _)| n == &case.name) {
+                    if o.violated != *sat_racy {
+                        eprintln!("!! dpor/sat DRF verdict mismatch on {}", case.name);
+                        dpor_mismatches.push(case.name.clone());
+                    }
+                }
+            }
+            Err(gpumc::VerifyError::Unknown(_) | gpumc::VerifyError::TooComplex(_)) => {
+                dpor_capped += 1;
+            }
+            Err(e) => eprintln!("dpor check failed on {}: {e}", case.name),
+        }
+    }
+    println!();
+    println!("DPOR engine vs SAT on the verifiable kernels (step cap {DPOR_CAP}):");
+    println!(
+        "  answered {dpor_answered}/{} (capped: {dpor_capped})   explored {dpor_explored} \
+         candidates ({dpor_consistent} consistent, {dpor_pruned} pruned)",
+        verifiable.len()
+    );
+    println!(
+        "  wall: dpor {:>8.1} ms   sat {:>8.1} ms   verdict mismatches: {}",
+        dpor_time as f64 / 1000.0,
+        gpumc_time as f64 / 1000.0,
+        dpor_mismatches.len()
+    );
+
     let wall = batch.elapsed();
     eprintln!(
         "{}",
@@ -601,6 +666,29 @@ fn main() {
                         Json::count(u64::from(pstats.cube_fallback)),
                     ),
                     ("kernels".into(), Json::Arr(portfolio_rows)),
+                ]),
+            ),
+            (
+                "dpor".into(),
+                Json::Obj(vec![
+                    ("step_cap".into(), Json::count(DPOR_CAP)),
+                    ("tests".into(), Json::count(verifiable.len() as u64)),
+                    ("answered".into(), Json::count(dpor_answered as u64)),
+                    ("capped".into(), Json::count(dpor_capped as u64)),
+                    ("explored".into(), Json::count(dpor_explored)),
+                    ("consistent".into(), Json::count(dpor_consistent)),
+                    ("pruned".into(), Json::count(dpor_pruned)),
+                    ("dpor_us".into(), Json::count(dpor_time as u64)),
+                    ("sat_us".into(), Json::count(gpumc_time as u64)),
+                    (
+                        "mismatches".into(),
+                        Json::Arr(
+                            dpor_mismatches
+                                .iter()
+                                .map(|n| Json::str(n.as_str()))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             ("kernels".into(), Json::Arr(kernel_rows)),

@@ -28,8 +28,9 @@ OPTIONS (verify):
                          per-query solver statistics go to stderr
     --fresh              with --all: use three fresh encodings instead of
                          the incremental session (differential baseline)
-    --engine <e>         sat | enumerate | alloy  (default: sat;
-                         `alloy` is the straight-line enumeration baseline)
+    --engine <e>         sat | enumerate | alloy | dpor  (default: sat;
+                         `alloy` is the straight-line enumeration baseline,
+                         `dpor` the pruned stateless exploration engine)
     --bound <n>          loop unrolling bound (default: 2)
     --timeout-ms <ms>    deadline; an expired solve answers `unknown`
                          and exits 3 instead of blocking
@@ -47,7 +48,7 @@ OPTIONS (verify):
 
 OPTIONS (suite):
     --jobs <n>           worker threads (default and 0: all cores; 1 = serial)
-    --engine <e>         sat | enumerate | alloy  (default: sat)
+    --engine <e>         sat | enumerate | alloy | dpor  (default: sat)
     --model <name>       model override (default: per-test, from dialect)
     --portfolio <n|auto> portfolio solve mode per test (default: off)
     --thorough           also cross-check a secondary property per test,
@@ -144,16 +145,7 @@ fn suite_tests(name: &str) -> Result<Vec<gpumc_catalog::Test>, String> {
 }
 
 fn parse_engine(name: &str) -> Result<EngineKind, String> {
-    Ok(match name {
-        "sat" => EngineKind::Sat,
-        "enumerate" => EngineKind::Enumerate {
-            straight_line_only: false,
-        },
-        "alloy" => EngineKind::Enumerate {
-            straight_line_only: true,
-        },
-        other => return Err(format!("unknown engine `{other}`")),
-    })
+    name.parse::<EngineKind>()
 }
 
 /// Folds a verification error into the exit-code scheme: `Unknown`

@@ -12,13 +12,16 @@
 //! (stuck spinloops, §6.4 of the paper), and data-race freedom (the
 //! Vulkan model's flagged `dr` relation).
 //!
-//! Two engines implement every query and cross-validate each other:
+//! Three engines implement every query and cross-validate each other:
 //!
 //! * [`EngineKind::Sat`] — the Dartagnan-style SAT encoding
 //!   (`gpumc-encode`), scaling to hundreds of events;
 //! * [`EngineKind::Enumerate`] — the Alloy-style explicit enumeration
 //!   (`gpumc-exec`), exact but exponential, and additionally restricted
-//!   to straight-line programs when mimicking the paper's baseline.
+//!   to straight-line programs when mimicking the paper's baseline;
+//! * [`EngineKind::Dpor`] — stateless DPOR exploration, exact like the
+//!   enumerator but pruning redundant interleavings, so it handles
+//!   branching programs and larger traces.
 //!
 //! # Quickstart
 //!
@@ -80,7 +83,7 @@ pub fn parse_litmus(source: &str) -> Result<Program, VerifyError> {
 }
 
 /// Which verification engine to use.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// SAT-based bounded model checking (the Dartagnan pipeline).
     Sat,
@@ -91,6 +94,33 @@ pub enum EngineKind {
         /// Reject programs with control flow, like the Alloy tools.
         straight_line_only: bool,
     },
+    /// Stateless DPOR: incremental exploration with rf/co-aware pruning
+    /// and sleep sets over SC fences (`gpumc_exec::dpor_explore`).
+    /// Exact like [`EngineKind::Enumerate`], but scales further and
+    /// accepts branching programs.
+    Dpor,
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    /// Parses the engine names accepted by the CLI and the server:
+    /// `sat`, `enumerate` (or `enum`), `alloy`, `dpor`.
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "sat" => Ok(EngineKind::Sat),
+            "enumerate" | "enum" => Ok(EngineKind::Enumerate {
+                straight_line_only: false,
+            }),
+            "alloy" => Ok(EngineKind::Enumerate {
+                straight_line_only: true,
+            }),
+            "dpor" => Ok(EngineKind::Dpor),
+            other => Err(format!(
+                "unknown engine `{other}` (expected sat, enumerate, alloy, or dpor)"
+            )),
+        }
+    }
 }
 
 /// An error produced by the verifier.
@@ -132,6 +162,17 @@ impl From<gpumc_exec::EnumerateError> for VerifyError {
         match e {
             gpumc_exec::EnumerateError::Unsupported(m) => VerifyError::Unsupported(m),
             gpumc_exec::EnumerateError::TooComplex(m) => VerifyError::TooComplex(m),
+        }
+    }
+}
+
+impl From<gpumc_exec::DporError> for VerifyError {
+    fn from(e: gpumc_exec::DporError) -> Self {
+        match e {
+            gpumc_exec::DporError::Unsupported(m) => VerifyError::Unsupported(m),
+            gpumc_exec::DporError::TooComplex(m) => VerifyError::TooComplex(m),
+            // Budget exhaustion / cancellation: a withheld verdict.
+            gpumc_exec::DporError::Interrupted(m) => VerifyError::Unknown(m),
         }
     }
 }
@@ -200,8 +241,11 @@ pub struct Stats {
     pub sat_vars: usize,
     /// SAT clauses (0 for the enumeration engine).
     pub sat_clauses: usize,
-    /// Candidate behaviours explored (enumeration engine only).
+    /// Candidate behaviours explored (enumeration and DPOR engines).
     pub candidates: u64,
+    /// Exploration/pruning counters of the DPOR engine, `None` for the
+    /// other engines.
+    pub dpor: Option<gpumc_exec::DporStats>,
     /// Wall-clock time in microseconds.
     pub time_us: u128,
 }
@@ -326,7 +370,9 @@ impl Verifier {
 
     /// Caps the enumeration engine's candidate count (builder style);
     /// exceeding it returns [`VerifyError::TooComplex`], standing in for
-    /// the Alloy tools' out-of-memory failures in Figure 15.
+    /// the Alloy tools' out-of-memory failures in Figure 15. The DPOR
+    /// engine interprets the same cap as its exploration-step budget,
+    /// whose exhaustion surfaces as [`VerifyError::Unknown`].
     pub fn with_enumeration_cap(mut self, cap: u64) -> Verifier {
         self.enum_cap = Some(cap);
         self
@@ -472,18 +518,22 @@ impl Verifier {
                 if let Some(cap) = self.enum_cap {
                     opts.max_candidates = cap;
                 }
-                let cond = graph.assertion.clone();
+                // An assertion-less (filter-only) test asks whether any
+                // consistent complete behaviour survives, matching the
+                // SAT encoder's `Exists(True)` default.
+                let cond = graph
+                    .assertion
+                    .clone()
+                    .unwrap_or(Assertion::Exists(Condition::True));
                 let mut found: Option<Witness> = None;
                 let st = enumerate(&graph, &self.model, &opts, |b| {
                     if found.is_some() || !b.execution.all_completed() {
                         return;
                     }
-                    if let Some(a) = &cond {
-                        let (c, negate) = assertion_query(a);
-                        let holds = b.execution.eval_condition(c) == Some(true);
-                        if holds != negate {
-                            found = Some(Witness::from_execution(&b.execution));
-                        }
+                    let (c, negate) = assertion_query(&cond);
+                    let holds = b.execution.eval_condition(c) == Some(true);
+                    if holds != negate {
+                        found = Some(Witness::from_execution(&b.execution));
                     }
                 })?;
                 let stats = Stats {
@@ -493,6 +543,24 @@ impl Verifier {
                     ..Stats::default()
                 };
                 (found.is_some(), found, stats)
+            }
+            EngineKind::Dpor => {
+                let cond = graph
+                    .assertion
+                    .clone()
+                    .unwrap_or(Assertion::Exists(Condition::True));
+                let mut found: Option<Witness> = None;
+                let st = self.dpor_run(&graph, |b| {
+                    if found.is_some() || !b.execution.all_completed() {
+                        return;
+                    }
+                    let (c, negate) = assertion_query(&cond);
+                    let holds = b.execution.eval_condition(c) == Some(true);
+                    if holds != negate {
+                        found = Some(Witness::from_execution(&b.execution));
+                    }
+                })?;
+                (found.is_some(), found, self.dpor_stats(&graph, st))
             }
         };
         stats.time_us = start.elapsed().as_micros();
@@ -549,6 +617,15 @@ impl Verifier {
                 };
                 (found.is_some(), found, stats)
             }
+            EngineKind::Dpor => {
+                let mut found: Option<Witness> = None;
+                let st = self.dpor_run(&graph, |b| {
+                    if found.is_none() && b.execution.is_liveness_violation() {
+                        found = Some(Witness::from_execution(&b.execution));
+                    }
+                })?;
+                (found.is_some(), found, self.dpor_stats(&graph, st))
+            }
         };
         stats.time_us = start.elapsed().as_micros();
         Ok(PropertyOutcome {
@@ -603,6 +680,20 @@ impl Verifier {
                     ..Stats::default()
                 };
                 (found.is_some(), found, stats)
+            }
+            EngineKind::Dpor => {
+                if self.model.flagged_axioms().count() == 0 {
+                    return Err(VerifyError::Unsupported(
+                        "model defines no flagged data-race relation".into(),
+                    ));
+                }
+                let mut found: Option<Witness> = None;
+                let st = self.dpor_run(&graph, |b| {
+                    if found.is_none() && b.execution.all_completed() && b.verdict.has_flag("dr") {
+                        found = Some(Witness::from_execution(&b.execution));
+                    }
+                })?;
+                (found.is_some(), found, self.dpor_stats(&graph, st))
             }
         };
         stats.time_us = start.elapsed().as_micros();
@@ -793,6 +884,36 @@ impl Verifier {
         Ok(enc)
     }
 
+    /// Runs the DPOR engine over a compiled graph, threading the
+    /// verifier's cancellation token and exploration budget through.
+    fn dpor_run<'g>(
+        &self,
+        graph: &'g EventGraph,
+        visit: impl FnMut(&gpumc_exec::Behavior<'g>),
+    ) -> Result<gpumc_exec::DporStats, VerifyError> {
+        let mut opts = gpumc_exec::DporOptions::default();
+        if let Some(cap) = self.enum_cap {
+            opts.max_steps = cap;
+        }
+        let poll = self
+            .cancel
+            .as_ref()
+            .map(|c| move || c.check().map(|i| i.to_string()));
+        let poll_dyn = poll.as_ref().map(|f| f as &dyn Fn() -> Option<String>);
+        gpumc_exec::dpor_explore_interruptible(graph, &self.model, &opts, poll_dyn, visit)
+            .map_err(VerifyError::from)
+    }
+
+    fn dpor_stats(&self, graph: &EventGraph, st: gpumc_exec::DporStats) -> Stats {
+        Stats {
+            events: graph.n_events(),
+            threads: graph.threads().len(),
+            candidates: st.explored,
+            dpor: Some(st),
+            ..Stats::default()
+        }
+    }
+
     fn sat_stats(&self, graph: &EventGraph, enc: &gpumc_encode::Encoding<'_>) -> Stats {
         Stats {
             events: graph.n_events(),
@@ -832,6 +953,7 @@ exists (P1:r0 == 1 /\ P1:r1 == 0)
             EngineKind::Enumerate {
                 straight_line_only: false,
             },
+            EngineKind::Dpor,
         ] {
             let v = Verifier::new(gpumc_models::ptx60()).with_engine(engine);
             let o = v.check_assertion(&p).unwrap();
@@ -958,6 +1080,66 @@ exists (P1:r0 == 1 /\ P1:r1 == 0 /\ P2:r0 == 1 /\ P2:r1 == 0)
             u128::from(o.phases.encode_us) <= o.total_time_us,
             "phase time cannot exceed the total"
         );
+    }
+
+    #[test]
+    fn engine_names_parse() {
+        assert_eq!("sat".parse::<EngineKind>(), Ok(EngineKind::Sat));
+        assert_eq!(
+            "enumerate".parse::<EngineKind>(),
+            Ok(EngineKind::Enumerate {
+                straight_line_only: false
+            })
+        );
+        assert_eq!(
+            "alloy".parse::<EngineKind>(),
+            Ok(EngineKind::Enumerate {
+                straight_line_only: true
+            })
+        );
+        assert_eq!("dpor".parse::<EngineKind>(), Ok(EngineKind::Dpor));
+        let err = "smt".parse::<EngineKind>().unwrap_err();
+        assert!(err.contains("unknown engine `smt`"), "err: {err}");
+        assert!(err.contains("dpor"), "error must list valid names: {err}");
+    }
+
+    #[test]
+    fn dpor_engine_handles_branching_and_cancellation() {
+        let src = r#"
+PTX spin
+{ flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+LC00: | st.relaxed.gpu flag, 1 ;
+ld.relaxed.gpu r0, flag | ;
+bne r0, 1, LC00 | ;
+exists (P0:r0 == 1)
+"#;
+        let p = parse_litmus(src).unwrap();
+        let v = Verifier::new(gpumc_models::ptx60()).with_engine(EngineKind::Dpor);
+        let o = v.check_assertion(&p).unwrap();
+        assert!(o.reachable, "the spin loop exits once the flag is set");
+        assert!(o.stats.dpor.is_some(), "dpor stats must be recorded");
+        let live = v.check_liveness(&p).unwrap();
+        assert!(
+            !live.violated,
+            "the stuck read cannot be co-maximal once the writer runs"
+        );
+        // A cancelled run withholds the verdict.
+        let token = gpumc_sat::CancelToken::new();
+        token.cancel();
+        let v = v.with_cancel_token(token);
+        assert!(matches!(
+            v.check_assertion(&p),
+            Err(VerifyError::Unknown(_))
+        ));
+        // So does a starved step budget.
+        let v = Verifier::new(gpumc_models::ptx60())
+            .with_engine(EngineKind::Dpor)
+            .with_enumeration_cap(2);
+        assert!(matches!(
+            v.check_assertion(&p),
+            Err(VerifyError::Unknown(_))
+        ));
     }
 
     #[test]

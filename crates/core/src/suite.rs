@@ -349,7 +349,7 @@ impl SuiteRunner {
         });
         let mut v = Verifier::new(gpumc_models::load_shared(kind))
             .with_bound(t.bound)
-            .with_engine(self.config.engine.clone())
+            .with_engine(self.config.engine)
             .with_bounds_memo(Arc::clone(&memo))
             .with_parallel(self.config.portfolio);
         if let Some(cap) = self.config.enum_cap {

@@ -238,8 +238,9 @@ fn event_scope(tags: gpumc_ir::TagSet, arch: Arch) -> Option<Scope> {
 }
 
 /// PTX `sr`: each event's thread lies inside the other event's scope
-/// instance (Table 3).
-fn scoped_sr(exec: &Execution<'_>) -> Relation {
+/// instance (Table 3). Also used by the DPOR engine to decide which SC
+/// fences commute (only `sr`-related fences contribute to `sync_fence`).
+pub(crate) fn scoped_sr(exec: &Execution<'_>) -> Relation {
     let g = exec.graph;
     let n = g.n_events();
     let mut sr = Relation::empty(n);

@@ -75,6 +75,74 @@ pub struct EnumStats {
     pub consistent: u64,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum VState {
+    White,
+    Grey,
+    Done,
+}
+
+/// Value computation over a fully-assigned `rf`, with cycle (thin-air)
+/// rejection. Shared by the enumeration and DPOR engines so both reject
+/// exactly the same unconstructible candidates.
+pub(crate) struct ValCtx<'g> {
+    g: &'g EventGraph,
+    rf: Vec<Option<EventId>>,
+    values: Vec<Option<u64>>,
+    state: Vec<VState>,
+}
+
+impl<'g> ValCtx<'g> {
+    pub(crate) fn new(g: &'g EventGraph, rf: Vec<Option<EventId>>) -> ValCtx<'g> {
+        let n = g.n_events();
+        ValCtx {
+            g,
+            rf,
+            values: vec![None; n],
+            state: vec![VState::White; n],
+        }
+    }
+
+    pub(crate) fn values(&self) -> &[Option<u64>] {
+        &self.values
+    }
+
+    pub(crate) fn value_of(&mut self, e: EventId) -> Option<u64> {
+        match self.state[e.index()] {
+            VState::Done => return self.values[e.index()],
+            VState::Grey => return None, // value cycle (thin air): reject
+            VState::White => {}
+        }
+        self.state[e.index()] = VState::Grey;
+        let v = match &self.g.event(e).kind.clone() {
+            EventKind::Init { value, .. } => Some(*value),
+            EventKind::Load { .. } | EventKind::RmwLoad { .. } => {
+                let w = self.rf[e.index()]?;
+                self.value_of(w)
+            }
+            EventKind::Store { value, .. } | EventKind::RmwStore { value, .. } => {
+                self.eval(&value.clone())
+            }
+            EventKind::Barrier { id, .. } => self.eval(&id.clone()),
+            EventKind::Fence(_) => Some(0),
+        };
+        self.state[e.index()] = VState::Done;
+        self.values[e.index()] = v;
+        v
+    }
+
+    pub(crate) fn eval(&mut self, v: &Val) -> Option<u64> {
+        match v {
+            Val::Const(c) => Some(*c),
+            Val::Read(e) => self.value_of(*e),
+            Val::Bin(op, a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                Some(Val::apply(*op, x, y))
+            }
+        }
+    }
+}
+
 /// Enumerates all consistent behaviours, invoking `visit` for each.
 ///
 /// # Errors
@@ -232,60 +300,7 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
         let g = self.graph;
         let n = g.n_events();
         // --- Value computation with cycle rejection.
-        #[derive(Clone, Copy, PartialEq)]
-        enum S {
-            White,
-            Grey,
-            Done,
-        }
-        struct ValCtx<'g> {
-            g: &'g EventGraph,
-            rf: Vec<Option<EventId>>,
-            values: Vec<Option<u64>>,
-            state: Vec<S>,
-        }
-        impl ValCtx<'_> {
-            fn value_of(&mut self, e: EventId) -> Option<u64> {
-                match self.state[e.index()] {
-                    S::Done => return self.values[e.index()],
-                    S::Grey => return None, // value cycle (thin air): reject
-                    S::White => {}
-                }
-                self.state[e.index()] = S::Grey;
-                let v = match &self.g.event(e).kind.clone() {
-                    EventKind::Init { value, .. } => Some(*value),
-                    EventKind::Load { .. } | EventKind::RmwLoad { .. } => {
-                        let w = self.rf[e.index()]?;
-                        self.value_of(w)
-                    }
-                    EventKind::Store { value, .. } | EventKind::RmwStore { value, .. } => {
-                        self.eval(&value.clone())
-                    }
-                    EventKind::Barrier { id, .. } => self.eval(&id.clone()),
-                    EventKind::Fence(_) => Some(0),
-                };
-                self.state[e.index()] = S::Done;
-                self.values[e.index()] = v;
-                v
-            }
-
-            fn eval(&mut self, v: &Val) -> Option<u64> {
-                match v {
-                    Val::Const(c) => Some(*c),
-                    Val::Read(e) => self.value_of(*e),
-                    Val::Bin(op, a, b) => {
-                        let (x, y) = (self.eval(a)?, self.eval(b)?);
-                        Some(Val::apply(*op, x, y))
-                    }
-                }
-            }
-        }
-        let mut ctx = ValCtx {
-            g,
-            rf: rf.to_vec(),
-            values: vec![None; n],
-            state: vec![S::White; n],
-        };
+        let mut ctx = ValCtx::new(g, rf.to_vec());
         for &e in events {
             if ctx.value_of(e).is_none() && !matches!(g.event(e).kind, EventKind::Fence(_)) {
                 return Ok(()); // unconstructible values: reject candidate
@@ -404,7 +419,15 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
             for (k, &c) in co_choice.iter().enumerate() {
                 co.union_with(&per_loc[k][c]);
             }
-            self.with_fence_orders(leaves, &final_events, rf, &ctx.values, &addrs, &vaddrs, &co)?;
+            self.with_fence_orders(
+                leaves,
+                &final_events,
+                rf,
+                ctx.values(),
+                &addrs,
+                &vaddrs,
+                &co,
+            )?;
             let mut k = 0;
             loop {
                 if k == co_choice.len() {
@@ -505,8 +528,13 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
 
 /// All coherence orders for one location: `iw` first, then every strict
 /// partial order (PTX) or total order (Vulkan) over the other writes,
-/// transitively closed.
-fn location_orders(g: &EventGraph, n: usize, iw: EventId, others: &[EventId]) -> Vec<Relation> {
+/// transitively closed. Shared with the DPOR engine.
+pub(crate) fn location_orders(
+    g: &EventGraph,
+    n: usize,
+    iw: EventId,
+    others: &[EventId],
+) -> Vec<Relation> {
     let mut base = Relation::empty(n);
     for &w in others {
         base.insert(iw, w);
@@ -561,7 +589,7 @@ fn location_orders(g: &EventGraph, n: usize, iw: EventId, others: &[EventId]) ->
 }
 
 /// Heap-style permutation enumeration with a fallible callback.
-fn permute<E>(
+pub(crate) fn permute<E>(
     items: &mut [EventId],
     k: usize,
     f: &mut impl FnMut(&[EventId]) -> Result<(), E>,

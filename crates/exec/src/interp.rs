@@ -99,6 +99,21 @@ impl<'m> Interpreter<'m> {
         verdict
     }
 
+    /// Checks only the axioms at the given indices, returning whether all
+    /// of them hold. The DPOR engine uses this to prune partially-built
+    /// candidates: an axiom that is monotone in the still-growing inputs
+    /// (`co`, `sync_fence`) and already fails on a partial execution fails
+    /// on every completion of it.
+    pub fn check_axioms(&self, exec: &Execution<'_>, indices: &[usize]) -> bool {
+        let base = BaseInterpretation::compute(exec);
+        let defs = self.eval_defs(&base);
+        let axioms = self.model.axioms();
+        indices.iter().all(|&i| {
+            let axiom = &axioms[i];
+            axiom_holds(axiom, &eval_rel(&axiom.expr, &base, &defs))
+        })
+    }
+
     /// Evaluates a named definition (useful for tests and diagnostics).
     ///
     /// # Panics

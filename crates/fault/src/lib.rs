@@ -53,8 +53,16 @@ pub mod points {
     pub const ENCODE_BUILD: &str = "encode.build";
     /// A serve worker, probed at job start.
     pub const SERVE_WORKER: &str = "serve.worker";
+    /// The DPOR engine, probed per complete candidate execution.
+    pub const DPOR_EXPLORE: &str = "dpor.explore";
     /// Every wired point, for matrix-style tests.
-    pub const ALL: &[&str] = &[SAT_CONFLICT, SAT_SIMPLIFY, ENCODE_BUILD, SERVE_WORKER];
+    pub const ALL: &[&str] = &[
+        SAT_CONFLICT,
+        SAT_SIMPLIFY,
+        ENCODE_BUILD,
+        SERVE_WORKER,
+        DPOR_EXPLORE,
+    ];
 }
 
 /// What an armed injection point does when it fires.

@@ -16,8 +16,9 @@
 //! ```
 //!
 //! `verify` fields other than `source` are optional: `model` defaults
-//! to the test dialect's default model, `bound` to 2, `timeout_ms` to
-//! the server's `--default-timeout-ms`, `budget` (SAT conflicts) and
+//! to the test dialect's default model, `bound` to 2, `engine` to
+//! `sat` (also: `enumerate`, `alloy`, `dpor`), `timeout_ms` to the
+//! server's `--default-timeout-ms`, `budget` (SAT conflicts) and
 //! `mem_budget_mb` (solver memory) to unlimited. `faults` arms a
 //! per-job fault-injection plan and requires `--enable-faults`.
 //!
@@ -85,6 +86,9 @@ pub struct VerifyRequest {
     /// Parallel solve strategy: a `"portfolio"` field carrying a worker
     /// count (`4`), `"auto"`, or `"off"` (the default when absent).
     pub portfolio: gpumc::gpumc_sat::ParallelPolicy,
+    /// Verification engine (`sat`, `enumerate`, `alloy`, `dpor`);
+    /// defaults to `sat` when absent.
+    pub engine: gpumc::EngineKind,
 }
 
 /// Parses one request line.
@@ -135,6 +139,11 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                     return Err("`portfolio` must be a worker count, \"auto\", or \"off\"".into())
                 }
             };
+            let engine = match v.get("engine") {
+                None | Some(Json::Null) => gpumc::EngineKind::Sat,
+                Some(Json::Str(s)) => s.parse::<gpumc::EngineKind>()?,
+                Some(_) => return Err("`engine` must be a string".into()),
+            };
             Request::Verify(VerifyRequest {
                 source,
                 model: v.get("model").and_then(Json::as_str).map(str::to_string),
@@ -145,6 +154,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 mem_budget_mb: v.get("mem_budget_mb").and_then(Json::as_u64),
                 faults: v.get("faults").and_then(Json::as_str).map(str::to_string),
                 portfolio,
+                engine,
             })
         }
         other => return Err(format!("unknown verb `{other}`")),
@@ -275,6 +285,17 @@ pub fn verify_response(id: Option<u64>, test_name: &str, o: &FullOutcome, wall_u
                     ("imported".into(), Json::count(p.imported)),
                     ("cube_fallback".into(), Json::Bool(p.cube_fallback)),
                     ("cubes".into(), Json::count(u64::from(p.cubes))),
+                ]),
+            },
+        ),
+        (
+            "dpor".into(),
+            match &o.assertion.stats.dpor {
+                None => Json::Null,
+                Some(d) => Json::Obj(vec![
+                    ("explored".into(), Json::count(d.explored)),
+                    ("consistent".into(), Json::count(d.consistent)),
+                    ("pruned".into(), Json::count(d.pruned_total())),
                 ]),
             },
         ),
@@ -426,6 +447,29 @@ mod tests {
         );
         assert!(parse_request(r#"{"verb":"verify","source":"x","portfolio":"many"}"#).is_err());
         assert!(parse_request(r#"{"verb":"verify","source":"x","portfolio":true}"#).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_engine_field() {
+        use gpumc::EngineKind;
+        let engine = |line: &str| match parse_request(line).unwrap().request {
+            Request::Verify(v) => v.engine,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(engine(r#"{"verb":"verify","source":"x"}"#), EngineKind::Sat);
+        assert_eq!(
+            engine(r#"{"verb":"verify","source":"x","engine":"dpor"}"#),
+            EngineKind::Dpor
+        );
+        assert_eq!(
+            engine(r#"{"verb":"verify","source":"x","engine":"alloy"}"#),
+            EngineKind::Enumerate {
+                straight_line_only: true
+            }
+        );
+        let err = parse_request(r#"{"verb":"verify","source":"x","engine":"z3"}"#).unwrap_err();
+        assert!(err.contains("unknown engine `z3`"), "err: {err}");
+        assert!(parse_request(r#"{"verb":"verify","source":"x","engine":7}"#).is_err());
     }
 
     #[test]

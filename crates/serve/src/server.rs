@@ -642,6 +642,7 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
         },
     };
     let mut verifier = Verifier::new(gpumc_models::load_shared(kind))
+        .with_engine(req.engine)
         .with_bound(req.bound)
         .with_bounds_memo(Arc::clone(&shared.memo))
         .with_cancel_token(job.token.clone())

@@ -1,9 +1,12 @@
-//! Cross-engine validation: the SAT engine (Dartagnan-style) and the
-//! explicit-state engine (Alloy-style) must produce identical verdicts.
+//! Cross-engine validation: the SAT engine (Dartagnan-style), the
+//! explicit-state engine (Alloy-style), and the stateless DPOR engine
+//! must produce identical verdicts — a three-arm differential gate.
 //! This is the paper's Table 5 validation methodology, run continuously.
 
+use gpumc::{EngineKind, Verifier, VerifyError};
+use gpumc_catalog::Test;
 use gpumc_encode::{encode, EncodeOptions};
-use gpumc_exec::{enumerate, EnumerateOptions};
+use gpumc_exec::{dpor_explore, enumerate, DporOptions, EnumerateOptions};
 use gpumc_ir::{compile, unroll, Assertion, EventGraph};
 use gpumc_models::{load, ModelKind};
 
@@ -56,6 +59,44 @@ fn enumerate_verdicts(g: &EventGraph, model: ModelKind) -> Verdicts {
     v
 }
 
+fn dpor_verdicts(g: &EventGraph, model: ModelKind) -> Verdicts {
+    let m = load(model);
+    let cond = g.assertion.clone();
+    let mut v = Verdicts {
+        condition: false,
+        liveness: false,
+        race: if model == ModelKind::Vulkan {
+            Some(false)
+        } else {
+            None
+        },
+    };
+    dpor_explore(g, &m, &DporOptions::default(), |b| {
+        if b.execution.is_liveness_violation() {
+            v.liveness = true;
+        }
+        if b.execution.all_completed() {
+            if b.verdict.has_flag("dr") {
+                if let Some(r) = &mut v.race {
+                    *r = true;
+                }
+            }
+            if let Some(a) = &cond {
+                let c = match a {
+                    Assertion::Exists(c) | Assertion::NotExists(c) | Assertion::Forall(c) => c,
+                };
+                let holds = b.execution.eval_condition(c) == Some(true);
+                let target = !matches!(a, Assertion::Forall(_));
+                if holds == target {
+                    v.condition = true;
+                }
+            }
+        }
+    })
+    .expect("dpor exploration succeeds");
+    v
+}
+
 fn sat_verdicts(g: &EventGraph, model: ModelKind) -> Verdicts {
     let m = load(model);
     let mut enc = encode(g, &m, &EncodeOptions::default()).expect("encodes");
@@ -77,6 +118,7 @@ fn assert_agreement(name: &str, src: &str, model: ModelKind, bound: u32) {
     let g = graph(src, bound);
     let e = enumerate_verdicts(&g, model);
     let s = sat_verdicts(&g, model);
+    let d = dpor_verdicts(&g, model);
     assert_eq!(
         e.condition, s.condition,
         "{name} [{model}]: condition verdict disagrees (enum={}, sat={})",
@@ -87,6 +129,19 @@ fn assert_agreement(name: &str, src: &str, model: ModelKind, bound: u32) {
         "{name} [{model}]: liveness verdict disagrees"
     );
     assert_eq!(e.race, s.race, "{name} [{model}]: race verdict disagrees");
+    assert_eq!(
+        d.condition, s.condition,
+        "{name} [{model}]: condition verdict disagrees (dpor={}, sat={})",
+        d.condition, s.condition
+    );
+    assert_eq!(
+        d.liveness, s.liveness,
+        "{name} [{model}]: liveness verdict disagrees (dpor vs sat)"
+    );
+    assert_eq!(
+        d.race, s.race,
+        "{name} [{model}]: race verdict disagrees (dpor vs sat)"
+    );
 }
 
 // A corpus of litmus tests spanning the GPU features: both engines must
@@ -380,6 +435,227 @@ exists (P1:r0 == 1 /\ P1:r1 == 0)
         1,
     ),
 ];
+
+// ---------------------------------------------------------------------
+// Whole-catalog three-arm sweep: for every catalog test × applicable
+// model × bounds 1–2, the DPOR verdicts must equal the SAT verdicts,
+// and the unrestricted enumerator must agree wherever it completes
+// within its cap. Branching/barrier tests the straight-line baseline
+// rejects are covered by the DPOR arm alone (DPOR == SAT there).
+// ---------------------------------------------------------------------
+
+/// Exploration cap for the exhaustive arms: big enough for every
+/// catalog test at bounds 1–2, small enough to cut a pathological
+/// blow-up early instead of hanging CI.
+const EXPLORE_CAP: u64 = 2_000_000;
+
+struct CheckAllVerdicts {
+    reachable: bool,
+    expectation: Option<bool>,
+    liveness: bool,
+    race: Option<bool>,
+}
+
+fn check_all_verdicts(
+    v: &Verifier,
+    program: &gpumc::gpumc_ir::Program,
+) -> Result<CheckAllVerdicts, VerifyError> {
+    v.check_all(program).map(|o| CheckAllVerdicts {
+        reachable: o.assertion.reachable,
+        expectation: o.assertion.satisfied_expectation,
+        liveness: o.liveness.violated,
+        race: o.data_races.map(|d| d.violated),
+    })
+}
+
+/// One (test, model, bound) cell of the sweep. Returns whether the
+/// DPOR arm reached a verdict (capped exploration may withhold one).
+fn assert_dpor_sat_agreement(t: &Test, model: ModelKind, bound: u32) -> bool {
+    let program = match gpumc::parse_litmus(&t.source) {
+        Ok(p) => p,
+        Err(e) => panic!("{} does not parse: {e}", t.name),
+    };
+    let sat = Verifier::new(gpumc_models::load_shared(model)).with_bound(bound);
+    let dpor = sat
+        .clone()
+        .with_engine(EngineKind::Dpor)
+        .with_enumeration_cap(EXPLORE_CAP);
+    let ctx = format!("{} under {model:?} at bound {bound}", t.name);
+    let s = check_all_verdicts(&sat, &program);
+    let d = check_all_verdicts(&dpor, &program);
+    match (s, d) {
+        (Ok(s), Ok(d)) => {
+            assert_eq!(
+                d.reachable, s.reachable,
+                "assertion reachability differs on {ctx} (dpor vs sat)"
+            );
+            assert_eq!(
+                d.expectation, s.expectation,
+                "assertion expectation differs on {ctx} (dpor vs sat)"
+            );
+            assert_eq!(
+                d.liveness, s.liveness,
+                "liveness verdict differs on {ctx} (dpor vs sat)"
+            );
+            assert_eq!(
+                d.race, s.race,
+                "data-race verdict differs on {ctx} (dpor vs sat)"
+            );
+            // The unrestricted enumerator is the third arm wherever it
+            // completes within the cap; straight-line-only rejections
+            // and cap blow-ups are expected and skipped.
+            let enumerate = sat
+                .clone()
+                .with_engine(EngineKind::Enumerate {
+                    straight_line_only: false,
+                })
+                .with_enumeration_cap(EXPLORE_CAP);
+            match check_all_verdicts(&enumerate, &program) {
+                Ok(e) => {
+                    assert_eq!(
+                        e.reachable, s.reachable,
+                        "assertion reachability differs on {ctx} (enum vs sat)"
+                    );
+                    assert_eq!(
+                        e.liveness, s.liveness,
+                        "liveness verdict differs on {ctx} (enum vs sat)"
+                    );
+                    assert_eq!(
+                        e.race, s.race,
+                        "data-race verdict differs on {ctx} (enum vs sat)"
+                    );
+                }
+                Err(VerifyError::TooComplex(_) | VerifyError::Unsupported(_)) => {}
+                Err(e) => panic!("unexpected enumerate failure on {ctx}: {e}"),
+            }
+            true
+        }
+        // A capped DPOR exploration withholds its verdict; never wrong.
+        (_, Err(VerifyError::Unknown(_) | VerifyError::TooComplex(_))) => false,
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b),
+                "error classes differ on {ctx}: sat={a} dpor={b}"
+            );
+            false
+        }
+        (Ok(_), Err(e)) => panic!("only the dpor arm fails on {ctx}: {e}"),
+        (Err(e), Ok(_)) => panic!("only the sat arm fails on {ctx}: {e}"),
+    }
+}
+
+/// Sweeps a suite under the given models at bounds 1 and 2, requiring
+/// that the DPOR arm reaches a verdict on nearly every configuration —
+/// the cap may cut a few pathological cells, but wholesale withholding
+/// would make the gate vacuous.
+fn sweep_dpor(tests: &[Test], models: &[ModelKind]) {
+    // Debug builds take a deterministic subsample to keep `cargo test`
+    // fast; the release-mode `dpor-agreement` CI job sweeps everything.
+    let stride = if cfg!(debug_assertions) { 4 } else { 1 };
+    let mut cells = 0u32;
+    let mut answered = 0u32;
+    for t in tests.iter().step_by(stride) {
+        for &model in models {
+            for bound in [1, 2] {
+                cells += 1;
+                if assert_dpor_sat_agreement(t, model, bound) {
+                    answered += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        answered * 10 >= cells * 9,
+        "dpor answered only {answered}/{cells} configurations"
+    );
+}
+
+const PTX_MODELS: &[ModelKind] = &[ModelKind::Ptx60, ModelKind::Ptx75];
+const VULKAN_MODELS: &[ModelKind] = &[ModelKind::Vulkan];
+
+/// Splits an arch-mixed suite by litmus dialect.
+fn by_arch(tests: Vec<Test>) -> (Vec<Test>, Vec<Test>) {
+    tests
+        .into_iter()
+        .partition(|t| t.source.trim_start().starts_with("PTX"))
+}
+
+#[test]
+fn dpor_agrees_with_sat_on_ptx_safety_suite() {
+    sweep_dpor(&gpumc_catalog::ptx_safety_suite(), PTX_MODELS);
+}
+
+#[test]
+fn dpor_agrees_with_sat_on_ptx_proxy_suite() {
+    sweep_dpor(&gpumc_catalog::ptx_proxy_suite(), PTX_MODELS);
+}
+
+#[test]
+fn dpor_agrees_with_sat_on_vulkan_safety_suite() {
+    sweep_dpor(&gpumc_catalog::vulkan_safety_suite(), VULKAN_MODELS);
+}
+
+#[test]
+fn dpor_agrees_with_sat_on_vulkan_drf_suite() {
+    sweep_dpor(&gpumc_catalog::vulkan_drf_suite(), VULKAN_MODELS);
+}
+
+#[test]
+fn dpor_agrees_with_sat_on_liveness_suite() {
+    let (ptx, vulkan) = by_arch(gpumc_catalog::liveness_suite());
+    sweep_dpor(&ptx, PTX_MODELS);
+    sweep_dpor(&vulkan, VULKAN_MODELS);
+}
+
+#[test]
+fn dpor_agrees_with_sat_on_figure_tests() {
+    let (ptx, vulkan) = by_arch(gpumc_catalog::figure_tests());
+    sweep_dpor(&ptx, PTX_MODELS);
+    sweep_dpor(&vulkan, VULKAN_MODELS);
+}
+
+/// The tentpole claim in one test: the straight-line enumeration
+/// baseline rejects every branching catalog test, and the DPOR engine
+/// handles each of them with SAT-identical verdicts.
+#[test]
+fn dpor_covers_branching_tests_the_baseline_rejects() {
+    let branching: Vec<Test> = gpumc_catalog::figure_tests()
+        .into_iter()
+        .chain(gpumc_catalog::liveness_suite())
+        .filter(|t| t.uses_control_flow)
+        .collect();
+    assert!(
+        !branching.is_empty(),
+        "the catalog must contain branching tests"
+    );
+    let mut covered = 0;
+    for t in &branching {
+        let model = if t.source.trim_start().starts_with("PTX") {
+            ModelKind::Ptx60
+        } else {
+            ModelKind::Vulkan
+        };
+        let program = gpumc::parse_litmus(&t.source).unwrap();
+        let baseline = Verifier::new(gpumc_models::load_shared(model))
+            .with_bound(t.bound.min(2))
+            .with_engine(EngineKind::Enumerate {
+                straight_line_only: true,
+            });
+        assert!(
+            matches!(
+                baseline.check_assertion(&program),
+                Err(VerifyError::Unsupported(_))
+            ),
+            "{}: the straight-line baseline must reject control flow",
+            t.name
+        );
+        if assert_dpor_sat_agreement(t, model, t.bound.min(2)) {
+            covered += 1;
+        }
+    }
+    assert!(covered > 0, "dpor must answer at least one branching test");
+}
 
 #[test]
 fn engines_agree_on_ptx_corpus_v60() {

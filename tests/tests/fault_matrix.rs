@@ -23,7 +23,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use gpumc::fault::{points, FaultKind, FaultPlan};
-use gpumc::{Verifier, VerifyError};
+use gpumc::{EngineKind, Verifier, VerifyError};
 use gpumc_catalog::Test;
 use gpumc_models::ModelKind;
 
@@ -43,9 +43,11 @@ fn default_kind(program: &gpumc::gpumc_ir::Program) -> ModelKind {
     }
 }
 
-fn check(t: &Test, bound: u32) -> Result<Verdict, VerifyError> {
+fn check_with(t: &Test, bound: u32, engine: EngineKind) -> Result<Verdict, VerifyError> {
     let program = gpumc::parse_litmus(&t.source).expect("catalog test parses");
-    let v = Verifier::new(gpumc_models::load_shared(default_kind(&program))).with_bound(bound);
+    let v = Verifier::new(gpumc_models::load_shared(default_kind(&program)))
+        .with_bound(bound)
+        .with_engine(engine);
     v.check_all(&program).map(|o| Verdict {
         reachable: o.assertion.reachable,
         expectation: o.assertion.satisfied_expectation,
@@ -54,9 +56,20 @@ fn check(t: &Test, bound: u32) -> Result<Verdict, VerifyError> {
     })
 }
 
-/// One matrix cell: run `t` with `kind` armed at `point` and classify
-/// the outcome against `baseline`.
-fn run_cell(t: &Test, bound: u32, point: &str, kind: FaultKind, baseline: &Verdict) {
+fn check(t: &Test, bound: u32) -> Result<Verdict, VerifyError> {
+    check_with(t, bound, EngineKind::Sat)
+}
+
+/// One matrix cell: run `t` under `engine` with `kind` armed at `point`
+/// and classify the outcome against `baseline`.
+fn run_cell_with(
+    t: &Test,
+    bound: u32,
+    engine: EngineKind,
+    point: &str,
+    kind: FaultKind,
+    baseline: &Verdict,
+) {
     // `once` keeps delay faults from sleeping on every conflict; the
     // other kinds either end the run on first fire (panic, spurious
     // unknown) or are verdict-neutral (alloc spike with no budget).
@@ -64,7 +77,7 @@ fn run_cell(t: &Test, bound: u32, point: &str, kind: FaultKind, baseline: &Verdi
     let ctx = format!("{} with {kind:?} at `{point}`", t.name);
     let outcome = {
         let _g = gpumc::fault::scoped(Arc::new(plan));
-        std::panic::catch_unwind(AssertUnwindSafe(|| check(t, bound)))
+        std::panic::catch_unwind(AssertUnwindSafe(|| check_with(t, bound, engine)))
     };
     match outcome {
         Ok(Ok(v)) => assert_eq!(
@@ -111,8 +124,62 @@ fn figure_tests_survive_the_fault_matrix() {
         let baseline = check(t, bound).expect("baseline must verify cleanly");
         for point in points::ALL {
             for &kind in KINDS {
-                run_cell(t, bound, point, kind, &baseline);
+                run_cell_with(t, bound, EngineKind::Sat, point, kind, &baseline);
             }
+        }
+    }
+}
+
+#[test]
+fn dpor_engine_survives_explore_faults() {
+    // The `dpor.explore` point is probed once per complete candidate
+    // execution, so under the DPOR engine every fault kind actually
+    // fires mid-exploration. A fired fault may only surface as the
+    // classified unknown, a supervised panic, or — if the trigger
+    // landed after the deciding candidate — the baseline verdict.
+    let tests = gpumc_catalog::figure_tests();
+    assert!(!tests.is_empty());
+    for t in &tests {
+        let bound = t.bound.min(2);
+        let baseline =
+            check_with(t, bound, EngineKind::Dpor).expect("dpor baseline must verify cleanly");
+        assert_eq!(
+            baseline,
+            check(t, bound).expect("sat baseline"),
+            "{}: dpor and sat baselines disagree",
+            t.name
+        );
+        for &kind in KINDS {
+            run_cell_with(
+                t,
+                bound,
+                EngineKind::Dpor,
+                points::DPOR_EXPLORE,
+                kind,
+                &baseline,
+            );
+        }
+    }
+}
+
+#[test]
+fn dpor_budget_exhaustion_is_a_classified_unknown_not_a_verdict() {
+    // A three-step budget cannot cover any figure exploration: the
+    // engine must withhold its verdict as `Unknown`, never guess.
+    for t in &gpumc_catalog::figure_tests() {
+        let program = gpumc::parse_litmus(&t.source).unwrap();
+        let v = Verifier::new(gpumc_models::load_shared(default_kind(&program)))
+            .with_bound(t.bound.min(2))
+            .with_engine(EngineKind::Dpor)
+            .with_enumeration_cap(3);
+        match v.check_all(&program) {
+            Err(VerifyError::Unknown(reason)) => assert!(
+                reason.contains("budget") || reason.contains("step"),
+                "{}: unknown without the budget class: {reason}",
+                t.name
+            ),
+            Ok(_) => panic!("{}: a 3-step exploration cannot conclude", t.name),
+            Err(e) => panic!("{}: hard error {e}", t.name),
         }
     }
 }

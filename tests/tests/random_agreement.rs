@@ -227,9 +227,10 @@ fn build(arch: Arch, threads: &[Vec<I>]) -> (Program, Vec<(usize, Reg)>) {
 
 fn check_agreement(arch: Arch, model: ModelKind, threads: &[Vec<I>]) -> Result<(), TestCaseError> {
     let (template, reads) = build(arch, threads);
-    // Probe reachability of a few (register, value) outcomes with three
+    // Probe reachability of a few (register, value) outcomes with four
     // independent implementations: the incremental solver session, a
-    // fresh SAT encoding, and the explicit-state oracle.
+    // fresh SAT encoding, the explicit-state oracle, and the pruned
+    // DPOR exploration engine.
     for &(ti, reg) in reads.iter().take(2) {
         for value in [0u64, 1] {
             let mut p = template.clone();
@@ -256,6 +257,27 @@ fn check_agreement(arch: Arch, model: ModelKind, threads: &[Vec<I>]) -> Result<(
                 Err(gpumc::VerifyError::TooComplex(_)) => continue,
                 Err(e) => panic!("enumeration engine: {e}"),
             };
+            let dpor = match Verifier::new(gpumc_models::load(model))
+                .with_bound(1)
+                .with_engine(EngineKind::Dpor)
+                .with_enumeration_cap(500_000)
+                .check_assertion(&p)
+            {
+                Ok(o) => o,
+                // Step budget exhausted: the engine withholds a verdict.
+                Err(gpumc::VerifyError::TooComplex(_) | gpumc::VerifyError::Unknown(_)) => continue,
+                Err(e) => panic!("dpor engine: {e}"),
+            };
+            prop_assert_eq!(
+                dpor.reachable,
+                sat.reachable,
+                "fresh SAT and dpor disagree on P{}:r{} == {} under {:?}\nprogram: {:?}",
+                ti,
+                reg.0,
+                value,
+                model,
+                threads
+            );
             prop_assert_eq!(
                 sat.reachable,
                 enumr.reachable,
