@@ -364,17 +364,30 @@ fn main() {
         .take(PORTFOLIO_SLOWEST)
         .map(|&(i, _)| i)
         .collect();
+    // A sequential-vs-parallel wall-clock ratio is only a measurement
+    // when the racers actually run in parallel; on a one-core host it
+    // records time-slicing overhead as if it were a result, so the
+    // comparison is skipped (and annotated as such in the JSON).
+    let run_portfolio = host_parallelism > 1;
     let mut seq_total_us = 0u128;
     let mut par_total_us = 0u128;
     let mut pstats = gpumc::gpumc_sat::PortfolioStats::default();
     let mut portfolio_rows: Vec<Json> = Vec::new();
     println!();
-    println!(
-        "portfolio({PORTFOLIO_WORKERS}) vs sequential on the {} slowest kernels \
-         (host parallelism {host_parallelism}):",
-        slowest.len()
-    );
-    for &i in &slowest {
+    if run_portfolio {
+        println!(
+            "portfolio({PORTFOLIO_WORKERS}) vs sequential on the {} slowest kernels \
+             (host parallelism {host_parallelism}):",
+            slowest.len()
+        );
+    } else {
+        println!(
+            "portfolio({PORTFOLIO_WORKERS}) vs sequential: skipped — host parallelism is 1, \
+             so the racers would time-slice one core and the wall-clock ratio \
+             would measure scheduling overhead, not solver speedup"
+        );
+    }
+    for &i in slowest.iter().filter(|_| run_portfolio) {
         let case = verifiable[i];
         let kernel = case.kernel.as_ref().expect("verifiable kernels exist");
         let text = emit_spirv(kernel);
@@ -441,19 +454,21 @@ fn main() {
             }
         }
     }
-    println!(
-        "  total: sequential {:>8.1} ms   portfolio {:>8.1} ms   speedup {:.2}x   \
-         ({} clauses exported, {} imported)",
-        seq_total_us as f64 / 1000.0,
-        par_total_us as f64 / 1000.0,
-        if par_total_us > 0 {
-            seq_total_us as f64 / par_total_us as f64
-        } else {
-            1.0
-        },
-        pstats.exported,
-        pstats.imported,
-    );
+    if run_portfolio {
+        println!(
+            "  total: sequential {:>8.1} ms   portfolio {:>8.1} ms   speedup {:.2}x   \
+             ({} clauses exported, {} imported)",
+            seq_total_us as f64 / 1000.0,
+            par_total_us as f64 / 1000.0,
+            if par_total_us > 0 {
+                seq_total_us as f64 / par_total_us as f64
+            } else {
+                1.0
+            },
+            pstats.exported,
+            pstats.imported,
+        );
+    }
 
     // --- the DPOR-engine comparison: the same DRF check of every
     //     verifiable kernel under the pruned stateless exploration
@@ -642,31 +657,49 @@ fn main() {
             ),
             (
                 "portfolio".into(),
-                Json::Obj(vec![
-                    ("workers".into(), Json::count(u64::from(PORTFOLIO_WORKERS))),
-                    ("tests".into(), Json::count(portfolio_rows.len() as u64)),
-                    (
-                        "host_parallelism".into(),
-                        Json::count(host_parallelism as u64),
-                    ),
-                    ("sequential_us".into(), Json::count(seq_total_us as u64)),
-                    ("portfolio_us".into(), Json::count(par_total_us as u64)),
-                    (
-                        "speedup".into(),
-                        Json::num(if par_total_us > 0 {
-                            seq_total_us as f64 / par_total_us as f64
-                        } else {
-                            1.0
-                        }),
-                    ),
-                    ("clauses_exported".into(), Json::count(pstats.exported)),
-                    ("clauses_imported".into(), Json::count(pstats.imported)),
-                    (
-                        "cube_fallback_runs".into(),
-                        Json::count(u64::from(pstats.cube_fallback)),
-                    ),
-                    ("kernels".into(), Json::Arr(portfolio_rows)),
-                ]),
+                if !run_portfolio {
+                    Json::Obj(vec![
+                        ("skipped".into(), Json::Bool(true)),
+                        (
+                            "reason".into(),
+                            Json::str(
+                                "host_parallelism == 1: sequential-vs-parallel wall clock \
+                                 would measure time-slicing overhead, not speedup",
+                            ),
+                        ),
+                        ("workers".into(), Json::count(u64::from(PORTFOLIO_WORKERS))),
+                        (
+                            "host_parallelism".into(),
+                            Json::count(host_parallelism as u64),
+                        ),
+                    ])
+                } else {
+                    Json::Obj(vec![
+                        ("workers".into(), Json::count(u64::from(PORTFOLIO_WORKERS))),
+                        ("tests".into(), Json::count(portfolio_rows.len() as u64)),
+                        (
+                            "host_parallelism".into(),
+                            Json::count(host_parallelism as u64),
+                        ),
+                        ("sequential_us".into(), Json::count(seq_total_us as u64)),
+                        ("portfolio_us".into(), Json::count(par_total_us as u64)),
+                        (
+                            "speedup".into(),
+                            Json::num(if par_total_us > 0 {
+                                seq_total_us as f64 / par_total_us as f64
+                            } else {
+                                1.0
+                            }),
+                        ),
+                        ("clauses_exported".into(), Json::count(pstats.exported)),
+                        ("clauses_imported".into(), Json::count(pstats.imported)),
+                        (
+                            "cube_fallback_runs".into(),
+                            Json::count(u64::from(pstats.cube_fallback)),
+                        ),
+                        ("kernels".into(), Json::Arr(portfolio_rows)),
+                    ])
+                },
             ),
             (
                 "dpor".into(),

@@ -14,7 +14,9 @@ USAGE:
     gpumc verify <test.litmus> [OPTIONS]
     gpumc suite <ptx|proxy|vulkan|drf|liveness|figures> [OPTIONS]
     gpumc serve [OPTIONS]
+    gpumc route <suite> --shards <addr,addr,...> [OPTIONS]
     gpumc client <ping|metrics|shutdown|verify <test.litmus>> [OPTIONS]
+    gpumc cache <digest <test.litmus>|ls --dir <path>> [OPTIONS]
     gpumc models
     gpumc dump-model <ptx-v6.0|ptx-v7.5|vulkan>
     gpumc catalog [ptx|proxy|vulkan|drf|liveness|figures]
@@ -68,6 +70,32 @@ OPTIONS (serve):
                          dump a one-line metrics summary to stderr
     --enable-faults      honor the per-request `faults` field (testing
                          only; off by default)
+    --no-cache           disable the content-addressed result cache
+                         (on by default: duplicate definitive requests
+                         answer without re-encoding or re-solving)
+    --cache-cap <n>      resident verdicts in the cache LRU (default: 4096)
+    --cache-dir <path>   persist verdicts to <path>/results.jsonl across
+                         restarts; invalidated automatically when the
+                         verifier fingerprint changes
+    --fast-lane-cost <n> predicted-cost threshold for the scheduler's
+                         fast lane (default: 8192); costlier jobs take
+                         per-worker heavy lanes with work stealing
+
+OPTIONS (route):
+    --shards <a,b,...>   comma-separated serve addresses (required);
+                         requests are assigned by content digest, so
+                         identical queries always hit the same shard
+    --bound <n>          override every test's unrolling bound
+    --engine <e>         sat | enumerate | alloy | dpor  (default: sat)
+    --model <name>       model override (default: per-test, from dialect)
+    --timeout-ms <ms>    forwarded per request
+    --max-attempts <n>   cluster-wide attempts per request before a
+                         `status:\"failed\"` line (default: 2 x shards)
+    --backoff-ms <ms>    sleep between cluster retry rounds (default: 25)
+
+    Merged verdict lines go to stdout in suite order — byte-identical
+    for any shard count or mid-run node death, as long as some shard
+    survives. Per-shard routing stats go to stderr.
 
 OPTIONS (client):
     --addr <host:port>   server address (default: 127.0.0.1:7878)
@@ -110,7 +138,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("verify") => verify(&args[1..]),
         Some("suite") => suite(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("route") => route(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("cache") => cache(&args[1..]),
         Some("models") => {
             for m in ModelKind::ALL {
                 println!("{m}\t({})", m.file_name());
@@ -209,6 +239,26 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                 )
             }
             "--enable-faults" => config.allow_faults = true,
+            "--no-cache" => config.cache_enabled = false,
+            "--cache-cap" => {
+                config.cache_capacity = it
+                    .next()
+                    .ok_or("--cache-cap needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cache-cap")?
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a value")?,
+                ))
+            }
+            "--fast-lane-cost" => {
+                config.fast_lane_max_cost = it
+                    .next()
+                    .ok_or("--fast-lane-cost needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --fast-lane-cost")?
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -221,6 +271,174 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         server.run().map_err(|e| e.to_string())?;
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `gpumc route <suite>`: fan a catalog suite over N serve shards by
+/// content digest and print the deterministic merge (DESIGN.md §16).
+fn route(args: &[String]) -> Result<ExitCode, String> {
+    use gpumc::fleet::router::{route, RoutePolicy, RouteRequest};
+    let mut name = None;
+    let mut shards: Vec<String> = Vec::new();
+    let mut bound: Option<u32> = None;
+    let mut engine = "sat".to_string();
+    let mut model: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut policy = RoutePolicy::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--bound" => {
+                bound = Some(
+                    it.next()
+                        .ok_or("--bound needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --bound")?,
+                )
+            }
+            "--engine" => engine = it.next().ok_or("--engine needs a value")?.clone(),
+            "--model" => model = Some(it.next().ok_or("--model needs a value")?.clone()),
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --timeout-ms")?,
+                )
+            }
+            "--max-attempts" => {
+                policy.max_attempts = it
+                    .next()
+                    .ok_or("--max-attempts needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-attempts")?
+            }
+            "--backoff-ms" => {
+                policy.backoff_ms = it
+                    .next()
+                    .ok_or("--backoff-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --backoff-ms")?
+            }
+            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    // Validate the engine spelling up front (the digest layer would
+    // reject it per-request otherwise).
+    parse_engine(&engine)?;
+    let name = name.ok_or("missing suite name (ptx|proxy|vulkan|drf|liveness|figures)")?;
+    if shards.is_empty() {
+        return Err("route needs --shards <addr,addr,...>".into());
+    }
+    let requests: Vec<RouteRequest> = suite_tests(&name)?
+        .into_iter()
+        .map(|t| RouteRequest {
+            name: t.name,
+            source: t.source,
+            model: model.clone(),
+            bound: bound.unwrap_or(t.bound),
+            engine: engine.clone(),
+            timeout_ms,
+            faults: None,
+        })
+        .collect();
+    let report = route(&requests, &shards, &policy);
+    print!("{}", report.merged());
+    for s in &report.shards {
+        eprintln!(
+            "shard {}: {} sent, {} answered{}",
+            s.addr,
+            s.sent,
+            s.answered,
+            if s.died { ", DIED" } else { "" }
+        );
+    }
+    Ok(if report.all_done() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `gpumc cache`: inspect the content-addressed result cache layer —
+/// `digest` prints a request's canonical digest (what `route` shards
+/// on), `ls` lists a persistent store's entries.
+fn cache(args: &[String]) -> Result<ExitCode, String> {
+    use gpumc::fleet::digest::{digest_hex, source_digest};
+    match args.first().map(String::as_str) {
+        Some("digest") => {
+            let mut file = None;
+            let mut model: Option<String> = None;
+            let mut bound = 2u32;
+            let mut engine = "sat".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--model" => model = Some(it.next().ok_or("--model needs a value")?.clone()),
+                    "--bound" => {
+                        bound = it
+                            .next()
+                            .ok_or("--bound needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --bound")?
+                    }
+                    "--engine" => engine = it.next().ok_or("--engine needs a value")?.clone(),
+                    other if !other.starts_with('-') && file.is_none() => {
+                        file = Some(other.to_string())
+                    }
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            let file = file.ok_or("cache digest needs a test file")?;
+            let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let d = source_digest(
+                &source,
+                model.as_deref(),
+                bound,
+                "all",
+                &engine,
+                gpumc_serve::PROTOCOL_VERSION,
+            )?;
+            println!("{}", digest_hex(d));
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("ls") => {
+            let mut dir = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--dir" => dir = Some(it.next().ok_or("--dir needs a value")?.clone()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            let dir = dir.ok_or("cache ls needs --dir <path>")?;
+            let path = std::path::Path::new(&dir).join(gpumc::fleet::store::STORE_FILE);
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let mut lines = text.lines();
+            let header = lines.next().unwrap_or("");
+            eprintln!("{header}");
+            let mut n = 0u64;
+            for line in lines {
+                if Json::parse(line).is_ok() {
+                    println!("{line}");
+                    n += 1;
+                }
+            }
+            eprintln!("{n} entries");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("cache needs a subcommand: digest <test.litmus> | ls --dir <path>".into()),
+    }
 }
 
 fn client(args: &[String]) -> Result<ExitCode, String> {

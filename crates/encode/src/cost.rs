@@ -1,0 +1,80 @@
+//! Request cost prediction for the serve-layer scheduler.
+//!
+//! The dominant terms in verification cost track the encoding size: the
+//! relation analysis and the CNF encoding are both quadratic in the
+//! event count (every derived relation is a set of event *pairs*, see
+//! [`RelationAnalysis`](crate::RelationAnalysis)), and unrolling scales
+//! the event count roughly linearly with the bound. The engines then
+//! multiply that base by very different constants: SAT amortizes one
+//! encoding over all property queries, DPOR re-executes per trace, and
+//! exhaustive enumeration visits every interleaving.
+//!
+//! The estimate is a *relative* priority for lane placement and
+//! stealing order — not a runtime prediction — so a crude monotone
+//! model is exactly enough: cheap litmus queries must sort below
+//! encoding monsters, and they do.
+
+/// Relative engine weights for [`estimate_cost`]. Indexed by the
+/// serve-layer's canonical engine names; unknown names get the most
+/// pessimistic weight (misrouting an unknown engine to the fast lane
+/// would let it starve the cheap queries behind it).
+pub fn engine_weight(engine: &str) -> u64 {
+    match engine {
+        "sat" => 2,
+        "dpor" => 4,
+        "enumerate" | "alloy" => 8,
+        _ => 8,
+    }
+}
+
+/// Predicted relative cost of verifying a compiled graph of `n_events`
+/// events at unrolling bound `bound`: `events² × bound × weight`,
+/// saturating. The quadratic term is the pair-relation encoding; the
+/// bound term charges for the deeper search the extra unrolling opens
+/// up beyond the events it already added.
+pub fn estimate_cost(n_events: usize, bound: u32, engine_weight: u64) -> u64 {
+    let e = n_events as u64;
+    e.saturating_mul(e)
+        .saturating_mul(u64::from(bound.max(1)))
+        .saturating_mul(engine_weight.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_monotone_in_every_input() {
+        let base = estimate_cost(10, 2, 2);
+        assert!(estimate_cost(20, 2, 2) > base);
+        assert!(estimate_cost(10, 4, 2) > base);
+        assert!(estimate_cost(10, 2, 8) > base);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_zero_out() {
+        // bound 0 / weight 0 are clamped, and cost saturates instead of
+        // overflowing.
+        assert_eq!(estimate_cost(10, 0, 0), 100);
+        assert_eq!(estimate_cost(usize::MAX, u32::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn engine_weights_order_the_engines() {
+        assert!(engine_weight("sat") < engine_weight("dpor"));
+        assert!(engine_weight("dpor") < engine_weight("enumerate"));
+        assert_eq!(engine_weight("enumerate"), engine_weight("alloy"));
+        // Unknown engines schedule pessimistically.
+        assert_eq!(engine_weight("z3"), engine_weight("enumerate"));
+    }
+
+    #[test]
+    fn litmus_scale_queries_sort_below_kernel_scale() {
+        // A two-thread litmus test at bound 2 vs. an unrolled kernel at
+        // bound 14: the scheduler's fast-lane split relies on a wide
+        // gap, not a close call.
+        let litmus = estimate_cost(14, 2, 2);
+        let kernel = estimate_cost(60, 14, 2);
+        assert!(kernel > 100 * litmus, "kernel {kernel} vs litmus {litmus}");
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`BoundsMemo`] — an opt-in cache of the (expensive, graph-sized)
 //!   bounds so the several encodings of one test share a single
 //!   relation analysis; see [`encode_memoized`].
+//! * [`estimate_cost`] — a relative cost prediction (events² × bound ×
+//!   engine weight) the serving layer uses for lane placement in its
+//!   cost-aware scheduler.
 //!
 //! Every satisfying assignment is decoded into a concrete
 //! [`gpumc_exec::Execution`] and *re-validated* with the explicit
@@ -34,11 +37,13 @@
 //! other on every witness (the paper's Table 5 validation, continuously).
 
 mod bounds;
+mod cost;
 mod encode;
 mod memo;
 mod session;
 
 pub use bounds::{RelationAnalysis, StaticBounds};
+pub use cost::{engine_weight, estimate_cost};
 pub use encode::{
     encode, encode_memoized, encode_traced, EncodeError, EncodeOptions, Encoding, QueryResult,
 };

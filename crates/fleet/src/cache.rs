@@ -1,0 +1,233 @@
+//! The content-addressed result cache.
+//!
+//! Keyed by the canonical request digest ([`crate::digest`]); holds the
+//! *verdict facts* of a completed verification — exactly the fields of
+//! the protocol's `verdict` object, as protocol vocabulary strings, so
+//! a cache hit reproduces the response byte-identically. Two layers:
+//!
+//! * a bounded in-memory [`LruMap`](crate::lru::LruMap), always on;
+//! * an optional persistent [`Store`](crate::store::Store) with
+//!   versioned invalidation (see the store docs).
+//!
+//! What is *never* cached: `unknown` (budget/deadline — retrying is
+//! the point), `error`, `failed`, and anything computed under an armed
+//! fault plan (injected faults must not leak verdicts into steady
+//! state). Callers enforce the first three by only constructing
+//! [`CachedVerdict`] from a definitive outcome; the server enforces the
+//! fault rule by bypassing the cache entirely for fault-armed jobs.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::lru::LruMap;
+use crate::store::{LoadReport, Store, STORE_FILE};
+
+/// The verdict facts of one definitive verification, in protocol
+/// vocabulary (`expectation`: `holds`/`fails`/`none`; `liveness`:
+/// `ok`/`violation`; `datarace`: `found`/`none`/`n/a`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedVerdict {
+    pub test: String,
+    pub reachable: bool,
+    pub expectation: String,
+    pub liveness: String,
+    pub datarace: String,
+}
+
+/// Aggregate counters, sampled for the `metrics` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    /// Entries loaded from the persistent store at open.
+    pub loaded: u64,
+    /// Whether the persistent store was truncated at open because its
+    /// fingerprint mismatched.
+    pub invalidated: bool,
+}
+
+/// The cache. Thread-safe; shared across the server behind an `Arc`.
+#[derive(Debug)]
+pub struct ResultCache {
+    lru: Mutex<LruMap<u128, CachedVerdict>>,
+    store: Option<Mutex<Store>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    loaded: u64,
+    invalidated: bool,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache of at most `capacity` verdicts.
+    pub fn in_memory(capacity: usize) -> ResultCache {
+        ResultCache {
+            lru: Mutex::new(LruMap::new(capacity)),
+            store: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            loaded: 0,
+            invalidated: false,
+        }
+    }
+
+    /// A cache backed by `dir/results.jsonl`, invalidated when
+    /// `fingerprint` (the verifier build + digest scheme) changes.
+    /// Entries on disk beyond `capacity` stay on disk and re-enter the
+    /// LRU only on re-verification.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating `dir` or opening the store.
+    pub fn persistent(
+        capacity: usize,
+        dir: &Path,
+        fingerprint: &str,
+    ) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let (store, report) = Store::open(&dir.join(STORE_FILE), fingerprint)?;
+        let LoadReport {
+            entries,
+            invalidated,
+            ..
+        } = report;
+        let mut lru = LruMap::new(capacity);
+        let loaded = entries.len() as u64;
+        // File order is oldest-first; inserting in order leaves the
+        // newest entries resident when the store exceeds capacity.
+        for (digest, verdict) in entries {
+            lru.insert(digest, verdict);
+        }
+        Ok(ResultCache {
+            lru: Mutex::new(lru),
+            store: Some(Mutex::new(store)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            loaded,
+            invalidated,
+        })
+    }
+
+    /// Looks up a digest, counting a hit or a miss.
+    pub fn lookup(&self, digest: u128) -> Option<CachedVerdict> {
+        let found = self.lru.lock().unwrap().get(&digest).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records a definitive verdict, appending to the persistent store
+    /// when there is one. Store write errors are swallowed (the disk
+    /// layer is an optimization; the in-memory layer stays correct).
+    pub fn insert(&self, digest: u128, verdict: CachedVerdict) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            let _ = store.lock().unwrap().append(digest, &verdict);
+        }
+        self.lru.lock().unwrap().insert(digest, verdict);
+    }
+
+    /// Resident (in-memory) entry count.
+    pub fn len(&self) -> usize {
+        self.lru.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            loaded: self.loaded,
+            invalidated: self.invalidated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(test: &str) -> CachedVerdict {
+        CachedVerdict {
+            test: test.to_string(),
+            reachable: false,
+            expectation: "holds".to_string(),
+            liveness: "ok".to_string(),
+            datarace: "none".to_string(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = ResultCache::in_memory(16);
+        assert_eq!(c.lookup(1), None);
+        c.insert(1, verdict("t"));
+        assert_eq!(c.lookup(1).unwrap().test, "t");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_bound_holds() {
+        let c = ResultCache::in_memory(2);
+        for d in 0..10u128 {
+            c.insert(d, verdict("t"));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(9).is_some());
+        assert!(c.lookup(0).is_none());
+    }
+
+    #[test]
+    fn persistent_roundtrip_and_invalidation() {
+        let dir = std::env::temp_dir().join(format!("gpumc-fleet-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = ResultCache::persistent(16, &dir, "fp-a").unwrap();
+            c.insert(42, verdict("warm"));
+        }
+        // Same fingerprint: warm start.
+        {
+            let c = ResultCache::persistent(16, &dir, "fp-a").unwrap();
+            assert_eq!(c.stats().loaded, 1);
+            assert!(!c.stats().invalidated);
+            assert_eq!(c.lookup(42).unwrap().test, "warm");
+        }
+        // New fingerprint: cold start, file truncated.
+        {
+            let c = ResultCache::persistent(16, &dir, "fp-b").unwrap();
+            assert_eq!(c.stats().loaded, 0);
+            assert!(c.stats().invalidated);
+            assert_eq!(c.lookup(42), None);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let c = std::sync::Arc::new(ResultCache::in_memory(64));
+        std::thread::scope(|s| {
+            for t in 0..4u128 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..50u128 {
+                        let d = t * 1000 + i;
+                        c.insert(d, verdict("x"));
+                        assert!(c.lookup(d).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().inserts, 200);
+    }
+}

@@ -1,0 +1,46 @@
+//! `gpumc-fleet` — the scale-out layer between one gpumc daemon and a
+//! fleet of them.
+//!
+//! The paper's whole evaluation (Tables 5–7) re-runs the same litmus
+//! and kernel queries across models, bounds, and properties; real
+//! verification traffic is overwhelmingly duplicate work. This crate
+//! provides the three pieces that turn `gpumc-serve` from "one daemon
+//! with warm caches" into fleet shape (DESIGN.md §16):
+//!
+//! * [`digest`] — a canonical, persistable request identity: a stable
+//!   128-bit digest of (test AST × model source × bound × property ×
+//!   engine × protocol version). Unlike `EventGraph::fingerprint`
+//!   (process-local `DefaultHasher`), this digest is FNV-1a over a
+//!   canonical rendering and safe to write to disk or route on.
+//! * [`cache`] — a content-addressed result cache keyed by that digest:
+//!   a bounded in-memory LRU ([`lru`]) plus an optional persistent
+//!   JSONL store ([`store`]) with versioned invalidation keyed on the
+//!   verifier fingerprint. Only definitive verdicts are cached — never
+//!   `unknown` or `failed`.
+//! * [`sched`] — a cost-aware two-level scheduler replacing the FIFO
+//!   job queue: a shared fast lane for cheap litmus queries plus
+//!   per-worker heavy lanes with work stealing, so a small query is
+//!   never stuck behind an encoding monster.
+//! * [`router`] — `gpumc route`: fan a suite over N serve instances by
+//!   digest hash, merge responses deterministically, and retry on the
+//!   surviving shards when a node dies (`status:"failed"` only after
+//!   the cluster-wide policy is exhausted).
+//!
+//! Everything is std-only, like the rest of the serving stack. The JSON
+//! plumbing ([`json`]) lives here (moved from `gpumc-serve`, which
+//! re-exports it) so the router and the persistent store can speak the
+//! wire format without depending on the server.
+
+pub mod cache;
+pub mod digest;
+pub mod json;
+pub mod lru;
+pub mod router;
+pub mod sched;
+pub mod store;
+
+pub use cache::{CachedVerdict, ResultCache};
+pub use digest::{request_digest, RequestKey, DIGEST_SCHEME_VERSION};
+pub use json::Json;
+pub use router::{route, RoutePolicy, RouteReport, RouteRequest};
+pub use sched::{CostScheduler, PushError};

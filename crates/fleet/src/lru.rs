@@ -1,0 +1,241 @@
+//! A bounded LRU map with O(1) lookup, insert, and eviction.
+//!
+//! Slab-backed doubly linked list + `HashMap` index — the classic
+//! linked-hashmap layout, written out because the sanctioned offline
+//! dependency set has no `lru` crate. Used by the result cache under a
+//! `Mutex`; the structure itself is single-threaded.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+/// The map. Capacity is fixed at construction; inserting into a full
+/// map evicts the least-recently-used entry and returns it.
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    index: HashMap<K, usize>,
+    /// Slab of nodes; `None` slots are free (tracked in `free`).
+    slab: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: Option<usize>,
+    /// Least recently used.
+    tail: Option<usize>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// An empty map holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruMap<K, V> {
+        let capacity = capacity.max(1);
+        LruMap {
+            index: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn node(&self, idx: usize) -> &Node<K, V> {
+        self.slab[idx].as_ref().expect("linked index is live")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
+        self.slab[idx].as_mut().expect("linked index is live")
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.index.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.node(idx).value)
+    }
+
+    /// Whether `key` is present, *without* promoting it.
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts (or replaces) `key`, promoting it. Returns the evicted
+    /// least-recently-used `(key, value)` when the insert overflowed
+    /// the capacity.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.index.get(&key) {
+            self.node_mut(idx).value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.index.len() >= self.capacity {
+            self.evict_tail()
+        } else {
+            None
+        };
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: None,
+            next: None,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(node);
+                i
+            }
+            None => {
+                self.slab.push(Some(node));
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Entries from most- to least-recently-used.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        std::iter::successors(self.head, |&i| self.node(i).next)
+            .map(|i| (&self.node(i).key, &self.node(i).value))
+    }
+
+    fn evict_tail(&mut self) -> Option<(K, V)> {
+        let tail = self.tail?;
+        self.unlink(tail);
+        self.free.push(tail);
+        let node = self.slab[tail].take().expect("tail is live");
+        self.index.remove(&node.key);
+        Some((node.key, node.value))
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.node(idx);
+            (n.prev, n.next)
+        };
+        match prev {
+            Some(p) => self.node_mut(p).next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.node_mut(n).prev = prev,
+            None => self.tail = prev,
+        }
+        let n = self.node_mut(idx);
+        n.prev = None;
+        n.next = None;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(idx);
+            n.prev = None;
+            n.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.node_mut(h).prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = LruMap::new(4);
+        assert!(m.is_empty());
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get(&"a"), Some(&1));
+        assert_eq!(m.get(&"b"), Some(&2));
+        assert_eq!(m.get(&"c"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        // Touch "a" so "b" is the LRU.
+        assert_eq!(m.get(&"a"), Some(&1));
+        let evicted = m.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert!(m.contains(&"a"));
+        assert!(m.contains(&"c"));
+        assert!(!m.contains(&"b"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.insert("a", 10), None);
+        assert_eq!(m.get(&"a"), Some(&10));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iterates_mru_first() {
+        let mut m = LruMap::new(8);
+        for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            m.insert(k, v);
+        }
+        m.get(&"a");
+        let order: Vec<_> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec!["a", "c", "b"]);
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut m = LruMap::new(1);
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("b", 2), Some(("a", 1)));
+        assert_eq!(m.get(&"b"), Some(&2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_after_heavy_churn() {
+        let mut m = LruMap::new(4);
+        for i in 0..100u32 {
+            m.insert(i, i * 10);
+            assert!(m.len() <= 4);
+        }
+        // Only the last four survive, in MRU order.
+        let keys: Vec<_> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![99, 98, 97, 96]);
+        // The slab never grew past capacity.
+        assert!(m.slab.len() <= 4);
+    }
+}

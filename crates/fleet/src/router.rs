@@ -1,0 +1,654 @@
+//! Sharded routing: fan a suite over N serve instances, merge
+//! deterministically, survive node death.
+//!
+//! Requests are assigned to shards by digest hash ([`shard_of`]), so
+//! identical queries always land on the same node and its result cache
+//! — the fleet-level analogue of the per-daemon content addressing.
+//! Each round groups the unanswered requests by their current shard and
+//! drives every shard from its own thread (send one, await one; the
+//! protocol's out-of-order pipelining is deliberately unused so a
+//! transport error can be attributed to exactly one request).
+//!
+//! Failure semantics (DESIGN.md §16):
+//!
+//! * `done` / `unknown` / `error` responses are *answers* — final.
+//! * `rejected` (backpressure) and `failed` (the node's retry policy
+//!   already gave up) responses, and any transport error, are
+//!   *node-level* trouble: the request moves to the next surviving
+//!   shard and tries again after a backoff.
+//! * a shard whose connection cannot be established (or dies mid-read)
+//!   is marked dead and skipped by reassignment; it is probed again on
+//!   later rounds (a restarted node rejoins automatically).
+//! * only when the cluster-wide attempt budget is exhausted — or every
+//!   shard is dead — does a request answer `status:"failed"`.
+//!
+//! A per-request fault plan (the `faults` field) is a *node-local*
+//! injection: it rides the first attempt only and is stripped on
+//! failover, so an injected node death cannot chase the request across
+//! the fleet it was meant to test.
+//!
+//! The merged output is one line per request, *in input order*, each
+//! carrying only order-independent fields (no ids, no timings) — so a
+//! 2-shard run with a mid-run node death is byte-identical to a
+//! single-node run of the same suite.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::digest::source_digest;
+use crate::json::Json;
+
+/// One request of a routed suite.
+#[derive(Debug, Clone)]
+pub struct RouteRequest {
+    /// Display name (the catalog test name), used in failure lines.
+    pub name: String,
+    /// Litmus source.
+    pub source: String,
+    /// Model name; `None` uses the dialect default.
+    pub model: Option<String>,
+    pub bound: u32,
+    /// Engine spelling (`sat`, `enumerate`, `alloy`, `dpor`).
+    pub engine: String,
+    pub timeout_ms: Option<u64>,
+    /// Node-local fault injection; not propagated on failover.
+    pub faults: Option<String>,
+}
+
+/// Cluster-wide retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutePolicy {
+    /// Total attempts per request across all shards; `0` means
+    /// `2 × shards`.
+    pub max_attempts: u32,
+    /// Sleep between retry rounds.
+    pub backoff_ms: u64,
+    /// Protocol version stamped on every request.
+    pub proto: u32,
+}
+
+impl Default for RoutePolicy {
+    fn default() -> RoutePolicy {
+        RoutePolicy {
+            max_attempts: 0,
+            backoff_ms: 25,
+            proto: 1,
+        }
+    }
+}
+
+/// Per-shard accounting.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    pub addr: String,
+    /// Requests sent (attempts, not unique requests).
+    pub sent: u64,
+    /// Final answers produced.
+    pub answered: u64,
+    /// Whether the shard was marked dead at any point.
+    pub died: bool,
+}
+
+/// The final state of one routed request.
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    pub name: String,
+    /// `done`, `unknown`, `error`, or `failed`.
+    pub status: String,
+    /// The merged output line (order-independent fields only).
+    pub line: String,
+    /// Shard index that produced the final answer, if any.
+    pub shard: Option<usize>,
+    pub attempts: u32,
+}
+
+/// Everything [`route`] produces.
+#[derive(Debug)]
+pub struct RouteReport {
+    /// One outcome per request, in input order.
+    pub results: Vec<RouteOutcome>,
+    pub shards: Vec<ShardStats>,
+}
+
+impl RouteReport {
+    /// The deterministic merge: one line per request in input order,
+    /// with a trailing newline.
+    pub fn merged(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether every request reached a verdict (`done`).
+    pub fn all_done(&self) -> bool {
+        self.results.iter().all(|r| r.status == "done")
+    }
+}
+
+/// Initial shard assignment: stable digest hash.
+pub fn shard_of(digest: u128, shards: usize) -> usize {
+    (digest % shards.max(1) as u128) as usize
+}
+
+/// Routing digest for a request: the canonical content digest where the
+/// request parses, an FNV fallback over the raw source where it does
+/// not (the server will answer `error`; the request still needs *a*
+/// home).
+fn routing_digest(req: &RouteRequest, proto: u32) -> u128 {
+    source_digest(
+        &req.source,
+        req.model.as_deref(),
+        req.bound,
+        "all",
+        &req.engine,
+        proto,
+    )
+    .unwrap_or_else(|_| {
+        let mut h: u128 = 0xcbf2_9ce4_8422_2325;
+        for b in req.source.bytes() {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    })
+}
+
+/// What one attempt on one shard produced.
+enum Attempt {
+    /// A final answer (`done`/`unknown`/`error`).
+    Final(Json),
+    /// A retryable answer (`rejected`/`failed`).
+    Retry(String),
+    /// The connection failed or died: shard presumed dead.
+    Transport(String),
+}
+
+/// One shard's connection for a round.
+struct ShardConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ShardConn {
+    fn connect(addr: &str, timeout: Option<Duration>) -> std::io::Result<ShardConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        Ok(ShardConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request, awaits its response (matched by id).
+    fn roundtrip(&mut self, id: u64, req: &Json) -> Result<Json, String> {
+        writeln!(self.writer, "{req}").map_err(|e| format!("write: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-request".to_string());
+            }
+            let resp = Json::parse(line.trim_end()).map_err(|e| format!("bad response: {e}"))?;
+            if resp.get("id").and_then(Json::as_u64) == Some(id) {
+                return Ok(resp);
+            }
+            // Not ours (a stale pipelined answer): keep reading.
+        }
+    }
+}
+
+fn request_json(req: &RouteRequest, id: u64, proto: u32, with_faults: bool) -> Json {
+    let mut fields = vec![
+        ("id".into(), Json::count(id)),
+        ("verb".into(), Json::str("verify")),
+        ("proto".into(), Json::count(u64::from(proto))),
+        ("source".into(), Json::str(&req.source)),
+        ("bound".into(), Json::count(u64::from(req.bound))),
+        ("engine".into(), Json::str(&req.engine)),
+    ];
+    if let Some(m) = &req.model {
+        fields.push(("model".into(), Json::str(m)));
+    }
+    if let Some(t) = req.timeout_ms {
+        fields.push(("timeout_ms".into(), Json::count(t)));
+    }
+    if with_faults {
+        if let Some(f) = &req.faults {
+            fields.push(("faults".into(), Json::str(f)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Reduces a response to the order-independent merged line.
+fn merged_line(name: &str, resp: &Json) -> (String, String) {
+    match resp.get("status").and_then(Json::as_str) {
+        Some("done") => {
+            let verdict = resp.get("verdict").cloned().unwrap_or(Json::Null);
+            ("done".to_string(), verdict.to_string())
+        }
+        Some("unknown") => {
+            let reason = resp.get("reason").and_then(Json::as_str).unwrap_or("");
+            let line = Json::Obj(vec![
+                ("test".into(), Json::str(name)),
+                ("status".into(), Json::str("unknown")),
+                ("reason".into(), Json::str(reason)),
+            ]);
+            ("unknown".to_string(), line.to_string())
+        }
+        _ => {
+            let error = resp.get("error").and_then(Json::as_str).unwrap_or("");
+            let line = Json::Obj(vec![
+                ("test".into(), Json::str(name)),
+                ("status".into(), Json::str("error")),
+                ("error".into(), Json::str(error)),
+            ]);
+            ("error".to_string(), line.to_string())
+        }
+    }
+}
+
+fn failed_line(name: &str, error: &str, attempts: u32) -> String {
+    Json::Obj(vec![
+        ("test".into(), Json::str(name)),
+        ("status".into(), Json::str("failed")),
+        ("class".into(), Json::str("cluster")),
+        ("error".into(), Json::str(error)),
+        ("attempts".into(), Json::count(u64::from(attempts))),
+    ])
+    .to_string()
+}
+
+/// Tracks one request across rounds.
+struct Pending {
+    idx: usize,
+    digest: u128,
+    attempts: u32,
+    last_error: String,
+}
+
+/// Fans `requests` over `shards` (serve addresses) and merges. See the
+/// module docs for the failure semantics. Panics on an empty shard
+/// list.
+pub fn route(requests: &[RouteRequest], shards: &[String], policy: &RoutePolicy) -> RouteReport {
+    assert!(!shards.is_empty(), "route needs at least one shard");
+    let max_attempts = if policy.max_attempts == 0 {
+        (shards.len() as u32) * 2
+    } else {
+        policy.max_attempts
+    };
+    let read_timeout = None; // per-request deadlines belong to the server
+    let mut stats: Vec<ShardStats> = shards
+        .iter()
+        .map(|addr| ShardStats {
+            addr: addr.clone(),
+            sent: 0,
+            answered: 0,
+            died: false,
+        })
+        .collect();
+    let mut results: Vec<Option<RouteOutcome>> = (0..requests.len()).map(|_| None).collect();
+    let mut pending: Vec<Pending> = requests
+        .iter()
+        .enumerate()
+        .map(|(idx, req)| Pending {
+            idx,
+            digest: routing_digest(req, policy.proto),
+            attempts: 0,
+            last_error: String::new(),
+        })
+        .collect();
+    // `dead[i]` is sticky within a round and probed again on the next
+    // one (a restarted node rejoins).
+    let mut dead: Vec<bool> = vec![false; shards.len()];
+    let mut round = 0u32;
+    while !pending.is_empty() {
+        if round > 0 && policy.backoff_ms > 0 {
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms));
+        }
+        round += 1;
+        // Assignment: attempt k of a request targets the k-th shard
+        // clockwise from its home, skipping currently-dead shards.
+        let mut batches: Vec<Vec<usize>> = vec![Vec::new(); shards.len()]; // pending indices
+        let mut exhausted: Vec<usize> = Vec::new();
+        let alive: Vec<usize> = (0..shards.len()).filter(|&i| !dead[i]).collect();
+        for (p_i, p) in pending.iter().enumerate() {
+            if p.attempts >= max_attempts || alive.is_empty() {
+                exhausted.push(p_i);
+                continue;
+            }
+            let home = shard_of(p.digest, shards.len());
+            let step = p.attempts as usize;
+            // Walk clockwise from home over the *alive* shards.
+            let start = alive.iter().position(|&s| s >= home).unwrap_or(0);
+            let shard = alive[(start + step) % alive.len()];
+            batches[shard].push(p_i);
+        }
+        for p_i in exhausted.into_iter().rev() {
+            let p = pending.remove(p_i);
+            let req = &requests[p.idx];
+            let error = if p.attempts == 0 {
+                "no live shards".to_string()
+            } else {
+                format!("retries exhausted; last error: {}", p.last_error)
+            };
+            results[p.idx] = Some(RouteOutcome {
+                name: req.name.clone(),
+                status: "failed".to_string(),
+                line: failed_line(&req.name, &error, p.attempts),
+                shard: None,
+                attempts: p.attempts,
+            });
+        }
+        if pending.is_empty() {
+            break;
+        }
+        // Drive every shard's batch from its own thread.
+        let mut outcomes: Vec<(usize, usize, Attempt)> = Vec::new(); // (pending idx, shard, attempt)
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, batch) in batches.iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let addr = shards[shard].clone();
+                let jobs: Vec<(usize, u64, Json)> = batch
+                    .iter()
+                    .map(|&p_i| {
+                        let p = &pending[p_i];
+                        let req = &requests[p.idx];
+                        let id = p.idx as u64;
+                        (
+                            p_i,
+                            id,
+                            request_json(req, id, policy.proto, p.attempts == 0),
+                        )
+                    })
+                    .collect();
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut conn = match ShardConn::connect(&addr, read_timeout) {
+                        Ok(c) => Some(c),
+                        Err(e) => {
+                            for (p_i, _, _) in &jobs {
+                                out.push((
+                                    *p_i,
+                                    shard,
+                                    Attempt::Transport(format!("connect: {e}")),
+                                ));
+                            }
+                            return out;
+                        }
+                    };
+                    for (p_i, id, req) in &jobs {
+                        match conn.as_mut() {
+                            None => {
+                                out.push((*p_i, shard, Attempt::Transport("shard dead".into())));
+                            }
+                            Some(c) => match c.roundtrip(*id, req) {
+                                Ok(resp) => {
+                                    let status =
+                                        resp.get("status").and_then(Json::as_str).unwrap_or("");
+                                    match status {
+                                        "rejected" | "failed" => {
+                                            let why = resp
+                                                .get("error")
+                                                .and_then(Json::as_str)
+                                                .unwrap_or(status)
+                                                .to_string();
+                                            out.push((*p_i, shard, Attempt::Retry(why)));
+                                        }
+                                        _ => out.push((*p_i, shard, Attempt::Final(resp))),
+                                    }
+                                }
+                                Err(e) => {
+                                    // The connection is unusable; every
+                                    // later job on it fails over too.
+                                    out.push((*p_i, shard, Attempt::Transport(e)));
+                                    conn = None;
+                                }
+                            },
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                outcomes.extend(h.join().expect("shard thread panicked"));
+            }
+        });
+        // Apply outcomes; remove answered requests from `pending`.
+        let mut answered: Vec<usize> = Vec::new();
+        for (p_i, shard, attempt) in outcomes {
+            pending[p_i].attempts += 1;
+            stats[shard].sent += 1;
+            match attempt {
+                Attempt::Final(resp) => {
+                    let p = &pending[p_i];
+                    let req = &requests[p.idx];
+                    let (status, line) = merged_line(&req.name, &resp);
+                    results[p.idx] = Some(RouteOutcome {
+                        name: req.name.clone(),
+                        status,
+                        line,
+                        shard: Some(shard),
+                        attempts: p.attempts,
+                    });
+                    stats[shard].answered += 1;
+                    answered.push(p_i);
+                }
+                Attempt::Retry(why) => {
+                    pending[p_i].last_error = format!("{}: {why}", shards[shard]);
+                }
+                Attempt::Transport(why) => {
+                    pending[p_i].last_error = format!("{}: {why}", shards[shard]);
+                    dead[shard] = true;
+                    stats[shard].died = true;
+                }
+            }
+        }
+        answered.sort_unstable();
+        for p_i in answered.into_iter().rev() {
+            pending.remove(p_i);
+        }
+        // Probe dead shards again next round only if someone still
+        // needs them (all alive shards might be the dead one's
+        // neighbours); a dead shard that stays down just keeps failing
+        // to connect, which is cheap.
+        if pending.iter().all(|p| p.attempts >= max_attempts) && dead.iter().all(|&d| d) {
+            // Every shard dead and everyone exhausted: next loop
+            // iteration routes everything to `exhausted`.
+        }
+    }
+    RouteReport {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect(),
+        shards: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const MP: &str = "PTX MP\n{ x = 0; flag = 0; }\n\
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;\n\
+st.weak x, 1 | ld.weak r0, flag ;\n\
+st.weak flag, 1 | ld.weak r1, x ;\n\
+exists (P1:r0 == 1 /\\ P1:r1 == 0)";
+
+    const SB: &str = "PTX SB\n{ x = 0; y = 0; }\n\
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;\n\
+st.weak x, 1 | st.weak y, 1 ;\n\
+ld.weak r0, y | ld.weak r1, x ;\n\
+exists (P0:r0 == 0 /\\ P1:r1 == 0)";
+
+    fn req(name: &str, source: &str) -> RouteRequest {
+        RouteRequest {
+            name: name.to_string(),
+            source: source.to_string(),
+            model: None,
+            bound: 2,
+            engine: "sat".to_string(),
+            timeout_ms: None,
+            faults: None,
+        }
+    }
+
+    /// A fake shard: answers every verify with a canned `done` verdict
+    /// whose `test` field is the request id, counting requests served.
+    fn fake_shard(served: Arc<AtomicU64>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { break };
+                let served = Arc::clone(&served);
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    loop {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        let Ok(req) = Json::parse(line.trim_end()) else {
+                            break;
+                        };
+                        let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let resp = Json::Obj(vec![
+                            ("id".into(), Json::count(id)),
+                            ("status".into(), Json::str("done")),
+                            (
+                                "verdict".into(),
+                                Json::Obj(vec![("test".into(), Json::count(id))]),
+                            ),
+                        ]);
+                        if writeln!(writer, "{resp}").is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    /// A shard that accepts connections and immediately closes them.
+    fn dead_shard() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                drop(conn);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn merges_in_input_order_regardless_of_shard() {
+        let served = Arc::new(AtomicU64::new(0));
+        let (addr, _h) = fake_shard(Arc::clone(&served));
+        let reqs = vec![req("mp", MP), req("sb", SB), req("mp2", MP)];
+        let report = route(&reqs, &[addr], &RoutePolicy::default());
+        assert!(report.all_done());
+        // The fake answers with the request index as the verdict test
+        // field, so input order is directly observable.
+        assert_eq!(
+            report.merged(),
+            "{\"test\":0}\n{\"test\":1}\n{\"test\":2}\n"
+        );
+        assert_eq!(served.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn identical_requests_share_a_shard_and_distinct_spread() {
+        let d_mp = routing_digest(&req("a", MP), 1);
+        let d_mp2 = routing_digest(&req("b", MP), 1);
+        let d_sb = routing_digest(&req("c", SB), 1);
+        assert_eq!(d_mp, d_mp2, "same content, same digest, same shard");
+        assert_ne!(d_mp, d_sb);
+    }
+
+    #[test]
+    fn dead_shard_fails_over_to_the_survivor() {
+        let served = Arc::new(AtomicU64::new(0));
+        let (alive, _h) = fake_shard(Arc::clone(&served));
+        let dead = dead_shard();
+        // Vary the bound so digests differ, and keep picking until both
+        // shards provably get home assignments — the test must exercise
+        // the dead shard no matter how the hash falls.
+        let mut reqs: Vec<RouteRequest> = Vec::new();
+        let mut homes = [0usize; 2];
+        for b in 1u32..64 {
+            let mut r = req(&format!("t{b}"), MP);
+            r.bound = b;
+            let home = shard_of(routing_digest(&r, 1), 2);
+            if homes[home] < 3 {
+                homes[home] += 1;
+                reqs.push(r);
+            }
+            if reqs.len() == 6 {
+                break;
+            }
+        }
+        assert_eq!(homes, [3, 3], "both shards must receive home traffic");
+        let report = route(&reqs, &[dead, alive], &RoutePolicy::default());
+        assert!(report.all_done(), "all answered by the survivor");
+        assert_eq!(served.load(Ordering::Relaxed), 6);
+        assert!(report.shards[0].died);
+        assert!(!report.shards[1].died);
+    }
+
+    #[test]
+    fn all_shards_dead_answers_classified_failed() {
+        let reqs = vec![req("mp", MP)];
+        let report = route(
+            &reqs,
+            &[dead_shard(), dead_shard()],
+            &RoutePolicy {
+                backoff_ms: 1,
+                ..RoutePolicy::default()
+            },
+        );
+        assert_eq!(report.results.len(), 1);
+        let r = &report.results[0];
+        assert_eq!(r.status, "failed");
+        assert!(r.attempts >= 1);
+        let line = Json::parse(&r.line).unwrap();
+        assert_eq!(line.get("status").and_then(Json::as_str), Some("failed"));
+        assert_eq!(line.get("class").and_then(Json::as_str), Some("cluster"));
+        assert_eq!(line.get("test").and_then(Json::as_str), Some("mp"));
+    }
+
+    #[test]
+    fn unreachable_address_counts_as_dead() {
+        // Nothing listens on this port (bind-then-drop frees it).
+        let free = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let served = Arc::new(AtomicU64::new(0));
+        let (alive, _h) = fake_shard(Arc::clone(&served));
+        let reqs: Vec<RouteRequest> = (0..4).map(|i| req(&format!("t{i}"), SB)).collect();
+        let report = route(&reqs, &[free, alive], &RoutePolicy::default());
+        assert!(report.all_done());
+        assert_eq!(served.load(Ordering::Relaxed), 4);
+    }
+}

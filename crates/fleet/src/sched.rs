@@ -1,0 +1,388 @@
+//! Cost-aware two-level scheduling: fast lane + work stealing.
+//!
+//! The FIFO job queue had a convoy problem: a cheap litmus query
+//! arriving behind a few encoding monsters waits for all of them even
+//! when most workers are idle moments later. This scheduler keeps the
+//! queue's exact external contract — bounded, non-blocking `try_push`
+//! with `Full`/`Closed` backpressure, blocking `pop`, close-then-drain
+//! shutdown — but routes internally by *predicted cost* (see
+//! `gpumc_encode::cost`):
+//!
+//! * jobs at or under the fast-lane threshold go to one shared FIFO
+//!   fast lane, popped by every worker before any heavy work;
+//! * heavier jobs go to the least-loaded worker's own heavy lane
+//!   (load = sum of queued predicted cost, so one monster counts like
+//!   many mediums);
+//! * an idle worker with nothing queued steals from the *back* of the
+//!   most-loaded heavy lane, so imbalance self-corrects without
+//!   reordering the victim's next job.
+//!
+//! Everything lives under one mutex: at serve's job granularity
+//! (milliseconds to minutes of solving per pop), lock contention is
+//! noise, and a single-lock design makes the close/drain semantics —
+//! "every accepted job gets an answer" — easy to keep airtight.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused (mirrors the job queue's contract).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The scheduler holds `capacity` jobs; the job is handed back.
+    Full(T),
+    /// [`CostScheduler::close`] was called; the job is handed back.
+    Closed(T),
+}
+
+/// Counters for the `metrics` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Jobs routed to the shared fast lane.
+    pub fast: u64,
+    /// Jobs routed to a heavy lane.
+    pub heavy: u64,
+    /// Heavy jobs popped by a worker other than the one they were
+    /// assigned to.
+    pub steals: u64,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    fast: VecDeque<T>,
+    /// One heavy lane per worker: `(job, predicted_cost)`.
+    lanes: Vec<VecDeque<(T, u64)>>,
+    /// Sum of queued predicted cost per lane.
+    lane_cost: Vec<u64>,
+    len: usize,
+    closed: bool,
+    stats: SchedStats,
+}
+
+/// The scheduler. See the module docs.
+#[derive(Debug)]
+pub struct CostScheduler<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+    fast_max_cost: u64,
+}
+
+impl<T> CostScheduler<T> {
+    /// At most `capacity` queued jobs across all lanes; `workers` heavy
+    /// lanes; jobs with predicted cost `<= fast_max_cost` take the fast
+    /// lane.
+    pub fn new(capacity: usize, workers: usize, fast_max_cost: u64) -> CostScheduler<T> {
+        let lanes = workers.max(1);
+        CostScheduler {
+            state: Mutex::new(State {
+                fast: VecDeque::new(),
+                lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
+                lane_cost: vec![0; lanes],
+                len: 0,
+                closed: false,
+                stats: SchedStats::default(),
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            fast_max_cost,
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed scheduler refuses.
+    pub fn try_push(&self, job: T, cost: u64) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(PushError::Closed(job));
+        }
+        if s.len >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        if cost <= self.fast_max_cost {
+            s.fast.push_back(job);
+            s.stats.fast += 1;
+        } else {
+            // Least-loaded lane; ties go to the lowest index, which
+            // keeps single-producer workloads deterministic.
+            let lane = (0..s.lanes.len())
+                .min_by_key(|&i| s.lane_cost[i])
+                .expect("at least one lane");
+            s.lanes[lane].push_back((job, cost));
+            s.lane_cost[lane] += cost;
+            s.stats.heavy += 1;
+        }
+        s.len += 1;
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job for `worker`. Order: shared fast lane,
+    /// own heavy lane, then stealing from the most-loaded other lane.
+    /// `None` means closed *and* fully drained — the worker should
+    /// exit.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            let lane = worker % s.lanes.len();
+            if let Some(job) = s.fast.pop_front() {
+                s.len -= 1;
+                return Some(job);
+            }
+            if let Some((job, cost)) = s.lanes[lane].pop_front() {
+                s.lane_cost[lane] -= cost;
+                s.len -= 1;
+                return Some(job);
+            }
+            let victim = (0..s.lanes.len())
+                .filter(|&i| i != lane && !s.lanes[i].is_empty())
+                .max_by_key(|&i| s.lane_cost[i]);
+            if let Some(v) = victim {
+                let (job, cost) = s.lanes[v].pop_back().expect("victim lane non-empty");
+                s.lane_cost[v] -= cost;
+                s.len -= 1;
+                s.stats.steals += 1;
+                return Some(job);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap();
+        }
+    }
+
+    /// Stops accepting new jobs and wakes every blocked worker. Already
+    /// accepted jobs remain poppable (drain semantics).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`CostScheduler::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Takes every queued job without blocking (the supervisor's
+    /// shutdown last resort): fast lane first, then heavy lanes in
+    /// index order.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut s = self.state.lock().unwrap();
+        let mut out: Vec<T> = s.fast.drain(..).collect();
+        let lanes = s.lanes.len();
+        for i in 0..lanes {
+            out.extend(s.lanes[i].drain(..).map(|(job, _)| job));
+            s.lane_cost[i] = 0;
+        }
+        s.len = 0;
+        out
+    }
+
+    /// Jobs currently queued across all lanes.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> SchedStats {
+        self.state.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fast_lane_overtakes_heavy_backlog() {
+        // One worker, a heavy job queued ahead: a cheap job pushed
+        // *later* must still pop first — the whole point of the lane.
+        let s = CostScheduler::new(8, 1, 10);
+        s.try_push("heavy-1", 1000).unwrap();
+        s.try_push("heavy-2", 1000).unwrap();
+        s.try_push("cheap", 1).unwrap();
+        assert_eq!(s.pop(0), Some("cheap"));
+        assert_eq!(s.pop(0), Some("heavy-1"));
+        assert_eq!(s.pop(0), Some("heavy-2"));
+        let st = s.stats();
+        assert_eq!((st.fast, st.heavy), (1, 2));
+    }
+
+    #[test]
+    fn heavy_jobs_balance_by_cost_not_count() {
+        let s = CostScheduler::new(8, 2, 0);
+        // One monster to lane 0, then mediums must all prefer lane 1.
+        s.try_push("monster", 1000).unwrap();
+        s.try_push("m1", 100).unwrap();
+        s.try_push("m2", 100).unwrap();
+        s.try_push("m3", 100).unwrap();
+        assert_eq!(s.pop(0), Some("monster"));
+        assert_eq!(s.pop(1), Some("m1"));
+        assert_eq!(s.pop(1), Some("m2"));
+        assert_eq!(s.pop(1), Some("m3"));
+    }
+
+    #[test]
+    fn idle_worker_steals_from_the_loaded_lane() {
+        let s = CostScheduler::new(8, 2, 0);
+        // Both land on alternating lanes; drain lane 1 then steal.
+        s.try_push("a", 100).unwrap(); // lane 0
+        s.try_push("b", 100).unwrap(); // lane 1
+        s.try_push("c", 100).unwrap(); // lane 0 or 1 (tie -> lane 0)
+        assert_eq!(s.pop(1), Some("b"));
+        // Lane 1 empty: worker 1 steals from the back of lane 0.
+        assert_eq!(s.pop(1), Some("c"));
+        assert_eq!(s.pop(0), Some("a"));
+        assert_eq!(s.stats().steals, 1);
+    }
+
+    #[test]
+    fn capacity_counts_all_lanes() {
+        let s = CostScheduler::new(2, 4, 10);
+        s.try_push("fast", 1).unwrap();
+        s.try_push("heavy", 100).unwrap();
+        match s.try_push("over", 1) {
+            Err(PushError::Full(j)) => assert_eq!(j, "over"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let s = CostScheduler::new(8, 2, 10);
+        s.try_push(1, 1).unwrap();
+        s.try_push(2, 100).unwrap();
+        s.close();
+        assert!(matches!(s.try_push(3, 1), Err(PushError::Closed(3))));
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.pop(0), Some(2));
+        assert_eq!(s.pop(0), None);
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let s = Arc::new(CostScheduler::<u32>::new(4, 4, 10));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.pop(w))
+            })
+            .collect();
+        s.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn drain_now_takes_everything() {
+        let s = CostScheduler::new(8, 3, 10);
+        s.try_push(1, 1).unwrap();
+        s.try_push(2, 100).unwrap();
+        s.try_push(3, 200).unwrap();
+        s.close();
+        let mut drained = s.drain_now();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert_eq!(s.pop(0), None, "drain_now leaves nothing poppable");
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn shutdown_race_loses_no_job() {
+        // Ported from the FIFO queue's regression test: a close racing
+        // concurrent pushes must leave every job either drainable or
+        // handed back — never silently dropped.
+        for round in 0..50 {
+            let s = Arc::new(CostScheduler::new(4, 2, 10));
+            let accepted = Arc::new(Mutex::new(Vec::new()));
+            let bounced = Arc::new(Mutex::new(Vec::new()));
+            std::thread::scope(|scope| {
+                for p in 0..3u32 {
+                    let s = Arc::clone(&s);
+                    let accepted = Arc::clone(&accepted);
+                    let bounced = Arc::clone(&bounced);
+                    scope.spawn(move || {
+                        for i in 0..20u32 {
+                            let job = p * 100 + i;
+                            // Alternate lanes to cover both paths.
+                            match s.try_push(job, if i % 2 == 0 { 1 } else { 100 }) {
+                                Ok(()) => accepted.lock().unwrap().push(job),
+                                Err(PushError::Full(j) | PushError::Closed(j)) => {
+                                    bounced.lock().unwrap().push(j);
+                                }
+                            }
+                        }
+                    });
+                }
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..round % 7 {
+                        std::thread::yield_now();
+                    }
+                    s.close();
+                });
+            });
+            let mut drained = s.drain_now();
+            drained.sort_unstable();
+            let mut acc = accepted.lock().unwrap().clone();
+            acc.sort_unstable();
+            assert_eq!(drained, acc, "every accepted job is drainable");
+            assert_eq!(drained.len() + bounced.lock().unwrap().len(), 60);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let s = Arc::new(CostScheduler::new(8, 4, 50));
+        let total = 400u32;
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    while let Some(v) = s.pop(w) {
+                        consumed.lock().unwrap().push(v);
+                    }
+                })
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..total / 4 {
+                        let mut job = p * 1000 + i;
+                        loop {
+                            match s.try_push(job, u64::from(job % 100)) {
+                                Ok(()) => break,
+                                Err(PushError::Full(j)) => {
+                                    job = j;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        s.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let mut got = consumed.lock().unwrap().clone();
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..4)
+            .flat_map(|p| (0..total / 4).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,231 @@
+//! The persistent half of the result cache: an append-only JSONL file.
+//!
+//! Line 1 is a header binding the file to a *fingerprint* — the
+//! verifier build + digest scheme that produced the entries. Opening a
+//! store whose header does not match the current fingerprint truncates
+//! it (versioned invalidation): a cached verdict is only as trustworthy
+//! as the pipeline that computed it, so a changed encoder, solver, or
+//! digest scheme silently starting to *reuse* old verdicts would be a
+//! soundness hole. Every later line is one `(digest, verdict)` entry;
+//! corrupt lines (a crash mid-append) are skipped on load, and a
+//! re-appended digest simply wins by being later (last-wins on load).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::cache::CachedVerdict;
+use crate::digest::{digest_hex, parse_digest_hex};
+use crate::json::Json;
+
+/// On-disk format version (independent of the digest scheme, which is
+/// part of the fingerprint).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// File name inside a `--cache-dir`.
+pub const STORE_FILE: &str = "results.jsonl";
+
+/// What [`Store::open`] found on disk.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Entries in file order (last-wins for duplicate digests).
+    pub entries: Vec<(u128, CachedVerdict)>,
+    /// The file existed but its fingerprint mismatched and it was
+    /// truncated.
+    pub invalidated: bool,
+    /// Corrupt entry lines skipped.
+    pub skipped: u64,
+}
+
+/// An open store: an append handle plus its path.
+#[derive(Debug)]
+pub struct Store {
+    file: File,
+    path: PathBuf,
+}
+
+impl Store {
+    /// Opens (or creates) the store at `path`, validating the header
+    /// against `fingerprint` and loading surviving entries.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors only; a mismatched or corrupt header is
+    /// handled by truncation, not an error.
+    pub fn open(path: &Path, fingerprint: &str) -> std::io::Result<(Store, LoadReport)> {
+        let mut report = LoadReport {
+            entries: Vec::new(),
+            invalidated: false,
+            skipped: 0,
+        };
+        let expected_header = header_line(fingerprint);
+        let mut valid = false;
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let mut lines = reader.lines();
+            match lines.next() {
+                Some(Ok(first)) if first == expected_header => {
+                    valid = true;
+                    for line in lines {
+                        let Ok(line) = line else { break };
+                        match parse_entry(&line) {
+                            Some((d, v)) => report.entries.push((d, v)),
+                            None => report.skipped += 1,
+                        }
+                    }
+                }
+                Some(_) => report.invalidated = true,
+                None => {} // empty file: rewrite the header below
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(valid)
+            .write(true)
+            .truncate(!valid)
+            .open(path)?;
+        if !valid {
+            writeln!(file, "{expected_header}")?;
+            file.flush()?;
+        }
+        Ok((
+            Store {
+                file,
+                path: path.to_path_buf(),
+            },
+            report,
+        ))
+    }
+
+    /// Appends one entry and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn append(&mut self, digest: u128, verdict: &CachedVerdict) -> std::io::Result<()> {
+        writeln!(self.file, "{}", entry_json(digest, verdict))?;
+        self.file.flush()
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn header_line(fingerprint: &str) -> String {
+    Json::Obj(vec![
+        (
+            "gpumc_cache".into(),
+            Json::count(STORE_FORMAT_VERSION.into()),
+        ),
+        ("fingerprint".into(), Json::str(fingerprint)),
+    ])
+    .to_string()
+}
+
+fn entry_json(digest: u128, v: &CachedVerdict) -> Json {
+    Json::Obj(vec![
+        ("d".into(), Json::Str(digest_hex(digest))),
+        ("test".into(), Json::str(&v.test)),
+        ("reachable".into(), Json::Bool(v.reachable)),
+        ("expectation".into(), Json::str(&v.expectation)),
+        ("liveness".into(), Json::str(&v.liveness)),
+        ("datarace".into(), Json::str(&v.datarace)),
+    ])
+}
+
+fn parse_entry(line: &str) -> Option<(u128, CachedVerdict)> {
+    let j = Json::parse(line).ok()?;
+    let digest = parse_digest_hex(j.get("d")?.as_str()?)?;
+    Some((
+        digest,
+        CachedVerdict {
+            test: j.get("test")?.as_str()?.to_string(),
+            reachable: j.get("reachable")?.as_bool()?,
+            expectation: j.get("expectation")?.as_str()?.to_string(),
+            liveness: j.get("liveness")?.as_str()?.to_string(),
+            datarace: j.get("datarace")?.as_str()?.to_string(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(test: &str) -> CachedVerdict {
+        CachedVerdict {
+            test: test.to_string(),
+            reachable: true,
+            expectation: "holds".to_string(),
+            liveness: "ok".to_string(),
+            datarace: "n/a".to_string(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gpumc-fleet-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn persists_and_reloads_entries() {
+        let dir = tmpdir("reload");
+        let path = dir.join(STORE_FILE);
+        {
+            let (mut store, report) = Store::open(&path, "fp-v1").unwrap();
+            assert!(report.entries.is_empty());
+            assert!(!report.invalidated);
+            store.append(7, &verdict("a")).unwrap();
+            store.append(9, &verdict("b")).unwrap();
+        }
+        let (_store, report) = Store::open(&path, "fp-v1").unwrap();
+        assert!(!report.invalidated);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.entries.len(), 2);
+        assert_eq!(report.entries[0].0, 7);
+        assert_eq!(report.entries[0].1.test, "a");
+        assert_eq!(report.entries[1].0, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_truncates() {
+        let dir = tmpdir("invalidate");
+        let path = dir.join(STORE_FILE);
+        {
+            let (mut store, _) = Store::open(&path, "fp-v1").unwrap();
+            store.append(7, &verdict("a")).unwrap();
+        }
+        // A new verifier build: cached verdicts must not survive.
+        let (_store, report) = Store::open(&path, "fp-v2").unwrap();
+        assert!(report.invalidated);
+        assert!(report.entries.is_empty());
+        // And the file now carries the new fingerprint.
+        let (_store, report) = Store::open(&path, "fp-v2").unwrap();
+        assert!(!report.invalidated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_lines_are_skipped_not_fatal() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join(STORE_FILE);
+        {
+            let (mut store, _) = Store::open(&path, "fp").unwrap();
+            store.append(7, &verdict("a")).unwrap();
+        }
+        // Simulate a crash mid-append: a truncated trailing line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"d\":\"00000000").unwrap();
+        drop(f);
+        let (_store, report) = Store::open(&path, "fp").unwrap();
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.skipped, 1);
+        assert!(!report.invalidated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

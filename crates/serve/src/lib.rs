@@ -22,18 +22,25 @@
 //!   in [`server`] and the failure taxonomy in DESIGN.md §13.
 //!
 //! The JSON plumbing ([`json`]) is hand-rolled: the offline dependency
-//! set has no serde, and the protocol needs very little.
+//! set has no serde, and the protocol needs very little. It lives in
+//! `gpumc-fleet` (re-exported here) so the fleet router and persistent
+//! cache store can speak the wire format without a server dependency.
+//! The fleet layer itself — content-addressed result cache, cost-aware
+//! scheduling, sharded routing — is described in DESIGN.md §16.
 
 pub mod client;
-pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
+pub use gpumc_fleet::json;
+
 pub use client::Client;
 pub use json::Json;
 pub use metrics::Metrics;
-pub use protocol::{parse_request, verdict_json, Envelope, Request, VerifyRequest};
+pub use protocol::{
+    parse_request, verdict_json, Envelope, Request, VerifyRequest, PROTOCOL_VERSION,
+};
 pub use queue::{JobQueue, PushError};
 pub use server::{RetryPolicy, Server, ServerConfig, ShutdownHandle, WORKER_HARD_KILL_POINT};

@@ -21,6 +21,17 @@
 //! server's `--default-timeout-ms`, `budget` (SAT conflicts) and
 //! `mem_budget_mb` (solver memory) to unlimited. `faults` arms a
 //! per-job fault-injection plan and requires `--enable-faults`.
+//! `cache` (default `true`) lets a request opt out of the
+//! content-addressed result cache with `"cache": false`.
+//!
+//! ## Hygiene
+//!
+//! Every request may carry `proto`, the protocol version number; a
+//! request for a version this server does not speak is answered
+//! `status:"error"` rather than half-interpreted, and every response
+//! states its `proto`. Unknown top-level request fields are a
+//! structured error, not silently ignored — a misspelled `"timeot_ms"`
+//! must not silently verify with the default deadline.
 //!
 //! ## Responses
 //!
@@ -34,8 +45,14 @@
 //! See DESIGN.md §13 for the complete failure taxonomy.
 
 use gpumc::FullOutcome;
+use gpumc_fleet::cache::CachedVerdict;
 
 use crate::json::Json;
+
+/// The protocol version this build speaks. Part of the request digest,
+/// so a wire-format change can never alias a cached verdict from an
+/// older dialect.
+pub const PROTOCOL_VERSION: u32 = 1;
 
 /// A parsed request envelope: the echoed id plus the verb payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +106,41 @@ pub struct VerifyRequest {
     /// Verification engine (`sat`, `enumerate`, `alloy`, `dpor`);
     /// defaults to `sat` when absent.
     pub engine: gpumc::EngineKind,
+    /// Whether the content-addressed result cache may serve (and
+    /// record) this request. Default `true`; `"cache": false` forces a
+    /// fresh verification.
+    pub cache: bool,
+}
+
+/// Top-level fields every verb accepts.
+const COMMON_FIELDS: &[&str] = &["id", "verb", "proto"];
+
+/// Additional top-level fields the `verify` verb accepts.
+const VERIFY_FIELDS: &[&str] = &[
+    "source",
+    "model",
+    "bound",
+    "timeout_ms",
+    "budget",
+    "simplify",
+    "mem_budget_mb",
+    "faults",
+    "portfolio",
+    "engine",
+    "cache",
+];
+
+/// Rejects unknown top-level fields with a structured, named error.
+fn check_fields(v: &Json, verb: &str, extra: &[&str]) -> Result<(), String> {
+    let Json::Obj(pairs) = v else {
+        return Err("request must be a JSON object".into());
+    };
+    for (key, _) in pairs {
+        if !COMMON_FIELDS.contains(&key.as_str()) && !extra.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` for verb `{verb}`"));
+        }
+    }
+    Ok(())
 }
 
 /// Parses one request line.
@@ -96,19 +148,40 @@ pub struct VerifyRequest {
 /// # Errors
 ///
 /// A human-readable message for malformed JSON, a missing/unknown verb,
-/// or missing `verify` fields.
+/// an unsupported `proto`, unknown top-level fields, or missing
+/// `verify` fields.
 pub fn parse_request(line: &str) -> Result<Envelope, String> {
     let v = Json::parse(line)?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
     let id = v.get("id").and_then(Json::as_u64);
+    match v.get("proto") {
+        None | Some(Json::Null) => {}
+        Some(p) => {
+            let p = p.as_u64().ok_or("`proto` must be an integer")?;
+            if p != u64::from(PROTOCOL_VERSION) {
+                return Err(format!(
+                    "unsupported protocol version {p} (this server speaks {PROTOCOL_VERSION})"
+                ));
+            }
+        }
+    }
     let verb = v
         .get("verb")
         .and_then(Json::as_str)
         .ok_or("missing `verb`")?;
     let request = match verb {
-        "ping" => Request::Ping,
-        "metrics" => Request::Metrics,
-        "shutdown" => Request::Shutdown,
+        "ping" | "metrics" | "shutdown" => {
+            check_fields(&v, verb, &[])?;
+            match verb {
+                "ping" => Request::Ping,
+                "metrics" => Request::Metrics,
+                _ => Request::Shutdown,
+            }
+        }
         "verify" => {
+            check_fields(&v, verb, VERIFY_FIELDS)?;
             let source = v
                 .get("source")
                 .and_then(Json::as_str)
@@ -155,6 +228,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 faults: v.get("faults").and_then(Json::as_str).map(str::to_string),
                 portfolio,
                 engine,
+                cache: v.get("cache").and_then(Json::as_bool).unwrap_or(true),
             })
         }
         other => return Err(format!("unknown verb `{other}`")),
@@ -166,35 +240,111 @@ fn id_json(id: Option<u64>) -> Json {
     id.map_or(Json::Null, Json::count)
 }
 
+/// The canonical wire name of an engine — the vocabulary the request
+/// digest is built from (`gpumc_fleet::digest::canonical_engine`
+/// accepts exactly these, so server and router digests agree).
+pub fn engine_name(e: gpumc::EngineKind) -> &'static str {
+    match e {
+        gpumc::EngineKind::Sat => "sat",
+        gpumc::EngineKind::Enumerate {
+            straight_line_only: true,
+        } => "alloy",
+        gpumc::EngineKind::Enumerate {
+            straight_line_only: false,
+        } => "enumerate",
+        gpumc::EngineKind::Dpor => "dpor",
+    }
+}
+
+fn proto_json() -> Json {
+    Json::count(u64::from(PROTOCOL_VERSION))
+}
+
+/// The one place the verdict object's shape is defined. Fresh
+/// verifications come through [`verdict_json`] and cache hits through
+/// [`cached_verdict_json`]; both funnel here, so a cached answer is
+/// byte-identical to the verification that populated it.
+fn verdict_fields(
+    test_name: &str,
+    reachable: bool,
+    expectation: &str,
+    liveness: &str,
+    datarace: &str,
+) -> Json {
+    Json::Obj(vec![
+        ("test".into(), Json::str(test_name)),
+        ("reachable".into(), Json::Bool(reachable)),
+        ("expectation".into(), Json::str(expectation)),
+        ("liveness".into(), Json::str(liveness)),
+        ("datarace".into(), Json::str(datarace)),
+    ])
+}
+
+/// Reduces a completed verification to the cacheable verdict facts, in
+/// protocol vocabulary.
+pub fn cached_verdict(test_name: &str, o: &FullOutcome) -> CachedVerdict {
+    CachedVerdict {
+        test: test_name.to_string(),
+        reachable: o.assertion.reachable,
+        expectation: match o.assertion.satisfied_expectation {
+            Some(true) => "holds",
+            Some(false) => "fails",
+            None => "none",
+        }
+        .to_string(),
+        liveness: if o.liveness.violated {
+            "violation"
+        } else {
+            "ok"
+        }
+        .to_string(),
+        datarace: match &o.data_races {
+            Some(d) if d.violated => "found",
+            Some(_) => "none",
+            None => "n/a",
+        }
+        .to_string(),
+    }
+}
+
 /// The verdict object of a completed verification — the same facts the
 /// batch CLI (`gpumc verify --all`) prints, as structured fields, so
 /// server and CLI answers can be compared for byte-identity.
 pub fn verdict_json(test_name: &str, o: &FullOutcome) -> Json {
-    let expectation = match o.assertion.satisfied_expectation {
-        Some(true) => "holds",
-        Some(false) => "fails",
-        None => "none",
-    };
+    let v = cached_verdict(test_name, o);
+    verdict_fields(
+        &v.test,
+        v.reachable,
+        &v.expectation,
+        &v.liveness,
+        &v.datarace,
+    )
+}
+
+/// The verdict object reconstructed from a cache entry.
+pub fn cached_verdict_json(v: &CachedVerdict) -> Json {
+    verdict_fields(
+        &v.test,
+        v.reachable,
+        &v.expectation,
+        &v.liveness,
+        &v.datarace,
+    )
+}
+
+/// A `status: done` response served from the result cache. Carries the
+/// same verdict object a fresh verification would, plus `"cached":true`
+/// in place of the per-run phase/solver detail (which the cache
+/// deliberately does not store — timings of a run that didn't happen
+/// would be fiction).
+pub fn cached_response(id: Option<u64>, v: &CachedVerdict, wall_us: u64) -> Json {
     Json::Obj(vec![
-        ("test".into(), Json::str(test_name)),
-        ("reachable".into(), Json::Bool(o.assertion.reachable)),
-        ("expectation".into(), Json::str(expectation)),
-        (
-            "liveness".into(),
-            Json::str(if o.liveness.violated {
-                "violation"
-            } else {
-                "ok"
-            }),
-        ),
-        (
-            "datarace".into(),
-            Json::str(match &o.data_races {
-                Some(d) if d.violated => "found",
-                Some(_) => "none",
-                None => "n/a",
-            }),
-        ),
+        ("id".into(), id_json(id)),
+        ("proto".into(), proto_json()),
+        ("status".into(), Json::str("done")),
+        ("verdict".into(), cached_verdict_json(v)),
+        ("cached".into(), Json::Bool(true)),
+        ("time_us".into(), Json::count(wall_us)),
     ])
 }
 
@@ -205,6 +355,7 @@ pub fn verify_response(id: Option<u64>, test_name: &str, o: &FullOutcome, wall_u
     });
     Json::Obj(vec![
         ("id".into(), id_json(id)),
+        ("proto".into(), proto_json()),
         ("status".into(), Json::str("done")),
         ("verdict".into(), verdict_json(test_name, o)),
         (
@@ -307,6 +458,7 @@ pub fn verify_response(id: Option<u64>, test_name: &str, o: &FullOutcome, wall_u
 pub fn unknown_response(id: Option<u64>, reason: &str, wall_us: u64) -> Json {
     Json::Obj(vec![
         ("id".into(), id_json(id)),
+        ("proto".into(), proto_json()),
         ("status".into(), Json::str("unknown")),
         ("reason".into(), Json::str(reason)),
         ("time_us".into(), Json::count(wall_us)),
@@ -317,6 +469,7 @@ pub fn unknown_response(id: Option<u64>, reason: &str, wall_us: u64) -> Json {
 pub fn error_response(id: Option<u64>, message: &str) -> Json {
     Json::Obj(vec![
         ("id".into(), id_json(id)),
+        ("proto".into(), proto_json()),
         ("status".into(), Json::str("error")),
         ("error".into(), Json::str(message)),
     ])
@@ -329,6 +482,7 @@ pub fn error_response(id: Option<u64>, message: &str) -> Json {
 pub fn rejected_response(id: Option<u64>, reason: &str) -> Json {
     Json::Obj(vec![
         ("id".into(), id_json(id)),
+        ("proto".into(), proto_json()),
         ("status".into(), Json::str("rejected")),
         ("error".into(), Json::str(reason)),
     ])
@@ -340,6 +494,7 @@ pub fn rejected_response(id: Option<u64>, reason: &str) -> Json {
 pub fn failed_response(id: Option<u64>, class: &str, message: &str, attempts: u32) -> Json {
     Json::Obj(vec![
         ("id".into(), id_json(id)),
+        ("proto".into(), proto_json()),
         ("status".into(), Json::str("failed")),
         ("class".into(), Json::str(class)),
         ("error".into(), Json::str(message)),
@@ -470,6 +625,100 @@ mod tests {
         let err = parse_request(r#"{"verb":"verify","source":"x","engine":"z3"}"#).unwrap_err();
         assert!(err.contains("unknown engine `z3`"), "err: {err}");
         assert!(parse_request(r#"{"verb":"verify","source":"x","engine":7}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_structured_errors() {
+        let err = parse_request(r#"{"verb":"verify","source":"x","timeot_ms":250}"#).unwrap_err();
+        assert!(
+            err.contains("unknown field `timeot_ms`"),
+            "must name the field: {err}"
+        );
+        let err = parse_request(r#"{"verb":"ping","bound":2}"#).unwrap_err();
+        assert!(err.contains("unknown field `bound`"), "err: {err}");
+        assert!(parse_request(r#"{"verb":"metrics","source":"x"}"#).is_err());
+        // Non-object requests are named as such, not "missing verb".
+        let err = parse_request("[1,2]").unwrap_err();
+        assert!(err.contains("JSON object"), "err: {err}");
+    }
+
+    #[test]
+    fn proto_is_validated_when_present() {
+        assert!(parse_request(r#"{"verb":"ping","proto":1}"#).is_ok());
+        assert!(
+            parse_request(r#"{"verb":"ping"}"#).is_ok(),
+            "proto is optional"
+        );
+        let err = parse_request(r#"{"verb":"ping","proto":2}"#).unwrap_err();
+        assert!(err.contains("unsupported protocol version 2"), "err: {err}");
+        assert!(parse_request(r#"{"verb":"ping","proto":"one"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_state_their_proto() {
+        for r in [
+            error_response(None, "x"),
+            rejected_response(None, "x"),
+            failed_response(None, "panic", "x", 1),
+            unknown_response(None, "x", 5),
+        ] {
+            assert_eq!(r.get("proto").unwrap().as_u64(), Some(1));
+        }
+    }
+
+    #[test]
+    fn cache_field_parses_and_defaults_on() {
+        let cached = |line: &str| match parse_request(line).unwrap().request {
+            Request::Verify(v) => v.cache,
+            other => panic!("{other:?}"),
+        };
+        assert!(cached(r#"{"verb":"verify","source":"x"}"#));
+        assert!(!cached(r#"{"verb":"verify","source":"x","cache":false}"#));
+        assert!(cached(r#"{"verb":"verify","source":"x","cache":true}"#));
+    }
+
+    #[test]
+    fn engine_names_are_canonical_digest_vocabulary() {
+        use gpumc::EngineKind;
+        for e in [
+            EngineKind::Sat,
+            EngineKind::Dpor,
+            EngineKind::Enumerate {
+                straight_line_only: true,
+            },
+            EngineKind::Enumerate {
+                straight_line_only: false,
+            },
+        ] {
+            let name = engine_name(e);
+            // The digest layer accepts the name as already-canonical...
+            assert_eq!(
+                gpumc_fleet::digest::canonical_engine(name),
+                Ok(name),
+                "engine {e:?}"
+            );
+            // ...and parsing it back yields the same engine.
+            assert_eq!(name.parse::<EngineKind>(), Ok(e), "engine {e:?}");
+        }
+    }
+
+    #[test]
+    fn cached_response_reuses_the_verdict_shape() {
+        let v = CachedVerdict {
+            test: "MP".into(),
+            reachable: true,
+            expectation: "fails".into(),
+            liveness: "ok".into(),
+            datarace: "n/a".into(),
+        };
+        let r = cached_response(Some(3), &v, 12);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(r.get("cached").unwrap().as_bool(), Some(true));
+        let verdict = r.get("verdict").unwrap();
+        assert_eq!(
+            verdict.to_string(),
+            r#"{"test":"MP","reachable":true,"expectation":"fails","liveness":"ok","datarace":"n/a"}"#,
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -55,16 +56,19 @@ use std::time::{Duration, Instant};
 use gpumc::fault::FaultPlan;
 use gpumc::{effective_jobs, Verifier, VerifyError};
 use gpumc_encode::BoundsMemo;
+use gpumc_fleet::cache::ResultCache;
+use gpumc_fleet::digest::{request_digest, resolve_model, RequestKey};
+use gpumc_fleet::sched::{CostScheduler, PushError};
 use gpumc_models::ModelKind;
 use gpumc_sat::CancelToken;
 
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_response, failed_response, parse_request, rejected_response, unknown_response,
-    verify_response, Envelope, Request, VerifyRequest,
+    cached_response, cached_verdict, engine_name, error_response, failed_response, parse_request,
+    rejected_response, unknown_response, verify_response, Envelope, Request, VerifyRequest,
+    PROTOCOL_VERSION,
 };
-use crate::queue::{JobQueue, PushError};
 
 /// The injection point a worker probes when it picks up a job but
 /// before the `catch_unwind` guard is in place — arming `panic` here
@@ -92,7 +96,26 @@ pub struct ServerConfig {
     /// Honor the per-request `"faults"` field (`--enable-faults`). Off
     /// by default: production servers must not let clients arm faults.
     pub allow_faults: bool,
+    /// Content-addressed result cache (`--no-cache` clears this). When
+    /// on, a duplicate definitive request is answered without invoking
+    /// the encoder or a solver.
+    pub cache_enabled: bool,
+    /// Resident verdicts in the result cache's LRU (`--cache-cap`).
+    pub cache_capacity: usize,
+    /// Directory for the persistent result store (`--cache-dir`); in
+    /// memory only when `None`. Invalidated when the verifier
+    /// fingerprint changes.
+    pub cache_dir: Option<PathBuf>,
+    /// Predicted-cost threshold at or below which a job takes the
+    /// scheduler's shared fast lane (`--fast-lane-cost`); costlier jobs
+    /// go to per-worker heavy lanes with work stealing.
+    pub fast_lane_max_cost: u64,
 }
+
+/// Default [`ServerConfig::fast_lane_max_cost`]: comfortably above any
+/// bound-2 litmus test (≈20 events² × 2 × sat weight) and far below an
+/// unrolled kernel's cost.
+pub const DEFAULT_FAST_LANE_MAX_COST: u64 = 8192;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -104,6 +127,10 @@ impl Default for ServerConfig {
             metrics_every_secs: None,
             retry: RetryPolicy::default(),
             allow_faults: false,
+            cache_enabled: true,
+            cache_capacity: 4096,
+            cache_dir: None,
+            fast_lane_max_cost: DEFAULT_FAST_LANE_MAX_COST,
         }
     }
 }
@@ -170,13 +197,24 @@ struct Job {
     /// object rides through retries, so its hit counters persist and a
     /// `panic:once` rule panics attempt 1 and lets the retry through.
     faults: Option<Arc<FaultPlan>>,
+    /// Content digest of the request, when it is cacheable: parsable,
+    /// cache not opted out, and *no fault plan armed* — a verdict
+    /// computed under injected faults must never leak into steady
+    /// state. `None` disables both lookup (already missed at dispatch)
+    /// and insert.
+    digest: Option<u128>,
+    /// Predicted relative cost ([`gpumc_encode::estimate_cost`]); the
+    /// scheduler's lane key. Re-pushes after a panic reuse it.
+    cost: u64,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
 struct Shared {
     metrics: Metrics,
     memo: Arc<BoundsMemo>,
-    queue: JobQueue<Job>,
+    queue: CostScheduler<Job>,
+    /// The content-addressed result cache; `None` with `--no-cache`.
+    cache: Option<ResultCache>,
     shutdown: AtomicBool,
     default_timeout_ms: Option<u64>,
     retry: RetryPolicy,
@@ -186,17 +224,36 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(config: &ServerConfig) -> Arc<Shared> {
-        Arc::new(Shared {
+    /// `jobs` is the *effective* worker count — the scheduler sizes its
+    /// heavy lanes to it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors opening the persistent cache store.
+    fn new(config: &ServerConfig, jobs: usize) -> std::io::Result<Arc<Shared>> {
+        let cache = if config.cache_enabled {
+            Some(match &config.cache_dir {
+                None => ResultCache::in_memory(config.cache_capacity),
+                Some(dir) => {
+                    let fingerprint =
+                        format!("{};proto={PROTOCOL_VERSION}", gpumc::verifier_fingerprint());
+                    ResultCache::persistent(config.cache_capacity, dir, &fingerprint)?
+                }
+            })
+        } else {
+            None
+        };
+        Ok(Arc::new(Shared {
             metrics: Metrics::new(),
             memo: Arc::new(BoundsMemo::new()),
-            queue: JobQueue::new(config.max_queue),
+            queue: CostScheduler::new(config.max_queue, jobs, config.fast_lane_max_cost),
+            cache,
             shutdown: AtomicBool::new(false),
             default_timeout_ms: config.default_timeout_ms,
             retry: config.retry,
             allow_faults: config.allow_faults,
             seq: AtomicU64::new(0),
-        })
+        }))
     }
 }
 
@@ -219,7 +276,7 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let jobs = effective_jobs(config.jobs);
-        let shared = Shared::new(config);
+        let shared = Shared::new(config, jobs)?;
         shared.metrics.set_gauge("workers", jobs as i64);
         Ok(Server {
             listener,
@@ -289,7 +346,7 @@ impl Server {
     /// I/O errors reading stdin.
     pub fn run_stdio(config: &ServerConfig) -> std::io::Result<()> {
         let jobs = effective_jobs(config.jobs);
-        let shared = Shared::new(config);
+        let shared = Shared::new(config, jobs)?;
         shared.metrics.set_gauge("workers", jobs as i64);
         let supervisor = spawn_supervised_pool(Arc::clone(&shared), jobs);
         let out: Out = Arc::new(Mutex::new(Box::new(std::io::stdout())));
@@ -362,6 +419,7 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                 out,
                 &Json::Obj(vec![
                     ("id".into(), id.map_or(Json::Null, Json::count)),
+                    ("proto".into(), Json::count(u64::from(PROTOCOL_VERSION))),
                     ("status".into(), Json::str("ok")),
                 ]),
             );
@@ -382,11 +440,34 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
             shared
                 .metrics
                 .set_gauge("queue_depth", shared.queue.len() as i64);
+            let sched = shared.queue.stats();
+            shared
+                .metrics
+                .set_gauge("sched_fast_total", sched.fast as i64);
+            shared
+                .metrics
+                .set_gauge("sched_heavy_total", sched.heavy as i64);
+            shared
+                .metrics
+                .set_gauge("sched_steals_total", sched.steals as i64);
+            if let Some(cache) = &shared.cache {
+                let s = cache.stats();
+                shared
+                    .metrics
+                    .set_gauge("result_cache_len", cache.len() as i64);
+                shared
+                    .metrics
+                    .set_gauge("result_cache_loaded", s.loaded as i64);
+                shared
+                    .metrics
+                    .set_gauge("result_cache_invalidated", i64::from(s.invalidated));
+            }
             let snapshot = shared.metrics.snapshot();
             write_line(
                 out,
                 &Json::Obj(vec![
                     ("id".into(), id.map_or(Json::Null, Json::count)),
+                    ("proto".into(), Json::count(u64::from(PROTOCOL_VERSION))),
                     ("status".into(), Json::str("ok")),
                     ("metrics".into(), snapshot),
                 ]),
@@ -400,6 +481,7 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                 out,
                 &Json::Obj(vec![
                     ("id".into(), id.map_or(Json::Null, Json::count)),
+                    ("proto".into(), Json::count(u64::from(PROTOCOL_VERSION))),
                     ("status".into(), Json::str("ok")),
                 ]),
             );
@@ -407,6 +489,7 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
         }
         Request::Verify(req) => {
             shared.metrics.inc("requests_verify");
+            let accepted = Instant::now();
             let faults = match &req.faults {
                 None => None,
                 Some(_) if !shared.allow_faults => {
@@ -429,6 +512,38 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                     }
                 },
             };
+            // Content digest + predicted cost, both derived from the
+            // parsed request at dispatch time (microseconds against
+            // solve times in milliseconds-to-minutes). An unparsable
+            // request keeps digest `None` and flows to a worker, which
+            // answers `error` exactly as before the cache existed.
+            let (digest, cost) = digest_and_cost(&req);
+            // Fault-armed jobs bypass the cache in *both* directions:
+            // a verdict computed under injection must not be served to
+            // clean requests, and a clean cached verdict must not mask
+            // the injection the client asked to exercise.
+            let digest = if faults.is_none() && req.cache {
+                digest
+            } else {
+                None
+            };
+            if let (Some(cache), Some(d)) = (&shared.cache, digest) {
+                if let Some(v) = cache.lookup(d) {
+                    shared.metrics.inc("cache_hits");
+                    // A cache hit is still a served verdict: the
+                    // verdict counters and the latency histogram must
+                    // add up across cached and fresh answers alike.
+                    let pass = v.expectation != "fails";
+                    shared
+                        .metrics
+                        .inc(if pass { "verdict_pass" } else { "verdict_fail" });
+                    let wall_us = accepted.elapsed().as_micros() as u64;
+                    shared.metrics.observe_us("verify_latency_us", wall_us);
+                    write_line(out, &cached_response(id, &v, wall_us));
+                    return ControlFlow::Continue(());
+                }
+                shared.metrics.inc("cache_misses");
+            }
             let timeout_ms = req.timeout_ms.or(shared.default_timeout_ms);
             let token = match timeout_ms {
                 Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
@@ -439,12 +554,14 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                 req,
                 token,
                 out: Arc::clone(out),
-                accepted: Instant::now(),
+                accepted,
                 attempt: 1,
                 seq: shared.seq.fetch_add(1, Ordering::Relaxed),
                 faults,
+                digest,
+                cost,
             };
-            match shared.queue.try_push(job) {
+            match shared.queue.try_push(job, cost) {
                 Ok(()) => {
                     shared.metrics.move_gauge("queue_depth", 1);
                 }
@@ -462,12 +579,44 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
     }
 }
 
+/// Computes the request's content digest and predicted cost at
+/// dispatch. Unparsable source or unknown model → `(None, 0)`: the
+/// request is uncacheable and trivially cheap (the worker answers
+/// `error` without encoding anything).
+fn digest_and_cost(req: &VerifyRequest) -> (Option<u128>, u64) {
+    let Ok(program) = gpumc::parse_litmus(&req.source) else {
+        return (None, 0);
+    };
+    let engine = engine_name(req.engine);
+    let digest = resolve_model(req.model.as_deref(), program.arch).map(|kind| {
+        request_digest(&RequestKey {
+            program: &program,
+            model_source: kind.source(),
+            bound: req.bound,
+            property: "all",
+            engine,
+            proto: PROTOCOL_VERSION,
+        })
+    });
+    let cost = match gpumc_ir::unroll(&program, req.bound) {
+        Ok(u) => gpumc_encode::estimate_cost(
+            gpumc_ir::compile(&u).n_events(),
+            req.bound,
+            gpumc_encode::engine_weight(engine),
+        ),
+        // Unrolling failures reach the worker as errors; schedule them
+        // on the fast lane so they answer quickly.
+        Err(_) => 0,
+    };
+    (digest, cost)
+}
+
 /// Where a worker parks a copy of its in-flight job so the supervisor
 /// can recover it if the worker thread dies.
 type WorkerSlot = Arc<Mutex<Option<Job>>>;
 
-fn worker_loop(shared: &Arc<Shared>, slot: &WorkerSlot) {
-    while let Some(job) = shared.queue.pop() {
+fn worker_loop(shared: &Arc<Shared>, slot: &WorkerSlot, worker: usize) {
+    while let Some(job) = shared.queue.pop(worker) {
         shared.metrics.move_gauge("queue_depth", -1);
         *lock_unpoisoned(slot) = Some(job.clone());
         shared.metrics.move_gauge("in_flight", 1);
@@ -527,7 +676,8 @@ fn handle_job_panic(mut job: Job, message: &str, shared: &Arc<Shared>) {
         job.attempt += 1;
         std::thread::sleep(shared.retry.backoff(job.seq, job.attempt));
         shared.metrics.inc("jobs_retried");
-        match shared.queue.try_push(job) {
+        let cost = job.cost;
+        match shared.queue.try_push(job, cost) {
             Ok(()) => {
                 shared.metrics.move_gauge("queue_depth", 1);
                 return;
@@ -554,22 +704,22 @@ fn handle_job_panic(mut job: Job, message: &str, shared: &Arc<Shared>) {
 /// queued jobs with `rejected` so nothing is silently dropped.
 fn spawn_supervised_pool(shared: Arc<Shared>, jobs: usize) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let spawn_worker = |shared: &Arc<Shared>| -> (WorkerSlot, JoinHandle<()>) {
+        let spawn_worker = |shared: &Arc<Shared>, worker: usize| -> (WorkerSlot, JoinHandle<()>) {
             let slot: WorkerSlot = Arc::new(Mutex::new(None));
             let shared = Arc::clone(shared);
             let slot2 = Arc::clone(&slot);
-            let handle = std::thread::spawn(move || worker_loop(&shared, &slot2));
+            let handle = std::thread::spawn(move || worker_loop(&shared, &slot2, worker));
             (slot, handle)
         };
         let mut pool: Vec<(WorkerSlot, Option<JoinHandle<()>>)> = (0..jobs.max(1))
-            .map(|_| {
-                let (slot, h) = spawn_worker(&shared);
+            .map(|worker| {
+                let (slot, h) = spawn_worker(&shared, worker);
                 (slot, Some(h))
             })
             .collect();
         loop {
             let mut alive = 0;
-            for entry in &mut pool {
+            for (worker, entry) in pool.iter_mut().enumerate() {
                 match &entry.1 {
                     None => {}
                     Some(h) if h.is_finished() => {
@@ -583,7 +733,9 @@ fn spawn_supervised_pool(shared: Arc<Shared>, jobs: usize) -> JoinHandle<()> {
                         }
                         if died && !shared.queue.is_closed() {
                             shared.metrics.inc("workers_respawned");
-                            let (slot, h) = spawn_worker(&shared);
+                            // The replacement inherits the dead
+                            // worker's index (and so its heavy lane).
+                            let (slot, h) = spawn_worker(&shared, worker);
                             *entry = (slot, Some(h));
                             alive += 1;
                         }
@@ -704,6 +856,14 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
                 if p.cube_fallback {
                     shared.metrics.inc("portfolio_cube_fallbacks_total");
                 }
+            }
+            // Only definitive verdicts are cached — the `unknown` and
+            // error arms below never reach this insert — and only for
+            // jobs whose digest survived the dispatch-time gating
+            // (cacheable request, no fault plan).
+            if let (Some(cache), Some(d)) = (&shared.cache, job.digest) {
+                cache.insert(d, cached_verdict(&program.name, &o));
+                shared.metrics.inc("cache_inserts");
             }
             verify_response(job.id, &program.name, &o, wall_us)
         }
