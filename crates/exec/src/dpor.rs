@@ -296,7 +296,10 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
     }
 
     fn block_done(&mut self, t: usize, blk: BlockId) -> Result<(), DporError> {
-        match self.graph.block(blk).term.clone() {
+        // `g` is a plain `&'g EventGraph` copied out of `self`, so the
+        // terminator borrow does not pin `self` and needs no clone.
+        let g = self.graph;
+        match &g.block(blk).term {
             UTerm::End { .. } | UTerm::Bound { .. } => {
                 self.leaf[t] = Some(blk);
                 let result = self.explore_thread(t + 1);
@@ -308,8 +311,9 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
                 then_blk,
                 else_blk,
             } => {
+                let (then_blk, else_blk) = (*then_blk, *else_blk);
                 let resolved = if self.opts.prune_guards {
-                    self.eval_guard_partial(&guard)
+                    self.eval_guard_partial(guard)
                 } else {
                     None
                 };
@@ -468,9 +472,10 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             .flat_map(|&b| g.block(b).events.iter().copied())
             .collect();
         events.sort_unstable();
-        let rf = self.rf.clone();
-        // --- Values (shared thin-air-rejecting semantics).
-        let mut ctx = ValCtx::new(g, rf.clone());
+        // --- Values (shared thin-air-rejecting semantics). The context
+        // owns the one rf snapshot; later stages borrow it back via
+        // `ctx.rf()` instead of keeping a second clone alive.
+        let mut ctx = ValCtx::new(g, self.rf.clone());
         for &e in &events {
             if ctx.value_of(e).is_none() && !matches!(g.event(e).kind, EventKind::Fence(_)) {
                 return Ok(()); // unconstructible values: reject candidate
@@ -483,7 +488,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             let (vloc, idxv) = match &g.event(e).kind {
                 EventKind::Init { loc, index, .. } => (*loc, Some(u64::from(*index))),
                 k => match k.addr() {
-                    Some(a) => (a.loc, ctx.eval(&a.index.clone())),
+                    Some(a) => (a.loc, ctx.eval(&a.index)),
                     None => continue,
                 },
             };
@@ -504,7 +509,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             } = &g.event(e).kind
             {
                 let got = ctx.value_of(*read);
-                let want = ctx.eval(&exp.clone());
+                let want = ctx.eval(exp);
                 if got.is_none() || want.is_none() || got != want {
                     continue; // failed CAS: no write event
                 }
@@ -514,7 +519,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         // --- rf validity: source executed, same physical address.
         for &e in &final_events {
             if g.event(e).tags.contains(Tag::R) {
-                let w = rf[e.index()].expect("assigned");
+                let w = ctx.rf()[e.index()].expect("assigned");
                 if !final_events.contains(&w) {
                     return Ok(());
                 }
@@ -530,9 +535,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             let mut cur = leaf;
             while let Some((p, polarity)) = g.block(cur).parent {
                 if let UTerm::Branch { guard, .. } = &g.block(p).term {
-                    let (Some(a), Some(b)) =
-                        (ctx.eval(&guard.a.clone()), ctx.eval(&guard.b.clone()))
-                    else {
+                    let (Some(a), Some(b)) = (ctx.eval(&guard.a), ctx.eval(&guard.b)) else {
                         return Ok(());
                     };
                     if guard.eval(a, b) != polarity {
@@ -591,7 +594,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         let cand = Candidate {
             leaves: &leaves,
             final_events: &final_events,
-            rf: &rf,
+            rf: ctx.rf(),
             values: ctx.values(),
             addrs: &addrs,
             vaddrs: &vaddrs,

@@ -107,6 +107,10 @@ impl<'g> ValCtx<'g> {
         &self.values
     }
 
+    pub(crate) fn rf(&self) -> &[Option<EventId>] {
+        &self.rf
+    }
+
     pub(crate) fn value_of(&mut self, e: EventId) -> Option<u64> {
         match self.state[e.index()] {
             VState::Done => return self.values[e.index()],
@@ -114,16 +118,18 @@ impl<'g> ValCtx<'g> {
             VState::White => {}
         }
         self.state[e.index()] = VState::Grey;
-        let v = match &self.g.event(e).kind.clone() {
+        // `g` is a plain `&'g EventGraph` copied out of `self`, so the
+        // event borrow below does not pin `self` and the recursive
+        // `eval` calls need no defensive `Val` clones.
+        let g = self.g;
+        let v = match &g.event(e).kind {
             EventKind::Init { value, .. } => Some(*value),
             EventKind::Load { .. } | EventKind::RmwLoad { .. } => {
                 let w = self.rf[e.index()]?;
                 self.value_of(w)
             }
-            EventKind::Store { value, .. } | EventKind::RmwStore { value, .. } => {
-                self.eval(&value.clone())
-            }
-            EventKind::Barrier { id, .. } => self.eval(&id.clone()),
+            EventKind::Store { value, .. } | EventKind::RmwStore { value, .. } => self.eval(value),
+            EventKind::Barrier { id, .. } => self.eval(id),
             EventKind::Fence(_) => Some(0),
         };
         self.state[e.index()] = VState::Done;
@@ -313,7 +319,7 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
             let (vloc, idxv) = match &g.event(e).kind {
                 EventKind::Init { loc, index, .. } => (*loc, Some(u64::from(*index))),
                 k => match k.addr() {
-                    Some(a) => (a.loc, ctx.eval(&a.index.clone())),
+                    Some(a) => (a.loc, ctx.eval(&a.index)),
                     None => continue,
                 },
             };
@@ -334,7 +340,7 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
             } = &g.event(e).kind
             {
                 let got = ctx.value_of(*read);
-                let want = ctx.eval(&exp.clone());
+                let want = ctx.eval(exp);
                 if got.is_none() || want.is_none() || got != want {
                     continue; // failed CAS: no write event
                 }
@@ -358,9 +364,7 @@ impl<'g, 'a, F: FnMut(&Behavior<'g>)> Enumerator<'g, 'a, F> {
             let mut cur = leaf;
             while let Some((p, polarity)) = g.block(cur).parent {
                 if let UTerm::Branch { guard, .. } = &g.block(p).term {
-                    let (Some(a), Some(b)) =
-                        (ctx.eval(&guard.a.clone()), ctx.eval(&guard.b.clone()))
-                    else {
+                    let (Some(a), Some(b)) = (ctx.eval(&guard.a), ctx.eval(&guard.b)) else {
                         return Ok(());
                     };
                     if guard.eval(a, b) != polarity {
