@@ -22,6 +22,7 @@ pub mod figures;
 mod patterns;
 mod primitives;
 mod scaling;
+mod tiers;
 
 pub use figures::figure_tests;
 pub use patterns::{
@@ -32,6 +33,7 @@ pub use primitives::{
     Variant,
 };
 pub use scaling::{scaling_test, ScalePattern};
+pub use tiers::{tier_tests, Tier};
 
 /// Which property a test exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,288 @@
+//! Scale-tiered corpora: `dev` for fast CI feedback, `validation` for
+//! the full Table 5 suites, and `scale` — a ≥1000-test stress corpus
+//! that cranks the Figure 15 scaling dimensions and adds randomized
+//! litmus shapes from a fixed-seed generator, so every run sees the
+//! byte-identical corpus.
+//!
+//! The tiers nest by intent, not by containment: `dev` is a quick
+//! cross-section (figures + minimal scaling + a few random shapes),
+//! `validation` is the paper's suites verbatim, and `scale` is
+//! validation plus the cranked sweep plus the random corpus. Each tier
+//! carries a wall-clock budget that the `table6 --tier` bench records
+//! (and CI checks on multi-core hosts).
+
+use crate::{
+    figure_tests, liveness_suite, ptx_proxy_suite, ptx_safety_suite, scaling_test,
+    vulkan_drf_suite, vulkan_safety_suite, Property, ScalePattern, Test,
+};
+
+/// A corpus size tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Small, seconds-fast cross-section for every-push CI.
+    Dev,
+    /// The five Table 5 suites (the paper's validation corpus).
+    Validation,
+    /// Validation plus the cranked scaling sweep plus ≥500 randomized
+    /// litmus shapes: ≥1000 tests total.
+    Scale,
+}
+
+impl Tier {
+    /// All tiers, smallest first.
+    pub const ALL: [Tier; 3] = [Tier::Dev, Tier::Validation, Tier::Scale];
+
+    /// The tier's CLI / JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Dev => "dev",
+            Tier::Validation => "validation",
+            Tier::Scale => "scale",
+        }
+    }
+
+    /// Parses a tier name as used by `table6 --tier` and CI.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "dev" => Some(Tier::Dev),
+            "validation" => Some(Tier::Validation),
+            "scale" => Some(Tier::Scale),
+            _ => None,
+        }
+    }
+
+    /// Wall-clock budget for verifying the whole tier on one core, in
+    /// milliseconds. Deliberately loose — the budget catches order-of-
+    /// magnitude regressions (a super-linear blowup in some engine), not
+    /// jitter. CI checks it on multi-core hosts and only annotates on
+    /// 1-core runners.
+    pub fn budget_ms(self) -> u64 {
+        match self {
+            Tier::Dev => 60_000,
+            Tier::Validation => 300_000,
+            Tier::Scale => 1_800_000,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The tests of one tier. Deterministic: repeated calls (and repeated
+/// processes) produce the byte-identical corpus.
+pub fn tier_tests(tier: Tier) -> Vec<Test> {
+    match tier {
+        Tier::Dev => {
+            let mut tests = figure_tests();
+            tests.extend(minimal_scaling());
+            tests.extend(random_corpus("dev-rand", 0x5eed_0001, 24));
+            tests
+        }
+        Tier::Validation => validation_suites(),
+        Tier::Scale => {
+            let mut tests = validation_suites();
+            tests.extend(cranked_scaling());
+            tests.extend(random_corpus("scale-rand", 0x5eed_c4fe, 520));
+            tests
+        }
+    }
+}
+
+fn validation_suites() -> Vec<Test> {
+    let mut tests = ptx_safety_suite();
+    tests.extend(ptx_proxy_suite());
+    tests.extend(vulkan_safety_suite());
+    tests.extend(vulkan_drf_suite());
+    tests.extend(liveness_suite());
+    tests
+}
+
+/// One minimal instance of each Figure 15 pattern.
+fn minimal_scaling() -> Vec<Test> {
+    vec![
+        scaling_test(ScalePattern::Mp, 2),
+        scaling_test(ScalePattern::Sb, 2),
+        scaling_test(ScalePattern::Lb, 2),
+        scaling_test(ScalePattern::Iriw, 4),
+    ]
+}
+
+/// The scaling sweep with the dimensions cranked well past Figure 15.
+fn cranked_scaling() -> Vec<Test> {
+    let mut tests = Vec::new();
+    for n in 2..=16 {
+        tests.push(scaling_test(ScalePattern::Mp, n));
+    }
+    for n in 2..=12 {
+        tests.push(scaling_test(ScalePattern::Sb, n));
+        tests.push(scaling_test(ScalePattern::Lb, n));
+    }
+    for n in 4..=14 {
+        tests.push(scaling_test(ScalePattern::Iriw, n));
+    }
+    tests
+}
+
+/// xorshift64* — tiny, seedable, and stable across platforms; quality
+/// is irrelevant here, determinism is everything.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+/// Randomized litmus shapes: 2–3 threads, 1–4 instructions each over
+/// two locations, mixing weak and scoped-atomic accesses, SC fences,
+/// and occasional guarded forward skips (control flow). The `exists`
+/// condition constrains up to two loaded registers, so every test is a
+/// genuine reachability query, not a vacuous one.
+fn random_corpus(prefix: &str, seed: u64, count: usize) -> Vec<Test> {
+    (0..count)
+        .map(|i| {
+            random_test(
+                prefix,
+                seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                i,
+            )
+        })
+        .collect()
+}
+
+fn random_test(prefix: &str, seed: u64, index: usize) -> Test {
+    let mut rng = Rng::new(seed);
+    let n_threads = 2 + rng.below(2) as usize;
+    let locs = ["x", "y"];
+    let mut cols: Vec<Vec<String>> = Vec::new();
+    // (thread, register) pairs holding loaded values, for the condition.
+    let mut loaded: Vec<(usize, u32)> = Vec::new();
+    let mut next_label = 0u32;
+    for t in 0..n_threads {
+        let mut col = Vec::new();
+        let mut reg = 0u32;
+        let n_instrs = 1 + rng.below(4);
+        for _ in 0..n_instrs {
+            match rng.below(8) {
+                0 | 1 => {
+                    let loc = locs[rng.below(2) as usize];
+                    let val = 1 + rng.below(2);
+                    let op = ["st.weak", "st.relaxed.gpu", "st.release.gpu"][rng.below(3) as usize];
+                    col.push(format!("{op} {loc}, {val}"));
+                }
+                2..=4 => {
+                    let loc = locs[rng.below(2) as usize];
+                    let op = ["ld.weak", "ld.relaxed.gpu", "ld.acquire.gpu"][rng.below(3) as usize];
+                    col.push(format!("{op} r{reg}, {loc}"));
+                    loaded.push((t, reg));
+                    reg += 1;
+                }
+                5 => col.push("fence.sc.gpu".into()),
+                _ => {
+                    // Guarded forward skip over one store — control flow
+                    // the straight-line baseline rejects but both DPOR
+                    // and SAT must agree on.
+                    if reg == 0 || !rng.chance(2) {
+                        continue;
+                    }
+                    let loc = locs[rng.below(2) as usize];
+                    col.push(format!("beq r{}, 1, LC{next_label}", reg - 1));
+                    col.push(format!("st.relaxed.gpu {loc}, 2"));
+                    col.push(format!("LC{next_label}:"));
+                    next_label += 1;
+                }
+            }
+        }
+        cols.push(col);
+    }
+    if loaded.is_empty() {
+        cols[0].push("ld.weak r0, x".into());
+        loaded.push((0, 0));
+    }
+    let name = format!("{prefix}-{index:04}");
+    let header: Vec<String> = (0..n_threads)
+        .map(|i| format!("P{i}@cta {i},gpu 0"))
+        .collect();
+    let rows = cols.iter().map(Vec::len).max().unwrap_or(0);
+    let mut src = format!(
+        "PTX {name}\n{{ x = 0; y = 0; }}\n{} ;\n",
+        header.join(" | ")
+    );
+    for r in 0..rows {
+        let cells: Vec<&str> = cols
+            .iter()
+            .map(|c| c.get(r).map_or("", String::as_str))
+            .collect();
+        src.push_str(&format!("{} ;\n", cells.join(" | ")));
+    }
+    let conds: Vec<String> = loaded
+        .iter()
+        .take(2)
+        .map(|&(t, r)| format!("P{t}:r{r} == {}", rng.below(2)))
+        .collect();
+    src.push_str(&format!("exists ({})\n", conds.join(" /\\ ")));
+    Test::new(name, src, Property::Safety, 1 + rng.below(2) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_deterministic_and_sized() {
+        let dev = tier_tests(Tier::Dev);
+        assert!(dev.len() < 100, "dev stays CI-fast: {}", dev.len());
+        let scale = tier_tests(Tier::Scale);
+        assert!(
+            scale.len() >= 1000,
+            "the scale tier must hold at least 1000 tests, got {}",
+            scale.len()
+        );
+        let scale2 = tier_tests(Tier::Scale);
+        assert_eq!(scale, scale2, "fixed seeds: byte-identical corpora");
+        let mut names: Vec<&str> = scale.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scale.len(), "test names must be unique");
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in Tier::ALL {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+        }
+        assert_eq!(Tier::parse("nope"), None);
+    }
+
+    #[test]
+    fn random_corpus_parses_as_litmus() {
+        // The generator must emit only well-formed dialect text; parsing
+        // is checked end-to-end in the bench/CI tier runs, here we check
+        // shape invariants cheaply.
+        for t in random_corpus("t", 1234, 50) {
+            assert!(t.source.starts_with("PTX "), "{}", t.source);
+            assert!(t.source.contains("exists ("), "{}", t.source);
+            assert!(t.bound >= 1 && t.bound <= 2);
+        }
+    }
+}

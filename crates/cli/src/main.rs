@@ -45,14 +45,18 @@ OPTIONS (verify):
     --portfolio <n|auto> race N diversified solvers per query with
                          lock-free learnt-clause sharing and a
                          cube-and-conquer fallback (default: off;
-                         `auto` engages on expensive encodings)
+                         `auto` engages on expensive encodings);
+                         with --engine dpor: split the exploration
+                         tree over N work-stealing workers instead
+                         (`auto` uses all cores)
     --witness            print the witness execution graph
 
 OPTIONS (suite):
     --jobs <n>           worker threads (default and 0: all cores; 1 = serial)
     --engine <e>         sat | enumerate | alloy | dpor  (default: sat)
     --model <name>       model override (default: per-test, from dialect)
-    --portfolio <n|auto> portfolio solve mode per test (default: off)
+    --portfolio <n|auto> portfolio SAT solve / parallel DPOR exploration
+                         per test (default: off)
     --thorough           also cross-check a secondary property per test,
                          answered from one incremental solver session
 
@@ -188,6 +192,25 @@ fn unknown_or_err(e: gpumc::VerifyError) -> Result<ExitCode, String> {
             Ok(ExitCode::from(3))
         }
         other => Err(other.to_string()),
+    }
+}
+
+/// One-line stderr diagnostic for the work-stealing DPOR driver,
+/// mirroring the SAT portfolio line; silent on sequential runs so the
+/// stdout verdict surface is unchanged.
+fn report_dpor_parallel(stats: &gpumc::Stats) {
+    if let Some(p) = &stats.dpor_parallel {
+        eprintln!(
+            "  dpor parallel: {} workers, {} tasks, {} steals{}",
+            p.workers,
+            p.tasks,
+            p.steals,
+            if p.stopped_early {
+                ", stopped early"
+            } else {
+                ""
+            }
+        );
     }
 }
 
@@ -658,6 +681,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                 Ok(o) => o,
                 Err(e) => return unknown_or_err(e),
             };
+            report_dpor_parallel(&o.stats);
             let verdict = match o.satisfied_expectation {
                 Some(true) => "condition expectation HOLDS",
                 Some(false) => "condition expectation FAILS",
@@ -683,6 +707,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                 Ok(o) => o,
                 Err(e) => return unknown_or_err(e),
             };
+            report_dpor_parallel(&o.stats);
             (
                 format!(
                     "{}: liveness {} ({:.1} ms)",
@@ -699,6 +724,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                 Ok(o) => o,
                 Err(e) => return unknown_or_err(e),
             };
+            report_dpor_parallel(&o.stats);
             (
                 format!(
                     "{}: data race {} ({:.1} ms)",
@@ -738,6 +764,7 @@ fn verify_all(
         Ok(o) => o,
         Err(e) => return unknown_or_err(e),
     };
+    report_dpor_parallel(&o.assertion.stats);
     let verdict = match o.assertion.satisfied_expectation {
         Some(true) => "condition expectation HOLDS",
         Some(false) => "condition expectation FAILS",

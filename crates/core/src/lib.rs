@@ -45,7 +45,8 @@
 //! # Ok::<(), gpumc::VerifyError>(())
 //! ```
 
-use std::sync::Arc;
+use std::ops::ControlFlow;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gpumc_cat::CatModel;
@@ -271,6 +272,9 @@ pub struct Stats {
     /// Exploration/pruning counters of the DPOR engine, `None` for the
     /// other engines.
     pub dpor: Option<gpumc_exec::DporStats>,
+    /// Work-stealing report of the parallel DPOR driver, `None` when the
+    /// DPOR engine ran sequentially (parallel policy off or one worker).
+    pub dpor_parallel: Option<gpumc_exec::DporParReport>,
     /// Wall-clock time in microseconds.
     pub time_us: u128,
 }
@@ -486,10 +490,15 @@ impl Verifier {
     }
 
     /// Selects the parallel solve strategy (builder style; off by
-    /// default). [`gpumc_sat::ParallelPolicy::Portfolio`] races N
-    /// diversified solvers with lock-free clause sharing and a
-    /// cube-and-conquer fallback; `Auto` engages the portfolio only
-    /// when the encoded CNF looks expensive enough to pay for it.
+    /// default). With the SAT engine,
+    /// [`gpumc_sat::ParallelPolicy::Portfolio`] races N diversified
+    /// solvers with lock-free clause sharing and a cube-and-conquer
+    /// fallback; `Auto` engages the portfolio only when the encoded CNF
+    /// looks expensive enough to pay for it. With the DPOR engine, the
+    /// same policy selects the work-stealing parallel driver instead: N
+    /// workers (or all cores under `Auto`) split the decision tree into
+    /// independent subtree tasks with a shared step budget and
+    /// first-witness-wins cancellation.
     pub fn with_parallel(mut self, policy: gpumc_sat::ParallelPolicy) -> Verifier {
         self.parallel = policy;
         self
@@ -574,18 +583,28 @@ impl Verifier {
                     .assertion
                     .clone()
                     .unwrap_or(Assertion::Exists(Condition::True));
-                let mut found: Option<Witness> = None;
-                let st = self.dpor_run(&graph, |b| {
-                    if found.is_some() || !b.execution.all_completed() {
-                        return;
+                let found: Mutex<Option<Witness>> = Mutex::new(None);
+                let (st, par) = self.dpor_run(&graph, &|b| {
+                    let mut w = found.lock().expect("witness lock");
+                    if w.is_some() {
+                        // First witness wins: the parallel driver cancels
+                        // the remaining tasks; the sequential engine
+                        // ignores the Break and stays exhaustive.
+                        return ControlFlow::Break(());
+                    }
+                    if !b.execution.all_completed() {
+                        return ControlFlow::Continue(());
                     }
                     let (c, negate) = assertion_query(&cond);
                     let holds = b.execution.eval_condition(c) == Some(true);
                     if holds != negate {
-                        found = Some(Witness::from_execution(&b.execution));
+                        *w = Some(Witness::from_execution(&b.execution));
+                        return ControlFlow::Break(());
                     }
+                    ControlFlow::Continue(())
                 })?;
-                (found.is_some(), found, self.dpor_stats(&graph, st))
+                let found = found.into_inner().expect("witness lock");
+                (found.is_some(), found, self.dpor_stats(&graph, st, par))
             }
         };
         stats.time_us = start.elapsed().as_micros();
@@ -643,13 +662,20 @@ impl Verifier {
                 (found.is_some(), found, stats)
             }
             EngineKind::Dpor => {
-                let mut found: Option<Witness> = None;
-                let st = self.dpor_run(&graph, |b| {
-                    if found.is_none() && b.execution.is_liveness_violation() {
-                        found = Some(Witness::from_execution(&b.execution));
+                let found: Mutex<Option<Witness>> = Mutex::new(None);
+                let (st, par) = self.dpor_run(&graph, &|b| {
+                    let mut w = found.lock().expect("witness lock");
+                    if w.is_some() {
+                        return ControlFlow::Break(());
                     }
+                    if b.execution.is_liveness_violation() {
+                        *w = Some(Witness::from_execution(&b.execution));
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
                 })?;
-                (found.is_some(), found, self.dpor_stats(&graph, st))
+                let found = found.into_inner().expect("witness lock");
+                (found.is_some(), found, self.dpor_stats(&graph, st, par))
             }
         };
         stats.time_us = start.elapsed().as_micros();
@@ -712,13 +738,20 @@ impl Verifier {
                         "model defines no flagged data-race relation".into(),
                     ));
                 }
-                let mut found: Option<Witness> = None;
-                let st = self.dpor_run(&graph, |b| {
-                    if found.is_none() && b.execution.all_completed() && b.verdict.has_flag("dr") {
-                        found = Some(Witness::from_execution(&b.execution));
+                let found: Mutex<Option<Witness>> = Mutex::new(None);
+                let (st, par) = self.dpor_run(&graph, &|b| {
+                    let mut w = found.lock().expect("witness lock");
+                    if w.is_some() {
+                        return ControlFlow::Break(());
                     }
+                    if b.execution.all_completed() && b.verdict.has_flag("dr") {
+                        *w = Some(Witness::from_execution(&b.execution));
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
                 })?;
-                (found.is_some(), found, self.dpor_stats(&graph, st))
+                let found = found.into_inner().expect("witness lock");
+                (found.is_some(), found, self.dpor_stats(&graph, st, par))
             }
         };
         stats.time_us = start.elapsed().as_micros();
@@ -909,13 +942,31 @@ impl Verifier {
         Ok(enc)
     }
 
+    /// How many DPOR worker threads the parallel policy implies. `Off`
+    /// and `Portfolio(1)` run the sequential engine; `Auto` spans the
+    /// host's cores (so a 1-core host degrades to sequential).
+    fn dpor_workers(&self) -> usize {
+        match self.parallel {
+            gpumc_sat::ParallelPolicy::Off => 1,
+            gpumc_sat::ParallelPolicy::Portfolio(n) => n.max(1) as usize,
+            gpumc_sat::ParallelPolicy::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
     /// Runs the DPOR engine over a compiled graph, threading the
     /// verifier's cancellation token and exploration budget through.
+    /// With a parallel policy and more than one worker, the decision
+    /// tree is split over a work-stealing pool and `visit` is invoked
+    /// concurrently; a [`ControlFlow::Break`] cancels the remaining
+    /// subtrees ("first witness wins"), while the sequential engine
+    /// ignores it and explores exhaustively.
     fn dpor_run<'g>(
         &self,
         graph: &'g EventGraph,
-        visit: impl FnMut(&gpumc_exec::Behavior<'g>),
-    ) -> Result<gpumc_exec::DporStats, VerifyError> {
+        visit: &(dyn Fn(&gpumc_exec::Behavior<'g>) -> ControlFlow<()> + Sync),
+    ) -> Result<(gpumc_exec::DporStats, Option<gpumc_exec::DporParReport>), VerifyError> {
         let mut opts = gpumc_exec::DporOptions::default();
         if let Some(cap) = self.enum_cap {
             opts.max_steps = cap;
@@ -924,17 +975,44 @@ impl Verifier {
             .cancel
             .as_ref()
             .map(|c| move || c.check().map(|i| i.to_string()));
-        let poll_dyn = poll.as_ref().map(|f| f as &dyn Fn() -> Option<String>);
-        gpumc_exec::dpor_explore_interruptible(graph, &self.model, &opts, poll_dyn, visit)
-            .map_err(VerifyError::from)
+        let workers = self.dpor_workers();
+        if workers > 1 {
+            let poll_dyn = poll
+                .as_ref()
+                .map(|f| f as &(dyn Fn() -> Option<String> + Sync));
+            let report = gpumc_exec::dpor_explore_parallel(
+                graph,
+                &self.model,
+                &opts,
+                workers,
+                poll_dyn,
+                visit,
+            )
+            .map_err(VerifyError::from)?;
+            Ok((report.stats, Some(report)))
+        } else {
+            let poll_dyn = poll.as_ref().map(|f| f as &dyn Fn() -> Option<String>);
+            let st =
+                gpumc_exec::dpor_explore_interruptible(graph, &self.model, &opts, poll_dyn, |b| {
+                    let _ = visit(b);
+                })
+                .map_err(VerifyError::from)?;
+            Ok((st, None))
+        }
     }
 
-    fn dpor_stats(&self, graph: &EventGraph, st: gpumc_exec::DporStats) -> Stats {
+    fn dpor_stats(
+        &self,
+        graph: &EventGraph,
+        st: gpumc_exec::DporStats,
+        par: Option<gpumc_exec::DporParReport>,
+    ) -> Stats {
         Stats {
             events: graph.n_events(),
             threads: graph.threads().len(),
             candidates: st.explored,
             dpor: Some(st),
+            dpor_parallel: par,
             ..Stats::default()
         }
     }
@@ -1165,6 +1243,52 @@ exists (P0:r0 == 1)
             v.check_assertion(&p),
             Err(VerifyError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn parallel_policy_engages_dpor_driver() {
+        let src = r#"
+PTX spin-par
+{ flag = 0; }
+P0@cta 0,gpu 0 | P1@cta 1,gpu 0 ;
+LC00: | st.relaxed.gpu flag, 1 ;
+ld.relaxed.gpu r0, flag | ;
+bne r0, 1, LC00 | ;
+exists (P0:r0 == 1)
+"#;
+        let p = parse_litmus(src).unwrap();
+        let seq = Verifier::new(gpumc_models::ptx60()).with_engine(EngineKind::Dpor);
+        let par = seq
+            .clone()
+            .with_parallel(gpumc_sat::ParallelPolicy::Portfolio(3));
+        let so = seq.check_assertion(&p).unwrap();
+        let po = par.check_assertion(&p).unwrap();
+        assert_eq!(so.reachable, po.reachable, "verdicts must agree");
+        assert!(
+            so.stats.dpor_parallel.is_none(),
+            "sequential run, no report"
+        );
+        let report = po.stats.dpor_parallel.expect("parallel report recorded");
+        assert_eq!(report.workers, 3);
+        // Liveness holds on both paths; no early stop, so the merged
+        // stats equal the sequential engine's exactly.
+        let sl = seq.check_liveness(&p).unwrap();
+        let pl = par.check_liveness(&p).unwrap();
+        assert_eq!(sl.violated, pl.violated);
+        assert!(!sl.violated);
+        let preport = pl.stats.dpor_parallel.expect("parallel report recorded");
+        assert!(!preport.stopped_early, "no violation, nothing to cancel");
+        assert_eq!(Some(preport.stats), sl.stats.dpor, "exact stats merge");
+        // Off and Portfolio(1) stay on the sequential path.
+        let one = seq
+            .clone()
+            .with_parallel(gpumc_sat::ParallelPolicy::Portfolio(1));
+        assert!(one
+            .check_assertion(&p)
+            .unwrap()
+            .stats
+            .dpor_parallel
+            .is_none());
     }
 
     #[test]

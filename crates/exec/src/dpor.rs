@@ -34,6 +34,8 @@
 //! property tests in `crates/exec/tests/dpor_props.rs` check that the
 //! consistent behaviour footprints are identical either way.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
 use gpumc_cat::{CatModel, DefBody, RelExpr, SetExpr};
 use gpumc_ir::{Arch, BlockId, EventGraph, EventId, EventKind, Guard, LocId, Tag, UTerm, Val};
 
@@ -97,6 +99,17 @@ impl DporStats {
     pub fn pruned_total(&self) -> u64 {
         self.pruned_rf + self.pruned_paths + self.pruned_co + self.pruned_fence
     }
+
+    /// Accumulates another run's counters (merging per-worker stats of
+    /// a parallel exploration).
+    pub fn absorb(&mut self, o: &DporStats) {
+        self.explored += o.explored;
+        self.consistent += o.consistent;
+        self.pruned_rf += o.pruned_rf;
+        self.pruned_paths += o.pruned_paths;
+        self.pruned_co += o.pruned_co;
+        self.pruned_fence += o.pruned_fence;
+    }
 }
 
 /// DPOR exploration failure.
@@ -152,6 +165,83 @@ pub fn dpor_explore_interruptible<'g>(
     poll: Option<&dyn Fn() -> Option<String>>,
     mut visit: impl FnMut(&Behavior<'g>),
 ) -> Result<DporStats, DporError> {
+    let out = explore_plan(graph, model, opts, &[], false, None, poll, &mut visit)?;
+    debug_assert!(out.split.is_none() && !out.stopped);
+    Ok(out.stats)
+}
+
+/// Internal flow control of one exploration.
+///
+/// `Split` and `Stop` are parallel-exploration aborts, not failures:
+/// a probe hitting its first frontier decision node reports the node's
+/// arity so the driver can fork one task per child, and a raised stop
+/// flag unwinds the task without an error.
+pub(crate) enum Ctl {
+    Split(u32),
+    Stop,
+    Err(DporError),
+}
+
+impl From<DporError> for Ctl {
+    fn from(e: DporError) -> Ctl {
+        Ctl::Err(e)
+    }
+}
+
+/// Progress shared by every task of one parallel run.
+pub(crate) struct SharedProgress {
+    /// Exploration steps across all workers (relaxed: the budget is a
+    /// global cap, not a per-task one, and slight interleaving slack is
+    /// fine).
+    pub(crate) steps: AtomicU64,
+    /// Raised when a visitor requests an early stop; every task exits
+    /// at its next tick.
+    pub(crate) stop: AtomicBool,
+}
+
+impl SharedProgress {
+    pub(crate) fn new() -> SharedProgress {
+        SharedProgress {
+            steps: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Result of exploring one plan (see [`explore_plan`]).
+pub(crate) struct PlanOutcome {
+    pub(crate) stats: DporStats,
+    /// `Some(arity)` iff this was a probe that hit a frontier decision
+    /// node with that many eligible children.
+    pub(crate) split: Option<u32>,
+    /// The shared stop flag ended the task early.
+    pub(crate) stopped: bool,
+}
+
+/// Explores the decision subtree selected by `plan`: the i-th entry
+/// forces the i-th *decision node* (an rf choice, unresolved branch, or
+/// coherence refinement with ≥ 2 eligible children) on the path to take
+/// its plan[i]-th eligible child. Beyond the plan the subtree is
+/// explored exhaustively — unless `probe` is set, in which case the
+/// first frontier decision node aborts with its arity so a driver can
+/// split the subtree into one task per child.
+///
+/// The sequential engine is exactly `explore_plan` with an empty plan.
+/// Stats fired while replaying a shared prefix are kept only by the
+/// prefix's canonical owner (the task whose remaining plan is all
+/// zeros), so summing [`PlanOutcome::stats`] over a disjoint task cover
+/// reproduces the sequential counters exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_plan<'g>(
+    graph: &'g EventGraph,
+    model: &CatModel,
+    opts: &DporOptions,
+    plan: &[u32],
+    probe: bool,
+    shared: Option<&SharedProgress>,
+    poll: Option<&dyn Fn() -> Option<String>>,
+    visit: &mut dyn FnMut(&Behavior<'g>),
+) -> Result<PlanOutcome, DporError> {
     let n_threads = graph.threads().len();
     let mut roots: Vec<Option<BlockId>> = vec![None; n_threads];
     for (i, b) in graph.blocks().iter().enumerate() {
@@ -167,6 +257,10 @@ pub fn dpor_explore_interruptible<'g>(
         .map(|i| EventId(i as u32))
         .filter(|&e| graph.event(e).tags.contains(Tag::W))
         .collect();
+    let mut suffix_all_zero = vec![true; plan.len() + 1];
+    for j in (0..plan.len()).rev() {
+        suffix_all_zero[j] = suffix_all_zero[j + 1] && plan[j] == 0;
+    }
     let mut explorer = Explorer {
         graph,
         interp: Interpreter::new(model),
@@ -184,14 +278,36 @@ pub fn dpor_explore_interruptible<'g>(
         poll,
         stats: DporStats::default(),
         steps: 0,
+        plan,
+        suffix_all_zero,
+        depth: 0,
+        probe,
+        shared,
         roots,
         write_cands,
         leaf: vec![None; n_threads],
         rf: vec![None; graph.n_events()],
-        visit: &mut visit,
+        scratch: Some(Scratch::new(graph)),
+        visit,
     };
-    explorer.explore_thread(0)?;
-    Ok(explorer.stats)
+    match explorer.explore_thread(0) {
+        Ok(()) => Ok(PlanOutcome {
+            stats: explorer.stats,
+            split: None,
+            stopped: false,
+        }),
+        Err(Ctl::Split(arity)) => Ok(PlanOutcome {
+            stats: explorer.stats,
+            split: Some(arity),
+            stopped: false,
+        }),
+        Err(Ctl::Stop) => Ok(PlanOutcome {
+            stats: explorer.stats,
+            split: None,
+            stopped: true,
+        }),
+        Err(Ctl::Err(e)) => Err(e),
+    }
 }
 
 /// Immutable parts of one complete candidate, shared across the
@@ -205,7 +321,46 @@ struct Candidate<'c> {
     vaddrs: &'c [Option<(LocId, u64)>],
 }
 
-struct Explorer<'g, 'a, F: FnMut(&Behavior<'g>)> {
+/// Per-task scratch buffers reused across candidate validations, so the
+/// hot path of [`Explorer::complete`] allocates nothing per candidate.
+struct Scratch<'g> {
+    ctx: ValCtx<'g>,
+    leaves: Vec<BlockId>,
+    exec_blocks: Vec<u32>,
+    events: Vec<EventId>,
+    final_events: Vec<EventId>,
+    addrs: Vec<Option<(LocId, u64)>>,
+    vaddrs: Vec<Option<(LocId, u64)>>,
+    base_co: Relation,
+    co_partial: Relation,
+    chosen: Vec<usize>,
+}
+
+impl<'g> Scratch<'g> {
+    fn new(g: &'g EventGraph) -> Scratch<'g> {
+        let n = g.n_events();
+        Scratch {
+            ctx: ValCtx::new(g, vec![None; n]),
+            leaves: Vec::new(),
+            exec_blocks: Vec::new(),
+            events: Vec::new(),
+            final_events: Vec::new(),
+            addrs: Vec::new(),
+            vaddrs: Vec::new(),
+            base_co: Relation::empty(n),
+            co_partial: Relation::empty(n),
+            chosen: Vec::new(),
+        }
+    }
+}
+
+/// Stats bucket a decision-node scan prune belongs to.
+enum Bucket {
+    Rf,
+    Co,
+}
+
+struct Explorer<'g, 'a> {
     graph: &'g EventGraph,
     interp: Interpreter<'a>,
     needs_fence_order: bool,
@@ -214,41 +369,107 @@ struct Explorer<'g, 'a, F: FnMut(&Behavior<'g>)> {
     poll: Option<&'a dyn Fn() -> Option<String>>,
     stats: DporStats,
     steps: u64,
+    /// Forced eligible-choice indices at successive decision nodes;
+    /// empty for the sequential engine.
+    plan: &'a [u32],
+    /// `suffix_all_zero[j]`: `plan[j..]` is all zeros, making this task
+    /// the canonical owner of stats fired on the shared prefix at
+    /// decision depth `j`.
+    suffix_all_zero: Vec<bool>,
+    /// Decision nodes taken so far on the current path (≤ `plan.len()`).
+    depth: usize,
+    /// Abort with [`Ctl::Split`] at the first frontier decision node.
+    probe: bool,
+    shared: Option<&'a SharedProgress>,
     roots: Vec<BlockId>,
     write_cands: Vec<EventId>,
     /// Chosen leaf per already-decided thread.
     leaf: Vec<Option<BlockId>>,
     /// Partial reads-from assignment (only for reads on committed paths).
     rf: Vec<Option<EventId>>,
-    visit: &'a mut F,
+    /// `Some` except while [`Explorer::complete`] is on the stack.
+    scratch: Option<Scratch<'g>>,
+    visit: &'a mut dyn FnMut(&Behavior<'g>),
 }
 
-impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
-    /// One exploration step: budget and cancellation check.
-    fn tick(&mut self) -> Result<(), DporError> {
-        self.steps += 1;
-        if self.steps > self.opts.max_steps {
-            return Err(DporError::Interrupted(format!(
-                "more than {} exploration steps",
-                self.opts.max_steps
-            )));
+impl<'g> Explorer<'g, '_> {
+    /// One exploration step: budget and cancellation check. Replayed
+    /// prefixes are not re-billed against the step budget — the
+    /// canonical owner of a shared prefix already paid for it.
+    fn tick(&mut self) -> Result<(), Ctl> {
+        if self.depth == self.plan.len() {
+            let over = match self.shared {
+                Some(s) => s.steps.fetch_add(1, Ordering::Relaxed) + 1 > self.opts.max_steps,
+                None => {
+                    self.steps += 1;
+                    self.steps > self.opts.max_steps
+                }
+            };
+            if over {
+                return Err(Ctl::Err(DporError::Interrupted(format!(
+                    "more than {} exploration steps",
+                    self.opts.max_steps
+                ))));
+            }
+        }
+        if let Some(s) = self.shared {
+            if s.stop.load(Ordering::Relaxed) {
+                return Err(Ctl::Stop);
+            }
         }
         if let Some(poll) = self.poll {
             if let Some(reason) = poll() {
-                return Err(DporError::Interrupted(reason));
+                return Err(Ctl::Err(DporError::Interrupted(reason)));
             }
         }
         Ok(())
     }
 
-    fn explore_thread(&mut self, t: usize) -> Result<(), DporError> {
+    /// Still forcing plan entries.
+    fn replaying(&self) -> bool {
+        self.depth < self.plan.len()
+    }
+
+    /// Probing and past the plan: the next decision node splits.
+    fn probing_frontier(&self) -> bool {
+        self.probe && self.depth == self.plan.len()
+    }
+
+    /// Whether stats fired between decision nodes at the current depth
+    /// belong to this task (always true in the free region).
+    fn keep_segment(&self) -> bool {
+        self.suffix_all_zero[self.depth]
+    }
+
+    /// Books the prunes observed while pre-scanning a decision node.
+    /// Sequentially each fires exactly once; every task forced through
+    /// the node re-observes all of them, so only the canonical owner
+    /// keeps its share: prunes scanned past while eligible child `g`
+    /// was next belong to the task forced into `g` (the last child
+    /// also owns the trailing prunes), provided its remaining plan is
+    /// all zeros.
+    fn credit_decision_prunes(&mut self, tags: &[u32], forced: usize, arity: usize, b: Bucket) {
+        if !self.suffix_all_zero[self.depth + 1] {
+            return;
+        }
+        let kept = tags
+            .iter()
+            .filter(|&&g| g as usize == forced || (forced == arity - 1 && g as usize == arity))
+            .count() as u64;
+        match b {
+            Bucket::Rf => self.stats.pruned_rf += kept,
+            Bucket::Co => self.stats.pruned_co += kept,
+        }
+    }
+
+    fn explore_thread(&mut self, t: usize) -> Result<(), Ctl> {
         if t == self.roots.len() {
             return self.complete();
         }
         self.descend(t, self.roots[t])
     }
 
-    fn descend(&mut self, t: usize, blk: BlockId) -> Result<(), DporError> {
+    fn descend(&mut self, t: usize, blk: BlockId) -> Result<(), Ctl> {
         self.tick()?;
         let reads: Vec<EventId> = self
             .graph
@@ -267,11 +488,43 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         blk: BlockId,
         reads: &[EventId],
         idx: usize,
-    ) -> Result<(), DporError> {
+    ) -> Result<(), Ctl> {
         if idx == reads.len() {
             return self.block_done(t, blk);
         }
         let r = reads[idx];
+        if !self.replaying() && !self.probing_frontier() {
+            // Free region: plain interleaved scan-and-descend — exactly
+            // the sequential engine.
+            let mut i = 0;
+            while i < self.write_cands.len() {
+                let w = self.write_cands[i];
+                i += 1;
+                if !self.graph.may_alias(r, w) {
+                    continue;
+                }
+                if self.opts.prune_rf && self.source_cannot_execute(t, blk, w) {
+                    self.stats.pruned_rf += 1;
+                    continue;
+                }
+                self.rf[r.index()] = Some(w);
+                if self.opts.prune_rf && self.definite_value_cycle(r) {
+                    self.stats.pruned_rf += 1;
+                    self.rf[r.index()] = None;
+                    continue;
+                }
+                self.assign_block_reads(t, blk, reads, idx + 1)?;
+                self.rf[r.index()] = None;
+            }
+            return Ok(());
+        }
+        // Replay / probe frontier: pre-scan the candidates without
+        // descending. The prefix state at each check matches the
+        // interleaved scan's exactly (the sequential loop restores `rf`
+        // between candidates), so eligibility — and thus the node's
+        // arity — is reproduced deterministically.
+        let mut eligible: Vec<EventId> = Vec::new();
+        let mut prune_tags: Vec<u32> = Vec::new();
         let mut i = 0;
         while i < self.write_cands.len() {
             let w = self.write_cands[i];
@@ -280,22 +533,50 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
                 continue;
             }
             if self.opts.prune_rf && self.source_cannot_execute(t, blk, w) {
-                self.stats.pruned_rf += 1;
+                prune_tags.push(eligible.len() as u32);
                 continue;
             }
             self.rf[r.index()] = Some(w);
-            if self.opts.prune_rf && self.definite_value_cycle(r) {
-                self.stats.pruned_rf += 1;
-                self.rf[r.index()] = None;
-                continue;
-            }
-            self.assign_block_reads(t, blk, reads, idx + 1)?;
+            let cyclic = self.opts.prune_rf && self.definite_value_cycle(r);
             self.rf[r.index()] = None;
+            if cyclic {
+                prune_tags.push(eligible.len() as u32);
+            } else {
+                eligible.push(w);
+            }
         }
-        Ok(())
+        if eligible.len() >= 2 {
+            if self.probing_frontier() {
+                return Err(Ctl::Split(eligible.len() as u32));
+            }
+            let forced = self.plan[self.depth] as usize;
+            debug_assert!(forced < eligible.len(), "plan desync at rf node");
+            self.credit_decision_prunes(&prune_tags, forced, eligible.len(), Bucket::Rf);
+            let w = eligible[forced];
+            self.depth += 1;
+            self.rf[r.index()] = Some(w);
+            let res = self.assign_block_reads(t, blk, reads, idx + 1);
+            self.rf[r.index()] = None;
+            self.depth -= 1;
+            res
+        } else {
+            // Not a decision node: its prunes are segment stats.
+            if self.keep_segment() {
+                self.stats.pruned_rf += prune_tags.len() as u64;
+            }
+            match eligible.first().copied() {
+                Some(w) => {
+                    self.rf[r.index()] = Some(w);
+                    let res = self.assign_block_reads(t, blk, reads, idx + 1);
+                    self.rf[r.index()] = None;
+                    res
+                }
+                None => Ok(()),
+            }
+        }
     }
 
-    fn block_done(&mut self, t: usize, blk: BlockId) -> Result<(), DporError> {
+    fn block_done(&mut self, t: usize, blk: BlockId) -> Result<(), Ctl> {
         // `g` is a plain `&'g EventGraph` copied out of `self`, so the
         // terminator borrow does not pin `self` and needs no clone.
         let g = self.graph;
@@ -319,9 +600,20 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
                 };
                 match resolved {
                     Some(v) => {
-                        self.stats.pruned_paths += 1;
+                        if self.keep_segment() {
+                            self.stats.pruned_paths += 1;
+                        }
                         self.descend(t, if v { then_blk } else { else_blk })
                     }
+                    None if self.replaying() => {
+                        let forced = self.plan[self.depth];
+                        debug_assert!(forced < 2, "plan desync at branch node");
+                        self.depth += 1;
+                        let res = self.descend(t, if forced == 0 { then_blk } else { else_blk });
+                        self.depth -= 1;
+                        res
+                    }
+                    None if self.probing_frontier() => Err(Ctl::Split(2)),
                     None => {
                         self.descend(t, then_blk)?;
                         self.descend(t, else_blk)
@@ -435,29 +727,46 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
 
     /// All threads decided: validate the candidate exactly like the
     /// enumeration engine, then refine coherence and fence orders.
-    fn complete(&mut self) -> Result<(), DporError> {
+    fn complete(&mut self) -> Result<(), Ctl> {
         self.tick()?;
         match gpumc_fault::hit(gpumc_fault::points::DPOR_EXPLORE) {
             Some(gpumc_fault::FaultSignal::SpuriousUnknown) => {
-                return Err(DporError::Interrupted(
+                return Err(Ctl::Err(DporError::Interrupted(
                     "injected fault: dpor.explore spurious unknown".into(),
-                ));
+                )));
             }
             Some(gpumc_fault::FaultSignal::AllocSpike(b)) => {
                 gpumc_fault::materialize_spike(b);
             }
             None => {}
         }
+        let mut s = self.scratch.take().expect("complete() is not reentrant");
+        let result = self.complete_with(&mut s);
+        self.scratch = Some(s);
+        result
+    }
+
+    fn complete_with(&mut self, s: &mut Scratch<'g>) -> Result<(), Ctl> {
         let g = self.graph;
         let n = g.n_events();
-        let leaves: Vec<BlockId> = self
-            .leaf
-            .iter()
-            .map(|l| l.expect("all threads decided"))
-            .collect();
+        let Scratch {
+            ctx,
+            leaves,
+            exec_blocks,
+            events,
+            final_events,
+            addrs,
+            vaddrs,
+            base_co,
+            co_partial,
+            chosen,
+        } = s;
+        leaves.clear();
+        leaves.extend(self.leaf.iter().map(|l| l.expect("all threads decided")));
         // Executed blocks: init block plus all ancestors of each leaf.
-        let mut exec_blocks = vec![0u32];
-        for &leaf in &leaves {
+        exec_blocks.clear();
+        exec_blocks.push(0u32);
+        for &leaf in leaves.iter() {
             let mut cur = leaf;
             loop {
                 exec_blocks.push(cur);
@@ -467,24 +776,29 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
                 }
             }
         }
-        let mut events: Vec<EventId> = exec_blocks
-            .iter()
-            .flat_map(|&b| g.block(b).events.iter().copied())
-            .collect();
+        events.clear();
+        events.extend(
+            exec_blocks
+                .iter()
+                .flat_map(|&b| g.block(b).events.iter().copied()),
+        );
         events.sort_unstable();
-        // --- Values (shared thin-air-rejecting semantics). The context
-        // owns the one rf snapshot; later stages borrow it back via
-        // `ctx.rf()` instead of keeping a second clone alive.
-        let mut ctx = ValCtx::new(g, self.rf.clone());
-        for &e in &events {
+        // --- Values (shared thin-air-rejecting semantics). The
+        // task-owned context is reset onto this candidate's rf prefix
+        // instead of being rebuilt, so validation reuses its buffers;
+        // later stages borrow the snapshot back via `ctx.rf()`.
+        ctx.reset(&self.rf);
+        for &e in events.iter() {
             if ctx.value_of(e).is_none() && !matches!(g.event(e).kind, EventKind::Fence(_)) {
                 return Ok(()); // unconstructible values: reject candidate
             }
         }
         // --- Addresses.
-        let mut addrs = vec![None; n];
-        let mut vaddrs = vec![None; n];
-        for &e in &events {
+        addrs.clear();
+        addrs.resize(n, None);
+        vaddrs.clear();
+        vaddrs.resize(n, None);
+        for &e in events.iter() {
             let (vloc, idxv) = match &g.event(e).kind {
                 EventKind::Init { loc, index, .. } => (*loc, Some(u64::from(*index))),
                 k => match k.addr() {
@@ -500,8 +814,8 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             addrs[e.index()] = Some((g.physical_root(vloc), i));
         }
         // --- CAS success: drop failed RMW writes from the executed set.
-        let mut final_events: Vec<EventId> = Vec::with_capacity(events.len());
-        for &e in &events {
+        final_events.clear();
+        for &e in events.iter() {
             if let EventKind::RmwStore {
                 read,
                 cas_expected: Some(exp),
@@ -517,7 +831,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             final_events.push(e);
         }
         // --- rf validity: source executed, same physical address.
-        for &e in &final_events {
+        for &e in final_events.iter() {
             if g.event(e).tags.contains(Tag::R) {
                 let w = ctx.rf()[e.index()].expect("assigned");
                 if !final_events.contains(&w) {
@@ -531,7 +845,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         // --- Guard consistency: always re-checked, even with guard
         // pruning on (the pruning only skips provably-inconsistent
         // successors; this is the authoritative check).
-        for &leaf in &leaves {
+        for &leaf in leaves.iter() {
             let mut cur = leaf;
             while let Some((p, polarity)) = g.block(cur).parent {
                 if let UTerm::Branch { guard, .. } = &g.block(p).term {
@@ -572,11 +886,11 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         }
         for (_, others) in &groups {
             if others.len() > self.opts.max_writes_per_loc {
-                return Err(DporError::TooComplex(format!(
+                return Err(Ctl::Err(DporError::TooComplex(format!(
                     "{} writes to one location (cap {})",
                     others.len(),
                     self.opts.max_writes_per_loc
-                )));
+                ))));
             }
         }
         let per_loc: Vec<Vec<Relation>> = groups
@@ -585,22 +899,22 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             .collect();
         // Base edges (init before every write) of *all* locations: a
         // subset of every refinement, used for monotone-axiom pruning.
-        let mut base_co = Relation::empty(n);
+        base_co.clear_resize(n);
         for (iw, others) in &groups {
             for &w in others {
                 base_co.insert(*iw, w);
             }
         }
         let cand = Candidate {
-            leaves: &leaves,
-            final_events: &final_events,
+            leaves: leaves.as_slice(),
+            final_events: final_events.as_slice(),
             rf: ctx.rf(),
             values: ctx.values(),
-            addrs: &addrs,
-            vaddrs: &vaddrs,
+            addrs: addrs.as_slice(),
+            vaddrs: vaddrs.as_slice(),
         };
-        let mut chosen: Vec<usize> = Vec::with_capacity(per_loc.len());
-        self.co_dfs(&cand, &per_loc, &base_co, &mut chosen)
+        chosen.clear();
+        self.co_dfs(&cand, &per_loc, base_co, chosen, co_partial)
     }
 
     fn co_dfs(
@@ -609,41 +923,94 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         per_loc: &[Vec<Relation>],
         base_co: &Relation,
         chosen: &mut Vec<usize>,
-    ) -> Result<(), DporError> {
+        partial: &mut Relation,
+    ) -> Result<(), Ctl> {
         let k = chosen.len();
         if k == per_loc.len() {
-            let mut co = base_co.clone();
+            partial.clone_from(base_co);
             for (j, &c) in chosen.iter().enumerate() {
-                co.union_with(&per_loc[j][c]);
+                partial.union_with(&per_loc[j][c]);
             }
-            return self.with_fence_orders(cand, &co);
+            return self.with_fence_orders(cand, partial);
         }
+        let do_check =
+            self.opts.prune_co && !self.prunable_axioms.is_empty() && per_loc[k].len() > 1;
+        if !self.replaying() && !self.probing_frontier() {
+            // Free region: the sequential loop.
+            for c in 0..per_loc[k].len() {
+                self.tick()?;
+                chosen.push(c);
+                if do_check {
+                    // Partial co: refinements chosen so far plus the base
+                    // edges of the still-undecided locations — a subset of
+                    // every completion, so a failing monotone axiom rules
+                    // out the whole subtree.
+                    partial.clone_from(base_co);
+                    for (j, &cj) in chosen.iter().enumerate() {
+                        partial.union_with(&per_loc[j][cj]);
+                    }
+                    let exec = self.build_execution(cand, partial, &[]);
+                    if !self.interp.check_axioms(&exec, &self.prunable_axioms) {
+                        self.stats.pruned_co += 1;
+                        chosen.pop();
+                        continue;
+                    }
+                }
+                self.co_dfs(cand, per_loc, base_co, chosen, partial)?;
+                chosen.pop();
+            }
+            return Ok(());
+        }
+        // Replay / probe frontier: pre-scan the eligible refinements.
+        let mut eligible: Vec<usize> = Vec::new();
+        let mut prune_tags: Vec<u32> = Vec::new();
         for c in 0..per_loc[k].len() {
             self.tick()?;
-            chosen.push(c);
-            if self.opts.prune_co && !self.prunable_axioms.is_empty() && per_loc[k].len() > 1 {
-                // Partial co: refinements chosen so far plus the base
-                // edges of the still-undecided locations — a subset of
-                // every completion, so a failing monotone axiom rules
-                // out the whole subtree.
-                let mut partial = base_co.clone();
+            if do_check {
+                partial.clone_from(base_co);
                 for (j, &cj) in chosen.iter().enumerate() {
                     partial.union_with(&per_loc[j][cj]);
                 }
-                let exec = self.build_execution(cand, &partial, &[]);
+                partial.union_with(&per_loc[k][c]);
+                let exec = self.build_execution(cand, partial, &[]);
                 if !self.interp.check_axioms(&exec, &self.prunable_axioms) {
-                    self.stats.pruned_co += 1;
-                    chosen.pop();
+                    prune_tags.push(eligible.len() as u32);
                     continue;
                 }
             }
-            self.co_dfs(cand, per_loc, base_co, chosen)?;
-            chosen.pop();
+            eligible.push(c);
         }
-        Ok(())
+        if eligible.len() >= 2 {
+            if self.probing_frontier() {
+                return Err(Ctl::Split(eligible.len() as u32));
+            }
+            let forced = self.plan[self.depth] as usize;
+            debug_assert!(forced < eligible.len(), "plan desync at co node");
+            self.credit_decision_prunes(&prune_tags, forced, eligible.len(), Bucket::Co);
+            let c = eligible[forced];
+            self.depth += 1;
+            chosen.push(c);
+            let res = self.co_dfs(cand, per_loc, base_co, chosen, partial);
+            chosen.pop();
+            self.depth -= 1;
+            res
+        } else {
+            if self.keep_segment() {
+                self.stats.pruned_co += prune_tags.len() as u64;
+            }
+            match eligible.first().copied() {
+                Some(c) => {
+                    chosen.push(c);
+                    let res = self.co_dfs(cand, per_loc, base_co, chosen, partial);
+                    chosen.pop();
+                    res
+                }
+                None => Ok(()),
+            }
+        }
     }
 
-    fn with_fence_orders(&mut self, cand: &Candidate<'_>, co: &Relation) -> Result<(), DporError> {
+    fn with_fence_orders(&mut self, cand: &Candidate<'_>, co: &Relation) -> Result<(), Ctl> {
         let g = self.graph;
         let sc_fences: Vec<EventId> = if self.needs_fence_order {
             cand.final_events
@@ -655,10 +1022,10 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
             Vec::new()
         };
         if sc_fences.len() > 8 {
-            return Err(DporError::TooComplex(format!(
+            return Err(Ctl::Err(DporError::TooComplex(format!(
                 "{} SC fences to order",
                 sc_fences.len()
-            )));
+            ))));
         }
         if !self.opts.sleep_fences || sc_fences.len() < 2 {
             let mut perm = sc_fences.clone();
@@ -699,7 +1066,7 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         used: u16,
         mut sleep: u16,
         order: &mut Vec<EventId>,
-    ) -> Result<(), DporError> {
+    ) -> Result<(), Ctl> {
         if order.len() == fences.len() {
             let full = order.clone();
             return self.check_candidate(cand, co, &full);
@@ -728,7 +1095,11 @@ impl<'g, F: FnMut(&Behavior<'g>)> Explorer<'g, '_, F> {
         cand: &Candidate<'_>,
         co: &Relation,
         fence_order: &[EventId],
-    ) -> Result<(), DporError> {
+    ) -> Result<(), Ctl> {
+        debug_assert!(
+            self.depth == self.plan.len(),
+            "candidates are checked in the free region only"
+        );
         self.tick()?;
         self.stats.explored += 1;
         let execution = self.build_execution(cand, co, fence_order);

@@ -103,6 +103,17 @@ impl<'g> ValCtx<'g> {
         }
     }
 
+    /// Rebinds the context to a new rf assignment over the same graph,
+    /// reusing all three buffers (no per-candidate allocation).
+    pub(crate) fn reset(&mut self, rf: &[Option<EventId>]) {
+        self.rf.clear();
+        self.rf.extend_from_slice(rf);
+        self.values.clear();
+        self.values.resize(rf.len(), None);
+        self.state.clear();
+        self.state.resize(rf.len(), VState::White);
+    }
+
     pub(crate) fn values(&self) -> &[Option<u64>] {
         &self.values
     }

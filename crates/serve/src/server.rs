@@ -857,6 +857,16 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
                     shared.metrics.inc("portfolio_cube_fallbacks_total");
                 }
             }
+            if let Some(p) = &o.assertion.stats.dpor_parallel {
+                shared.metrics.inc("dpor_parallel_requests_total");
+                shared
+                    .metrics
+                    .add("dpor_parallel_tasks_total", p.tasks as u64);
+                shared.metrics.add("dpor_parallel_steals_total", p.steals);
+                if p.stopped_early {
+                    shared.metrics.inc("dpor_parallel_early_stops_total");
+                }
+            }
             // Only definitive verdicts are cached — the `unknown` and
             // error arms below never reach this insert — and only for
             // jobs whose digest survived the dispatch-time gating
