@@ -84,11 +84,19 @@ OPTIONS (serve):
     --fast-lane-cost <n> predicted-cost threshold for the scheduler's
                          fast lane (default: 8192); costlier jobs take
                          per-worker heavy lanes with work stealing
+    --degrade-level <l>  pin the brownout ladder at full | cache-only |
+                         sequential | shed (default: track queue
+                         pressure; see DESIGN.md section 18)
+    --cache-only-at / --sequential-at / --shed-at <frac>
+                         queue-pressure thresholds (fractions of
+                         --max-queue) engaging each ladder level
+                         (defaults: 0.60 / 0.75 / 0.90)
 
 OPTIONS (route):
     --shards <a,b,...>   comma-separated serve addresses (required);
-                         requests are assigned by content digest, so
-                         identical queries always hit the same shard
+                         requests are placed on a consistent-hash ring
+                         by content digest, so identical queries always
+                         hit the same shard
     --bound <n>          override every test's unrolling bound
     --engine <e>         sat | enumerate | alloy | dpor  (default: sat)
     --model <name>       model override (default: per-test, from dialect)
@@ -96,10 +104,29 @@ OPTIONS (route):
     --max-attempts <n>   cluster-wide attempts per request before a
                          `status:\"failed\"` line (default: 2 x shards)
     --backoff-ms <ms>    sleep between cluster retry rounds (default: 25)
+    --deadline-ms <ms>   per-request cluster deadline: when it expires
+                         the request is answered `failed` (class
+                         timeout) instead of retrying forever
+    --read-timeout-ms <ms>
+                         per-attempt socket read timeout (default: none)
+    --hedge-ms <ms>      fire a hedged duplicate at the next ring
+                         successor when a shard is slower than
+                         <ms> + predicted_cost/div; first definitive
+                         answer wins (default: off)
+    --hedge-cost-div <n> cost divisor in the hedge threshold
+                         (default: 0 = flat --hedge-ms threshold)
+    --breaker-failures <n>
+                         consecutive transport failures that trip a
+                         shard's circuit breaker (default: 3)
+    --breaker-cooldown-ms <ms>
+                         quarantine before a half-open probe readmits
+                         the shard (default: 500)
 
     Merged verdict lines go to stdout in suite order — byte-identical
     for any shard count or mid-run node death, as long as some shard
-    survives. Per-shard routing stats go to stderr.
+    survives. Unanswerable requests are still classified (`failed` or
+    `shed`), never dropped. Per-shard routing stats, breaker trips, and
+    hedge counts go to stderr.
 
 OPTIONS (client):
     --addr <host:port>   server address (default: 127.0.0.1:7878)
@@ -282,6 +309,35 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|_| "bad --fast-lane-cost")?
             }
+            "--degrade-level" => {
+                config.force_degrade = Some(
+                    gpumc_serve::DegradeLevel::parse(
+                        it.next().ok_or("--degrade-level needs a value")?,
+                    )
+                    .map_err(|e| format!("bad --degrade-level: {e}"))?,
+                )
+            }
+            "--cache-only-at" => {
+                config.overload.cache_only_at = it
+                    .next()
+                    .ok_or("--cache-only-at needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cache-only-at")?
+            }
+            "--sequential-at" => {
+                config.overload.sequential_at = it
+                    .next()
+                    .ok_or("--sequential-at needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --sequential-at")?
+            }
+            "--shed-at" => {
+                config.overload.shed_at = it
+                    .next()
+                    .ok_or("--shed-at needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shed-at")?
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -351,6 +407,51 @@ fn route(args: &[String]) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|_| "bad --backoff-ms")?
             }
+            "--deadline-ms" => {
+                policy.deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms")?,
+                )
+            }
+            "--hedge-ms" => {
+                policy.hedge_ms = Some(
+                    it.next()
+                        .ok_or("--hedge-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --hedge-ms")?,
+                )
+            }
+            "--hedge-cost-div" => {
+                policy.hedge_cost_div = it
+                    .next()
+                    .ok_or("--hedge-cost-div needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --hedge-cost-div")?
+            }
+            "--read-timeout-ms" => {
+                policy.read_timeout_ms = Some(
+                    it.next()
+                        .ok_or("--read-timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --read-timeout-ms")?,
+                )
+            }
+            "--breaker-failures" => {
+                policy.breaker.failure_threshold = it
+                    .next()
+                    .ok_or("--breaker-failures needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --breaker-failures")?
+            }
+            "--breaker-cooldown-ms" => {
+                policy.breaker.cooldown_ms = it
+                    .next()
+                    .ok_or("--breaker-cooldown-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --breaker-cooldown-ms")?
+            }
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -378,11 +479,27 @@ fn route(args: &[String]) -> Result<ExitCode, String> {
     print!("{}", report.merged());
     for s in &report.shards {
         eprintln!(
-            "shard {}: {} sent, {} answered{}",
+            "shard {}: {} sent, {} answered{}{}{}",
             s.addr,
             s.sent,
             s.answered,
-            if s.died { ", DIED" } else { "" }
+            if s.died { ", DIED" } else { "" },
+            if s.trips > 0 {
+                format!(", breaker tripped x{}", s.trips)
+            } else {
+                String::new()
+            },
+            if s.readmitted > 0 {
+                format!(", readmitted x{}", s.readmitted)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if report.hedge.fired > 0 {
+        eprintln!(
+            "hedges: {} fired, {} won, {} duplicate answers ({} mismatched)",
+            report.hedge.fired, report.hedge.wins, report.hedge.duplicates, report.hedge.mismatches
         );
     }
     Ok(if report.all_done() {
@@ -528,8 +645,9 @@ fn client(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::SUCCESS
             }
         }
-        // `rejected` carries no verdict either way — like a timeout.
-        "unknown" | "rejected" => ExitCode::from(3),
+        // `rejected` and `shed` carry no verdict either way — like a
+        // timeout; resubmitting later is safe.
+        "unknown" | "rejected" | "shed" => ExitCode::from(3),
         _ => ExitCode::from(2),
     })
 }

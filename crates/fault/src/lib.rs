@@ -55,6 +55,15 @@ pub mod points {
     pub const SERVE_WORKER: &str = "serve.worker";
     /// The DPOR engine, probed per complete candidate execution.
     pub const DPOR_EXPLORE: &str = "dpor.explore";
+    /// The fleet router, probed before each shard connection; a firing
+    /// rule simulates a transport failure (node death).
+    pub const ROUTE_TRANSPORT: &str = "route.transport";
+    /// The fleet router, probed after connecting; arm with `delay_ms`
+    /// to simulate a stalled link (exercises hedging and deadlines).
+    pub const ROUTE_STALL: &str = "route.stall_ms";
+    /// The serve dispatch gate, probed per verify request; a firing
+    /// rule forces admission control to shed the request.
+    pub const SERVE_OVERLOAD: &str = "serve.overload";
     /// Every wired point, for matrix-style tests.
     pub const ALL: &[&str] = &[
         SAT_CONFLICT,
@@ -62,6 +71,9 @@ pub mod points {
         ENCODE_BUILD,
         SERVE_WORKER,
         DPOR_EXPLORE,
+        ROUTE_TRANSPORT,
+        ROUTE_STALL,
+        SERVE_OVERLOAD,
     ];
 }
 

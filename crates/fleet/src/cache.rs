@@ -46,6 +46,9 @@ pub struct CacheStats {
     /// Whether the persistent store was truncated at open because its
     /// fingerprint mismatched.
     pub invalidated: bool,
+    /// Torn-tail bytes truncated from the persistent store at open (a
+    /// crash mid-append; the prefix survived).
+    pub recovered_tail_bytes: u64,
 }
 
 /// The cache. Thread-safe; shared across the server behind an `Arc`.
@@ -58,6 +61,7 @@ pub struct ResultCache {
     inserts: AtomicU64,
     loaded: u64,
     invalidated: bool,
+    recovered_tail_bytes: u64,
 }
 
 impl ResultCache {
@@ -71,6 +75,7 @@ impl ResultCache {
             inserts: AtomicU64::new(0),
             loaded: 0,
             invalidated: false,
+            recovered_tail_bytes: 0,
         }
     }
 
@@ -92,6 +97,7 @@ impl ResultCache {
         let LoadReport {
             entries,
             invalidated,
+            recovered_tail_bytes,
             ..
         } = report;
         let mut lru = LruMap::new(capacity);
@@ -109,6 +115,7 @@ impl ResultCache {
             inserts: AtomicU64::new(0),
             loaded,
             invalidated,
+            recovered_tail_bytes,
         })
     }
 
@@ -149,6 +156,7 @@ impl ResultCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             loaded: self.loaded,
             invalidated: self.invalidated,
+            recovered_tail_bytes: self.recovered_tail_bytes,
         }
     }
 }

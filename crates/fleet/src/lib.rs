@@ -22,9 +22,11 @@
 //!   per-worker heavy lanes with work stealing, so a small query is
 //!   never stuck behind an encoding monster.
 //! * [`router`] — `gpumc route`: fan a suite over N serve instances by
-//!   digest hash, merge responses deterministically, and retry on the
-//!   surviving shards when a node dies (`status:"failed"` only after
-//!   the cluster-wide policy is exhausted).
+//!   digest over a consistent-hash ring ([`ring`]), merge responses
+//!   deterministically, and self-heal around trouble: per-shard
+//!   circuit breakers ([`health`]) quarantine dead nodes, hedged
+//!   requests tame tail latency, and an exhausted request is always
+//!   *classified* (`failed`/`shed`), never dropped.
 //!
 //! Everything is std-only, like the rest of the serving stack. The JSON
 //! plumbing ([`json`]) lives here (moved from `gpumc-serve`, which
@@ -33,14 +35,20 @@
 
 pub mod cache;
 pub mod digest;
+pub mod health;
 pub mod json;
 pub mod lru;
+pub mod ring;
 pub mod router;
 pub mod sched;
 pub mod store;
 
 pub use cache::{CachedVerdict, ResultCache};
 pub use digest::{request_digest, RequestKey, DIGEST_SCHEME_VERSION};
+pub use health::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use json::Json;
-pub use router::{route, RoutePolicy, RouteReport, RouteRequest};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{
+    home_shard, route, routing_digest, HedgeStats, RoutePolicy, RouteReport, RouteRequest,
+};
 pub use sched::{CostScheduler, PushError};

@@ -48,11 +48,15 @@ pub struct SchedStats {
 
 #[derive(Debug)]
 struct State<T> {
-    fast: VecDeque<T>,
+    /// The shared fast lane: `(job, predicted_cost)`.
+    fast: VecDeque<(T, u64)>,
     /// One heavy lane per worker: `(job, predicted_cost)`.
     lanes: Vec<VecDeque<(T, u64)>>,
     /// Sum of queued predicted cost per lane.
     lane_cost: Vec<u64>,
+    /// Sum of queued predicted cost across every lane (the admission
+    /// gate's queue-pressure input).
+    total_cost: u64,
     len: usize,
     closed: bool,
     stats: SchedStats,
@@ -78,6 +82,7 @@ impl<T> CostScheduler<T> {
                 fast: VecDeque::new(),
                 lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
                 lane_cost: vec![0; lanes],
+                total_cost: 0,
                 len: 0,
                 closed: false,
                 stats: SchedStats::default(),
@@ -98,7 +103,7 @@ impl<T> CostScheduler<T> {
             return Err(PushError::Full(job));
         }
         if cost <= self.fast_max_cost {
-            s.fast.push_back(job);
+            s.fast.push_back((job, cost));
             s.stats.fast += 1;
         } else {
             // Least-loaded lane; ties go to the lowest index, which
@@ -110,6 +115,7 @@ impl<T> CostScheduler<T> {
             s.lane_cost[lane] += cost;
             s.stats.heavy += 1;
         }
+        s.total_cost += cost;
         s.len += 1;
         drop(s);
         self.available.notify_one();
@@ -124,12 +130,14 @@ impl<T> CostScheduler<T> {
         let mut s = self.state.lock().unwrap();
         loop {
             let lane = worker % s.lanes.len();
-            if let Some(job) = s.fast.pop_front() {
+            if let Some((job, cost)) = s.fast.pop_front() {
+                s.total_cost -= cost;
                 s.len -= 1;
                 return Some(job);
             }
             if let Some((job, cost)) = s.lanes[lane].pop_front() {
                 s.lane_cost[lane] -= cost;
+                s.total_cost -= cost;
                 s.len -= 1;
                 return Some(job);
             }
@@ -139,6 +147,7 @@ impl<T> CostScheduler<T> {
             if let Some(v) = victim {
                 let (job, cost) = s.lanes[v].pop_back().expect("victim lane non-empty");
                 s.lane_cost[v] -= cost;
+                s.total_cost -= cost;
                 s.len -= 1;
                 s.stats.steals += 1;
                 return Some(job);
@@ -167,12 +176,13 @@ impl<T> CostScheduler<T> {
     /// index order.
     pub fn drain_now(&self) -> Vec<T> {
         let mut s = self.state.lock().unwrap();
-        let mut out: Vec<T> = s.fast.drain(..).collect();
+        let mut out: Vec<T> = s.fast.drain(..).map(|(job, _)| job).collect();
         let lanes = s.lanes.len();
         for i in 0..lanes {
             out.extend(s.lanes[i].drain(..).map(|(job, _)| job));
             s.lane_cost[i] = 0;
         }
+        s.total_cost = 0;
         s.len = 0;
         out
     }
@@ -180,6 +190,16 @@ impl<T> CostScheduler<T> {
     /// Jobs currently queued across all lanes.
     pub fn len(&self) -> usize {
         self.state.lock().unwrap().len
+    }
+
+    /// Sum of queued predicted cost across all lanes.
+    pub fn total_cost(&self) -> u64 {
+        self.state.lock().unwrap().total_cost
+    }
+
+    /// The configured queue capacity (jobs, not cost).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn is_empty(&self) -> bool {

@@ -6,12 +6,20 @@
 //! it (versioned invalidation): a cached verdict is only as trustworthy
 //! as the pipeline that computed it, so a changed encoder, solver, or
 //! digest scheme silently starting to *reuse* old verdicts would be a
-//! soundness hole. Every later line is one `(digest, verdict)` entry;
-//! corrupt lines (a crash mid-append) are skipped on load, and a
-//! re-appended digest simply wins by being later (last-wins on load).
+//! soundness hole. Every later line is one `(digest, verdict)` entry,
+//! and a re-appended digest simply wins by being later (last-wins on
+//! load).
+//!
+//! A crash mid-append leaves a *torn tail*: trailing bytes with no
+//! newline terminator. Opening such a file truncates only those bytes
+//! — the valid prefix survives — so the next append starts on a clean
+//! line instead of concatenating onto the fragment and corrupting the
+//! next entry. Complete-but-unparsable lines are merely skipped (they
+//! cannot hurt later appends); wholesale truncation stays reserved for
+//! a fingerprint mismatch or a torn header.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::cache::CachedVerdict;
@@ -30,11 +38,14 @@ pub const STORE_FILE: &str = "results.jsonl";
 pub struct LoadReport {
     /// Entries in file order (last-wins for duplicate digests).
     pub entries: Vec<(u128, CachedVerdict)>,
-    /// The file existed but its fingerprint mismatched and it was
-    /// truncated.
+    /// The file existed but its fingerprint mismatched (or its header
+    /// was torn) and it was truncated wholesale.
     pub invalidated: bool,
-    /// Corrupt entry lines skipped.
+    /// Corrupt (but newline-complete) entry lines skipped.
     pub skipped: u64,
+    /// Bytes of a torn trailing partial line truncated away (a crash
+    /// mid-append); the prefix before them survived.
+    pub recovered_tail_bytes: u64,
 }
 
 /// An open store: an append handle plus its path.
@@ -57,25 +68,36 @@ impl Store {
             entries: Vec::new(),
             invalidated: false,
             skipped: 0,
+            recovered_tail_bytes: 0,
         };
         let expected_header = header_line(fingerprint);
         let mut valid = false;
+        // Byte offset of the end of the last newline-terminated line;
+        // anything past it is a torn tail to truncate.
+        let mut valid_end = 0u64;
         if path.exists() {
-            let reader = BufReader::new(File::open(path)?);
-            let mut lines = reader.lines();
-            match lines.next() {
-                Some(Ok(first)) if first == expected_header => {
-                    valid = true;
-                    for line in lines {
-                        let Ok(line) = line else { break };
-                        match parse_entry(&line) {
-                            Some((d, v)) => report.entries.push((d, v)),
-                            None => report.skipped += 1,
+            let data = std::fs::read(path)?;
+            if !data.is_empty() {
+                match data.iter().position(|&b| b == b'\n') {
+                    Some(nl) if &data[..nl] == expected_header.as_bytes() => {
+                        valid = true;
+                        valid_end = (nl + 1) as u64;
+                        let mut at = nl + 1;
+                        while let Some(len) = data[at..].iter().position(|&b| b == b'\n') {
+                            let line = &data[at..at + len];
+                            match std::str::from_utf8(line).ok().and_then(parse_entry) {
+                                Some((d, v)) => report.entries.push((d, v)),
+                                None => report.skipped += 1,
+                            }
+                            at += len + 1;
+                            valid_end = at as u64;
                         }
+                        report.recovered_tail_bytes = (data.len() - at) as u64;
                     }
+                    // A wrong fingerprint or a header torn before its
+                    // newline: nothing in the file is trustworthy.
+                    _ => report.invalidated = true,
                 }
-                Some(_) => report.invalidated = true,
-                None => {} // empty file: rewrite the header below
             }
         }
         let mut file = OpenOptions::new()
@@ -87,6 +109,8 @@ impl Store {
         if !valid {
             writeln!(file, "{expected_header}")?;
             file.flush()?;
+        } else if report.recovered_tail_bytes > 0 {
+            file.set_len(valid_end)?;
         }
         Ok((
             Store {
@@ -211,21 +235,76 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_tail_lines_are_skipped_not_fatal() {
-        let dir = tmpdir("corrupt");
+    fn torn_tail_is_truncated_and_the_prefix_survives() {
+        let dir = tmpdir("torn");
+        let path = dir.join(STORE_FILE);
+        {
+            let (mut store, _) = Store::open(&path, "fp").unwrap();
+            store.append(7, &verdict("a")).unwrap();
+            store.append(9, &verdict("b")).unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: a truncated trailing line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"d\":\"00000000").unwrap();
+        drop(f);
+        let (mut store, report) = Store::open(&path, "fp").unwrap();
+        assert_eq!(report.entries.len(), 2, "the prefix survives");
+        assert_eq!(report.skipped, 0);
+        assert!(!report.invalidated, "a torn tail is not an invalidation");
+        assert_eq!(report.recovered_tail_bytes, 14);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "only the torn bytes were truncated"
+        );
+        // The regression: the next append must start on a clean line,
+        // not concatenate onto the fragment.
+        store.append(11, &verdict("c")).unwrap();
+        drop(store);
+        let (_store, report) = Store::open(&path, "fp").unwrap();
+        assert_eq!(report.entries.len(), 3);
+        assert_eq!(report.entries[2].0, 11);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.recovered_tail_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn complete_corrupt_line_is_skipped_without_truncation() {
+        let dir = tmpdir("midline");
         let path = dir.join(STORE_FILE);
         {
             let (mut store, _) = Store::open(&path, "fp").unwrap();
             store.append(7, &verdict("a")).unwrap();
         }
-        // Simulate a crash mid-append: a truncated trailing line.
+        // A complete (newline-terminated) garbage line, then a good one
+        // after it: the good suffix must survive too.
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-        write!(f, "{{\"d\":\"00000000").unwrap();
+        writeln!(f, "not json at all").unwrap();
         drop(f);
+        {
+            let (mut store, _) = Store::open(&path, "fp").unwrap();
+            store.append(9, &verdict("b")).unwrap();
+        }
         let (_store, report) = Store::open(&path, "fp").unwrap();
-        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries.len(), 2);
         assert_eq!(report.skipped, 1);
+        assert_eq!(report.recovered_tail_bytes, 0);
         assert!(!report.invalidated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_truncates_wholesale() {
+        let dir = tmpdir("tornheader");
+        let path = dir.join(STORE_FILE);
+        std::fs::write(&path, "{\"gpumc_cache\":1,\"finger").unwrap();
+        let (_store, report) = Store::open(&path, "fp").unwrap();
+        assert!(report.invalidated);
+        assert!(report.entries.is_empty());
+        let (_store, report) = Store::open(&path, "fp").unwrap();
+        assert!(!report.invalidated, "the rewritten header is clean");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,12 @@
 //! * panic isolation with supervised retry: a job that panics is caught
 //!   in the worker, retried with backoff, and ultimately answered
 //!   `status: "failed"` with an error class — see the supervision notes
-//!   in [`server`] and the failure taxonomy in DESIGN.md §13.
+//!   in [`server`] and the failure taxonomy in DESIGN.md §13;
+//! * admission control and graceful degradation under overload
+//!   ([`overload`]): a deadline-aware load-shed gate ahead of the
+//!   scheduler plus a brownout ladder (full → cache-only → sequential
+//!   → shed), exported in responses as a `degraded` block — DESIGN.md
+//!   §18.
 //!
 //! The JSON plumbing ([`json`]) is hand-rolled: the offline dependency
 //! set has no serde, and the protocol needs very little. It lives in
@@ -30,6 +35,7 @@
 
 pub mod client;
 pub mod metrics;
+pub mod overload;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -39,6 +45,7 @@ pub use gpumc_fleet::json;
 pub use client::Client;
 pub use json::Json;
 pub use metrics::Metrics;
+pub use overload::{next_level, DegradeLevel, Overload, OverloadPolicy};
 pub use protocol::{
     parse_request, verdict_json, Envelope, Request, VerifyRequest, PROTOCOL_VERSION,
 };

@@ -64,10 +64,11 @@ use gpumc_sat::CancelToken;
 
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::overload::{DegradeLevel, Overload, OverloadPolicy};
 use crate::protocol::{
     cached_response, cached_verdict, engine_name, error_response, failed_response, parse_request,
-    rejected_response, unknown_response, verify_response, Envelope, Request, VerifyRequest,
-    PROTOCOL_VERSION,
+    rejected_response, shed_response, unknown_response, verify_response, Envelope, Request,
+    VerifyRequest, PROTOCOL_VERSION,
 };
 
 /// The injection point a worker probes when it picks up a job but
@@ -110,6 +111,13 @@ pub struct ServerConfig {
     /// scheduler's shared fast lane (`--fast-lane-cost`); costlier jobs
     /// go to per-worker heavy lanes with work stealing.
     pub fast_lane_max_cost: u64,
+    /// Queue-pressure thresholds driving the degradation ladder
+    /// (DESIGN.md §18).
+    pub overload: OverloadPolicy,
+    /// Pin the ladder at a fixed level (`--degrade-level`); `None`
+    /// tracks queue pressure. Pinning exists for operators staging a
+    /// brownout drill and for deterministic tests.
+    pub force_degrade: Option<DegradeLevel>,
 }
 
 /// Default [`ServerConfig::fast_lane_max_cost`]: comfortably above any
@@ -131,6 +139,8 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             cache_dir: None,
             fast_lane_max_cost: DEFAULT_FAST_LANE_MAX_COST,
+            overload: OverloadPolicy::default(),
+            force_degrade: None,
         }
     }
 }
@@ -206,6 +216,9 @@ struct Job {
     /// Predicted relative cost ([`gpumc_encode::estimate_cost`]); the
     /// scheduler's lane key. Re-pushes after a panic reuse it.
     cost: u64,
+    /// The ladder level active when the job was admitted; stamped into
+    /// the response's `degraded` block (omitted at `Full`).
+    degraded: DegradeLevel,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
@@ -221,6 +234,10 @@ struct Shared {
     allow_faults: bool,
     /// Monotone job sequence for retry jitter.
     seq: AtomicU64,
+    /// Degradation ladder + deadline-admission service model.
+    overload: Overload,
+    /// Effective worker count, for spreading predicted queue cost.
+    workers: usize,
 }
 
 impl Shared {
@@ -253,6 +270,8 @@ impl Shared {
             retry: config.retry,
             allow_faults: config.allow_faults,
             seq: AtomicU64::new(0),
+            overload: Overload::new(config.overload, config.force_degrade),
+            workers: jobs,
         }))
     }
 }
@@ -450,6 +469,15 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
             shared
                 .metrics
                 .set_gauge("sched_steals_total", sched.steals as i64);
+            shared
+                .metrics
+                .set_gauge("degraded_level", shared.overload.level() as i64);
+            shared
+                .metrics
+                .set_gauge("overload_ns_per_cost", shared.overload.ns_per_cost() as i64);
+            shared
+                .metrics
+                .set_gauge("queue_cost", shared.queue.total_cost() as i64);
             if let Some(cache) = &shared.cache {
                 let s = cache.stats();
                 shared
@@ -461,6 +489,10 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                 shared
                     .metrics
                     .set_gauge("result_cache_invalidated", i64::from(s.invalidated));
+                shared.metrics.set_gauge(
+                    "result_cache_recovered_tail_bytes",
+                    s.recovered_tail_bytes as i64,
+                );
             }
             let snapshot = shared.metrics.snapshot();
             write_line(
@@ -487,7 +519,7 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
             );
             ControlFlow::Break(())
         }
-        Request::Verify(req) => {
+        Request::Verify(mut req) => {
             shared.metrics.inc("requests_verify");
             let accepted = Instant::now();
             let faults = match &req.faults {
@@ -512,22 +544,48 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                     }
                 },
             };
+            // Re-evaluate the degradation ladder against queue
+            // occupancy; `serve.overload` (global or the request's own
+            // plan) forces this one request to the shed rung, which is
+            // how the chaos harness floods a shard deterministically.
+            let mut level = shared
+                .overload
+                .update(shared.queue.len(), shared.queue.capacity());
+            {
+                let _guard = faults.clone().map(gpumc::fault::scoped);
+                if gpumc::fault::hit(gpumc::fault::points::SERVE_OVERLOAD).is_some() {
+                    shared.metrics.inc("overload_injected_total");
+                    level = DegradeLevel::Shed;
+                }
+            }
+            shared.metrics.set_gauge("degraded_level", level as i64);
             // Content digest + predicted cost, both derived from the
             // parsed request at dispatch time (microseconds against
             // solve times in milliseconds-to-minutes). An unparsable
             // request keeps digest `None` and flows to a worker, which
             // answers `error` exactly as before the cache existed.
-            let (digest, cost) = digest_and_cost(&req);
+            let (raw_digest, cost) = digest_and_cost(&req);
             // Fault-armed jobs bypass the cache in *both* directions:
             // a verdict computed under injection must not be served to
             // clean requests, and a clean cached verdict must not mask
             // the injection the client asked to exercise.
             let digest = if faults.is_none() && req.cache {
-                digest
+                raw_digest
             } else {
                 None
             };
-            if let (Some(cache), Some(d)) = (&shared.cache, digest) {
+            // At cache-only and below, a `"cache":false` opt-out is
+            // overridden for *lookup* (a stale-tolerant answer beats no
+            // answer; the `degraded` block says it happened). The job's
+            // own digest stays gated by the opt-out, so a forced-fresh
+            // verdict is still never *recorded* against the client's
+            // wishes.
+            let lookup = if faults.is_none() && level >= DegradeLevel::CacheOnly {
+                raw_digest
+            } else {
+                digest
+            };
+            if let (Some(cache), Some(d)) = (&shared.cache, lookup) {
                 if let Some(v) = cache.lookup(d) {
                     shared.metrics.inc("cache_hits");
                     // A cache hit is still a served verdict: the
@@ -539,12 +597,56 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                         .inc(if pass { "verdict_pass" } else { "verdict_fail" });
                     let wall_us = accepted.elapsed().as_micros() as u64;
                     shared.metrics.observe_us("verify_latency_us", wall_us);
-                    write_line(out, &cached_response(id, &v, wall_us));
+                    write_line(out, &cached_response(id, &v, wall_us, Some(level)));
                     return ControlFlow::Continue(());
                 }
                 shared.metrics.inc("cache_misses");
             }
+            // The load-shed gate: at the shed rung only cache hits
+            // (above) are answered; everything else is refused *before*
+            // acceptance, so it can be resubmitted elsewhere.
+            if level == DegradeLevel::Shed {
+                shared.metrics.inc("jobs_shed_total");
+                write_line(out, &shed_response(id, "overloaded", Some(level)));
+                return ControlFlow::Continue(());
+            }
             let timeout_ms = req.timeout_ms.or(shared.default_timeout_ms);
+            // Deadline admission: when the service model has seen real
+            // work, a job predicted to blow its deadline while still
+            // queued is shed at the door instead of accepted, timed
+            // out, and answered `unknown` after burning a worker.
+            if let Some(deadline) = timeout_ms {
+                let predicted = shared.overload.predicted_completion_ms(
+                    shared.queue.total_cost(),
+                    cost,
+                    shared.workers,
+                );
+                if let Some(p) = predicted {
+                    if p > deadline {
+                        shared.metrics.inc("jobs_shed_total");
+                        shared.metrics.inc("jobs_shed_deadline_total");
+                        write_line(
+                            out,
+                            &shed_response(
+                                id,
+                                &format!(
+                                    "deadline unmeetable: predicted {p}ms exceeds timeout {deadline}ms"
+                                ),
+                                Some(level),
+                            ),
+                        );
+                        return ControlFlow::Continue(());
+                    }
+                }
+            }
+            // At the sequential rung, per-job CPU fan-out is the first
+            // luxury to go: portfolio solving degrades to one solver.
+            if level >= DegradeLevel::Sequential
+                && req.portfolio != gpumc::gpumc_sat::ParallelPolicy::Off
+            {
+                shared.metrics.inc("portfolio_downgraded_total");
+                req.portfolio = gpumc::gpumc_sat::ParallelPolicy::Off;
+            }
             let token = match timeout_ms {
                 Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
                 None => CancelToken::new(),
@@ -560,6 +662,7 @@ fn dispatch_line(line: &str, out: &Out, shared: &Arc<Shared>) -> std::ops::Contr
                 faults,
                 digest,
                 cost,
+                degraded: level,
             };
             match shared.queue.try_push(job, cost) {
                 Ok(()) => {
@@ -627,12 +730,23 @@ fn worker_loop(shared: &Arc<Shared>, slot: &WorkerSlot, worker: usize) {
         // thread.)
         let guard = job.faults.clone().map(gpumc::fault::scoped);
         let _ = gpumc::fault::hit(WORKER_HARD_KILL_POINT);
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_verify_job(&job, shared)));
         drop(guard);
         shared.metrics.move_gauge("in_flight", -1);
         *lock_unpoisoned(slot) = None;
         match outcome {
-            Ok(response) => write_line(&job.out, &response),
+            Ok(response) => {
+                // Completed attempts (whatever the verdict) feed the
+                // deadline-admission service model; predicted-cost-0
+                // jobs (parse errors) would only pollute it.
+                if job.cost > 0 {
+                    shared
+                        .overload
+                        .observe_service(job.cost, started.elapsed().as_nanos() as u64);
+                }
+                write_line(&job.out, &response);
+            }
             Err(payload) => handle_job_panic(job, &panic_message(&*payload), shared),
         }
     }
@@ -875,7 +989,7 @@ fn run_verify_job(job: &Job, shared: &Arc<Shared>) -> Json {
                 cache.insert(d, cached_verdict(&program.name, &o));
                 shared.metrics.inc("cache_inserts");
             }
-            verify_response(job.id, &program.name, &o, wall_us)
+            verify_response(job.id, &program.name, &o, wall_us, Some(job.degraded))
         }
         Err(VerifyError::Unknown(reason)) => {
             shared.metrics.inc("verdict_unknown");

@@ -1,0 +1,314 @@
+//! Cluster chaos matrix: the self-healing contract of the fleet layer
+//! under injected death, stalls, and overload (DESIGN.md §18).
+//!
+//! The invariants every scenario checks:
+//!
+//! * every *answered* verdict is byte-identical to a single-node
+//!   baseline run — failover, hedging, and brownout may change *who*
+//!   answers, never *what*;
+//! * every *unanswered* request is classified (`failed` or `shed`),
+//!   never silently dropped;
+//! * a quarantined shard is readmitted by the half-open probe within
+//!   the run.
+//!
+//! Scenarios that install a process-global fault plan serialize on a
+//! shared mutex: `route.transport` and `route.stall_ms` are probed by
+//! every router in this test binary, so concurrent tests would bleed
+//! injections into each other.
+
+use std::io::Read;
+use std::sync::{Mutex, MutexGuard};
+
+use gpumc_fleet::router::{route, RoutePolicy, RouteRequest};
+use gpumc_serve::{DegradeLevel, Server, ServerConfig};
+
+/// Serializes every test in this file: global fault plans and real
+/// socket servers do not share a process gracefully.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn spawn_shard(force: Option<DegradeLevel>) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: 1,
+        force_degrade: force,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str) {
+    let mut client = gpumc_serve::Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+}
+
+/// An address that refuses connections: a shard that died before the
+/// run.
+fn dead_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    addr
+}
+
+/// A shard that accepts, swallows the request, and goes silent — a
+/// wedged node, distinguishable from a dead one only by timeout.
+fn stalled_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut s) = conn else { continue };
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                while let Ok(n) = s.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_secs(600));
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn suite() -> Vec<RouteRequest> {
+    gpumc_catalog::figure_tests()
+        .into_iter()
+        .map(|t| RouteRequest {
+            name: t.name,
+            source: t.source,
+            model: None,
+            bound: t.bound,
+            engine: "sat".into(),
+            timeout_ms: None,
+            faults: None,
+        })
+        .collect()
+}
+
+/// Single-node ground truth (run with no faults installed).
+fn baseline(requests: &[RouteRequest]) -> String {
+    let (addr, handle) = spawn_shard(None);
+    let report = route(
+        requests,
+        std::slice::from_ref(&addr),
+        &RoutePolicy::default(),
+    );
+    assert!(report.all_done(), "baseline must answer everything");
+    shutdown(&addr);
+    handle.join().unwrap();
+    report.merged()
+}
+
+#[test]
+fn dead_and_stalled_shards_fail_over_byte_identically() {
+    let _g = lock();
+    let requests = suite();
+    let expected = baseline(&requests);
+
+    // Ring of three: one healthy shard, one dead, one wedged. The
+    // wedged one is only survivable because the per-attempt read
+    // timeout turns its silence into a transport failure.
+    let (healthy, handle) = spawn_shard(None);
+    let shards = [healthy.clone(), dead_addr(), stalled_addr()];
+    let policy = RoutePolicy {
+        read_timeout_ms: Some(500),
+        ..RoutePolicy::default()
+    };
+    let report = route(&requests, &shards, &policy);
+    assert!(report.all_done(), "failover must answer everything");
+    assert_eq!(
+        report.merged(),
+        expected,
+        "merged results with dead+stalled shards diverged from single-node"
+    );
+    assert!(report.shards[1].died, "the dead shard must be marked dead");
+    assert_eq!(report.shards[1].answered, 0);
+    assert_eq!(
+        report.shards[2].answered, 0,
+        "a wedged shard answers nothing"
+    );
+
+    shutdown(&healthy);
+    handle.join().unwrap();
+}
+
+#[test]
+fn shedding_shard_fails_over_byte_identically() {
+    let _g = lock();
+    let requests = suite();
+    let expected = baseline(&requests);
+
+    // One shard is browned out to the shed rung: it answers instantly
+    // with `status:"shed"`, which the router treats as "alive but
+    // refusing" — failover without a breaker trip.
+    let (healthy, h0) = spawn_shard(None);
+    let (shedding, h1) = spawn_shard(Some(DegradeLevel::Shed));
+    let shards = [healthy.clone(), shedding.clone()];
+    let report = route(&requests, &shards, &RoutePolicy::default());
+    assert!(report.all_done(), "failover must answer everything");
+    assert_eq!(
+        report.merged(),
+        expected,
+        "merged results with a shedding shard diverged from single-node"
+    );
+    let trips: u64 = report.shards.iter().map(|s| s.trips).sum();
+    assert_eq!(trips, 0, "shed responses prove liveness; no breaker trips");
+    assert!(
+        !report.shards.iter().any(|s| s.died),
+        "a shedding shard is not dead"
+    );
+
+    shutdown(&healthy);
+    shutdown(&shedding);
+    h0.join().unwrap();
+    h1.join().unwrap();
+}
+
+#[test]
+fn cluster_wide_outage_classifies_every_request() {
+    let _g = lock();
+    let requests = suite();
+
+    // One shard shedding everything, one dead: no request can be
+    // answered, and every single one must still come back classified.
+    let (shedding, handle) = spawn_shard(Some(DegradeLevel::Shed));
+    let shards = [shedding.clone(), dead_addr()];
+    let policy = RoutePolicy {
+        max_attempts: 2,
+        backoff_ms: 1,
+        ..RoutePolicy::default()
+    };
+    let report = route(&requests, &shards, &policy);
+    assert!(!report.all_done());
+    assert_eq!(report.results.len(), requests.len(), "nothing dropped");
+    for r in report.results.iter() {
+        assert!(
+            r.status == "shed" || r.status == "failed",
+            "{}: unclassified terminal status `{}`",
+            r.name,
+            r.status
+        );
+        assert!(r.attempts >= 1, "{}: no attempts recorded", r.name);
+    }
+
+    shutdown(&shedding);
+    handle.join().unwrap();
+}
+
+#[test]
+fn transport_blip_trips_the_breaker_and_the_half_open_probe_readmits() {
+    let _g = lock();
+    let requests = suite();
+    let expected = baseline(&requests);
+
+    // A single shard behind an injected one-shot transport failure: the
+    // first attempt trips the breaker (threshold 1), quarantining the
+    // only shard in the ring. The run can only complete if the
+    // half-open probe readmits it — which is the assertion.
+    let (addr, handle) = spawn_shard(None);
+    let policy = RoutePolicy {
+        breaker: gpumc_fleet::BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ms: 100,
+        },
+        ..RoutePolicy::default()
+    };
+
+    // Phase 1 — one request, so no concurrent in-flight success can
+    // re-close the breaker before the cooldown: the full lifecycle
+    // (trip → quarantine → half-open probe → readmit) is deterministic.
+    gpumc::fault::install_global(std::sync::Arc::new(
+        gpumc::fault::FaultPlan::parse("route.transport:spurious_unknown:once").unwrap(),
+    ));
+    let report = route(&requests[..1], std::slice::from_ref(&addr), &policy);
+    gpumc::fault::clear_global();
+    assert!(
+        report.all_done(),
+        "the readmitted shard must finish the run"
+    );
+    assert_eq!(
+        report.merged(),
+        expected.lines().next().unwrap().to_owned() + "\n"
+    );
+    assert_eq!(report.shards[0].trips, 1, "exactly one quarantine");
+    assert_eq!(
+        report.shards[0].readmitted, 1,
+        "the half-open probe must readmit the shard within the run"
+    );
+
+    // Phase 2 — the whole suite through another blip: whoever heals the
+    // breaker (probe or a racing in-flight success), the verdicts stay
+    // byte-identical and the trip is still recorded.
+    gpumc::fault::install_global(std::sync::Arc::new(
+        gpumc::fault::FaultPlan::parse("route.transport:spurious_unknown:once").unwrap(),
+    ));
+    let report = route(&requests, std::slice::from_ref(&addr), &policy);
+    gpumc::fault::clear_global();
+    assert!(report.all_done());
+    assert_eq!(report.merged(), expected);
+    assert_eq!(report.shards[0].trips, 1);
+    assert!(report.shards[0].died);
+
+    shutdown(&addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn injected_stalls_fire_hedges_whose_duplicates_agree() {
+    let _g = lock();
+    let requests = suite();
+    let expected = baseline(&requests);
+
+    // Every attempt (primary and hedge alike) is slowed by an injected
+    // 300 ms stall; a 50 ms hedge window guarantees every request
+    // hedges to its ring successor. Both answers eventually arrive, so
+    // the router's duplicate check gets real material: the winner is
+    // merged, the loser must agree byte-for-byte.
+    let (a0, h0) = spawn_shard(None);
+    let (a1, h1) = spawn_shard(None);
+    let shards = [a0.clone(), a1.clone()];
+    gpumc::fault::install_global(std::sync::Arc::new(
+        gpumc::fault::FaultPlan::parse("route.stall_ms:delay_ms:300").unwrap(),
+    ));
+    let policy = RoutePolicy {
+        hedge_ms: Some(50),
+        ..RoutePolicy::default()
+    };
+    let report = route(&requests, &shards, &policy);
+    gpumc::fault::clear_global();
+
+    assert!(report.all_done());
+    assert_eq!(
+        report.merged(),
+        expected,
+        "hedged results diverged from single-node"
+    );
+    assert!(
+        report.hedge.fired as usize >= requests.len(),
+        "every stalled request should hedge; fired {} of {}",
+        report.hedge.fired,
+        requests.len()
+    );
+    assert!(
+        report.hedge.duplicates >= 1,
+        "no duplicate answers compared"
+    );
+    assert_eq!(
+        report.hedge.mismatches, 0,
+        "hedged duplicates disagreed — determinism is broken"
+    );
+
+    shutdown(&a0);
+    shutdown(&a1);
+    h0.join().unwrap();
+    h1.join().unwrap();
+}

@@ -5,8 +5,8 @@
 //! attempt) or is dead before the run starts. Failover is the router's
 //! job; the merged bytes are the contract.
 
-use gpumc_fleet::digest::source_digest;
-use gpumc_fleet::router::{route, shard_of, RoutePolicy, RouteRequest};
+use gpumc_fleet::router::{home_shard, route, routing_digest, RoutePolicy, RouteRequest};
+use gpumc_fleet::DEFAULT_VNODES;
 use gpumc_serve::{Server, ServerConfig, WORKER_HARD_KILL_POINT};
 
 fn spawn(allow_faults: bool) -> (String, std::thread::JoinHandle<()>) {
@@ -44,19 +44,10 @@ fn suite() -> Vec<RouteRequest> {
         .collect()
 }
 
-/// Which of `n` shards a request homes on — the same digest the router
-/// computes internally.
+/// Which of `n` shards a request homes on — the same ring placement the
+/// router computes internally.
 fn home_of(req: &RouteRequest, n: usize) -> usize {
-    let d = source_digest(
-        &req.source,
-        req.model.as_deref(),
-        req.bound,
-        "all",
-        &req.engine,
-        1,
-    )
-    .expect("suite request digests");
-    shard_of(d, n)
+    home_shard(routing_digest(req, 1), n, DEFAULT_VNODES)
 }
 
 /// The single-node ground truth: the whole suite through one clean
